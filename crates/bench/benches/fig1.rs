@@ -1,0 +1,51 @@
+//! Criterion bench for the Fig. 1 experiment: simulates each vecop
+//! variant end-to-end and reports host time per simulated kernel. The
+//! simulated-cycle results themselves come from the `fig1_trace` binary;
+//! this bench tracks the *simulator's* performance and pins the
+//! variant-to-variant cycle ratios as a regression guard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::CoreConfig;
+use sc_kernels::{VecOpKernel, VecOpVariant};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_vecop");
+    for variant in VecOpVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &variant,
+            |b, &variant| {
+                let kernel = VecOpKernel::new(256, variant).build();
+                b.iter(|| {
+                    kernel
+                        .run(CoreConfig::new(), 10_000_000)
+                        .expect("vecop kernel verifies")
+                        .summary
+                        .cycles
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Regression guard on the simulated result itself.
+    let base = VecOpKernel::new(256, VecOpVariant::Baseline)
+        .build()
+        .run(CoreConfig::new(), 10_000_000)
+        .expect("baseline")
+        .measured()
+        .cycles;
+    let chained = VecOpKernel::new(256, VecOpVariant::Chained)
+        .build()
+        .run(CoreConfig::new(), 10_000_000)
+        .expect("chained")
+        .measured()
+        .cycles;
+    assert!(
+        chained * 2 < base,
+        "fig1 regression: chained {chained} cycles vs baseline {base}"
+    );
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

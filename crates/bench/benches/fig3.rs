@@ -1,0 +1,50 @@
+//! Criterion bench for the Fig. 3 experiment: simulates each
+//! stencil × variant point on a reduced tile and reports host time. The
+//! full-figure numbers come from the `fig3` binary; this bench guards the
+//! ordering the paper reports (chained variants beat the baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::CoreConfig;
+use sc_kernels::{Grid3, Stencil, StencilKernel, Variant};
+
+fn bench_fig3(c: &mut Criterion) {
+    let grid = Grid3::new(8, 4, 2);
+    let mut group = c.benchmark_group("fig3_box3d1r");
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &variant,
+            |b, &variant| {
+                let gen = StencilKernel::new(Stencil::box3d1r(), grid, variant)
+                    .expect("valid combination");
+                let kernel = gen.build();
+                b.iter(|| {
+                    kernel
+                        .run(CoreConfig::new(), 100_000_000)
+                        .expect("stencil kernel verifies")
+                        .summary
+                        .cycles
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Regression guard: Chaining+ must beat Base in simulated cycles.
+    let cycles = |v: Variant| {
+        StencilKernel::new(Stencil::box3d1r(), grid, v)
+            .expect("valid")
+            .build()
+            .run(CoreConfig::new(), 100_000_000)
+            .expect("runs")
+            .measured()
+            .cycles
+    };
+    let base = cycles(Variant::Base);
+    let chp = cycles(Variant::ChainingPlus);
+    assert!(chp < base, "fig3 regression: Chaining+ {chp} vs Base {base} cycles");
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Experiment harness: runs kernels under configurations and collects the
+//! rows that regenerate the paper's figures.
+
+use sc_core::{CoreConfig, PerfCounters};
+use sc_energy::{EnergyModel, EnergyReport};
+use sc_kernels::{Grid3, Kernel, KernelError, Stencil, StencilKernel, Variant};
+
+/// One measured data point: a kernel on a configuration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Kernel name (e.g. `"box3d1r/Chaining+"`).
+    pub name: String,
+    /// Region counters.
+    pub counters: PerfCounters,
+    /// Derived energy/power numbers.
+    pub energy: EnergyReport,
+}
+
+impl Measurement {
+    /// FPU utilisation (Fig. 3 left axis).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.counters.fpu_utilization()
+    }
+
+    /// Average power in mW (Fig. 3 right axis).
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        self.energy.power_mw
+    }
+}
+
+/// Runs one kernel and derives its measurement.
+///
+/// # Errors
+///
+/// Propagates simulation/verification failures.
+pub fn measure(
+    kernel: &Kernel,
+    cfg: CoreConfig,
+    model: &EnergyModel,
+    max_cycles: u64,
+) -> Result<Measurement, KernelError> {
+    let run = kernel.run(cfg, max_cycles)?;
+    let counters = *run.measured();
+    let energy = model.report(&counters);
+    Ok(Measurement { name: kernel.name().to_owned(), counters, energy })
+}
+
+/// The Fig. 3 experiment: both stencils × all five variants.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Experiment {
+    /// Core configuration (chaining present).
+    pub cfg: CoreConfig,
+    /// Cycle budget per run.
+    pub max_cycles: u64,
+}
+
+impl Fig3Experiment {
+    /// The default experiment.
+    ///
+    /// The paper does not state its grid dimensions; each stencil gets a
+    /// tile large enough for steady-state behaviour (>100 k FPU ops per
+    /// variant) and small enough to run in seconds.
+    #[must_use]
+    pub fn new() -> Self {
+        Fig3Experiment { cfg: CoreConfig::new(), max_cycles: 200_000_000 }
+    }
+
+    /// The stencils of the paper's evaluation, with their tiles.
+    #[must_use]
+    pub fn workloads() -> Vec<(Stencil, Grid3)> {
+        vec![
+            (Stencil::box3d1r(), Grid3::new(24, 8, 8)),
+            (Stencil::j3d27pt(), Grid3::new(16, 12, 6)),
+        ]
+    }
+
+    /// Runs the full sweep, returning measurements grouped by stencil in
+    /// variant order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first kernel failure.
+    pub fn run(&self, model: &EnergyModel) -> Result<Vec<(String, Vec<Measurement>)>, KernelError> {
+        let mut out = Vec::new();
+        for (stencil, grid) in Self::workloads() {
+            let mut rows = Vec::new();
+            for variant in Variant::ALL {
+                let gen = StencilKernel::new(stencil.clone(), grid, variant)
+                    .expect("paper stencils are dense boxes");
+                let kernel = gen.build();
+                rows.push(measure(&kernel, self.cfg, model, self.max_cycles)?);
+            }
+            out.push((stencil.name().to_owned(), rows));
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Fig3Experiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Geometric mean of a ratio sequence.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Summary ratios reproducing the paper's §III claims.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadlineNumbers {
+    /// Geomean speedup of `Chaining+` over `Base` (paper: ≈ 1.04).
+    pub speedup_vs_base: f64,
+    /// Geomean energy-efficiency gain of `Chaining+` over `Base`
+    /// (paper: ≈ 1.10).
+    pub efficiency_vs_base: f64,
+    /// Geomean speedup of `Chaining` over `Base-` (paper: ≈ 1.08).
+    pub speedup_vs_base_minus: f64,
+    /// Geomean efficiency gain of `Chaining` over `Base-` (paper: ≈ 1.09).
+    pub efficiency_vs_base_minus: f64,
+    /// Geomean energy-efficiency gain of `Chaining` over `Base`
+    /// (paper: ≈ 1.07, the "repeated L1 accesses avoided" effect).
+    pub chaining_efficiency_vs_base: f64,
+    /// Best chained FPU utilisation across stencils (paper: > 0.93).
+    pub best_utilization: f64,
+}
+
+/// Derives the headline numbers from a Fig. 3 sweep.
+///
+/// # Panics
+///
+/// Panics if the sweep does not contain all five variants per stencil.
+#[must_use]
+pub fn headline(results: &[(String, Vec<Measurement>)]) -> HeadlineNumbers {
+    let idx = |v: Variant| Variant::ALL.iter().position(|x| *x == v).expect("variant");
+    let mut speedup_b = Vec::new();
+    let mut eff_b = Vec::new();
+    let mut speedup_bm = Vec::new();
+    let mut eff_bm = Vec::new();
+    let mut eff_ch_b = Vec::new();
+    let mut best_util: f64 = 0.0;
+    for (_, rows) in results {
+        assert_eq!(rows.len(), Variant::ALL.len(), "one row per variant");
+        let base = &rows[idx(Variant::Base)];
+        let base_minus = &rows[idx(Variant::BaseMinus)];
+        let chaining = &rows[idx(Variant::Chaining)];
+        let chaining_plus = &rows[idx(Variant::ChainingPlus)];
+        speedup_b.push(chaining_plus.energy.speedup_over(&base.energy));
+        eff_b.push(chaining_plus.energy.efficiency_gain_over(&base.energy));
+        speedup_bm.push(chaining.energy.speedup_over(&base_minus.energy));
+        eff_bm.push(chaining.energy.efficiency_gain_over(&base_minus.energy));
+        eff_ch_b.push(chaining.energy.efficiency_gain_over(&base.energy));
+        best_util = best_util
+            .max(chaining.utilization())
+            .max(chaining_plus.utilization());
+    }
+    HeadlineNumbers {
+        speedup_vs_base: geomean(&speedup_b),
+        efficiency_vs_base: geomean(&eff_b),
+        speedup_vs_base_minus: geomean(&speedup_bm),
+        efficiency_vs_base_minus: geomean(&eff_bm),
+        chaining_efficiency_vs_base: geomean(&eff_ch_b),
+        best_utilization: best_util,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_uniform_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_small_kernel() {
+        let gen = StencilKernel::new(Stencil::box3d1r(), Grid3::new(8, 2, 2), Variant::Base)
+            .unwrap();
+        let m = measure(&gen.build(), CoreConfig::new(), &EnergyModel::new(), 10_000_000)
+            .unwrap();
+        assert!(m.utilization() > 0.5);
+        assert!(m.power_mw() > 10.0);
+        assert!(m.name.contains("box3d1r"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sc-bench — the paper's experiment harness
+//!
+//! One binary per figure/claim (see `src/bin/`), built on:
+//!
+//! * [`Fig3Experiment`] — both stencils × all five variants,
+//! * [`measure`] — kernel → counters → energy pipeline,
+//! * [`headline`] — the §III geomean speedup/efficiency claims,
+//! * [`render_fig3`]/[`fig3_csv`]/[`render_headline`] — output formatting.
+//!
+//! Binaries:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig1_trace` | Fig. 1(a–c): issue traces of the three vecop variants |
+//! | `fig3` | Fig. 3: utilisation + power per stencil/variant, headline geomeans |
+//! | `area_report` | §III: <2 % area-overhead claim (structural proxy) |
+//! | `ablation_depth` | §II claim: chaining benefit grows with pipeline depth |
+//! | `ablation_registers` | §I claim: unrolling trades registers for ILP |
+//! | `ablation_banks` | TCDM bank-count sensitivity of the Fig. 3 sweep |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod harness;
+mod report;
+
+pub use harness::{geomean, headline, measure, Fig3Experiment, HeadlineNumbers, Measurement};
+pub use report::{fig3_csv, render_fig3, render_headline};

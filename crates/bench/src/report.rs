@@ -1,0 +1,132 @@
+//! Table/figure rendering: ASCII tables mirroring the paper's figures and
+//! CSV export for plotting.
+
+use std::fmt::Write as _;
+
+use crate::harness::{HeadlineNumbers, Measurement};
+
+/// Renders the Fig. 3 data as an ASCII table: per stencil, one row per
+/// variant with FPU utilisation (left subplot) and power (right subplot),
+/// plus runtime and efficiency columns for the §III claims.
+#[must_use]
+pub fn render_fig3(results: &[(String, Vec<Measurement>)]) -> String {
+    let mut s = String::new();
+    for (stencil, rows) in results {
+        let _ = writeln!(s, "── {stencil} ─────────────────────────────────────────────────");
+        let _ = writeln!(
+            s,
+            "{:<12} {:>9} {:>11} {:>11} {:>12} {:>14}",
+            "variant", "cycles", "fpu-util", "power[mW]", "Gflop/s", "Gflop/s/W"
+        );
+        for m in rows {
+            let variant = m.name.split('/').next_back().unwrap_or(&m.name);
+            let _ = writeln!(
+                s,
+                "{:<12} {:>9} {:>10.1}% {:>11.1} {:>12.3} {:>14.2}",
+                variant,
+                m.counters.cycles,
+                m.utilization() * 100.0,
+                m.power_mw(),
+                m.energy.gflops,
+                m.energy.gflops_per_w
+            );
+        }
+    }
+    s
+}
+
+/// Renders the Fig. 3 data as CSV (one row per stencil × variant).
+#[must_use]
+pub fn fig3_csv(results: &[(String, Vec<Measurement>)]) -> String {
+    let mut s = String::from(
+        "stencil,variant,cycles,fpu_utilization,power_mw,gflops,gflops_per_w,tcdm_accesses,energy_pj\n",
+    );
+    for (stencil, rows) in results {
+        for m in rows {
+            let variant = m.name.split('/').next_back().unwrap_or(&m.name);
+            let _ = writeln!(
+                s,
+                "{stencil},{variant},{},{:.4},{:.2},{:.4},{:.3},{},{:.0}",
+                m.counters.cycles,
+                m.utilization(),
+                m.power_mw(),
+                m.energy.gflops,
+                m.energy.gflops_per_w,
+                m.counters.tcdm_accesses,
+                m.energy.total_pj
+            );
+        }
+    }
+    s
+}
+
+/// Renders the §III headline comparison against the paper's numbers.
+#[must_use]
+pub fn render_headline(h: &HeadlineNumbers) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "headline claim                         paper      measured");
+    let _ = writeln!(
+        s,
+        "geomean speedup  Chaining+ vs Base      ~1.04      {:.3}",
+        h.speedup_vs_base
+    );
+    let _ = writeln!(
+        s,
+        "geomean eff.gain Chaining+ vs Base      ~1.10      {:.3}",
+        h.efficiency_vs_base
+    );
+    let _ = writeln!(
+        s,
+        "geomean speedup  Chaining  vs Base-     ~1.08      {:.3}",
+        h.speedup_vs_base_minus
+    );
+    let _ = writeln!(
+        s,
+        "geomean eff.gain Chaining  vs Base-     ~1.09      {:.3}",
+        h.efficiency_vs_base_minus
+    );
+    let _ = writeln!(
+        s,
+        "geomean eff.gain Chaining  vs Base      ~1.07      {:.3}",
+        h.chaining_efficiency_vs_base
+    );
+    let _ = writeln!(
+        s,
+        "best chained FPU utilisation            >0.93      {:.3}",
+        h.best_utilization
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::PerfCounters;
+    use sc_energy::EnergyModel;
+
+    fn fake_measurement(name: &str, cycles: u64) -> Measurement {
+        let counters = PerfCounters {
+            cycles,
+            flops: cycles,
+            fpu_issue_cycles: cycles / 2,
+            tcdm_accesses: cycles / 3,
+            ..Default::default()
+        };
+        Measurement { name: name.into(), counters, energy: EnergyModel::new().report(&counters) }
+    }
+
+    #[test]
+    fn fig3_table_has_all_rows() {
+        let results = vec![(
+            "box3d1r".to_owned(),
+            vec![fake_measurement("box3d1r/Base", 1000), fake_measurement("box3d1r/Chaining+", 900)],
+        )];
+        let table = render_fig3(&results);
+        assert!(table.contains("box3d1r"));
+        assert!(table.contains("Chaining+"));
+        assert!(table.contains("fpu-util"));
+        let csv = fig3_csv(&results);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("box3d1r,Base,"));
+    }
+}

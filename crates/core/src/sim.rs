@@ -1,0 +1,633 @@
+//! The simulator: integer core + FP subsystem + TCDM, cycle by cycle.
+//!
+//! ## Cycle structure
+//!
+//! Each simulated cycle runs four phases:
+//!
+//! 1. **FP writeback** — one completion commits (chained pushes may hold).
+//! 2. **Issue** — the FP issue stage tries the next sequencer instruction;
+//!    then the integer core executes one instruction (pseudo dual-issue:
+//!    FP instructions are *offloaded* into the sequencer queue in a single
+//!    integer cycle, becoming issueable from the next cycle).
+//! 3. **Memory** — the integer LSU, the FP LSU (shared TCDM port 0, integer
+//!    priority) and every stream data mover place requests; the banked
+//!    TCDM arbitrates; grants move data.
+//! 4. **Advance** — pipelines shift, landed stream data becomes poppable.
+//!
+//! ## Synchronising instructions
+//!
+//! Writes to the chaining CSR wait for the FP subsystem to drain; writes to
+//! the SSR-enable CSR and the region-marker CSR additionally wait for all
+//! streams to complete; `scfgwi` to a stream *pointer* register waits only
+//! until that data mover has finished its previous stream. `ecall` waits
+//! for full quiescence. These rules make the extension CSRs safe without
+//! modelling Snitch's explicit fence idioms.
+
+use sc_isa::{csr, CsrFile, CsrOp, CsrSrc, FpReg, Instruction, IntReg, LoadOp, Program, StoreOp};
+use sc_mem::{AccessKind, PortId, Request, Tcdm};
+use sc_ssr::CfgAddr;
+
+use crate::config::CoreConfig;
+use crate::counters::PerfCounters;
+use crate::error::SimError;
+use crate::fp_subsys::{FpSubsystem, IssueOutcome};
+use crate::sequencer::{OffloadedFp, SeqItem};
+use crate::trace::{FpSlot, IssueTrace, TraceCycle};
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Counters over the whole run.
+    pub counters: PerfCounters,
+    /// Counters over the marked region (between PERF_REGION writes), if
+    /// the program marked one.
+    pub region: Option<PerfCounters>,
+    /// Issue trace (empty unless [`CoreConfig::trace`] was set).
+    pub trace: IssueTrace,
+    /// Offload-queue high-water mark (sizing diagnostics).
+    pub offload_queue_high_water: usize,
+}
+
+impl RunSummary {
+    /// Counters of the measured region, falling back to the whole run.
+    #[must_use]
+    pub fn measured(&self) -> &PerfCounters {
+        self.region.as_ref().unwrap_or(&self.counters)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IntState {
+    Running,
+    /// Fixed bubbles (branch penalty, load writeback).
+    Bubble(u32),
+    /// Integer load waiting for its TCDM grant.
+    LoadWait { op: LoadOp, rd: IntReg, addr: u32 },
+    /// Integer store waiting for its TCDM grant.
+    StoreWait { op: StoreOp, addr: u32, value: u32 },
+    /// `ecall` executed; waiting for quiescence.
+    Halting,
+    Halted,
+}
+
+/// The whole-core simulator.
+///
+/// # Examples
+///
+/// ```
+/// use sc_core::{CoreConfig, Simulator};
+/// use sc_isa::{ProgramBuilder, IntReg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(IntReg::new(5), 42);
+/// b.ecall();
+/// let prog = b.build()?;
+/// let mut sim = Simulator::new(CoreConfig::new(), prog);
+/// let summary = sim.run(1_000)?;
+/// assert_eq!(sim.int_reg(IntReg::new(5)), 42);
+/// assert!(summary.cycles < 20);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: CoreConfig,
+    program: Program,
+    tcdm: Tcdm,
+    fp: FpSubsystem,
+    regs: [u32; 32],
+    int_pending: [bool; 32],
+    pc: u32,
+    state: IntState,
+    csrs: CsrFile,
+    counters: PerfCounters,
+    region_start: Option<PerfCounters>,
+    region: Option<PerfCounters>,
+    trace: IssueTrace,
+}
+
+impl Simulator {
+    /// Creates a simulator for `program` under `cfg`.
+    #[must_use]
+    pub fn new(cfg: CoreConfig, program: Program) -> Self {
+        Simulator {
+            fp: FpSubsystem::new(&cfg),
+            tcdm: Tcdm::new(cfg.tcdm),
+            program,
+            cfg,
+            regs: [0; 32],
+            int_pending: [false; 32],
+            pc: 0,
+            state: IntState::Running,
+            csrs: CsrFile::new(),
+            counters: PerfCounters::new(),
+            region_start: None,
+            region: None,
+            trace: IssueTrace::new(),
+        }
+    }
+
+    /// The TCDM (pre-load inputs / read back results).
+    #[must_use]
+    pub fn tcdm(&self) -> &Tcdm {
+        &self.tcdm
+    }
+
+    /// Mutable TCDM access.
+    pub fn tcdm_mut(&mut self) -> &mut Tcdm {
+        &mut self.tcdm
+    }
+
+    /// Reads an integer register.
+    #[must_use]
+    pub fn int_reg(&self, reg: IntReg) -> u32 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Writes an integer register (argument passing in tests).
+    pub fn set_int_reg(&mut self, reg: IntReg, value: u32) {
+        if !reg.is_zero() {
+            self.regs[reg.index() as usize] = value;
+        }
+    }
+
+    /// Reads an FP register as a double.
+    #[must_use]
+    pub fn fp_reg(&self, reg: FpReg) -> f64 {
+        self.fp.reg(reg)
+    }
+
+    /// Writes an FP register (test setup).
+    pub fn set_fp_reg(&mut self, reg: FpReg, value: f64) {
+        self.fp.set_reg(reg, value);
+    }
+
+    /// The FP subsystem (diagnostics).
+    #[must_use]
+    pub fn fp_subsystem(&self) -> &FpSubsystem {
+        &self.fp
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Runs until `ecall` or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]: strict-mode misuse, memory faults, `ebreak`,
+    /// budget exhaustion.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        while self.state != IntState::Halted {
+            if self.counters.cycles >= max_cycles {
+                return Err(SimError::MaxCyclesExceeded { max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(RunSummary {
+            cycles: self.counters.cycles,
+            counters: self.counters,
+            region: self.region,
+            trace: self.trace.clone(),
+            offload_queue_high_water: self.fp.sequencer().queue_high_water(),
+        })
+    }
+
+    /// Executes one cycle.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    pub fn step(&mut self) -> Result<(), SimError> {
+        // Phase 1: FP writeback (int-register results apply immediately).
+        let int_wbs = self.fp.writeback(&mut self.counters);
+        for wb in int_wbs {
+            if !wb.reg.is_zero() {
+                self.regs[wb.reg.index() as usize] = wb.value;
+            }
+            self.int_pending[wb.reg.index() as usize] = false;
+        }
+
+        // Phase 2a: FP issue.
+        let fp_outcome = self.fp.try_issue(&mut self.counters)?;
+
+        // Phase 2b: integer execute.
+        let int_slot = self.int_step()?;
+
+        // Phase 3: memory.
+        self.memory_phase()?;
+
+        // Phase 4: advance.
+        self.fp.advance();
+
+        // Bookkeeping.
+        self.counters.cycles += 1;
+        self.counters.tcdm_accesses = self.tcdm.stats().total_accesses();
+        self.counters.tcdm_conflicts = self.tcdm.stats().conflicts();
+        self.counters.frep_replays = self.fp.sequencer().replayed();
+        if self.cfg.trace {
+            let fp_slot = match fp_outcome {
+                IssueOutcome::Issued(i) => FpSlot::Issued(i),
+                IssueOutcome::Stalled(c) => FpSlot::Stalled(c),
+                IssueOutcome::Idle => FpSlot::Idle,
+            };
+            self.trace.push(TraceCycle { cycle: self.counters.cycles - 1, int_slot, fp_slot });
+        }
+        Ok(())
+    }
+
+    /// One integer-pipeline step. Returns the retired instruction, if any
+    /// (for tracing).
+    fn int_step(&mut self) -> Result<Option<Instruction>, SimError> {
+        match self.state {
+            IntState::Halted => return Ok(None),
+            IntState::Bubble(n) => {
+                self.state = if n <= 1 { IntState::Running } else { IntState::Bubble(n - 1) };
+                return Ok(None);
+            }
+            IntState::LoadWait { .. } | IntState::StoreWait { .. } => {
+                // Resolved in the memory phase.
+                return Ok(None);
+            }
+            IntState::Halting => {
+                if self.quiescent()? {
+                    self.state = IntState::Halted;
+                }
+                return Ok(None);
+            }
+            IntState::Running => {}
+        }
+
+        let inst = self
+            .program
+            .fetch(self.pc)
+            .ok_or(SimError::FetchOutOfProgram { pc: self.pc })?;
+
+        // Integer sources produced by in-flight FP instructions
+        // (comparisons/moves) must be waited for.
+        for src in inst.int_sources() {
+            if self.int_pending[src.index() as usize] {
+                return Ok(None);
+            }
+        }
+        if let Some(rd) = inst.int_dest() {
+            if self.int_pending[rd.index() as usize] {
+                return Ok(None);
+            }
+        }
+
+        if inst.is_fp() {
+            return self.offload_fp(inst);
+        }
+
+        match inst {
+            Instruction::Frep { is_outer, max_rpt, n_instr, stagger_max, stagger_mask } => {
+                if !self.fp.sequencer().can_accept() {
+                    return Ok(None);
+                }
+                let n_rep = self.reg(max_rpt).wrapping_add(1);
+                self.fp.sequencer_mut().offload(SeqItem::Frep {
+                    is_outer,
+                    n_instr,
+                    n_rep,
+                    stagger_max,
+                    stagger_mask,
+                });
+                self.retire(inst, 4)
+            }
+            Instruction::Scfgwi { rs1, imm } => {
+                let addr = CfgAddr::from_imm(imm);
+                // Pointer writes (affine arms at 24..=31, indirect arm at
+                // 16) wait for the previous stream on this mover to
+                // complete before re-arming.
+                if addr.reg >= 24 || addr.reg == 16 {
+                    if (addr.dm as usize) < self.fp.ssr().len()
+                        && !self.fp.ssr().mover(addr.dm).is_done()
+                    {
+                        return Ok(None);
+                    }
+                }
+                let value = self.reg(rs1);
+                self.fp.ssr_mut().write_cfg(addr, value)?;
+                self.retire(inst, 4)
+            }
+            Instruction::Scfgri { rd, imm } => {
+                let value = self.fp.ssr().read_cfg(CfgAddr::from_imm(imm))?;
+                self.write_reg(rd, value);
+                self.retire(inst, 4)
+            }
+            Instruction::Csr { op, rd, csr: addr, src } => self.exec_csr(inst, op, rd, addr, src),
+            Instruction::Lui { rd, imm } => {
+                self.write_reg(rd, imm);
+                self.retire(inst, 4)
+            }
+            Instruction::Auipc { rd, imm } => {
+                self.write_reg(rd, self.pc.wrapping_add(imm));
+                self.retire(inst, 4)
+            }
+            Instruction::Jal { rd, offset } => {
+                self.write_reg(rd, self.pc.wrapping_add(4));
+                let target = self.pc.wrapping_add(offset as u32);
+                self.jump(inst, target)
+            }
+            Instruction::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.write_reg(rd, self.pc.wrapping_add(4));
+                self.jump(inst, target)
+            }
+            Instruction::Branch { op, rs1, rs2, offset } => {
+                if op.evaluate(self.reg(rs1), self.reg(rs2)) {
+                    let target = self.pc.wrapping_add(offset as u32);
+                    self.jump(inst, target)
+                } else {
+                    self.retire(inst, 4)
+                }
+            }
+            Instruction::Load { op, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                self.state = IntState::LoadWait { op, rd, addr };
+                self.counters.int_mem_ops += 1;
+                self.counters.int_retired += 1;
+                self.counters.fetches += 1;
+                self.pc = self.pc.wrapping_add(4);
+                Ok(Some(inst))
+            }
+            Instruction::Store { op, rs2, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let value = self.reg(rs2);
+                self.state = IntState::StoreWait { op, addr, value };
+                self.counters.int_mem_ops += 1;
+                self.counters.int_retired += 1;
+                self.counters.fetches += 1;
+                self.pc = self.pc.wrapping_add(4);
+                Ok(Some(inst))
+            }
+            Instruction::OpImm { op, rd, rs1, imm } => {
+                self.write_reg(rd, op.evaluate(self.reg(rs1), imm as u32));
+                self.retire(inst, 4)
+            }
+            Instruction::Op { op, rd, rs1, rs2 } => {
+                self.write_reg(rd, op.evaluate(self.reg(rs1), self.reg(rs2)));
+                self.retire(inst, 4)
+            }
+            Instruction::MulDiv { op, rd, rs1, rs2 } => {
+                self.write_reg(rd, op.evaluate(self.reg(rs1), self.reg(rs2)));
+                self.retire(inst, 4)
+            }
+            Instruction::Fence => self.retire(inst, 4),
+            Instruction::Ecall => {
+                self.state = IntState::Halting;
+                self.counters.fetches += 1;
+                self.counters.int_retired += 1;
+                Ok(Some(inst))
+            }
+            Instruction::Ebreak => Err(SimError::Ebreak { pc: self.pc }),
+            _ => unreachable!("fp instructions handled above"),
+        }
+    }
+
+    fn exec_csr(
+        &mut self,
+        inst: Instruction,
+        op: CsrOp,
+        rd: IntReg,
+        addr: u16,
+        src: CsrSrc,
+    ) -> Result<Option<Instruction>, SimError> {
+        let operand = match src {
+            CsrSrc::Reg(r) => self.reg(r),
+            CsrSrc::Imm(i) => u32::from(i),
+        };
+        match addr {
+            csr::CHAIN_MASK => {
+                if !self.fp.is_drained() {
+                    self.counters.record_stall(crate::counters::StallCause::Sync);
+                    return Ok(None);
+                }
+                let old = self.fp.chain_mask();
+                self.fp.set_chain_mask(op.apply(old, operand))?;
+                self.write_reg(rd, old);
+            }
+            csr::SSR_ENABLE => {
+                if !self.fp.is_drained() || !self.fp.ssr().all_done() {
+                    self.counters.record_stall(crate::counters::StallCause::Sync);
+                    return Ok(None);
+                }
+                let old = u32::from(self.fp.ssr().is_enabled());
+                let new = op.apply(old, operand);
+                self.fp.ssr_mut().set_enabled(new & 1 == 1);
+                self.write_reg(rd, old);
+            }
+            csr::PERF_REGION => {
+                // Region start waits for the FP side to drain; region end
+                // additionally waits for the streams (write streams are
+                // still draining results that belong inside the region).
+                let opens = op.apply(self.csrs.read(addr), operand) != 0;
+                let streams_ok = opens || self.fp.ssr().all_done();
+                if !self.fp.is_drained() || !streams_ok {
+                    self.counters.record_stall(crate::counters::StallCause::Sync);
+                    return Ok(None);
+                }
+                let old = self.csrs.apply(addr, op, operand);
+                self.write_reg(rd, old);
+                let new = op.apply(old, operand);
+                if new != 0 {
+                    // Region opens *after* this cycle's bookkeeping: snapshot
+                    // includes the current cycle, so the delta starts clean.
+                    let mut snap = self.counters;
+                    snap.cycles += 1; // this cycle belongs to setup
+                    self.region_start = Some(snap);
+                } else if let Some(start) = self.region_start.take() {
+                    let mut end = self.counters;
+                    end.cycles += 1; // include this cycle consistently
+                    end.tcdm_accesses = self.tcdm.stats().total_accesses();
+                    end.tcdm_conflicts = self.tcdm.stats().conflicts();
+                    end.frep_replays = self.fp.sequencer().replayed();
+                    self.region = Some(end.delta_since(&start));
+                }
+            }
+            csr::MCYCLE => {
+                self.write_reg(rd, self.counters.cycles as u32);
+            }
+            csr::MINSTRET => {
+                self.write_reg(rd, (self.counters.int_retired + self.counters.fp_issued) as u32);
+            }
+            _ => {
+                let old = self.csrs.apply(addr, op, operand);
+                self.write_reg(rd, old);
+            }
+        }
+        self.retire(inst, 4)
+    }
+
+    fn offload_fp(&mut self, inst: Instruction) -> Result<Option<Instruction>, SimError> {
+        if !self.fp.sequencer().can_accept() {
+            return Ok(None);
+        }
+        // Resolve integer-side operands now.
+        let addr = match inst {
+            Instruction::FpLoad { rs1, offset, .. } | Instruction::FpStore { rs1, offset, .. } => {
+                Some(self.reg(rs1).wrapping_add(offset as u32))
+            }
+            _ => None,
+        };
+        let int_operand = match inst {
+            Instruction::FpCvt { op, rs1, .. } if op.reads_int() => Some(self.reg(rs1)),
+            _ => None,
+        };
+        // FP instructions that write an integer register set a pending bit
+        // the integer core synchronises on.
+        if let Some(rd) = inst.int_dest() {
+            self.int_pending[rd.index() as usize] = true;
+        }
+        self.fp
+            .sequencer_mut()
+            .offload(SeqItem::Fp(OffloadedFp { inst, addr, int_operand }));
+        self.counters.fetches += 1;
+        self.pc += 4;
+        Ok(Some(inst))
+    }
+
+    fn memory_phase(&mut self) -> Result<(), SimError> {
+        // Port 0 carries at most one request: the integer LSU has priority
+        // over the FP LSU (they are the same physical port).
+        let mut requests: Vec<Request> = Vec::with_capacity(2 + self.fp.ssr().len());
+        let mut int_req = false;
+        match self.state {
+            IntState::LoadWait { addr, .. } => {
+                requests.push(Request { port: PortId(0), addr, kind: AccessKind::Read });
+                int_req = true;
+            }
+            IntState::StoreWait { addr, .. } => {
+                requests.push(Request { port: PortId(0), addr, kind: AccessKind::Write });
+                int_req = true;
+            }
+            _ => {}
+        }
+        let mut fp_lsu_idx = None;
+        if !int_req {
+            if let Some(req) = self.fp.lsu_request() {
+                fp_lsu_idx = Some(requests.len());
+                requests.push(req);
+            }
+        }
+        let dm_start = requests.len();
+        let dm_indexes: Vec<u8> = self
+            .fp
+            .ssr()
+            .movers()
+            .filter_map(|m| m.request().map(|r| (m.index(), r)))
+            .map(|(i, r)| {
+                requests.push(r);
+                i
+            })
+            .collect();
+
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let grants = self.tcdm.arbitrate(&requests);
+
+        // Integer LSU outcome.
+        if int_req {
+            if grants[0] {
+                match self.state {
+                    IntState::LoadWait { op, rd, addr } => {
+                        let value = self.int_load(op, addr)?;
+                        self.write_reg(rd, value);
+                        // Data lands at end of cycle; one bubble before the
+                        // dependent instruction can run (2-cycle load).
+                        self.state = IntState::Bubble(1);
+                    }
+                    IntState::StoreWait { op, addr, value } => {
+                        self.int_store(op, addr, value)?;
+                        self.state = IntState::Running;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        } else if let Some(idx) = fp_lsu_idx {
+            if grants[idx] {
+                self.fp.lsu_grant(&mut self.tcdm)?;
+            }
+        }
+
+        // Stream movers.
+        for (k, dm) in dm_indexes.iter().enumerate() {
+            if grants[dm_start + k] {
+                self.fp.ssr_mut().mover_mut(*dm).apply_grant(&mut self.tcdm)?;
+            } else {
+                self.fp.ssr_mut().mover_mut(*dm).note_denied();
+            }
+        }
+        Ok(())
+    }
+
+    fn int_load(&mut self, op: LoadOp, addr: u32) -> Result<u32, SimError> {
+        let v = match op {
+            LoadOp::Lw => self.tcdm.read_u32(addr)?,
+            LoadOp::Lb => self.tcdm.read_u8(addr)? as i8 as i32 as u32,
+            LoadOp::Lbu => u32::from(self.tcdm.read_u8(addr)?),
+            LoadOp::Lh => self.tcdm.read_u16(addr)? as i16 as i32 as u32,
+            LoadOp::Lhu => u32::from(self.tcdm.read_u16(addr)?),
+        };
+        Ok(v)
+    }
+
+    fn int_store(&mut self, op: StoreOp, addr: u32, value: u32) -> Result<(), SimError> {
+        match op {
+            StoreOp::Sw => self.tcdm.write_u32(addr, value)?,
+            StoreOp::Sh => self.tcdm.write_u16(addr, value as u16)?,
+            StoreOp::Sb => self.tcdm.write_u8(addr, value as u8)?,
+        }
+        Ok(())
+    }
+
+    fn quiescent(&self) -> Result<bool, SimError> {
+        if !self.fp.is_drained() {
+            return Ok(false);
+        }
+        for m in self.fp.ssr().movers() {
+            if !m.is_done() {
+                // Write streams are still draining: keep waiting. Read
+                // streams with leftover elements are a software bug.
+                if self.cfg.strict && m.request().is_none() && m.can_pop() {
+                    return Err(SimError::EcallWithActiveStream { dm: m.index() });
+                }
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn reg(&self, r: IntReg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    fn write_reg(&mut self, r: IntReg, v: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    fn retire(&mut self, inst: Instruction, pc_inc: u32) -> Result<Option<Instruction>, SimError> {
+        self.pc = self.pc.wrapping_add(pc_inc);
+        self.counters.int_retired += 1;
+        self.counters.fetches += 1;
+        Ok(Some(inst))
+    }
+
+    fn jump(&mut self, inst: Instruction, target: u32) -> Result<Option<Instruction>, SimError> {
+        self.pc = target;
+        self.counters.int_retired += 1;
+        self.counters.fetches += 1;
+        if self.cfg.branch_taken_penalty > 0 {
+            self.state = IntState::Bubble(self.cfg.branch_taken_penalty);
+        }
+        Ok(Some(inst))
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-cycle issue-slot tracing — the machinery behind the reproduction of
+//! the paper's Fig. 1c execution trace.
+
+use std::fmt;
+
+use sc_isa::Instruction;
+
+use crate::counters::StallCause;
+
+/// What the FP issue slot did in one cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FpSlot {
+    /// An FP instruction entered its functional unit.
+    Issued(Instruction),
+    /// The slot stalled for the given reason.
+    Stalled(StallCause),
+    /// Nothing to issue and nothing in flight.
+    Idle,
+}
+
+/// One traced cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCycle {
+    /// Absolute cycle number.
+    pub cycle: u64,
+    /// Instruction retired by the integer pipeline this cycle, if any.
+    pub int_slot: Option<Instruction>,
+    /// FP issue slot activity.
+    pub fp_slot: FpSlot,
+}
+
+/// A recorded issue trace.
+///
+/// Rendered with [`IssueTrace::render`], it reads like the paper's Fig. 1c:
+/// one row per cycle, the integer and FP issue slots side by side, stalls
+/// annotated with their cause.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IssueTrace {
+    cycles: Vec<TraceCycle>,
+}
+
+impl IssueTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one cycle.
+    pub fn push(&mut self, cycle: TraceCycle) {
+        self.cycles.push(cycle);
+    }
+
+    /// The recorded cycles.
+    #[must_use]
+    pub fn cycles(&self) -> &[TraceCycle] {
+        &self.cycles
+    }
+
+    /// Number of recorded cycles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Keeps only cycles in `[from, to)` (absolute cycle numbers).
+    #[must_use]
+    pub fn window(&self, from: u64, to: u64) -> IssueTrace {
+        IssueTrace {
+            cycles: self
+                .cycles
+                .iter()
+                .filter(|c| c.cycle >= from && c.cycle < to)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renders the trace as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>8} | {:<28} | {}\n", "cycle", "integer slot", "fp slot"));
+        out.push_str(&format!("{:->8}-+-{:-<28}-+-{:-<30}\n", "", "", ""));
+        for c in &self.cycles {
+            let int_s = c.int_slot.map_or(String::new(), |i| i.to_string());
+            let fp_s = match &c.fp_slot {
+                FpSlot::Issued(i) => i.to_string(),
+                FpSlot::Stalled(cause) => format!("·· stall ({cause})"),
+                FpSlot::Idle => String::new(),
+            };
+            out.push_str(&format!("{:>8} | {:<28} | {}\n", c.cycle, int_s, fp_s));
+        }
+        out
+    }
+
+    /// Counts cycles whose FP slot issued an instruction.
+    #[must_use]
+    pub fn fp_issue_count(&self) -> usize {
+        self.cycles
+            .iter()
+            .filter(|c| matches!(c.fp_slot, FpSlot::Issued(_)))
+            .count()
+    }
+
+    /// Counts FP stall cycles with the given cause.
+    #[must_use]
+    pub fn stall_count(&self, cause: StallCause) -> usize {
+        self.cycles
+            .iter()
+            .filter(|c| c.fp_slot == FpSlot::Stalled(cause))
+            .count()
+    }
+}
+
+impl fmt::Display for IssueTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_isa::{FpBinOp, FpFormat, FpReg, Instruction};
+
+    fn fadd() -> Instruction {
+        Instruction::FpBin {
+            op: FpBinOp::Add,
+            fmt: FpFormat::Double,
+            frd: FpReg::FT3,
+            frs1: FpReg::FT0,
+            frs2: FpReg::FT1,
+        }
+    }
+
+    #[test]
+    fn render_contains_slots_and_stalls() {
+        let mut t = IssueTrace::new();
+        t.push(TraceCycle { cycle: 1, int_slot: Some(Instruction::NOP), fp_slot: FpSlot::Issued(fadd()) });
+        t.push(TraceCycle { cycle: 2, int_slot: None, fp_slot: FpSlot::Stalled(StallCause::RawHazard) });
+        let s = t.render();
+        assert!(s.contains("fadd.d ft3, ft0, ft1"));
+        assert!(s.contains("stall (raw)"));
+        assert_eq!(t.fp_issue_count(), 1);
+        assert_eq!(t.stall_count(StallCause::RawHazard), 1);
+    }
+
+    #[test]
+    fn window_filters_by_cycle() {
+        let mut t = IssueTrace::new();
+        for cycle in 0..10 {
+            t.push(TraceCycle { cycle, int_slot: None, fp_slot: FpSlot::Idle });
+        }
+        let w = t.window(3, 6);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.cycles()[0].cycle, 3);
+    }
+}

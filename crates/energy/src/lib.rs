@@ -1,0 +1,30 @@
+//! # sc-energy — energy, power and area models
+//!
+//! Substitutes for the paper's physical-design toolchain:
+//!
+//! * [`EnergyModel`] replaces post-layout switching-activity power
+//!   estimation (PrimeTime) with an activity × unit-energy model over the
+//!   simulator's event counters — variant-to-variant *differences* come
+//!   from event-count differences, which is what the paper's Fig. 3
+//!   argues about.
+//! * [`AreaEstimate`] replaces the GF12LP+ synthesis run with a weighted
+//!   state-bit census, reproducing the "<2 % cell area increase" claim as
+//!   a ratio of the same structural quantities.
+//!
+//! ```
+//! use sc_core::PerfCounters;
+//! use sc_energy::EnergyModel;
+//!
+//! let counters = PerfCounters { cycles: 1000, flops: 1800, ..Default::default() };
+//! let report = EnergyModel::new().report(&counters);
+//! assert!(report.total_pj > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod area;
+mod model;
+
+pub use area::AreaEstimate;
+pub use model::{EnergyModel, EnergyReport};

@@ -1,0 +1,36 @@
+//! # sc-fpu — pipelined floating-point unit model
+//!
+//! Models the FPU of the Snitch-like core as a set of functional-unit
+//! paths, each a rigid [`Pipeline`] (or [`IterativeUnit`] for div/sqrt)
+//! with a writeback slot that supports **hold-on-backpressure** — the
+//! mechanism the chaining paper exploits: a completing op that cannot push
+//! its result into a chained register (valid bit still set) waits in the
+//! final stage, holding the whole pipeline behind it.
+//!
+//! The crate is deliberately split from the core:
+//!
+//! * [`FpuOp`]/[`evaluate`] give every FP instruction's functional
+//!   semantics (IEEE-754 via Rust `f64`/`f32`, fused FMA),
+//! * [`FpuTiming`] gives per-class latencies (ADDMUL = 3 like Snitch),
+//! * [`Pipeline`] is generic over the payload so the core carries its own
+//!   writeback bookkeeping through the stages.
+//!
+//! ```
+//! use sc_fpu::{evaluate, FpuOp, FpuOutput, FpuTiming};
+//! use sc_isa::{FpBinOp, FpFormat};
+//!
+//! let timing = FpuTiming::new();
+//! let op = FpuOp::Bin(FpBinOp::Add);
+//! assert_eq!(op.latency(&timing), 3);
+//! let out = evaluate(op, FpFormat::Double, [2.0f64.to_bits(), 0.5f64.to_bits(), 0], 0);
+//! assert_eq!(out, FpuOutput::Fp(2.5f64.to_bits()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod op;
+mod pipeline;
+
+pub use op::{evaluate, FpuOp, FpuOutput, FpuTiming, OpClass};
+pub use pipeline::{BoundedFifo, IterativeUnit, Pipeline};

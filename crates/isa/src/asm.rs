@@ -1,0 +1,564 @@
+//! An ergonomic assembler: [`ProgramBuilder`] emits [`Instruction`]
+//! sequences with label resolution and the usual pseudo-instructions.
+//!
+//! # Examples
+//!
+//! The paper's Fig. 1a inner loop (baseline vector op `a = b*(c+d)`):
+//!
+//! ```
+//! use sc_isa::{ProgramBuilder, FpReg, IntReg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let (i, len, coef) = (IntReg::new(10), IntReg::new(11), FpReg::new(4));
+//! b.label("loop");
+//! b.fadd_d(FpReg::FT3, FpReg::FT0, FpReg::FT1);
+//! b.fmul_d(FpReg::FT2, FpReg::FT3, coef);
+//! b.addi(i, i, 1);
+//! b.bne(i, len, "loop");
+//! b.ecall();
+//! let prog = b.build()?;
+//! assert_eq!(prog.len(), 5);
+//! # Ok::<(), sc_isa::AsmError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::csr::CsrOp;
+use crate::inst::*;
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg};
+
+/// Error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch/jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is out of encodable range.
+    OffsetOutOfRange {
+        /// The label that was targeted.
+        label: String,
+        /// The computed byte offset.
+        offset: i64,
+    },
+    /// A FREP body contained a non-FP instruction.
+    NonFpInFrepBody {
+        /// Index of the offending instruction.
+        index: usize,
+        /// Disassembly of the offending instruction.
+        inst: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::OffsetOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset})")
+            }
+            AsmError::NonFpInFrepBody { index, inst } => {
+                write!(f, "frep body instruction {index} is not an FP instruction: {inst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    Branch { index: usize, label: String },
+    Jal { index: usize, label: String },
+}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// All emit methods append one instruction (pseudo-instructions may append
+/// two) and return `&mut self` only implicitly — they are plain `&mut self`
+/// methods so they can be called in straight-line code, which reads closest
+/// to an assembly listing.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Instruction>,
+    labels: BTreeMap<String, usize>,
+    fixups: Vec<Fixup>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, inst: Instruction) {
+        self.code.push(inst);
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// Duplicate definitions are reported by [`ProgramBuilder::build`].
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.code.len()).is_some() {
+            // Remember the duplicate by re-inserting a sentinel fixup;
+            // build() re-checks. Simplest: record via special label map.
+            self.fixups.push(Fixup::Branch { index: usize::MAX, label: name });
+        }
+    }
+
+    /// Resolves labels and returns the finished [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on undefined/duplicate labels, out-of-range
+    /// offsets, or an invalid FREP body.
+    pub fn build(self) -> Result<Program, AsmError> {
+        let ProgramBuilder { mut code, labels, fixups } = self;
+        for fixup in &fixups {
+            let (index, label, is_jal) = match fixup {
+                Fixup::Branch { index, label } => (*index, label, false),
+                Fixup::Jal { index, label } => (*index, label, true),
+            };
+            if index == usize::MAX {
+                return Err(AsmError::DuplicateLabel(label.clone()));
+            }
+            let target = *labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let offset = (target as i64 - index as i64) * 4;
+            let range = if is_jal { -(1 << 20)..(1 << 20) } else { -(1 << 12)..(1 << 12) };
+            if !range.contains(&offset) {
+                return Err(AsmError::OffsetOutOfRange { label: label.clone(), offset });
+            }
+            match &mut code[index] {
+                Instruction::Branch { offset: o, .. } | Instruction::Jal { offset: o, .. } => {
+                    *o = offset as i32;
+                }
+                other => unreachable!("fixup on non-branch {other}"),
+            }
+        }
+        validate_frep_bodies(&code)?;
+        let symbols = labels.into_iter().map(|(k, v)| (k, (v * 4) as u32)).collect();
+        Ok(Program::new(code, symbols))
+    }
+
+    // ---- integer instructions -------------------------------------------
+
+    /// `lui rd, imm20` (`imm` is the full 32-bit value; low 12 bits ignored).
+    pub fn lui(&mut self, rd: IntReg, imm: u32) {
+        self.push(Instruction::Lui { rd, imm: imm & 0xFFFF_F000 });
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: IntReg, rs1: IntReg, imm: i32) {
+        self.push(Instruction::OpImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: IntReg, rs1: IntReg, shamt: i32) {
+        self.push(Instruction::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt });
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: IntReg, rs1: IntReg, shamt: i32) {
+        self.push(Instruction::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt });
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: IntReg, rs1: IntReg, imm: i32) {
+        self.push(Instruction::OpImm { op: AluOp::And, rd, rs1, imm });
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.push(Instruction::Op { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.push(Instruction::Op { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.push(Instruction::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `li rd, imm` pseudo-instruction (1–2 instructions).
+    pub fn li(&mut self, rd: IntReg, imm: i32) {
+        if (-2048..2048).contains(&imm) {
+            self.addi(rd, IntReg::ZERO, imm);
+        } else {
+            // lui + addi with carry correction for negative low parts.
+            let low = (imm << 20) >> 20;
+            let high = imm.wrapping_sub(low) as u32;
+            self.lui(rd, high);
+            if low != 0 {
+                self.addi(rd, rd, low);
+            }
+        }
+    }
+
+    /// `mv rd, rs` pseudo-instruction.
+    pub fn mv(&mut self, rd: IntReg, rs: IntReg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `nop` pseudo-instruction.
+    pub fn nop(&mut self) {
+        self.push(Instruction::NOP);
+    }
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: IntReg, rs1: IntReg, offset: i32) {
+        self.push(Instruction::Load { op: LoadOp::Lw, rd, rs1, offset });
+    }
+
+    /// `sw rs2, offset(rs1)`.
+    pub fn sw(&mut self, rs2: IntReg, rs1: IntReg, offset: i32) {
+        self.push(Instruction::Store { op: StoreOp::Sw, rs2, rs1, offset });
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: IntReg, rs2: IntReg, label: impl Into<String>) {
+        self.branch(BranchOp::Eq, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: IntReg, rs2: IntReg, label: impl Into<String>) {
+        self.branch(BranchOp::Ne, rs1, rs2, label);
+    }
+
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: IntReg, rs2: IntReg, label: impl Into<String>) {
+        self.branch(BranchOp::Lt, rs1, rs2, label);
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: IntReg, rs2: IntReg, label: impl Into<String>) {
+        self.branch(BranchOp::Ge, rs1, rs2, label);
+    }
+
+    /// Emits a conditional branch to a label.
+    pub fn branch(&mut self, op: BranchOp, rs1: IntReg, rs2: IntReg, label: impl Into<String>) {
+        self.fixups.push(Fixup::Branch { index: self.code.len(), label: label.into() });
+        self.push(Instruction::Branch { op, rs1, rs2, offset: 0 });
+    }
+
+    /// `j label` pseudo-instruction (`jal x0, label`).
+    pub fn j(&mut self, label: impl Into<String>) {
+        self.fixups.push(Fixup::Jal { index: self.code.len(), label: label.into() });
+        self.push(Instruction::Jal { rd: IntReg::ZERO, offset: 0 });
+    }
+
+    /// `ecall` — halts the simulation (program exit convention).
+    pub fn ecall(&mut self) {
+        self.push(Instruction::Ecall);
+    }
+
+    // ---- CSR instructions ------------------------------------------------
+
+    /// `csrrw rd, csr, rs1`.
+    pub fn csrrw(&mut self, rd: IntReg, csr: u16, rs1: IntReg) {
+        self.push(Instruction::Csr { op: CsrOp::ReadWrite, rd, csr, src: CsrSrc::Reg(rs1) });
+    }
+
+    /// `csrrs rd, csr, rs1` (`csrs csr, rs1` when `rd` = x0).
+    pub fn csrrs(&mut self, rd: IntReg, csr: u16, rs1: IntReg) {
+        self.push(Instruction::Csr { op: CsrOp::ReadSet, rd, csr, src: CsrSrc::Reg(rs1) });
+    }
+
+    /// `csrrc rd, csr, rs1`.
+    pub fn csrrc(&mut self, rd: IntReg, csr: u16, rs1: IntReg) {
+        self.push(Instruction::Csr { op: CsrOp::ReadClear, rd, csr, src: CsrSrc::Reg(rs1) });
+    }
+
+    /// `csrrwi rd, csr, imm5`.
+    pub fn csrrwi(&mut self, rd: IntReg, csr: u16, imm: u8) {
+        self.push(Instruction::Csr { op: CsrOp::ReadWrite, rd, csr, src: CsrSrc::Imm(imm) });
+    }
+
+    /// `csrrsi rd, csr, imm5`.
+    pub fn csrrsi(&mut self, rd: IntReg, csr: u16, imm: u8) {
+        self.push(Instruction::Csr { op: CsrOp::ReadSet, rd, csr, src: CsrSrc::Imm(imm) });
+    }
+
+    // ---- FP instructions --------------------------------------------------
+
+    /// `fld frd, offset(rs1)`.
+    pub fn fld(&mut self, frd: FpReg, rs1: IntReg, offset: i32) {
+        self.push(Instruction::FpLoad { fmt: FpFormat::Double, frd, rs1, offset });
+    }
+
+    /// `fsd frs2, offset(rs1)`.
+    pub fn fsd(&mut self, frs2: FpReg, rs1: IntReg, offset: i32) {
+        self.push(Instruction::FpStore { fmt: FpFormat::Double, frs2, rs1, offset });
+    }
+
+    /// `fadd.d frd, frs1, frs2`.
+    pub fn fadd_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg) {
+        self.fp_bin(FpBinOp::Add, frd, frs1, frs2);
+    }
+
+    /// `fsub.d frd, frs1, frs2`.
+    pub fn fsub_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg) {
+        self.fp_bin(FpBinOp::Sub, frd, frs1, frs2);
+    }
+
+    /// `fmul.d frd, frs1, frs2`.
+    pub fn fmul_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg) {
+        self.fp_bin(FpBinOp::Mul, frd, frs1, frs2);
+    }
+
+    /// `fdiv.d frd, frs1, frs2`.
+    pub fn fdiv_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg) {
+        self.fp_bin(FpBinOp::Div, frd, frs1, frs2);
+    }
+
+    fn fp_bin(&mut self, op: FpBinOp, frd: FpReg, frs1: FpReg, frs2: FpReg) {
+        self.push(Instruction::FpBin { op, fmt: FpFormat::Double, frd, frs1, frs2 });
+    }
+
+    /// `fmadd.d frd, frs1, frs2, frs3` (`frd = frs1*frs2 + frs3`).
+    pub fn fmadd_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg, frs3: FpReg) {
+        self.push(Instruction::FpFma { op: FmaOp::Madd, fmt: FpFormat::Double, frd, frs1, frs2, frs3 });
+    }
+
+    /// `fmsub.d frd, frs1, frs2, frs3` (`frd = frs1*frs2 - frs3`).
+    pub fn fmsub_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg, frs3: FpReg) {
+        self.push(Instruction::FpFma { op: FmaOp::Msub, fmt: FpFormat::Double, frd, frs1, frs2, frs3 });
+    }
+
+    /// `fmv.d frd, frs1` pseudo-instruction (`fsgnj.d frd, frs1, frs1`).
+    pub fn fmv_d(&mut self, frd: FpReg, frs1: FpReg) {
+        self.fp_bin(FpBinOp::Sgnj, frd, frs1, frs1);
+    }
+
+    /// `fcvt.d.w frd, rs1`.
+    pub fn fcvt_d_w(&mut self, frd: FpReg, rs1: IntReg) {
+        self.push(Instruction::FpCvt {
+            op: FpCvtOp::DFromW,
+            rd: IntReg::ZERO,
+            frd,
+            rs1,
+            frs1: FpReg::new(0),
+        });
+    }
+
+    // ---- custom extensions -------------------------------------------------
+
+    /// `scfgwi rs1, imm`: write an SSR configuration word.
+    pub fn scfgwi(&mut self, rs1: IntReg, imm: u16) {
+        self.push(Instruction::Scfgwi { rs1, imm });
+    }
+
+    /// `scfgri rd, imm`: read an SSR configuration word.
+    pub fn scfgri(&mut self, rd: IntReg, imm: u16) {
+        self.push(Instruction::Scfgri { rd, imm });
+    }
+
+    /// `frep.o max_rpt, n_instr, stagger_max, stagger_mask`.
+    ///
+    /// Prefer [`ProgramBuilder::frep_outer`], which counts the body for you.
+    pub fn frep_o(&mut self, max_rpt: IntReg, n_instr: u16, stagger_max: u8, stagger_mask: u8) {
+        self.push(Instruction::Frep { is_outer: true, max_rpt, n_instr, stagger_max, stagger_mask });
+    }
+
+    /// `frep.i max_rpt, n_instr, stagger_max, stagger_mask`.
+    ///
+    /// Prefer [`ProgramBuilder::frep_inner`], which counts the body for you.
+    pub fn frep_i(&mut self, max_rpt: IntReg, n_instr: u16, stagger_max: u8, stagger_mask: u8) {
+        self.push(Instruction::Frep {
+            is_outer: false,
+            max_rpt,
+            n_instr,
+            stagger_max,
+            stagger_mask,
+        });
+    }
+
+    /// Emits `frep.o` around the FP instructions emitted by `body`.
+    ///
+    /// The repetition count is `max_rpt + 1` where `max_rpt` is read from
+    /// the given register at execution time (Snitch semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` emits no instructions.
+    pub fn frep_outer(&mut self, max_rpt: IntReg, body: impl FnOnce(&mut Self)) {
+        self.frep(true, max_rpt, body);
+    }
+
+    /// Emits `frep.i` around the FP instructions emitted by `body`: each
+    /// body instruction is repeated `max_rpt + 1` times before the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` emits no instructions.
+    pub fn frep_inner(&mut self, max_rpt: IntReg, body: impl FnOnce(&mut Self)) {
+        self.frep(false, max_rpt, body);
+    }
+
+    fn frep(&mut self, is_outer: bool, max_rpt: IntReg, body: impl FnOnce(&mut Self)) {
+        let at = self.code.len();
+        self.push(Instruction::NOP); // placeholder
+        body(self);
+        let n = self.code.len() - at - 1;
+        assert!(n > 0, "frep body must emit at least one instruction");
+        self.code[at] = Instruction::Frep {
+            is_outer,
+            max_rpt,
+            n_instr: n as u16,
+            stagger_max: 0,
+            stagger_mask: 0,
+        };
+    }
+}
+
+fn validate_frep_bodies(code: &[Instruction]) -> Result<(), AsmError> {
+    for (i, inst) in code.iter().enumerate() {
+        if let Instruction::Frep { n_instr, .. } = inst {
+            for j in 1..=*n_instr as usize {
+                match code.get(i + j) {
+                    Some(body) if body.is_fp() => {}
+                    Some(body) => {
+                        return Err(AsmError::NonFpInFrepBody {
+                            index: i + j,
+                            inst: body.to_string(),
+                        })
+                    }
+                    None => {
+                        return Err(AsmError::NonFpInFrepBody {
+                            index: i + j,
+                            inst: "<end of program>".to_owned(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        let i = IntReg::new(10);
+        b.label("loop");
+        b.fadd_d(FpReg::FT3, FpReg::FT0, FpReg::FT1);
+        b.fmul_d(FpReg::FT2, FpReg::FT3, FpReg::new(4));
+        b.addi(i, i, 1);
+        b.bne(i, IntReg::new(11), "loop");
+        let prog = b.build().unwrap();
+        match prog.fetch(12).unwrap() {
+            Instruction::Branch { offset, .. } => assert_eq!(offset, -12),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        b.beq(IntReg::ZERO, IntReg::ZERO, "done");
+        b.nop();
+        b.nop();
+        b.label("done");
+        b.ecall();
+        let prog = b.build().unwrap();
+        match prog.fetch(0).unwrap() {
+            Instruction::Branch { offset, .. } => assert_eq!(offset, 12),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut b = ProgramBuilder::new();
+        b.j("nowhere");
+        assert_eq!(b.build().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.nop();
+        b.label("x");
+        assert_eq!(b.build().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn li_expands_large_values() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(5), 0x12345);
+        let prog = b.build().unwrap();
+        assert_eq!(prog.len(), 2);
+        // And small ones stay small, including negatives.
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(5), -7);
+        assert_eq!(b.build().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn li_negative_low_carry() {
+        // 0x12FFF has low 12 bits 0xFFF = -1 sign-extended; lui must carry.
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(5), 0x12FFF);
+        let prog = b.build().unwrap();
+        match (prog.fetch(0).unwrap(), prog.fetch(4).unwrap()) {
+            (Instruction::Lui { imm, .. }, Instruction::OpImm { imm: low, .. }) => {
+                assert_eq!(imm.wrapping_add(low as u32), 0x12FFF);
+            }
+            other => panic!("unexpected expansion {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frep_outer_counts_body() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(5), 3);
+        b.frep_outer(IntReg::new(5), |b| {
+            b.fadd_d(FpReg::FT3, FpReg::FT0, FpReg::FT1);
+            b.fmul_d(FpReg::FT2, FpReg::FT3, FpReg::new(4));
+        });
+        b.ecall();
+        let prog = b.build().unwrap();
+        match prog.fetch(4).unwrap() {
+            Instruction::Frep { n_instr, is_outer, .. } => {
+                assert_eq!(n_instr, 2);
+                assert!(is_outer);
+            }
+            other => panic!("expected frep, got {other}"),
+        }
+    }
+
+    #[test]
+    fn frep_body_must_be_fp() {
+        let mut b = ProgramBuilder::new();
+        b.frep_o(IntReg::new(5), 1, 0, 0);
+        b.addi(IntReg::new(1), IntReg::new(1), 1);
+        assert!(matches!(b.build().unwrap_err(), AsmError::NonFpInFrepBody { .. }));
+    }
+}

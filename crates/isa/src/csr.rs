@@ -1,0 +1,165 @@
+//! Control and status register (CSR) addresses and a simple CSR file.
+//!
+//! Besides a subset of the standard machine-mode CSRs, the core uses three
+//! custom CSRs in the vendor range, mirroring the Snitch conventions:
+//!
+//! * [`SSR_ENABLE`] (0x7C0) — bit 0 enables stream semantic registers,
+//!   i.e. `ft0`–`ft2` alias the data movers.
+//! * [`FPMODE`] (0x7C1) — reserved (format mode), present for layout
+//!   fidelity, unused by the kernels here.
+//! * [`CHAIN_MASK`] (0x7C3) — **the paper's contribution**: a 32-bit
+//!   mask with one bit per architectural FP register; setting bit *i* gives
+//!   register *fi* FIFO (chaining) semantics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Machine cycle counter (read-only view in this model).
+pub const MCYCLE: u16 = 0xB00;
+/// Machine retired-instruction counter.
+pub const MINSTRET: u16 = 0xB02;
+/// Custom: stream semantic register enable (Snitch `ssr` CSR).
+pub const SSR_ENABLE: u16 = 0x7C0;
+/// Custom: FP mode register (unused placeholder, kept for layout fidelity).
+pub const FPMODE: u16 = 0x7C1;
+/// Custom: chaining enable mask, one bit per FP architectural register.
+///
+/// This is the CSR the paper places at address 0x7C3.
+pub const CHAIN_MASK: u16 = 0x7C3;
+/// Custom: performance-region marker. Writing a non-zero value opens a
+/// measured region, zero closes it; both synchronise with the FP
+/// subsystem so cycle counts are attributable (the model's analogue of
+/// the `mcycle` bracketing used in RTL benchmarks).
+pub const PERF_REGION: u16 = 0x7C4;
+/// FP accrued exception flags (fcsr subset).
+pub const FFLAGS: u16 = 0x001;
+/// FP dynamic rounding mode (fcsr subset).
+pub const FRM: u16 = 0x002;
+/// FP control/status (frm+fflags).
+pub const FCSR: u16 = 0x003;
+
+/// How a CSR instruction updates the register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `csrrw`: write the operand.
+    ReadWrite,
+    /// `csrrs`: set the bits of the operand.
+    ReadSet,
+    /// `csrrc`: clear the bits of the operand.
+    ReadClear,
+}
+
+impl CsrOp {
+    /// Applies the update rule to `old` with `operand`, returning the new value.
+    ///
+    /// Per the RISC-V spec, set/clear with a zero operand performs no write;
+    /// the caller is responsible for suppressing side effects in that case —
+    /// the pure value computed here is unchanged anyway.
+    #[must_use]
+    pub fn apply(self, old: u32, operand: u32) -> u32 {
+        match self {
+            CsrOp::ReadWrite => operand,
+            CsrOp::ReadSet => old | operand,
+            CsrOp::ReadClear => old & !operand,
+        }
+    }
+}
+
+impl fmt::Display for CsrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CsrOp::ReadWrite => "csrrw",
+            CsrOp::ReadSet => "csrrs",
+            CsrOp::ReadClear => "csrrc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A sparse CSR file holding 32-bit values.
+///
+/// Unknown CSRs read as zero and accept writes (stored), which matches the
+/// permissive behaviour needed by bring-up code; the core intercepts the
+/// CSRs with side effects ([`CHAIN_MASK`], [`SSR_ENABLE`]).
+///
+/// # Examples
+///
+/// ```
+/// use sc_isa::{CsrFile, CsrOp, csr};
+/// let mut f = CsrFile::new();
+/// let old = f.apply(csr::CHAIN_MASK, CsrOp::ReadSet, 0x8);
+/// assert_eq!(old, 0);
+/// assert_eq!(f.read(csr::CHAIN_MASK), 0x8);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrFile {
+    values: BTreeMap<u16, u32>,
+}
+
+impl CsrFile {
+    /// Creates an empty CSR file (all CSRs read as zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a CSR; unknown addresses read as zero.
+    #[must_use]
+    pub fn read(&self, addr: u16) -> u32 {
+        self.values.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a CSR unconditionally.
+    pub fn write(&mut self, addr: u16, value: u32) {
+        if value == 0 {
+            self.values.remove(&addr);
+        } else {
+            self.values.insert(addr, value);
+        }
+    }
+
+    /// Applies a CSR read-modify-write op, returning the old value.
+    pub fn apply(&mut self, addr: u16, op: CsrOp, operand: u32) -> u32 {
+        let old = self.read(addr);
+        self.write(addr, op.apply(old, operand));
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_csrs_read_zero() {
+        let f = CsrFile::new();
+        assert_eq!(f.read(0x123), 0);
+    }
+
+    #[test]
+    fn ops_apply_spec_semantics() {
+        assert_eq!(CsrOp::ReadWrite.apply(0xFF, 0x0F), 0x0F);
+        assert_eq!(CsrOp::ReadSet.apply(0xF0, 0x0F), 0xFF);
+        assert_eq!(CsrOp::ReadClear.apply(0xFF, 0x0F), 0xF0);
+    }
+
+    #[test]
+    fn apply_returns_old_value() {
+        let mut f = CsrFile::new();
+        f.write(CHAIN_MASK, 0x8);
+        let old = f.apply(CHAIN_MASK, CsrOp::ReadClear, 0x8);
+        assert_eq!(old, 0x8);
+        assert_eq!(f.read(CHAIN_MASK), 0);
+    }
+
+    #[test]
+    fn paper_fig1c_sequence() {
+        // li mask, 8 ; csrs 0x7C3, mask ; ... ; csrs 0x7C3, x0
+        let mut f = CsrFile::new();
+        f.apply(CHAIN_MASK, CsrOp::ReadSet, 8);
+        assert_eq!(f.read(CHAIN_MASK), 8);
+        // csrs with x0 operand is a no-op read.
+        f.apply(CHAIN_MASK, CsrOp::ReadSet, 0);
+        assert_eq!(f.read(CHAIN_MASK), 8);
+    }
+}

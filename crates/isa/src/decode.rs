@@ -1,0 +1,466 @@
+//! Decoding of 32-bit instruction words back into [`Instruction`]s.
+//!
+//! Exact inverse of [`crate::encode`]; the crate's property tests assert the
+//! roundtrip for every instruction form.
+
+use std::fmt;
+
+use crate::csr::CsrOp;
+use crate::encode::opcode;
+use crate::inst::*;
+use crate::reg::{FpReg, IntReg};
+
+/// Error returned when an instruction word cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> IntReg {
+    IntReg::new(((w >> 7) & 0x1F) as u8)
+}
+fn rs1(w: u32) -> IntReg {
+    IntReg::new(((w >> 15) & 0x1F) as u8)
+}
+fn rs2(w: u32) -> IntReg {
+    IntReg::new(((w >> 20) & 0x1F) as u8)
+}
+fn frd(w: u32) -> FpReg {
+    FpReg::new(((w >> 7) & 0x1F) as u8)
+}
+fn frs1(w: u32) -> FpReg {
+    FpReg::new(((w >> 15) & 0x1F) as u8)
+}
+fn frs2(w: u32) -> FpReg {
+    FpReg::new(((w >> 20) & 0x1F) as u8)
+}
+fn frs3(w: u32) -> FpReg {
+    FpReg::new(((w >> 27) & 0x1F) as u8)
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    (w >> 25) & 0x7F
+}
+
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | (((w >> 7) & 0x1F) as i32)
+}
+
+fn imm_b(w: u32) -> i32 {
+    let sign = ((w as i32) >> 31) << 12;
+    let b11 = (((w >> 7) & 1) << 11) as i32;
+    let b10_5 = (((w >> 25) & 0x3F) << 5) as i32;
+    let b4_1 = (((w >> 8) & 0xF) << 1) as i32;
+    sign | b11 | b10_5 | b4_1
+}
+
+fn imm_j(w: u32) -> i32 {
+    let sign = ((w as i32) >> 31) << 20;
+    let b19_12 = (w & 0x000F_F000) as i32;
+    let b11 = (((w >> 20) & 1) << 11) as i32;
+    let b10_1 = (((w >> 21) & 0x3FF) << 1) as i32;
+    sign | b19_12 | b11 | b10_1
+}
+
+fn fmt_from_bits(bits: u32, word: u32) -> Result<FpFormat, DecodeError> {
+    match bits {
+        0b00 => Ok(FpFormat::Single),
+        0b01 => Ok(FpFormat::Double),
+        _ => Err(DecodeError { word }),
+    }
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words outside the supported subset.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let err = || DecodeError { word };
+    let op = word & 0x7F;
+    let inst = match op {
+        opcode::LUI => Instruction::Lui { rd: rd(word), imm: word & 0xFFFF_F000 },
+        opcode::AUIPC => Instruction::Auipc { rd: rd(word), imm: word & 0xFFFF_F000 },
+        opcode::JAL => Instruction::Jal { rd: rd(word), offset: imm_j(word) },
+        opcode::JALR => {
+            if funct3(word) != 0 {
+                return Err(err());
+            }
+            Instruction::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        opcode::BRANCH => {
+            let bop = match funct3(word) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return Err(err()),
+            };
+            Instruction::Branch { op: bop, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+        }
+        opcode::LOAD => {
+            let lop = match funct3(word) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return Err(err()),
+            };
+            Instruction::Load { op: lop, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        opcode::STORE => {
+            let sop = match funct3(word) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return Err(err()),
+            };
+            Instruction::Store { op: sop, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) }
+        }
+        opcode::OP_IMM => {
+            let imm = imm_i(word);
+            let (aop, imm) = match funct3(word) {
+                0b000 => (AluOp::Add, imm),
+                0b010 => (AluOp::Slt, imm),
+                0b011 => (AluOp::Sltu, imm),
+                0b100 => (AluOp::Xor, imm),
+                0b110 => (AluOp::Or, imm),
+                0b111 => (AluOp::And, imm),
+                0b001 => (AluOp::Sll, imm & 0x1F),
+                0b101 => {
+                    if (word >> 30) & 1 == 1 {
+                        (AluOp::Sra, imm & 0x1F)
+                    } else {
+                        (AluOp::Srl, imm & 0x1F)
+                    }
+                }
+                _ => unreachable!(),
+            };
+            Instruction::OpImm { op: aop, rd: rd(word), rs1: rs1(word), imm }
+        }
+        opcode::OP => {
+            if funct7(word) == 1 {
+                let mop = match funct3(word) {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    0b111 => MulDivOp::Remu,
+                    _ => unreachable!(),
+                };
+                Instruction::MulDiv { op: mop, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            } else {
+                let alt = funct7(word) == 0x20;
+                if funct7(word) != 0 && !alt {
+                    return Err(err());
+                }
+                let aop = match (funct3(word), alt) {
+                    (0b000, false) => AluOp::Add,
+                    (0b000, true) => AluOp::Sub,
+                    (0b001, false) => AluOp::Sll,
+                    (0b010, false) => AluOp::Slt,
+                    (0b011, false) => AluOp::Sltu,
+                    (0b100, false) => AluOp::Xor,
+                    (0b101, false) => AluOp::Srl,
+                    (0b101, true) => AluOp::Sra,
+                    (0b110, false) => AluOp::Or,
+                    (0b111, false) => AluOp::And,
+                    _ => return Err(err()),
+                };
+                Instruction::Op { op: aop, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            }
+        }
+        opcode::MISC_MEM => Instruction::Fence,
+        opcode::SYSTEM => match funct3(word) {
+            0 => match word >> 20 {
+                0 => Instruction::Ecall,
+                1 => Instruction::Ebreak,
+                _ => return Err(err()),
+            },
+            f3 => {
+                let cop = match f3 & 0x3 {
+                    1 => CsrOp::ReadWrite,
+                    2 => CsrOp::ReadSet,
+                    3 => CsrOp::ReadClear,
+                    _ => return Err(err()),
+                };
+                let src = if f3 >= 4 {
+                    CsrSrc::Imm(((word >> 15) & 0x1F) as u8)
+                } else {
+                    CsrSrc::Reg(rs1(word))
+                };
+                Instruction::Csr { op: cop, rd: rd(word), csr: (word >> 20) as u16, src }
+            }
+        },
+        opcode::LOAD_FP => {
+            let fmt = match funct3(word) {
+                0b010 => FpFormat::Single,
+                0b011 => FpFormat::Double,
+                _ => return Err(err()),
+            };
+            Instruction::FpLoad { fmt, frd: frd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        opcode::STORE_FP => {
+            let fmt = match funct3(word) {
+                0b010 => FpFormat::Single,
+                0b011 => FpFormat::Double,
+                _ => return Err(err()),
+            };
+            Instruction::FpStore { fmt, frs2: frs2(word), rs1: rs1(word), offset: imm_s(word) }
+        }
+        opcode::MADD | opcode::MSUB | opcode::NMSUB | opcode::NMADD => {
+            let fop = match op {
+                opcode::MADD => FmaOp::Madd,
+                opcode::MSUB => FmaOp::Msub,
+                opcode::NMSUB => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            let fmt = fmt_from_bits((word >> 25) & 0x3, word)?;
+            Instruction::FpFma {
+                op: fop,
+                fmt,
+                frd: frd(word),
+                frs1: frs1(word),
+                frs2: frs2(word),
+                frs3: frs3(word),
+            }
+        }
+        opcode::OP_FP => return decode_op_fp(word),
+        opcode::CUSTOM0 => Instruction::Frep {
+            is_outer: (word >> 7) & 1 == 1,
+            max_rpt: rs1(word),
+            n_instr: ((word >> 20) & 0xFFF) as u16 + 1,
+            stagger_max: funct3(word) as u8,
+            stagger_mask: ((word >> 8) & 0xF) as u8,
+        },
+        opcode::CUSTOM1 => match funct3(word) {
+            0b010 => Instruction::Scfgwi { rs1: rs1(word), imm: ((word >> 20) & 0xFFF) as u16 },
+            0b001 => Instruction::Scfgri { rd: rd(word), imm: ((word >> 20) & 0xFFF) as u16 },
+            _ => return Err(err()),
+        },
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+fn decode_op_fp(word: u32) -> Result<Instruction, DecodeError> {
+    let err = || DecodeError { word };
+    let f7 = funct7(word);
+    let fmt = fmt_from_bits(f7 & 0x3, word)?;
+    match f7 >> 2 {
+        0b00000 => Ok(Instruction::FpBin {
+            op: FpBinOp::Add,
+            fmt,
+            frd: frd(word),
+            frs1: frs1(word),
+            frs2: frs2(word),
+        }),
+        0b00001 => Ok(Instruction::FpBin {
+            op: FpBinOp::Sub,
+            fmt,
+            frd: frd(word),
+            frs1: frs1(word),
+            frs2: frs2(word),
+        }),
+        0b00010 => Ok(Instruction::FpBin {
+            op: FpBinOp::Mul,
+            fmt,
+            frd: frd(word),
+            frs1: frs1(word),
+            frs2: frs2(word),
+        }),
+        0b00011 => Ok(Instruction::FpBin {
+            op: FpBinOp::Div,
+            fmt,
+            frd: frd(word),
+            frs1: frs1(word),
+            frs2: frs2(word),
+        }),
+        0b00100 => {
+            let op = match funct3(word) {
+                0b000 => FpBinOp::Sgnj,
+                0b001 => FpBinOp::Sgnjn,
+                0b010 => FpBinOp::Sgnjx,
+                _ => return Err(err()),
+            };
+            Ok(Instruction::FpBin { op, fmt, frd: frd(word), frs1: frs1(word), frs2: frs2(word) })
+        }
+        0b00101 => {
+            let op = match funct3(word) {
+                0b000 => FpBinOp::Min,
+                0b001 => FpBinOp::Max,
+                _ => return Err(err()),
+            };
+            Ok(Instruction::FpBin { op, fmt, frd: frd(word), frs1: frs1(word), frs2: frs2(word) })
+        }
+        0b01011 => Ok(Instruction::FpSqrt { fmt, frd: frd(word), frs1: frs1(word) }),
+        0b10100 => {
+            let op = match funct3(word) {
+                0b000 => FpCmpOp::Le,
+                0b001 => FpCmpOp::Lt,
+                0b010 => FpCmpOp::Eq,
+                _ => return Err(err()),
+            };
+            Ok(Instruction::FpCmp { op, fmt, rd: rd(word), frs1: frs1(word), frs2: frs2(word) })
+        }
+        0b11010 if fmt == FpFormat::Double => {
+            let op = if (word >> 20) & 0x1F == 0 { FpCvtOp::DFromW } else { FpCvtOp::DFromWu };
+            Ok(cvt(op, word))
+        }
+        0b11000 if fmt == FpFormat::Double => {
+            let op = if (word >> 20) & 0x1F == 0 { FpCvtOp::WFromD } else { FpCvtOp::WuFromD };
+            Ok(cvt(op, word))
+        }
+        0b01000 if fmt == FpFormat::Double => Ok(cvt(FpCvtOp::DFromS, word)),
+        0b01000 if fmt == FpFormat::Single => Ok(cvt(FpCvtOp::SFromD, word)),
+        0b11100 if fmt == FpFormat::Single => Ok(cvt(FpCvtOp::MvXW, word)),
+        0b11110 if fmt == FpFormat::Single => Ok(cvt(FpCvtOp::MvWX, word)),
+        _ => Err(err()),
+    }
+}
+
+fn cvt(op: FpCvtOp, word: u32) -> Instruction {
+    // Only the fields meaningful for `op` are taken from the word; the
+    // others are canonicalised to zero so decode(encode(i)) == i.
+    let (z, fz) = (IntReg::ZERO, FpReg::new(0));
+    if op.writes_int() {
+        Instruction::FpCvt { op, rd: rd(word), frd: fz, rs1: z, frs1: frs1(word) }
+    } else if op.reads_int() {
+        Instruction::FpCvt { op, rd: z, frd: frd(word), rs1: rs1(word), frs1: fz }
+    } else {
+        Instruction::FpCvt { op, rd: z, frd: frd(word), rs1: z, frs1: frs1(word) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0).is_err());
+    }
+
+    #[test]
+    fn roundtrip_sample_instructions() {
+        let samples = vec![
+            Instruction::Lui { rd: IntReg::new(7), imm: 0xDEAD_B000 },
+            Instruction::Auipc { rd: IntReg::new(1), imm: 0x1000 },
+            Instruction::Jal { rd: IntReg::ZERO, offset: -36 },
+            Instruction::Jalr { rd: IntReg::RA, rs1: IntReg::new(5), offset: 16 },
+            Instruction::Branch {
+                op: BranchOp::Ne,
+                rs1: IntReg::new(9),
+                rs2: IntReg::new(10),
+                offset: -12,
+            },
+            Instruction::Load {
+                op: LoadOp::Lw,
+                rd: IntReg::new(6),
+                rs1: IntReg::SP,
+                offset: -4,
+            },
+            Instruction::Store {
+                op: StoreOp::Sw,
+                rs2: IntReg::new(6),
+                rs1: IntReg::SP,
+                offset: 2044,
+            },
+            Instruction::OpImm {
+                op: AluOp::Sra,
+                rd: IntReg::new(4),
+                rs1: IntReg::new(4),
+                imm: 7,
+            },
+            Instruction::MulDiv {
+                op: MulDivOp::Remu,
+                rd: IntReg::new(12),
+                rs1: IntReg::new(13),
+                rs2: IntReg::new(14),
+            },
+            Instruction::Csr {
+                op: CsrOp::ReadWrite,
+                rd: IntReg::new(3),
+                csr: 0x7C3,
+                src: CsrSrc::Imm(8),
+            },
+            Instruction::FpSqrt { fmt: FpFormat::Double, frd: FpReg::new(9), frs1: FpReg::new(9) },
+            Instruction::FpCmp {
+                op: FpCmpOp::Lt,
+                fmt: FpFormat::Double,
+                rd: IntReg::new(5),
+                frs1: FpReg::new(1),
+                frs2: FpReg::new(2),
+            },
+            Instruction::FpCvt {
+                op: FpCvtOp::DFromW,
+                rd: IntReg::ZERO,
+                frd: FpReg::new(8),
+                rs1: IntReg::new(11),
+                frs1: FpReg::new(0),
+            },
+            Instruction::Frep {
+                is_outer: true,
+                max_rpt: IntReg::new(20),
+                n_instr: 108,
+                stagger_max: 3,
+                stagger_mask: 0b1001,
+            },
+            Instruction::Scfgwi { rs1: IntReg::new(15), imm: 0x7A2 },
+            Instruction::Scfgri { rd: IntReg::new(16), imm: 0x012 },
+            Instruction::Ecall,
+            Instruction::Ebreak,
+            Instruction::Fence,
+        ];
+        for inst in samples {
+            let canon = canonical(inst);
+            let word = encode(&canon);
+            let back = decode(word).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back, canon, "roundtrip failed for {inst} ({word:#010x})");
+        }
+    }
+
+    /// Conversions carry don't-care register fields; zero them the way the
+    /// encoding does so equality is meaningful.
+    fn canonical(inst: Instruction) -> Instruction {
+        match inst {
+            Instruction::FpCvt { op, rd, frd, rs1, frs1 } => {
+                let z = IntReg::ZERO;
+                let fz = FpReg::new(0);
+                match op {
+                    FpCvtOp::DFromW | FpCvtOp::DFromWu | FpCvtOp::MvWX => {
+                        Instruction::FpCvt { op, rd: z, frd, rs1, frs1: fz }
+                    }
+                    FpCvtOp::WFromD | FpCvtOp::WuFromD | FpCvtOp::MvXW => {
+                        Instruction::FpCvt { op, rd, frd: fz, rs1: z, frs1 }
+                    }
+                    _ => Instruction::FpCvt { op, rd: z, frd, rs1: z, frs1 },
+                }
+            }
+            other => other,
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Binary (32-bit) encoding of [`Instruction`]s.
+//!
+//! Standard instructions follow the RISC-V unprivileged spec encodings.
+//! The custom extensions use the reserved *custom* opcode space:
+//!
+//! * `frep.o`/`frep.i` on opcode `0x0B` (custom-0), with
+//!   `inst[31:20] = n_instr - 1`, `inst[19:15] = rs1` (max-repetition
+//!   register), `inst[14:12] = stagger_max`, `inst[11:8] = stagger_mask`,
+//!   `inst[7] = is_outer` — mirroring the Snitch FREP layout.
+//! * `scfgwi`/`scfgri` on opcode `0x2B` (custom-1), funct3 2/1, I-type
+//!   immediate carrying the SSR config word address.
+//!
+//! These choices are internal to this model (the upstream RTL uses its own
+//! encodings); [`crate::decode`] is the exact inverse, which the property
+//! tests verify.
+
+use crate::csr::CsrOp;
+use crate::inst::*;
+use crate::reg::{FpReg, IntReg};
+
+/// Opcode constants (inst[6:0]).
+pub(crate) mod opcode {
+    pub const LUI: u32 = 0b0110111;
+    pub const AUIPC: u32 = 0b0010111;
+    pub const JAL: u32 = 0b1101111;
+    pub const JALR: u32 = 0b1100111;
+    pub const BRANCH: u32 = 0b1100011;
+    pub const LOAD: u32 = 0b0000011;
+    pub const STORE: u32 = 0b0100011;
+    pub const OP_IMM: u32 = 0b0010011;
+    pub const OP: u32 = 0b0110011;
+    pub const MISC_MEM: u32 = 0b0001111;
+    pub const SYSTEM: u32 = 0b1110011;
+    pub const LOAD_FP: u32 = 0b0000111;
+    pub const STORE_FP: u32 = 0b0100111;
+    pub const OP_FP: u32 = 0b1010011;
+    pub const MADD: u32 = 0b1000011;
+    pub const MSUB: u32 = 0b1000111;
+    pub const NMSUB: u32 = 0b1001011;
+    pub const NMADD: u32 = 0b1001111;
+    /// custom-0: FREP.
+    pub const CUSTOM0: u32 = 0b0001011;
+    /// custom-1: SSR config.
+    pub const CUSTOM1: u32 = 0b0101011;
+}
+
+fn rd(r: IntReg) -> u32 {
+    u32::from(r.index()) << 7
+}
+fn rs1(r: IntReg) -> u32 {
+    u32::from(r.index()) << 15
+}
+fn rs2(r: IntReg) -> u32 {
+    u32::from(r.index()) << 20
+}
+fn frd_(r: FpReg) -> u32 {
+    u32::from(r.index()) << 7
+}
+fn frs1_(r: FpReg) -> u32 {
+    u32::from(r.index()) << 15
+}
+fn frs2_(r: FpReg) -> u32 {
+    u32::from(r.index()) << 20
+}
+fn frs3_(r: FpReg) -> u32 {
+    u32::from(r.index()) << 27
+}
+fn funct3(v: u32) -> u32 {
+    (v & 0x7) << 12
+}
+fn funct7(v: u32) -> u32 {
+    (v & 0x7F) << 25
+}
+
+fn itype(op: u32, f3: u32, d: u32, s1: u32, imm: i32) -> u32 {
+    op | d | funct3(f3) | s1 | (((imm as u32) & 0xFFF) << 20)
+}
+
+fn stype(op: u32, f3: u32, s1: u32, s2: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    op | ((imm & 0x1F) << 7) | funct3(f3) | s1 | s2 | (((imm >> 5) & 0x7F) << 25)
+}
+
+fn btype(op: u32, f3: u32, s1: u32, s2: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    op | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | funct3(f3)
+        | s1
+        | s2
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn utype(op: u32, d: u32, imm: u32) -> u32 {
+    op | d | (imm & 0xFFFF_F000)
+}
+
+fn jtype(op: u32, d: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    op | d
+        | (imm & 0x000F_F000)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+fn fmt_bits(fmt: FpFormat) -> u32 {
+    match fmt {
+        FpFormat::Single => 0b00,
+        FpFormat::Double => 0b01,
+    }
+}
+
+/// Default rounding mode field (dynamic).
+const RM_DYN: u32 = 0b111;
+
+/// Encodes an instruction to its 32-bit binary form.
+///
+/// # Examples
+///
+/// ```
+/// use sc_isa::{encode, decode, Instruction};
+/// let word = encode(&Instruction::Ecall);
+/// assert_eq!(word, 0x0000_0073);
+/// assert_eq!(decode(word)?, Instruction::Ecall);
+/// # Ok::<(), sc_isa::DecodeError>(())
+/// ```
+#[must_use]
+pub fn encode(inst: &Instruction) -> u32 {
+    use opcode::*;
+    match *inst {
+        Instruction::Lui { rd: d, imm } => utype(LUI, rd(d), imm),
+        Instruction::Auipc { rd: d, imm } => utype(AUIPC, rd(d), imm),
+        Instruction::Jal { rd: d, offset } => jtype(JAL, rd(d), offset),
+        Instruction::Jalr { rd: d, rs1: s1, offset } => itype(JALR, 0, rd(d), rs1(s1), offset),
+        Instruction::Branch { op, rs1: s1, rs2: s2, offset } => {
+            let f3 = match op {
+                BranchOp::Eq => 0b000,
+                BranchOp::Ne => 0b001,
+                BranchOp::Lt => 0b100,
+                BranchOp::Ge => 0b101,
+                BranchOp::Ltu => 0b110,
+                BranchOp::Geu => 0b111,
+            };
+            btype(BRANCH, f3, rs1(s1), rs2(s2), offset)
+        }
+        Instruction::Load { op, rd: d, rs1: s1, offset } => {
+            let f3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+            };
+            itype(LOAD, f3, rd(d), rs1(s1), offset)
+        }
+        Instruction::Store { op, rs2: s2, rs1: s1, offset } => {
+            let f3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+            };
+            stype(STORE, f3, rs1(s1), rs2(s2), offset)
+        }
+        Instruction::OpImm { op, rd: d, rs1: s1, imm } => {
+            let (f3, imm) = match op {
+                AluOp::Add => (0b000, imm),
+                AluOp::Slt => (0b010, imm),
+                AluOp::Sltu => (0b011, imm),
+                AluOp::Xor => (0b100, imm),
+                AluOp::Or => (0b110, imm),
+                AluOp::And => (0b111, imm),
+                AluOp::Sll => (0b001, imm & 0x1F),
+                AluOp::Srl => (0b101, imm & 0x1F),
+                AluOp::Sra => (0b101, (imm & 0x1F) | 0x400),
+                AluOp::Sub => panic!("subi does not exist in RISC-V"),
+            };
+            itype(OP_IMM, f3, rd(d), rs1(s1), imm)
+        }
+        Instruction::Op { op, rd: d, rs1: s1, rs2: s2 } => {
+            let (f3, f7) = match op {
+                AluOp::Add => (0b000, 0),
+                AluOp::Sub => (0b000, 0x20),
+                AluOp::Sll => (0b001, 0),
+                AluOp::Slt => (0b010, 0),
+                AluOp::Sltu => (0b011, 0),
+                AluOp::Xor => (0b100, 0),
+                AluOp::Srl => (0b101, 0),
+                AluOp::Sra => (0b101, 0x20),
+                AluOp::Or => (0b110, 0),
+                AluOp::And => (0b111, 0),
+            };
+            OP | rd(d) | funct3(f3) | rs1(s1) | rs2(s2) | funct7(f7)
+        }
+        Instruction::MulDiv { op, rd: d, rs1: s1, rs2: s2 } => {
+            let f3 = match op {
+                MulDivOp::Mul => 0b000,
+                MulDivOp::Mulh => 0b001,
+                MulDivOp::Mulhsu => 0b010,
+                MulDivOp::Mulhu => 0b011,
+                MulDivOp::Div => 0b100,
+                MulDivOp::Divu => 0b101,
+                MulDivOp::Rem => 0b110,
+                MulDivOp::Remu => 0b111,
+            };
+            OP | rd(d) | funct3(f3) | rs1(s1) | rs2(s2) | funct7(1)
+        }
+        Instruction::Fence => MISC_MEM,
+        Instruction::Ecall => SYSTEM,
+        Instruction::Ebreak => SYSTEM | (1 << 20),
+        Instruction::Csr { op, rd: d, csr, src } => {
+            let (f3_base, s1field) = match src {
+                CsrSrc::Reg(r) => (0u32, rs1(r)),
+                CsrSrc::Imm(i) => (4u32, u32::from(i & 0x1F) << 15),
+            };
+            let f3 = f3_base
+                + match op {
+                    CsrOp::ReadWrite => 1,
+                    CsrOp::ReadSet => 2,
+                    CsrOp::ReadClear => 3,
+                };
+            SYSTEM | rd(d) | funct3(f3) | s1field | (u32::from(csr) << 20)
+        }
+        Instruction::FpLoad { fmt, frd, rs1: s1, offset } => {
+            let f3 = if fmt == FpFormat::Double { 0b011 } else { 0b010 };
+            itype(LOAD_FP, f3, frd_(frd), rs1(s1), offset)
+        }
+        Instruction::FpStore { fmt, frs2, rs1: s1, offset } => {
+            let f3 = if fmt == FpFormat::Double { 0b011 } else { 0b010 };
+            let imm = offset as u32;
+            STORE_FP
+                | ((imm & 0x1F) << 7)
+                | funct3(f3)
+                | rs1(s1)
+                | frs2_(frs2)
+                | (((imm >> 5) & 0x7F) << 25)
+        }
+        Instruction::FpBin { op, fmt, frd, frs1, frs2 } => {
+            let (f7hi, f3) = match op {
+                FpBinOp::Add => (0b00000_00, RM_DYN),
+                FpBinOp::Sub => (0b00001_00, RM_DYN),
+                FpBinOp::Mul => (0b00010_00, RM_DYN),
+                FpBinOp::Div => (0b00011_00, RM_DYN),
+                FpBinOp::Sgnj => (0b00100_00, 0b000),
+                FpBinOp::Sgnjn => (0b00100_00, 0b001),
+                FpBinOp::Sgnjx => (0b00100_00, 0b010),
+                FpBinOp::Min => (0b00101_00, 0b000),
+                FpBinOp::Max => (0b00101_00, 0b001),
+            };
+            OP_FP | frd_(frd) | funct3(f3) | frs1_(frs1) | frs2_(frs2) | funct7(f7hi | fmt_bits(fmt))
+        }
+        Instruction::FpFma { op, fmt, frd, frs1, frs2, frs3 } => {
+            let op7 = match op {
+                FmaOp::Madd => MADD,
+                FmaOp::Msub => MSUB,
+                FmaOp::Nmsub => NMSUB,
+                FmaOp::Nmadd => NMADD,
+            };
+            op7 | frd_(frd)
+                | funct3(RM_DYN)
+                | frs1_(frs1)
+                | frs2_(frs2)
+                | (fmt_bits(fmt) << 25)
+                | frs3_(frs3)
+        }
+        Instruction::FpSqrt { fmt, frd, frs1 } => {
+            OP_FP | frd_(frd) | funct3(RM_DYN) | frs1_(frs1) | funct7(0b01011_00 | fmt_bits(fmt))
+        }
+        Instruction::FpCmp { op, fmt, rd: d, frs1, frs2 } => {
+            let f3 = match op {
+                FpCmpOp::Le => 0b000,
+                FpCmpOp::Lt => 0b001,
+                FpCmpOp::Eq => 0b010,
+            };
+            OP_FP | rd(d) | funct3(f3) | frs1_(frs1) | frs2_(frs2) | funct7(0b10100_00 | fmt_bits(fmt))
+        }
+        Instruction::FpCvt { op, rd: d, frd, rs1: s1, frs1 } => match op {
+            FpCvtOp::DFromW => {
+                OP_FP | frd_(frd) | funct3(RM_DYN) | rs1(s1) | funct7(0b11010_01)
+            }
+            FpCvtOp::DFromWu => {
+                OP_FP | frd_(frd) | funct3(RM_DYN) | rs1(s1) | (1 << 20) | funct7(0b11010_01)
+            }
+            FpCvtOp::WFromD => {
+                OP_FP | rd(d) | funct3(0b001) | frs1_(frs1) | funct7(0b11000_01)
+            }
+            FpCvtOp::WuFromD => {
+                OP_FP | rd(d) | funct3(0b001) | frs1_(frs1) | (1 << 20) | funct7(0b11000_01)
+            }
+            FpCvtOp::DFromS => {
+                OP_FP | frd_(frd) | funct3(RM_DYN) | frs1_(frs1) | funct7(0b01000_01)
+            }
+            FpCvtOp::SFromD => {
+                OP_FP | frd_(frd) | funct3(RM_DYN) | frs1_(frs1) | (1 << 20) | funct7(0b01000_00)
+            }
+            FpCvtOp::MvXW => OP_FP | rd(d) | frs1_(frs1) | funct7(0b11100_00),
+            FpCvtOp::MvWX => OP_FP | frd_(frd) | rs1(s1) | funct7(0b11110_00),
+        },
+        Instruction::Frep { is_outer, max_rpt, n_instr, stagger_max, stagger_mask } => {
+            assert!(n_instr >= 1, "frep body must contain at least one instruction");
+            CUSTOM0
+                | (u32::from(is_outer) << 7)
+                | ((u32::from(stagger_mask) & 0xF) << 8)
+                | funct3(u32::from(stagger_max))
+                | rs1(max_rpt)
+                | ((u32::from(n_instr - 1) & 0xFFF) << 20)
+        }
+        Instruction::Scfgwi { rs1: s1, imm } => {
+            itype(CUSTOM1, 0b010, 0, rs1(s1), i32::from(imm as i16) & 0xFFF)
+        }
+        Instruction::Scfgri { rd: d, imm } => {
+            itype(CUSTOM1, 0b001, rd(d), 0, i32::from(imm as i16) & 0xFFF)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_golden_encodings() {
+        // Cross-checked against the RISC-V spec / GNU as output.
+        // addi x1, x2, 3  -> 0x00310093
+        let addi = Instruction::OpImm {
+            op: AluOp::Add,
+            rd: IntReg::new(1),
+            rs1: IntReg::new(2),
+            imm: 3,
+        };
+        assert_eq!(encode(&addi), 0x0031_0093);
+        // add x3, x4, x5 -> 0x005201b3
+        let add = Instruction::Op {
+            op: AluOp::Add,
+            rd: IntReg::new(3),
+            rs1: IntReg::new(4),
+            rs2: IntReg::new(5),
+        };
+        assert_eq!(encode(&add), 0x0052_01B3);
+        // fadd.d ft3, ft0, ft1 (rm=dyn) -> 0x021071d3
+        let fadd = Instruction::FpBin {
+            op: FpBinOp::Add,
+            fmt: FpFormat::Double,
+            frd: FpReg::FT3,
+            frs1: FpReg::FT0,
+            frs2: FpReg::FT1,
+        };
+        assert_eq!(encode(&fadd), 0x0210_71D3);
+        // fld ft0, 8(x10) -> 0x00853007
+        let fld = Instruction::FpLoad {
+            fmt: FpFormat::Double,
+            frd: FpReg::FT0,
+            rs1: IntReg::new(10),
+            offset: 8,
+        };
+        assert_eq!(encode(&fld), 0x0085_3007);
+        // fsd ft2, 16(x11) -> 0x0025b827
+        let fsd = Instruction::FpStore {
+            fmt: FpFormat::Double,
+            frs2: FpReg::FT2,
+            rs1: IntReg::new(11),
+            offset: 16,
+        };
+        assert_eq!(encode(&fsd), 0x0025_B827);
+        // fmadd.d f3, f0, f1, f3 -> rs3=3 fmt=01: 0x1a1071c3
+        let fma = Instruction::FpFma {
+            op: FmaOp::Madd,
+            fmt: FpFormat::Double,
+            frd: FpReg::FT3,
+            frs1: FpReg::FT0,
+            frs2: FpReg::FT1,
+            frs3: FpReg::FT3,
+        };
+        assert_eq!(encode(&fma), 0x1A10_71C3);
+        // csrrs x0, 0x7C3, x5 -> 0x7c32a073
+        let csrs = Instruction::Csr {
+            op: CsrOp::ReadSet,
+            rd: IntReg::ZERO,
+            csr: 0x7C3,
+            src: CsrSrc::Reg(IntReg::new(5)),
+        };
+        assert_eq!(encode(&csrs), 0x7C32_A073);
+    }
+
+    #[test]
+    fn branch_offset_fields() {
+        // beq x1, x2, -12 : checked against objdump (0xfe208ae3).
+        let b = Instruction::Branch {
+            op: BranchOp::Eq,
+            rs1: IntReg::new(1),
+            rs2: IntReg::new(2),
+            offset: -12,
+        };
+        assert_eq!(encode(&b), 0xFE20_8AE3);
+    }
+
+    #[test]
+    fn jal_offset_fields() {
+        // jal x1, 2048 -> 0x001000ef ... (imm 0x800: bit11=1)
+        let j = Instruction::Jal { rd: IntReg::RA, offset: 2048 };
+        assert_eq!(encode(&j), 0x0010_00EF);
+    }
+
+    #[test]
+    #[should_panic(expected = "subi")]
+    fn subi_rejected() {
+        let bad = Instruction::OpImm {
+            op: AluOp::Sub,
+            rd: IntReg::new(1),
+            rs1: IntReg::new(1),
+            imm: 1,
+        };
+        let _ = encode(&bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_frep_rejected() {
+        let bad = Instruction::Frep {
+            is_outer: true,
+            max_rpt: IntReg::new(5),
+            n_instr: 0,
+            stagger_max: 0,
+            stagger_mask: 0,
+        };
+        let _ = encode(&bad);
+    }
+}

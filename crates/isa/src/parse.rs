@@ -1,0 +1,664 @@
+//! A textual assembler: parses RISC-V assembly source (the subset this
+//! model executes, plus the custom extensions) into a [`Program`].
+//!
+//! Supports labels, comments (`#` and `//`), the pseudo-instructions the
+//! kernels use (`li`, `mv`, `nop`, `j`, `fmv.d`, `csrr`, `csrw`, `csrs`),
+//! decimal/hex immediates, and both ABI and numeric register names — so
+//! the paper's listings can be fed in as written:
+//!
+//! ```
+//! use sc_isa::parse_asm;
+//! let program = parse_asm(r#"
+//!     li   t0, 8          # mask for ft3
+//!     csrs 0x7C3, t0      # enable chaining
+//! loop:
+//!     fadd.d ft3, ft0, ft1
+//!     fmul.d ft2, ft3, ft4
+//!     addi a0, a0, 1
+//!     bne  a0, a1, loop
+//!     csrw 0x7C3, x0
+//!     ecall
+//! "#)?;
+//! assert_eq!(program.len(), 8);
+//! # Ok::<(), sc_isa::ParseAsmError>(())
+//! ```
+
+use std::fmt;
+
+use crate::asm::{AsmError, ProgramBuilder};
+use crate::csr::CsrOp;
+use crate::inst::*;
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg};
+
+/// Error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+impl From<AsmError> for ParseAsmError {
+    fn from(e: AsmError) -> Self {
+        ParseAsmError { line: 0, message: e.to_string() }
+    }
+}
+
+/// Parses assembly source into a program.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending line on unknown mnemonics,
+/// malformed operands, or unresolved labels.
+pub fn parse_asm(src: &str) -> Result<Program, ParseAsmError> {
+    let mut b = ProgramBuilder::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find('#') {
+            text = &text[..i];
+        }
+        if let Some(i) = text.find("//") {
+            text = &text[..i];
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Labels (possibly followed by an instruction on the same line).
+        let mut rest = text;
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                break;
+            }
+            b.label(label);
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        parse_instruction(&mut b, rest, line)?;
+    }
+    b.build().map_err(|e| ParseAsmError { line: 0, message: e.to_string() })
+}
+
+struct Operands<'a> {
+    parts: Vec<&'a str>,
+    line: usize,
+    mnemonic: &'a str,
+}
+
+impl<'a> Operands<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseAsmError {
+        ParseAsmError { line: self.line, message: format!("{}: {}", self.mnemonic, msg.into()) }
+    }
+
+    fn count(&self, n: usize) -> Result<(), ParseAsmError> {
+        if self.parts.len() == n {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {n} operands, found {}", self.parts.len())))
+        }
+    }
+
+    fn int_reg(&self, i: usize) -> Result<IntReg, ParseAsmError> {
+        self.parts[i]
+            .parse()
+            .map_err(|_| self.err(format!("`{}` is not an integer register", self.parts[i])))
+    }
+
+    fn fp_reg(&self, i: usize) -> Result<FpReg, ParseAsmError> {
+        self.parts[i]
+            .parse()
+            .map_err(|_| self.err(format!("`{}` is not an FP register", self.parts[i])))
+    }
+
+    fn imm(&self, i: usize) -> Result<i64, ParseAsmError> {
+        parse_imm(self.parts[i])
+            .ok_or_else(|| self.err(format!("`{}` is not an immediate", self.parts[i])))
+    }
+
+    /// Parses `offset(base)` memory operands.
+    fn mem(&self, i: usize) -> Result<(i32, IntReg), ParseAsmError> {
+        let s = self.parts[i];
+        let open = s.find('(').ok_or_else(|| self.err(format!("`{s}` is not offset(base)")))?;
+        let close = s.rfind(')').ok_or_else(|| self.err(format!("`{s}` is not offset(base)")))?;
+        let off_str = s[..open].trim();
+        let offset = if off_str.is_empty() {
+            0
+        } else {
+            parse_imm(off_str).ok_or_else(|| self.err(format!("bad offset `{off_str}`")))? as i32
+        };
+        let base: IntReg = s[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|_| self.err(format!("bad base register in `{s}`")))?;
+        Ok((offset, base))
+    }
+
+    fn label(&self, i: usize) -> &'a str {
+        self.parts[i]
+    }
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2).ok()?
+    } else {
+        s.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), ParseAsmError> {
+    let (mnemonic, operand_text) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let parts: Vec<&str> = if operand_text.is_empty() {
+        Vec::new()
+    } else {
+        operand_text.split(',').map(str::trim).collect()
+    };
+    let ops = Operands { parts, line, mnemonic };
+
+    match mnemonic {
+        // ---- integer ALU ------------------------------------------------
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai" => {
+            ops.count(3)?;
+            let op = match mnemonic {
+                "addi" => AluOp::Add,
+                "slti" => AluOp::Slt,
+                "sltiu" => AluOp::Sltu,
+                "xori" => AluOp::Xor,
+                "ori" => AluOp::Or,
+                "andi" => AluOp::And,
+                "slli" => AluOp::Sll,
+                "srli" => AluOp::Srl,
+                _ => AluOp::Sra,
+            };
+            b.push(Instruction::OpImm {
+                op,
+                rd: ops.int_reg(0)?,
+                rs1: ops.int_reg(1)?,
+                imm: ops.imm(2)? as i32,
+            });
+        }
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" => {
+            ops.count(3)?;
+            let op = match mnemonic {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "sll" => AluOp::Sll,
+                "slt" => AluOp::Slt,
+                "sltu" => AluOp::Sltu,
+                "xor" => AluOp::Xor,
+                "srl" => AluOp::Srl,
+                "sra" => AluOp::Sra,
+                "or" => AluOp::Or,
+                _ => AluOp::And,
+            };
+            b.push(Instruction::Op {
+                op,
+                rd: ops.int_reg(0)?,
+                rs1: ops.int_reg(1)?,
+                rs2: ops.int_reg(2)?,
+            });
+        }
+        "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            ops.count(3)?;
+            let op = match mnemonic {
+                "mul" => MulDivOp::Mul,
+                "mulh" => MulDivOp::Mulh,
+                "mulhsu" => MulDivOp::Mulhsu,
+                "mulhu" => MulDivOp::Mulhu,
+                "div" => MulDivOp::Div,
+                "divu" => MulDivOp::Divu,
+                "rem" => MulDivOp::Rem,
+                _ => MulDivOp::Remu,
+            };
+            b.push(Instruction::MulDiv {
+                op,
+                rd: ops.int_reg(0)?,
+                rs1: ops.int_reg(1)?,
+                rs2: ops.int_reg(2)?,
+            });
+        }
+        "lui" => {
+            ops.count(2)?;
+            b.lui(ops.int_reg(0)?, (ops.imm(1)? as u32) << 12);
+        }
+        "auipc" => {
+            ops.count(2)?;
+            b.push(Instruction::Auipc {
+                rd: ops.int_reg(0)?,
+                imm: (ops.imm(1)? as u32) << 12,
+            });
+        }
+        // ---- memory -------------------------------------------------------
+        "lw" | "lh" | "lb" | "lhu" | "lbu" => {
+            ops.count(2)?;
+            let op = match mnemonic {
+                "lw" => LoadOp::Lw,
+                "lh" => LoadOp::Lh,
+                "lb" => LoadOp::Lb,
+                "lhu" => LoadOp::Lhu,
+                _ => LoadOp::Lbu,
+            };
+            let (offset, rs1) = ops.mem(1)?;
+            b.push(Instruction::Load { op, rd: ops.int_reg(0)?, rs1, offset });
+        }
+        "sw" | "sh" | "sb" => {
+            ops.count(2)?;
+            let op = match mnemonic {
+                "sw" => StoreOp::Sw,
+                "sh" => StoreOp::Sh,
+                _ => StoreOp::Sb,
+            };
+            let (offset, rs1) = ops.mem(1)?;
+            b.push(Instruction::Store { op, rs2: ops.int_reg(0)?, rs1, offset });
+        }
+        "fld" | "flw" => {
+            ops.count(2)?;
+            let fmt = if mnemonic == "fld" { FpFormat::Double } else { FpFormat::Single };
+            let (offset, rs1) = ops.mem(1)?;
+            b.push(Instruction::FpLoad { fmt, frd: ops.fp_reg(0)?, rs1, offset });
+        }
+        "fsd" | "fsw" => {
+            ops.count(2)?;
+            let fmt = if mnemonic == "fsd" { FpFormat::Double } else { FpFormat::Single };
+            let (offset, rs1) = ops.mem(1)?;
+            b.push(Instruction::FpStore { fmt, frs2: ops.fp_reg(0)?, rs1, offset });
+        }
+        // ---- branches / jumps ---------------------------------------------
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            ops.count(3)?;
+            let op = match mnemonic {
+                "beq" => BranchOp::Eq,
+                "bne" => BranchOp::Ne,
+                "blt" => BranchOp::Lt,
+                "bge" => BranchOp::Ge,
+                "bltu" => BranchOp::Ltu,
+                _ => BranchOp::Geu,
+            };
+            // Numeric offsets (as in the paper's listings) or labels.
+            if let Some(off) = parse_imm(ops.label(2)) {
+                b.push(Instruction::Branch {
+                    op,
+                    rs1: ops.int_reg(0)?,
+                    rs2: ops.int_reg(1)?,
+                    offset: off as i32,
+                });
+            } else {
+                b.branch(op, ops.int_reg(0)?, ops.int_reg(1)?, ops.label(2));
+            }
+        }
+        // The paper writes `bneq`; accept it as `bne`.
+        "bneq" => {
+            return parse_instruction(
+                b,
+                &text.replacen("bneq", "bne", 1),
+                line,
+            );
+        }
+        "jal" => match ops.parts.len() {
+            1 => b.j(ops.label(0)),
+            2 => {
+                if let Some(off) = parse_imm(ops.label(1)) {
+                    b.push(Instruction::Jal { rd: ops.int_reg(0)?, offset: off as i32 });
+                } else {
+                    return Err(ops.err("jal with label target supports only `jal label`"));
+                }
+            }
+            _ => return Err(ops.err("expected 1 or 2 operands")),
+        },
+        "jalr" => {
+            ops.count(2)?;
+            let (offset, rs1) = ops.mem(1)?;
+            b.push(Instruction::Jalr { rd: ops.int_reg(0)?, rs1, offset });
+        }
+        "j" => {
+            ops.count(1)?;
+            b.j(ops.label(0));
+        }
+        // ---- FP compute ----------------------------------------------------
+        "fadd.d" | "fsub.d" | "fmul.d" | "fdiv.d" | "fsgnj.d" | "fsgnjn.d" | "fsgnjx.d"
+        | "fmin.d" | "fmax.d" | "fadd.s" | "fsub.s" | "fmul.s" | "fdiv.s" => {
+            ops.count(3)?;
+            let (op, fmt) = fp_bin_from_mnemonic(mnemonic).expect("matched above");
+            b.push(Instruction::FpBin {
+                op,
+                fmt,
+                frd: ops.fp_reg(0)?,
+                frs1: ops.fp_reg(1)?,
+                frs2: ops.fp_reg(2)?,
+            });
+        }
+        "fmadd.d" | "fmsub.d" | "fnmsub.d" | "fnmadd.d" => {
+            ops.count(4)?;
+            let op = match mnemonic {
+                "fmadd.d" => FmaOp::Madd,
+                "fmsub.d" => FmaOp::Msub,
+                "fnmsub.d" => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            b.push(Instruction::FpFma {
+                op,
+                fmt: FpFormat::Double,
+                frd: ops.fp_reg(0)?,
+                frs1: ops.fp_reg(1)?,
+                frs2: ops.fp_reg(2)?,
+                frs3: ops.fp_reg(3)?,
+            });
+        }
+        "fsqrt.d" => {
+            ops.count(2)?;
+            b.push(Instruction::FpSqrt {
+                fmt: FpFormat::Double,
+                frd: ops.fp_reg(0)?,
+                frs1: ops.fp_reg(1)?,
+            });
+        }
+        "feq.d" | "flt.d" | "fle.d" => {
+            ops.count(3)?;
+            let op = match mnemonic {
+                "feq.d" => FpCmpOp::Eq,
+                "flt.d" => FpCmpOp::Lt,
+                _ => FpCmpOp::Le,
+            };
+            b.push(Instruction::FpCmp {
+                op,
+                fmt: FpFormat::Double,
+                rd: ops.int_reg(0)?,
+                frs1: ops.fp_reg(1)?,
+                frs2: ops.fp_reg(2)?,
+            });
+        }
+        "fcvt.d.w" => {
+            ops.count(2)?;
+            b.fcvt_d_w(ops.fp_reg(0)?, ops.int_reg(1)?);
+        }
+        "fmv.d" => {
+            ops.count(2)?;
+            b.fmv_d(ops.fp_reg(0)?, ops.fp_reg(1)?);
+        }
+        // ---- CSR -----------------------------------------------------------
+        "csrrw" | "csrrs" | "csrrc" => {
+            ops.count(3)?;
+            let op = csr_op(mnemonic);
+            let csr = ops.imm(1)? as u16;
+            b.push(Instruction::Csr {
+                op,
+                rd: ops.int_reg(0)?,
+                csr,
+                src: CsrSrc::Reg(ops.int_reg(2)?),
+            });
+        }
+        "csrrwi" | "csrrsi" | "csrrci" => {
+            ops.count(3)?;
+            let op = csr_op(&mnemonic[..5]);
+            b.push(Instruction::Csr {
+                op,
+                rd: ops.int_reg(0)?,
+                csr: ops.imm(1)? as u16,
+                src: CsrSrc::Imm(ops.imm(2)? as u8),
+            });
+        }
+        // csrw/csrs/csrc/csrr pseudo forms: `csrs 0x7C3, t0`.
+        "csrw" | "csrs" | "csrc" => {
+            ops.count(2)?;
+            let op = match mnemonic {
+                "csrw" => CsrOp::ReadWrite,
+                "csrs" => CsrOp::ReadSet,
+                _ => CsrOp::ReadClear,
+            };
+            b.push(Instruction::Csr {
+                op,
+                rd: IntReg::ZERO,
+                csr: ops.imm(0)? as u16,
+                src: CsrSrc::Reg(ops.int_reg(1)?),
+            });
+        }
+        "csrr" => {
+            ops.count(2)?;
+            b.push(Instruction::Csr {
+                op: CsrOp::ReadSet,
+                rd: ops.int_reg(0)?,
+                csr: ops.imm(1)? as u16,
+                src: CsrSrc::Reg(IntReg::ZERO),
+            });
+        }
+        // ---- custom ----------------------------------------------------------
+        "frep.o" | "frep.i" => {
+            ops.count(4)?;
+            b.push(Instruction::Frep {
+                is_outer: mnemonic == "frep.o",
+                max_rpt: ops.int_reg(0)?,
+                n_instr: ops.imm(1)? as u16,
+                stagger_max: ops.imm(2)? as u8,
+                stagger_mask: ops.imm(3)? as u8,
+            });
+        }
+        "scfgwi" => {
+            ops.count(2)?;
+            b.scfgwi(ops.int_reg(0)?, ops.imm(1)? as u16);
+        }
+        "scfgri" => {
+            ops.count(2)?;
+            b.scfgri(ops.int_reg(0)?, ops.imm(1)? as u16);
+        }
+        // ---- pseudo-instructions ---------------------------------------------
+        "li" => {
+            ops.count(2)?;
+            b.li(ops.int_reg(0)?, ops.imm(1)? as i32);
+        }
+        "mv" => {
+            ops.count(2)?;
+            b.mv(ops.int_reg(0)?, ops.int_reg(1)?);
+        }
+        "nop" => {
+            ops.count(0)?;
+            b.nop();
+        }
+        "ecall" => {
+            ops.count(0)?;
+            b.ecall();
+        }
+        "ebreak" => {
+            ops.count(0)?;
+            b.push(Instruction::Ebreak);
+        }
+        "fence" => {
+            ops.count(0)?;
+            b.push(Instruction::Fence);
+        }
+        other => {
+            return Err(ParseAsmError {
+                line,
+                message: format!("unknown mnemonic `{other}`"),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn csr_op(mnemonic: &str) -> CsrOp {
+    match mnemonic {
+        "csrrw" => CsrOp::ReadWrite,
+        "csrrs" => CsrOp::ReadSet,
+        _ => CsrOp::ReadClear,
+    }
+}
+
+fn fp_bin_from_mnemonic(m: &str) -> Option<(FpBinOp, FpFormat)> {
+    let (name, fmt) = m.split_once('.')?;
+    let fmt = match fmt {
+        "d" => FpFormat::Double,
+        "s" => FpFormat::Single,
+        _ => return None,
+    };
+    let op = match name {
+        "fadd" => FpBinOp::Add,
+        "fsub" => FpBinOp::Sub,
+        "fmul" => FpBinOp::Mul,
+        "fdiv" => FpBinOp::Div,
+        "fsgnj" => FpBinOp::Sgnj,
+        "fsgnjn" => FpBinOp::Sgnjn,
+        "fsgnjx" => FpBinOp::Sgnjx,
+        "fmin" => FpBinOp::Min,
+        "fmax" => FpBinOp::Max,
+        _ => return None,
+    };
+    Some((op, fmt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_fig1a_listing() {
+        // Verbatim from the paper (Fig. 1a), including `bneq` and the
+        // numeric backward offset.
+        let prog = parse_asm(
+            r"
+            fadd.d ft3, ft0, ft1
+            fmul.d ft2, ft3, ft4
+            addi   a0, a0, 1
+            bneq   a0, a1, -12
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        assert!(matches!(
+            prog.fetch(12).unwrap(),
+            Instruction::Branch { op: BranchOp::Ne, offset: -12, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_the_papers_fig1c_listing() {
+        // Fig. 1c with labels instead of raw offsets.
+        let prog = parse_asm(
+            r"
+                li   t0, 8
+                csrs 0x7C3, t0
+            loop:
+                fadd.d ft3, ft0, ft1
+                fadd.d ft3, ft0, ft1
+                fadd.d ft3, ft0, ft1
+                fadd.d ft3, ft0, ft1
+                fmul.d ft2, ft3, ft4
+                fmul.d ft2, ft3, ft4
+                fmul.d ft2, ft3, ft4
+                fmul.d ft2, ft3, ft4
+                addi a0, a0, 4
+                bneq a0, a1, loop
+                csrw 0x7C3, x0
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 13);
+        assert_eq!(prog.symbol("loop"), Some(8));
+    }
+
+    #[test]
+    fn parses_memory_and_fma_forms() {
+        let prog = parse_asm(
+            r"
+            fld    ft4, 8(a0)
+            fmadd.d ft5, ft0, ft4, ft5
+            fsd    ft5, -16(sp)
+            lw     t1, 0(a1)
+            sw     t1, 4(a1)
+            ecall
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 6);
+        assert!(matches!(
+            prog.fetch(0).unwrap(),
+            Instruction::FpLoad { offset: 8, .. }
+        ));
+        assert!(matches!(
+            prog.fetch(8).unwrap(),
+            Instruction::FpStore { offset: -16, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_custom_extensions() {
+        let prog = parse_asm(
+            r"
+            scfgwi t0, 66
+            frep.o t1, 4, 0, 0
+            fadd.d ft3, ft0, ft1
+            fadd.d ft3, ft0, ft1
+            fadd.d ft3, ft0, ft1
+            fadd.d ft3, ft0, ft1
+            ",
+        )
+        .unwrap();
+        assert!(matches!(
+            prog.fetch(4).unwrap(),
+            Instruction::Frep { is_outer: true, n_instr: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = parse_asm(
+            r"
+            # full-line comment
+            nop        // trailing comment
+                       # another
+            ecall
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_asm("nop\nbogus x0, x0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        let err = parse_asm("addi t0, t1\n").unwrap_err();
+        assert!(err.message.contains("expected 3 operands"));
+        let err = parse_asm("lw t0, t1\n").unwrap_err();
+        assert!(err.message.contains("offset(base)"));
+    }
+
+    #[test]
+    fn hex_binary_and_negative_immediates() {
+        let prog = parse_asm("li t0, 0x7C3\nli t1, -42\nli t2, 0b1010\necall\n").unwrap();
+        assert!(prog.len() >= 4);
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let err = parse_asm("j nowhere\n").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+}

@@ -1,0 +1,525 @@
+//! Code generation for the stencil kernels, one generator per paper
+//! variant.
+//!
+//! All variants share the same loop nest: the grid is processed in output
+//! *blocks* of `unroll` consecutive x-points; the input neighbourhood of a
+//! block is streamed through SSR0 (`ft0`) with a 4-D affine pattern
+//! (`x-within-block` fastest, then `dx`, `dy`, `dz`); the block walks x,
+//! then y, then z. Within a block every variant performs the same FMA
+//! sequence in the same coefficient order, so all variants (and the golden
+//! model) produce bit-identical results.
+//!
+//! The variants differ exactly as the paper describes (see
+//! [`Variant`]): where the coefficients come from, where the results go,
+//! and whether the accumulators are plain registers or one chained
+//! register.
+
+use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
+use sc_mem::MemError;
+use sc_ssr::CfgAddr;
+use sc_mem::Tcdm;
+
+use crate::grid::Grid3;
+use crate::kernel::{verify_f64_exact, Kernel};
+use crate::stencil::Stencil;
+use crate::variant::Variant;
+
+/// Memory placement of the kernel's arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Base of the padded input grid.
+    pub in_base: u32,
+    /// Base of the padded output grid.
+    pub out_base: u32,
+    /// Base of the coefficient array.
+    pub coeff_base: u32,
+}
+
+impl Layout {
+    /// Default packing: coefficients first, then input, then output,
+    /// 64-byte aligned.
+    #[must_use]
+    pub fn for_grid(grid: &Grid3) -> Self {
+        let coeff_base = 0x100;
+        let in_base = 0x400;
+        let out_base = align_up(in_base + grid.byte_len(), 64);
+        Layout { in_base, out_base, coeff_base }
+    }
+
+    /// Bytes of TCDM the layout needs.
+    #[must_use]
+    pub fn required_bytes(&self, grid: &Grid3) -> u32 {
+        self.out_base + grid.byte_len()
+    }
+}
+
+fn align_up(v: u32, a: u32) -> u32 {
+    v.div_ceil(a) * a
+}
+
+/// Errors constructing a stencil kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Only dense radius-1 box neighbourhoods map onto the 4-D affine
+    /// stream pattern (SARIS handles irregular shapes with indirect
+    /// streams, which are out of scope here).
+    UnsupportedShape {
+        /// Stencil name.
+        stencil: &'static str,
+    },
+    /// The interior x-extent must be a multiple of the unroll factor.
+    BadUnroll {
+        /// Interior x size.
+        nx: u32,
+        /// Required divisor.
+        unroll: u32,
+    },
+    /// Too many coefficients to preload (chained variants own f5..f31).
+    TooManyCoefficients {
+        /// Coefficient count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnsupportedShape { stencil } => {
+                write!(f, "stencil `{stencil}` is not a dense box; needs indirect streams")
+            }
+            BuildError::BadUnroll { nx, unroll } => {
+                write!(f, "interior nx={nx} must be a multiple of the unroll factor {unroll}")
+            }
+            BuildError::TooManyCoefficients { n } => {
+                write!(f, "{n} coefficients exceed the 27 preloadable registers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Integer register allocation (fixed across variants).
+mod ir {
+    use sc_isa::IntReg;
+    pub const TMP: IntReg = IntReg::new(28); // scfg staging
+    pub const XBLK: IntReg = IntReg::new(10); // x-block counter
+    pub const XEND: IntReg = IntReg::new(11); // blocks per row
+    pub const COEFF: IntReg = IntReg::new(14); // coefficient base
+    pub const YCNT: IntReg = IntReg::new(15);
+    pub const YEND: IntReg = IntReg::new(16);
+    pub const ZCNT: IntReg = IntReg::new(17);
+    pub const ZEND: IntReg = IntReg::new(18);
+    pub const FREP: IntReg = IntReg::new(19); // frep repetition register
+    pub const INPTR: IntReg = IntReg::new(20); // input window pointer
+    pub const OUTPTR: IntReg = IntReg::new(21); // output pointer (fsd)
+    pub const INSKIP: IntReg = IntReg::new(22); // plane halo skip (input)
+    pub const OUTSKIP: IntReg = IntReg::new(23); // plane halo skip (output)
+    pub const MASK: IntReg = IntReg::new(24); // chain mask staging
+}
+
+/// FP register allocation.
+mod fr {
+    use sc_isa::FpReg;
+    /// Input stream.
+    pub const IN: FpReg = FpReg::new(0);
+    /// Coefficient stream (`Base`) or output stream (`Base-`/`Chaining+`).
+    pub const AUX: FpReg = FpReg::new(1);
+    /// Chained accumulator (chained variants).
+    pub const ACC_CHAINED: FpReg = FpReg::new(3);
+    /// Plain accumulators f8..f15 (baseline variants).
+    pub const ACC0: u8 = 8;
+    /// Coefficient scratch ping-pong (explicit-load variants).
+    pub const SCRATCH: [FpReg; 2] = [FpReg::new(16), FpReg::new(17)];
+    /// First preloaded coefficient register (chained variants).
+    pub const COEFF0: u8 = 5;
+}
+
+/// A fully-parameterised stencil kernel generator.
+#[derive(Debug, Clone)]
+pub struct StencilKernel {
+    stencil: Stencil,
+    grid: Grid3,
+    variant: Variant,
+    layout: Layout,
+}
+
+impl StencilKernel {
+    /// Creates a generator, validating the stencil/grid/variant combo.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`].
+    pub fn new(stencil: Stencil, grid: Grid3, variant: Variant) -> Result<Self, BuildError> {
+        let dims = box_dims(&stencil).ok_or(BuildError::UnsupportedShape { stencil: stencil.name() })?;
+        let _ = dims;
+        if grid.nx % variant.unroll() != 0 {
+            return Err(BuildError::BadUnroll { nx: grid.nx, unroll: variant.unroll() });
+        }
+        if variant.uses_chaining() && stencil.len() > 27 {
+            return Err(BuildError::TooManyCoefficients { n: stencil.len() });
+        }
+        let layout = Layout::for_grid(&grid);
+        Ok(StencilKernel { stencil, grid, variant, layout })
+    }
+
+    /// The memory layout the generated program assumes.
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Expected double-precision flops in the measured region
+    /// (one FMA = 2 flops; the first tap is a multiply = 1 flop).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        let per_point = 1 + 2 * (self.stencil.len() as u64 - 1);
+        per_point * self.grid.interior_len() as u64
+    }
+
+    /// Generates the runnable [`Kernel`] (program + setup + check).
+    #[must_use]
+    pub fn build(&self) -> Kernel {
+        let program = self.emit();
+        let grid = self.grid;
+        let stencil = self.stencil.clone();
+        let layout = self.layout;
+        let input = grid.random_field(0x5EED ^ grid.nx as u64);
+        let golden = stencil.golden(&grid, &input);
+        let coeffs: Vec<f64> = stencil.coeffs().to_vec();
+        let setup_input = input;
+        let setup = move |tcdm: &mut Tcdm| -> Result<(), MemError> {
+            tcdm.write_f64_slice(layout.coeff_base, &coeffs)?;
+            tcdm.write_f64_slice(layout.in_base, &setup_input)?;
+            Ok(())
+        };
+        let check = move |tcdm: &Tcdm| {
+            // The kernel writes the padded interior; verify row by row.
+            let mut idx = 0;
+            for (x, y, z) in grid.interior() {
+                let addr = grid.addr(layout.out_base, x, y, z);
+                verify_f64_exact(tcdm, addr, &golden[idx..=idx]).map_err(|mut e| {
+                    e.index = idx;
+                    e
+                })?;
+                idx += 1;
+            }
+            Ok(())
+        };
+        Kernel::new(
+            format!("{}/{}", self.stencil.name(), self.variant),
+            program,
+            self.flops(),
+            Box::new(setup),
+            Box::new(check),
+        )
+    }
+
+    /// Emits the program.
+    fn emit(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let grid = &self.grid;
+        let v = self.variant;
+        let u = v.unroll();
+        let n = self.stencil.len() as u32;
+        let (bx, by, bz) = box_dims(&self.stencil).expect("validated in new");
+        let row_pitch = grid.row_pitch() as i32;
+        let plane_pitch = grid.plane_pitch() as i32;
+
+        // ---- prologue -------------------------------------------------
+        b.li(ir::COEFF, self.layout.coeff_base as i32);
+        if v.uses_chaining() {
+            // Pre-load all coefficients into f5.. (the registers freed by
+            // replacing 4 plain accumulators with 1 chained register).
+            for k in 0..n {
+                b.fld(FpReg::new(fr::COEFF0 + k as u8), ir::COEFF, (8 * k) as i32);
+            }
+            b.li(ir::MASK, fr::ACC_CHAINED.chain_mask_bit() as i32);
+            b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, ir::MASK);
+        }
+        // Enable streaming.
+        b.li(ir::TMP, 1);
+        b.csrrs(IntReg::ZERO, csr::SSR_ENABLE, ir::TMP);
+
+        // SSR0: input window pattern (static part).
+        self.cfg_word(&mut b, 0, 2, u as i32 - 1);
+        self.cfg_word(&mut b, 0, 3, bx as i32 - 1);
+        self.cfg_word(&mut b, 0, 4, by as i32 - 1);
+        self.cfg_word(&mut b, 0, 5, bz as i32 - 1);
+        self.cfg_word(&mut b, 0, 6, 8);
+        self.cfg_word(&mut b, 0, 7, 8);
+        self.cfg_word(&mut b, 0, 8, row_pitch);
+        self.cfg_word(&mut b, 0, 9, plane_pitch);
+
+        if v.streams_coefficients() {
+            // SSR1: coefficient loop, each coefficient delivered `u` times.
+            self.cfg_word(&mut b, 1, 1, u as i32 - 1); // repeat
+            self.cfg_word(&mut b, 1, 2, n as i32 - 1);
+            self.cfg_word(&mut b, 1, 6, 8);
+        }
+        if v.streams_output() {
+            // SSR1: 3-D interior write stream, armed once for the whole
+            // grid (x fastest — exactly the block walk order).
+            self.cfg_word(&mut b, 1, 2, grid.nx as i32 - 1);
+            self.cfg_word(&mut b, 1, 3, grid.ny as i32 - 1);
+            self.cfg_word(&mut b, 1, 4, grid.nz as i32 - 1);
+            self.cfg_word(&mut b, 1, 6, 8);
+            self.cfg_word(&mut b, 1, 7, row_pitch);
+            self.cfg_word(&mut b, 1, 8, plane_pitch);
+            b.li(ir::TMP, grid.addr(self.layout.out_base, 1, 1, 1) as i32);
+            b.scfgwi(ir::TMP, CfgAddr { dm: 1, reg: 28 + 2 }.to_imm()); // arm 3-D write
+        }
+
+        // Loop bookkeeping registers. The window corner of the first
+        // output block sits one halo behind the output in every dimension
+        // the stencil extends into (z stays put for planar stencils).
+        let z_start = Grid3::HALO - bz / 2;
+        b.li(ir::INPTR, grid.addr(self.layout.in_base, 0, 0, z_start) as i32);
+        if !v.streams_output() {
+            b.li(ir::OUTPTR, grid.addr(self.layout.out_base, 1, 1, 1) as i32);
+        }
+        b.li(ir::XEND, (grid.nx / u) as i32);
+        b.li(ir::YEND, grid.ny as i32);
+        b.li(ir::ZEND, grid.nz as i32);
+        if v.streams_coefficients() {
+            b.li(ir::FREP, n as i32 - 2); // n-1 frep iterations (k = 1..n)
+        }
+        if v.uses_chaining() {
+            b.li(ir::FREP, u as i32 - 1); // frep.i: each tap issued u times
+        }
+        b.li(ir::INSKIP, 2 * row_pitch);
+        if !v.streams_output() {
+            b.li(ir::OUTSKIP, 2 * row_pitch);
+        }
+
+        // ---- measured region -------------------------------------------
+        b.csrrsi(IntReg::ZERO, csr::PERF_REGION, 1);
+        b.li(ir::ZCNT, 0);
+        b.label("loop_z");
+        b.li(ir::YCNT, 0);
+        b.label("loop_y");
+        b.li(ir::XBLK, 0);
+        b.label("loop_x");
+
+        // Arm the input window for this block.
+        b.scfgwi(ir::INPTR, CfgAddr { dm: 0, reg: 24 + 3 }.to_imm());
+        if v.streams_coefficients() {
+            b.scfgwi(ir::COEFF, CfgAddr { dm: 1, reg: 24 }.to_imm());
+        }
+
+        self.emit_block(&mut b, u, n);
+
+        // Advance pointers and close the loops.
+        b.addi(ir::INPTR, ir::INPTR, (8 * u) as i32);
+        if !v.streams_output() {
+            b.addi(ir::OUTPTR, ir::OUTPTR, (8 * u) as i32);
+        }
+        b.addi(ir::XBLK, ir::XBLK, 1);
+        b.bne(ir::XBLK, ir::XEND, "loop_x");
+        // Row end → next row start (skip the two halo points).
+        b.addi(ir::INPTR, ir::INPTR, 16);
+        if !v.streams_output() {
+            b.addi(ir::OUTPTR, ir::OUTPTR, 16);
+        }
+        b.addi(ir::YCNT, ir::YCNT, 1);
+        b.bne(ir::YCNT, ir::YEND, "loop_y");
+        // Plane end → skip the two halo rows.
+        b.add(ir::INPTR, ir::INPTR, ir::INSKIP);
+        if !v.streams_output() {
+            b.add(ir::OUTPTR, ir::OUTPTR, ir::OUTSKIP);
+        }
+        b.addi(ir::ZCNT, ir::ZCNT, 1);
+        b.bne(ir::ZCNT, ir::ZEND, "loop_z");
+        b.csrrwi(IntReg::ZERO, csr::PERF_REGION, 0);
+
+        // ---- epilogue ----------------------------------------------------
+        if v.uses_chaining() {
+            b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
+        }
+        b.csrrw(IntReg::ZERO, csr::SSR_ENABLE, IntReg::ZERO);
+        b.ecall();
+        b.build().expect("stencil codegen produces valid programs")
+    }
+
+    /// Emits one output block (the variant-specific part).
+    fn emit_block(&self, b: &mut ProgramBuilder, u: u32, n: u32) {
+        match self.variant {
+            Variant::BaseMinusMinus | Variant::BaseMinus => {
+                self.emit_block_explicit_coeffs(b, u, n)
+            }
+            Variant::Base => self.emit_block_streamed_coeffs(b, u, n),
+            Variant::Chaining | Variant::ChainingPlus => self.emit_block_chained(b, u, n),
+        }
+    }
+
+    /// `Base--`/`Base-`: ping-pong coefficient loads into two scratch
+    /// registers; eight plain accumulators.
+    fn emit_block_explicit_coeffs(&self, b: &mut ProgramBuilder, u: u32, n: u32) {
+        let acc = |j: u32| FpReg::new(fr::ACC0 + j as u8);
+        let scratch = |k: u32| fr::SCRATCH[(k % 2) as usize];
+        let streams_out = self.variant.streams_output();
+        // Preload c0 and c1.
+        b.fld(scratch(0), ir::COEFF, 0);
+        if n > 1 {
+            b.fld(scratch(1), ir::COEFF, 8);
+        }
+        // k = 0: initialise the accumulators with a multiply.
+        for j in 0..u {
+            b.fmul_d(acc(j), fr::IN, scratch(0));
+        }
+        for k in 1..n {
+            // Prefetch the coefficient for k+1 into the idle scratch reg.
+            if k + 1 < n {
+                b.fld(scratch(k + 1), ir::COEFF, (8 * (k + 1)) as i32);
+            }
+            let last = k == n - 1;
+            for j in 0..u {
+                if last && streams_out {
+                    // Final tap writes straight into the output stream.
+                    b.fmadd_d(fr::AUX, fr::IN, scratch(k), acc(j));
+                } else {
+                    b.fmadd_d(acc(j), fr::IN, scratch(k), acc(j));
+                }
+            }
+        }
+        if !streams_out {
+            for j in 0..u {
+                b.fsd(acc(j), ir::OUTPTR, (8 * j) as i32);
+            }
+        }
+    }
+
+    /// `Base` (SARIS): both operands streamed; the k-loop runs under
+    /// `frep.o` so the integer core only issues the body once per block.
+    fn emit_block_streamed_coeffs(&self, b: &mut ProgramBuilder, u: u32, n: u32) {
+        let acc = |j: u32| FpReg::new(fr::ACC0 + j as u8);
+        for j in 0..u {
+            b.fmul_d(acc(j), fr::IN, fr::AUX);
+        }
+        if n > 1 {
+            b.frep_outer(ir::FREP, |b| {
+                for j in 0..u {
+                    b.fmadd_d(acc(j), fr::IN, fr::AUX, acc(j));
+                }
+            });
+        }
+        for j in 0..u {
+            b.fsd(acc(j), ir::OUTPTR, (8 * j) as i32);
+        }
+    }
+
+    /// `Chaining`/`Chaining+`: one chained accumulator register rotates
+    /// `unroll = pipeline depth + 1 = 4` partial sums through the FPU's
+    /// pipeline registers; coefficients live in f5..f31. Each tap is a
+    /// single instruction under `frep.i` (repeat-each-`u`-times), so the
+    /// integer core issues two instructions per tap while the FP side
+    /// executes `u` — chaining makes this legal because the repeated
+    /// instruction has *no* WAW dependency on itself.
+    fn emit_block_chained(&self, b: &mut ProgramBuilder, u: u32, n: u32) {
+        let _ = u;
+        let coeff = |k: u32| FpReg::new(fr::COEFF0 + k as u8);
+        let streams_out = self.variant.streams_output();
+        // k = 0: `u` pushes.
+        b.frep_inner(ir::FREP, |b| b.fmul_d(fr::ACC_CHAINED, fr::IN, coeff(0)));
+        // k = 1..n: pop-modify-push; no WAW hazard thanks to chaining.
+        for k in 1..n {
+            let last = k == n - 1;
+            b.frep_inner(ir::FREP, |b| {
+                if last && streams_out {
+                    // Final tap pops the accumulator and pushes the result
+                    // into the write stream freed by chaining.
+                    b.fmadd_d(fr::AUX, fr::IN, coeff(k), fr::ACC_CHAINED);
+                } else {
+                    b.fmadd_d(fr::ACC_CHAINED, fr::IN, coeff(k), fr::ACC_CHAINED);
+                }
+            });
+        }
+        if !streams_out {
+            // Stores pop the last `u` partial sums.
+            for j in 0..self.variant.unroll() {
+                b.fsd(fr::ACC_CHAINED, ir::OUTPTR, (8 * j) as i32);
+            }
+        }
+    }
+
+    fn cfg_word(&self, b: &mut ProgramBuilder, dm: u8, reg: u8, value: i32) {
+        b.li(ir::TMP, value);
+        b.scfgwi(ir::TMP, CfgAddr { dm, reg }.to_imm());
+    }
+}
+
+/// Extracts `(bx, by, bz)` if the stencil is a dense box walked dx-fastest.
+fn box_dims(stencil: &Stencil) -> Option<(u32, u32, u32)> {
+    let offs = stencil.offsets();
+    let n = offs.len();
+    // Try (3,3,3) and (3,3,1).
+    for (bx, by, bz) in [(3u32, 3u32, 3u32), (3, 3, 1)] {
+        if (bx * by * bz) as usize != n {
+            continue;
+        }
+        let ok = offs.iter().enumerate().all(|(i, &(dx, dy, dz))| {
+            let i = i as u32;
+            let (ex, ey, ez) = (i % bx, (i / bx) % by, i / (bx * by));
+            dx == ex as i32 - 1 && dy == ey as i32 - 1 && dz == ez as i32 - (bz as i32 / 2)
+        });
+        if ok {
+            return Some((bx, by, bz));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_dims_recognises_shapes() {
+        assert_eq!(box_dims(&Stencil::box3d1r()), Some((3, 3, 3)));
+        assert_eq!(box_dims(&Stencil::j3d27pt()), Some((3, 3, 3)));
+        assert_eq!(box_dims(&Stencil::box2d1r()), Some((3, 3, 1)));
+        assert_eq!(box_dims(&Stencil::j3d7pt()), None);
+    }
+
+    #[test]
+    fn star_stencil_is_rejected() {
+        let err = StencilKernel::new(Stencil::j3d7pt(), Grid3::new(8, 4, 4), Variant::Base)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedShape { .. }));
+    }
+
+    #[test]
+    fn bad_unroll_is_rejected() {
+        let err = StencilKernel::new(Stencil::box3d1r(), Grid3::new(6, 4, 4), Variant::Base)
+            .unwrap_err();
+        assert_eq!(err, BuildError::BadUnroll { nx: 6, unroll: 8 });
+        // 6 is fine for the chained variants (unroll 4 divides... it does not).
+        let err = StencilKernel::new(Stencil::box3d1r(), Grid3::new(6, 4, 4), Variant::Chaining)
+            .unwrap_err();
+        assert_eq!(err, BuildError::BadUnroll { nx: 6, unroll: 4 });
+    }
+
+    #[test]
+    fn flop_count_matches_formula() {
+        let k = StencilKernel::new(Stencil::box3d1r(), Grid3::new(8, 2, 2), Variant::Base).unwrap();
+        // 27 taps: 1 mul + 26 fma = 53 flops per point, 32 points.
+        assert_eq!(k.flops(), 53 * 32);
+    }
+
+    #[test]
+    fn layout_is_disjoint() {
+        let g = Grid3::new(8, 8, 8);
+        let l = Layout::for_grid(&g);
+        assert!(l.coeff_base + 27 * 8 <= l.in_base);
+        assert!(l.in_base + g.byte_len() <= l.out_base);
+    }
+
+    #[test]
+    fn programs_emit_for_all_variants() {
+        for v in Variant::ALL {
+            let k = StencilKernel::new(Stencil::box3d1r(), Grid3::new(8, 2, 2), v).unwrap();
+            let kernel = k.build();
+            assert!(kernel.program().len() > 50, "{v} program too small");
+        }
+    }
+}

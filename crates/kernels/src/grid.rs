@@ -1,0 +1,150 @@
+//! 3-D grids with halo, laid out row-major in TCDM.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 3-D grid of doubles with a one-point halo on every side, row-major
+/// (`x` fastest), as the stencil kernels expect it in memory.
+///
+/// # Examples
+///
+/// ```
+/// use sc_kernels::Grid3;
+/// let g = Grid3::new(8, 8, 8);
+/// assert_eq!(g.padded_len(), 10 * 10 * 10);
+/// assert_eq!(g.addr(0x1000, 1, 1, 1), 0x1000 + 8 * (1 + 10 + 100) as u32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3 {
+    /// Interior points in x.
+    pub nx: u32,
+    /// Interior points in y.
+    pub ny: u32,
+    /// Interior points in z.
+    pub nz: u32,
+}
+
+impl Grid3 {
+    /// Halo radius (fixed to 1: all kernels here are radius-1 stencils).
+    pub const HALO: u32 = 1;
+
+    /// Creates a grid with the given interior size.
+    #[must_use]
+    pub fn new(nx: u32, ny: u32, nz: u32) -> Self {
+        Grid3 { nx, ny, nz }
+    }
+
+    /// Padded extent in x (interior + halos).
+    #[must_use]
+    pub fn sx(&self) -> u32 {
+        self.nx + 2 * Self::HALO
+    }
+
+    /// Padded extent in y.
+    #[must_use]
+    pub fn sy(&self) -> u32 {
+        self.ny + 2 * Self::HALO
+    }
+
+    /// Padded extent in z.
+    #[must_use]
+    pub fn sz(&self) -> u32 {
+        self.nz + 2 * Self::HALO
+    }
+
+    /// Total padded element count.
+    #[must_use]
+    pub fn padded_len(&self) -> usize {
+        (self.sx() * self.sy() * self.sz()) as usize
+    }
+
+    /// Interior element count.
+    #[must_use]
+    pub fn interior_len(&self) -> usize {
+        (self.nx * self.ny * self.nz) as usize
+    }
+
+    /// Linear index of padded coordinates (`x` fastest).
+    #[must_use]
+    pub fn index(&self, x: u32, y: u32, z: u32) -> usize {
+        debug_assert!(x < self.sx() && y < self.sy() && z < self.sz());
+        (x + self.sx() * (y + self.sy() * z)) as usize
+    }
+
+    /// Byte address of padded coordinates given the array base address.
+    #[must_use]
+    pub fn addr(&self, base: u32, x: u32, y: u32, z: u32) -> u32 {
+        base + 8 * self.index(x, y, z) as u32
+    }
+
+    /// Byte pitch of one x-row.
+    #[must_use]
+    pub fn row_pitch(&self) -> u32 {
+        8 * self.sx()
+    }
+
+    /// Byte pitch of one xy-plane.
+    #[must_use]
+    pub fn plane_pitch(&self) -> u32 {
+        8 * self.sx() * self.sy()
+    }
+
+    /// Size of the padded array in bytes.
+    #[must_use]
+    pub fn byte_len(&self) -> u32 {
+        8 * self.padded_len() as u32
+    }
+
+    /// Generates a deterministic random field over the padded grid
+    /// (halo included), values in (-1, 1).
+    #[must_use]
+    pub fn random_field(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.padded_len()).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    /// Iterates over interior coordinates `(x, y, z)` in memory order.
+    pub fn interior(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nz).flat_map(move |z| {
+            (0..ny).flat_map(move |y| {
+                (0..nx).map(move |x| (x + Self::HALO, y + Self::HALO, z + Self::HALO))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_is_row_major() {
+        let g = Grid3::new(4, 3, 2);
+        assert_eq!(g.index(0, 0, 0), 0);
+        assert_eq!(g.index(1, 0, 0), 1);
+        assert_eq!(g.index(0, 1, 0), 6);
+        assert_eq!(g.index(0, 0, 1), 30);
+        assert_eq!(g.row_pitch(), 48);
+        assert_eq!(g.plane_pitch(), 240);
+    }
+
+    #[test]
+    fn interior_iterates_all_points_in_memory_order() {
+        let g = Grid3::new(2, 2, 2);
+        let pts: Vec<_> = g.interior().collect();
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts[0], (1, 1, 1));
+        assert_eq!(pts[1], (2, 1, 1));
+        assert_eq!(pts[2], (1, 2, 1));
+        assert_eq!(pts[7], (2, 2, 2));
+    }
+
+    #[test]
+    fn random_field_is_deterministic() {
+        let g = Grid3::new(3, 3, 3);
+        assert_eq!(g.random_field(7), g.random_field(7));
+        assert_ne!(g.random_field(7), g.random_field(8));
+        assert_eq!(g.random_field(7).len(), g.padded_len());
+    }
+}

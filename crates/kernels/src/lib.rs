@@ -1,0 +1,44 @@
+//! # sc-kernels — the paper's workloads
+//!
+//! Code generators for every benchmark the paper evaluates:
+//!
+//! * [`VecOpKernel`] — the Fig. 1 microbenchmark `a = b * (c + d)` in
+//!   baseline / unrolled / chained form,
+//! * [`StencilKernel`] — the register-limited SARIS stencils (`box3d1r`,
+//!   `j3d27pt`) in all five Fig. 3 variants (`Base--`, `Base-`, `Base`,
+//!   `Chaining`, `Chaining+`),
+//!
+//! plus the supporting pieces: [`Grid3`] data layout, [`Stencil`]
+//! definitions with a golden model, and the [`Kernel`] harness that runs a
+//! generated program on the simulator and verifies its output bit-exactly
+//! against the golden model (all variants execute the same FMA sequence
+//! per output point, so equality is exact, not approximate).
+//!
+//! ```
+//! use sc_core::CoreConfig;
+//! use sc_kernels::{VecOpKernel, VecOpVariant};
+//!
+//! let kernel = VecOpKernel::new(32, VecOpVariant::Chained).build();
+//! let run = kernel.run(CoreConfig::new(), 100_000)?;
+//! assert!(run.measured().fpu_utilization() > 0.9);
+//! # Ok::<(), sc_kernels::KernelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codegen;
+mod grid;
+mod kernel;
+mod star;
+mod stencil;
+mod variant;
+mod vecop;
+
+pub use codegen::{BuildError, Layout, StencilKernel};
+pub use star::{StarBuildError, StarStencilKernel, StarVariant};
+pub use grid::Grid3;
+pub use kernel::{verify_f64_exact, Kernel, KernelError, KernelRun, VerifyError};
+pub use stencil::Stencil;
+pub use variant::Variant;
+pub use vecop::{VecOpKernel, VecOpVariant};

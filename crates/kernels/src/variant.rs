@@ -1,0 +1,131 @@
+//! The five code variants evaluated in the paper's Fig. 3.
+
+use std::fmt;
+
+/// A stencil code variant, exactly as defined in the paper's §III.
+///
+/// | Variant | Coefficients | Output writeback |
+/// |---|---|---|
+/// | `Base--` | explicit `fld` per use | explicit `fsd` |
+/// | `Base-`  | explicit `fld` per use | write stream (SSR1) |
+/// | `Base`   | read stream (SSR1, as in SARIS) | explicit `fsd` |
+/// | `Chaining`  | pre-loaded in the register file | explicit `fsd` |
+/// | `Chaining+` | pre-loaded in the register file | write stream (SSR1, freed by chaining) |
+///
+/// The chaining variants are possible because one *chained* accumulator
+/// register replaces the four plain accumulators of a latency-hiding
+/// unroll, freeing enough architectural registers to hold all 27 stencil
+/// coefficients (3 SSR + 1 chained + 27 coefficients + 1 spare = 32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Variant {
+    /// `Base--`: explicit coefficient loads, explicit stores.
+    BaseMinusMinus,
+    /// `Base-`: explicit coefficient loads, streamed writeback.
+    BaseMinus,
+    /// `Base`: the SARIS baseline — streamed coefficients, explicit stores.
+    Base,
+    /// `Chaining`: register-resident coefficients via a chained
+    /// accumulator, explicit stores.
+    Chaining,
+    /// `Chaining+`: chaining plus streamed writeback on the freed SSR.
+    ChainingPlus,
+}
+
+impl Variant {
+    /// All variants in the paper's presentation order.
+    pub const ALL: [Variant; 5] = [
+        Variant::BaseMinusMinus,
+        Variant::BaseMinus,
+        Variant::Base,
+        Variant::Chaining,
+        Variant::ChainingPlus,
+    ];
+
+    /// The paper's label for this variant.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::BaseMinusMinus => "Base--",
+            Variant::BaseMinus => "Base-",
+            Variant::Base => "Base",
+            Variant::Chaining => "Chaining",
+            Variant::ChainingPlus => "Chaining+",
+        }
+    }
+
+    /// Whether this variant needs the chaining extension.
+    #[must_use]
+    pub fn uses_chaining(self) -> bool {
+        matches!(self, Variant::Chaining | Variant::ChainingPlus)
+    }
+
+    /// Whether coefficients are streamed from L1 (SSR1 read stream).
+    #[must_use]
+    pub fn streams_coefficients(self) -> bool {
+        self == Variant::Base
+    }
+
+    /// Whether coefficients are loaded explicitly per use (`fld`).
+    #[must_use]
+    pub fn loads_coefficients(self) -> bool {
+        matches!(self, Variant::BaseMinusMinus | Variant::BaseMinus)
+    }
+
+    /// Whether results leave through a write stream instead of `fsd`.
+    #[must_use]
+    pub fn streams_output(self) -> bool {
+        matches!(self, Variant::BaseMinus | Variant::ChainingPlus)
+    }
+
+    /// Output unroll factor: the baselines software-pipeline eight plain
+    /// accumulators; the chained variants rotate one chained register
+    /// whose logical FIFO holds `pipeline depth + 1 = 4` partial sums —
+    /// the paper's "unrolling the code by four in the first place".
+    #[must_use]
+    pub fn unroll(self) -> u32 {
+        if self.uses_chaining() {
+            4
+        } else {
+            8
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = Variant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels, vec!["Base--", "Base-", "Base", "Chaining", "Chaining+"]);
+    }
+
+    #[test]
+    fn exactly_one_coefficient_source_each() {
+        for v in Variant::ALL {
+            let streamed = v.streams_coefficients();
+            let loaded = v.loads_coefficients();
+            let registered = v.uses_chaining();
+            assert_eq!(
+                u32::from(streamed) + u32::from(loaded) + u32::from(registered),
+                1,
+                "{v} must source coefficients exactly one way"
+            );
+        }
+    }
+
+    #[test]
+    fn output_stream_variants() {
+        assert!(Variant::BaseMinus.streams_output());
+        assert!(Variant::ChainingPlus.streams_output());
+        assert!(!Variant::Base.streams_output());
+        assert!(!Variant::Chaining.streams_output());
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests over the kernel generators: random grid shapes and
+//! variant choices must always verify against the golden model.
+
+use proptest::prelude::*;
+use sc_core::CoreConfig;
+use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, VecOpKernel, VecOpVariant};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (small) grid shape divisible by the unroll runs and verifies
+    /// for every variant of the box3d1r stencil.
+    #[test]
+    fn stencil_variants_verify_on_random_grids(
+        xblk in 1u32..3,
+        ny in 1u32..4,
+        nz in 1u32..3,
+        variant_idx in 0usize..Variant::ALL.len(),
+    ) {
+        let variant = Variant::ALL[variant_idx];
+        let nx = xblk * 8; // multiple of both unroll factors (8 and 4)
+        let grid = Grid3::new(nx, ny, nz);
+        let gen = StencilKernel::new(Stencil::box3d1r(), grid, variant)
+            .expect("valid combination");
+        let kernel = gen.build();
+        let run = kernel
+            .run(CoreConfig::new(), 50_000_000)
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", kernel.name())))?;
+        // Flop accounting must match the analytic count exactly.
+        prop_assert_eq!(run.measured().flops, kernel.flops());
+    }
+
+    /// The vecop kernels verify for random sizes in all variants, and the
+    /// chained variant never loses to the baseline.
+    #[test]
+    fn vecop_verifies_on_random_sizes(quads in 1u32..32) {
+        let n = quads * 4;
+        let mut cycles = Vec::new();
+        for variant in VecOpVariant::ALL {
+            let kernel = VecOpKernel::new(n, variant).build();
+            let run = kernel
+                .run(CoreConfig::new(), 10_000_000)
+                .map_err(|e| TestCaseError::fail(format!("{variant}: {e}")))?;
+            cycles.push(run.measured().cycles);
+        }
+        prop_assert!(cycles[2] <= cycles[0], "chained {} vs baseline {}", cycles[2], cycles[0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # sc-mem — banked TCDM model
+//!
+//! A cycle-level model of the tightly-coupled data memory of a Snitch-like
+//! cluster: word-interleaved SRAM banks behind a single-cycle crossbar with
+//! per-bank arbitration. The model separates:
+//!
+//! * **functional access** — bounds/alignment-checked byte-addressed
+//!   reads/writes used to move actual data, and
+//! * **timing access** — [`Tcdm::arbitrate`], which decides per cycle which
+//!   master ports win their banks; losers retry (a *bank conflict*).
+//!
+//! Bank conflicts are central to the paper's evaluation: each stream
+//! semantic register occupies a crossbar port, so streaming the stencil
+//! coefficients (the `Base` variant) adds a contender while holding them in
+//! registers (the `Chaining` variants) removes one.
+//!
+//! ```
+//! use sc_mem::{Tcdm, TcdmConfig};
+//! let mut tcdm = Tcdm::new(TcdmConfig::new().with_banks(8));
+//! tcdm.write_f64(64, 1.25)?;
+//! assert_eq!(tcdm.read_f64(64)?, 1.25);
+//! # Ok::<(), sc_mem::MemError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod stats;
+mod tcdm;
+
+#[cfg(test)]
+mod proptests;
+
+pub use stats::TcdmStats;
+pub use tcdm::{AccessKind, MemError, PortId, Request, Tcdm, TcdmConfig};

@@ -1,0 +1,68 @@
+//! Property tests for the TCDM arbitration invariants.
+
+use proptest::prelude::*;
+
+use crate::{AccessKind, PortId, Request, Tcdm, TcdmConfig};
+
+fn request() -> impl Strategy<Value = Request> {
+    (0u8..8, 0u32..512, any::<bool>()).prop_map(|(p, word, w)| Request {
+        port: PortId(p),
+        addr: word * 8,
+        kind: if w { AccessKind::Write } else { AccessKind::Read },
+    })
+}
+
+proptest! {
+    #[test]
+    fn at_most_one_grant_per_bank(reqs in proptest::collection::vec(request(), 0..12)) {
+        let mut tcdm = Tcdm::new(TcdmConfig::new().with_size(8192).with_banks(8));
+        let grants = tcdm.arbitrate(&reqs);
+        prop_assert_eq!(grants.len(), reqs.len());
+        let mut banks_seen = std::collections::HashSet::new();
+        for (req, granted) in reqs.iter().zip(&grants) {
+            if *granted {
+                prop_assert!(banks_seen.insert(tcdm.bank_of(req.addr)),
+                    "two grants to bank {}", tcdm.bank_of(req.addr));
+            }
+        }
+    }
+
+    #[test]
+    fn work_conserving(reqs in proptest::collection::vec(request(), 1..12)) {
+        // Every bank with at least one request must grant exactly one.
+        let mut tcdm = Tcdm::new(TcdmConfig::new().with_size(8192).with_banks(8));
+        let grants = tcdm.arbitrate(&reqs);
+        let mut requested: std::collections::HashSet<u32> = Default::default();
+        let mut granted: std::collections::HashSet<u32> = Default::default();
+        for (req, g) in reqs.iter().zip(&grants) {
+            requested.insert(tcdm.bank_of(req.addr));
+            if *g {
+                granted.insert(tcdm.bank_of(req.addr));
+            }
+        }
+        prop_assert_eq!(requested, granted);
+    }
+
+    #[test]
+    fn stats_match_grants(batches in proptest::collection::vec(
+        proptest::collection::vec(request(), 0..8), 1..16))
+    {
+        let mut tcdm = Tcdm::new(TcdmConfig::new().with_size(8192).with_banks(8));
+        let mut expect_granted = 0u64;
+        let mut expect_conflicts = 0u64;
+        for batch in &batches {
+            let grants = tcdm.arbitrate(batch);
+            expect_granted += grants.iter().filter(|g| **g).count() as u64;
+            expect_conflicts += grants.iter().filter(|g| !**g).count() as u64;
+        }
+        prop_assert_eq!(tcdm.stats().total_accesses(), expect_granted);
+        prop_assert_eq!(tcdm.stats().conflicts(), expect_conflicts);
+    }
+
+    #[test]
+    fn rw_roundtrip(addr_word in 0u32..500, value in any::<u64>()) {
+        let mut tcdm = Tcdm::new(TcdmConfig::new().with_size(4096).with_banks(4));
+        tcdm.write_u64(addr_word * 8, value).unwrap();
+        prop_assert_eq!(tcdm.read_u64(addr_word * 8).unwrap(), value);
+    }
+}

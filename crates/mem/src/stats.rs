@@ -1,0 +1,109 @@
+//! Access statistics for the TCDM, consumed by the energy model.
+
+use std::collections::BTreeMap;
+
+use crate::tcdm::{AccessKind, PortId};
+
+/// Per-port and per-bank access counters.
+///
+/// Every *granted* request is one SRAM access (read or write); conflicts
+/// count retries that cost a cycle but no SRAM energy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TcdmStats {
+    reads_by_port: BTreeMap<u8, u64>,
+    writes_by_port: BTreeMap<u8, u64>,
+    conflicts_by_port: BTreeMap<u8, u64>,
+    accesses_by_bank: Vec<u64>,
+}
+
+impl TcdmStats {
+    /// Creates zeroed statistics for a memory with `banks` banks.
+    #[must_use]
+    pub fn new(banks: u32) -> Self {
+        TcdmStats { accesses_by_bank: vec![0; banks as usize], ..Default::default() }
+    }
+
+    pub(crate) fn record_grant(&mut self, port: PortId, bank: u32, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => *self.reads_by_port.entry(port.0).or_default() += 1,
+            AccessKind::Write => *self.writes_by_port.entry(port.0).or_default() += 1,
+        }
+        if let Some(b) = self.accesses_by_bank.get_mut(bank as usize) {
+            *b += 1;
+        }
+    }
+
+    pub(crate) fn record_conflict(&mut self, port: PortId) {
+        *self.conflicts_by_port.entry(port.0).or_default() += 1;
+    }
+
+    /// Total granted reads across ports.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads_by_port.values().sum()
+    }
+
+    /// Total granted writes across ports.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes_by_port.values().sum()
+    }
+
+    /// Total granted accesses (reads + writes).
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Total lost arbitrations across ports.
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts_by_port.values().sum()
+    }
+
+    /// Granted reads for one port.
+    #[must_use]
+    pub fn reads_of(&self, port: PortId) -> u64 {
+        self.reads_by_port.get(&port.0).copied().unwrap_or(0)
+    }
+
+    /// Granted writes for one port.
+    #[must_use]
+    pub fn writes_of(&self, port: PortId) -> u64 {
+        self.writes_by_port.get(&port.0).copied().unwrap_or(0)
+    }
+
+    /// Lost arbitrations for one port.
+    #[must_use]
+    pub fn conflicts_of(&self, port: PortId) -> u64 {
+        self.conflicts_by_port.get(&port.0).copied().unwrap_or(0)
+    }
+
+    /// Accesses per bank, index-aligned with bank numbers.
+    #[must_use]
+    pub fn accesses_by_bank(&self) -> &[u64] {
+        &self.accesses_by_bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TcdmStats::new(4);
+        s.record_grant(PortId(0), 1, AccessKind::Read);
+        s.record_grant(PortId(0), 1, AccessKind::Write);
+        s.record_grant(PortId(2), 3, AccessKind::Read);
+        s.record_conflict(PortId(1));
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.total_accesses(), 3);
+        assert_eq!(s.conflicts(), 1);
+        assert_eq!(s.reads_of(PortId(0)), 1);
+        assert_eq!(s.writes_of(PortId(0)), 1);
+        assert_eq!(s.conflicts_of(PortId(1)), 1);
+        assert_eq!(s.accesses_by_bank(), &[0, 2, 0, 1]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Using the public API for your own workload: a chained dot-product-like
+//! reduction written directly against the assembler and simulator,
+//! including stream configuration — the template for porting new kernels
+//! onto the chaining core.
+//!
+//! Computes `s[j] = Σ_i x[16 j + i] · y[16 j + i]` (blocked dot products)
+//! with a chained accumulator: the four partial sums live in ONE
+//! architectural register's logical FIFO and are reduced at the end.
+//!
+//! Run with `cargo run --release --example custom_kernel`.
+
+use scalar_chaining::prelude::*;
+
+const X_BASE: u32 = 0x1000;
+const Y_BASE: u32 = 0x4000;
+const S_BASE: u32 = 0x7000;
+const BLOCKS: u32 = 8;
+const BLOCK: u32 = 16;
+
+fn build_program() -> Result<Program, Box<dyn std::error::Error>> {
+    let (t0, blk, nblk, sptr) = (IntReg::new(5), IntReg::new(10), IntReg::new(11), IntReg::new(12));
+    let acc = FpReg::FT3; // chained accumulator
+    let (r0, r1) = (FpReg::new(8), FpReg::new(9)); // reduction temporaries
+    let n = BLOCKS * BLOCK;
+
+    let mut b = ProgramBuilder::new();
+    // Streams: x → ft0, y → ft1 (one arm for the whole run).
+    b.li(t0, 1);
+    b.csrrs(IntReg::ZERO, csr::SSR_ENABLE, t0);
+    for (dm, base) in [(0u8, X_BASE), (1, Y_BASE)] {
+        b.li(t0, n as i32 - 1);
+        b.scfgwi(t0, CfgAddr { dm, reg: 2 }.to_imm());
+        b.li(t0, 8);
+        b.scfgwi(t0, CfgAddr { dm, reg: 6 }.to_imm());
+        b.li(t0, base as i32);
+        b.scfgwi(t0, CfgAddr { dm, reg: 24 }.to_imm());
+    }
+    // Chain ft3.
+    b.li(t0, acc.chain_mask_bit() as i32);
+    b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, t0);
+
+    b.li(blk, 0);
+    b.li(nblk, BLOCKS as i32);
+    b.li(sptr, S_BASE as i32);
+    b.label("block");
+    // Fill the FIFO with 4 products, then accumulate 3 more rounds of 4:
+    // fmadd pops partial sum i and pushes partial sum i' — a rotating
+    // 4-deep accumulator bank in one register.
+    for _ in 0..4 {
+        b.fmul_d(acc, FpReg::FT0, FpReg::FT1);
+    }
+    for _ in 0..3 {
+        for _ in 0..4 {
+            b.fmadd_d(acc, FpReg::FT0, FpReg::FT1, acc);
+        }
+    }
+    // Reduce the 4 partial sums. Each read of a chained register pops
+    // exactly one element (a single register read, broadcast to every
+    // operand position naming it), so the drain uses one fmv per element.
+    b.fmv_d(r0, acc); // pop p0
+    b.fmv_d(r1, acc); // pop p1
+    b.fadd_d(r0, r0, r1);
+    b.fmv_d(r1, acc); // pop p2
+    b.fadd_d(r0, r0, r1);
+    b.fmv_d(r1, acc); // pop p3
+    b.fadd_d(r0, r0, r1);
+    b.fsd(r0, sptr, 0);
+    b.addi(sptr, sptr, 8);
+    b.addi(blk, blk, 1);
+    b.bne(blk, nblk, "block");
+
+    b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
+    b.csrrw(IntReg::ZERO, csr::SSR_ENABLE, IntReg::ZERO);
+    b.ecall();
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = build_program()?;
+    let mut sim = Simulator::new(CoreConfig::new(), program);
+
+    let n = (BLOCKS * BLOCK) as usize;
+    let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.25).collect();
+    let y: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect();
+    sim.tcdm_mut().write_f64_slice(X_BASE, &x)?;
+    sim.tcdm_mut().write_f64_slice(Y_BASE, &y)?;
+
+    let summary = sim.run(1_000_000)?;
+
+    // Check against a reference that mirrors the rotation: partial sum p
+    // accumulates the elements with i ≡ p (mod 4); the drain sums the
+    // four partials in pop order.
+    for j in 0..BLOCKS as usize {
+        let mut partial = [0.0f64; 4];
+        for i in 0..BLOCK as usize {
+            let idx = j * BLOCK as usize + i;
+            let p = i % 4;
+            partial[p] = x[idx].mul_add(y[idx], partial[p]);
+        }
+        let want = ((partial[0] + partial[1]) + partial[2]) + partial[3];
+        let got = sim.tcdm().read_f64(S_BASE + 8 * j as u32)?;
+        assert!((got - want).abs() < 1e-12, "block {j}: got {got}, want {want}");
+    }
+    println!(
+        "8 blocked reductions verified in {} cycles (fpu util {:.1} %).",
+        summary.cycles,
+        summary.counters.fpu_utilization() * 100.0
+    );
+    println!();
+    println!("Porting checklist demonstrated here:");
+    println!("  1. arm read streams once when the walk is affine end-to-end;");
+    println!("  2. fill the chained FIFO with `depth+1` independent products;");
+    println!("  3. rotate it with pop-and-push fmadds (no WAW stalls);");
+    println!("  4. drain with explicit pops before disabling the chain mask.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The paper's headline experiment in miniature: run the register-limited
+//! `box3d1r` stencil in all five code variants and compare runtime, FPU
+//! utilisation, memory traffic and energy efficiency.
+//!
+//! Run with `cargo run --release --example stencil_sweep`.
+//! For the full Fig. 3 (both stencils, paper-style summary) use
+//! `cargo run --release -p sc-bench --bin fig3`.
+
+use scalar_chaining::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid3::new(16, 8, 4);
+    let model = EnergyModel::new();
+    println!(
+        "box3d1r on a {}×{}×{} interior tile ({} outputs, 27-point stencil)\n",
+        grid.nx,
+        grid.ny,
+        grid.nz,
+        grid.interior_len()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "variant", "cycles", "fpu-util", "tcdm reads", "power[mW]", "Gflop/s/W"
+    );
+    let mut base_cycles = 0u64;
+    for variant in Variant::ALL {
+        let generator = StencilKernel::new(Stencil::box3d1r(), grid, variant)?;
+        let kernel = generator.build();
+        let run = kernel.run(CoreConfig::new(), 100_000_000)?;
+        let m = run.measured();
+        let energy = model.report(m);
+        if variant == Variant::Base {
+            base_cycles = m.cycles;
+        }
+        println!(
+            "{:<12} {:>8} {:>9.1}% {:>12} {:>12.1} {:>12.1}",
+            variant.label(),
+            m.cycles,
+            m.fpu_utilization() * 100.0,
+            m.tcdm_accesses,
+            energy.power_mw,
+            energy.gflops_per_w
+        );
+    }
+    println!();
+    println!("What to look for (the paper's §III story):");
+    println!(" * Base streams the 27 coefficients from L1 every block — the");
+    println!("   highest TCDM column — while the chained variants keep them in");
+    println!("   the registers freed by the chained accumulator.");
+    println!(" * Chaining+ additionally retires results through the stream the");
+    println!("   coefficients no longer need, dropping the explicit stores.");
+    if base_cycles > 0 {
+        let chp = StencilKernel::new(Stencil::box3d1r(), grid, Variant::ChainingPlus)?
+            .build()
+            .run(CoreConfig::new(), 100_000_000)?;
+        println!(
+            " * Net effect here: {:.1} % speedup of Chaining+ over Base.",
+            (base_cycles as f64 / chp.measured().cycles as f64 - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

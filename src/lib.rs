@@ -1,0 +1,61 @@
+//! # scalar-chaining
+//!
+//! A complete, cycle-level reproduction of *"Late Breaking Results: A
+//! RISC-V ISA Extension for Chaining in Scalar Processors"* (DATE 2025):
+//! a Snitch-like scalar in-order core with stream semantic registers,
+//! an FREP sequencer, a banked TCDM — and the paper's **scalar chaining**
+//! extension (CSR 0x7C3: FIFO semantics on selected FP registers, one
+//! valid bit per register for backpressure).
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `sc-isa` | registers, instructions, encoder/decoder, assembler |
+//! | [`mem`] | `sc-mem` | banked TCDM with per-cycle arbitration |
+//! | [`fpu`] | `sc-fpu` | pipelined FPU with hold-on-backpressure |
+//! | [`ssr`] | `sc-ssr` | stream semantic registers (4-D affine movers) |
+//! | [`core_model`] | `sc-core` | the simulator + chaining extension |
+//! | [`energy`] | `sc-energy` | energy/power/area models |
+//! | [`kernels`] | `sc-kernels` | vecop + stencil workloads, five variants |
+//! | [`benchkit`] | `sc-bench` | figure-regeneration harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scalar_chaining::prelude::*;
+//!
+//! // Run the paper's chained vector kernel and check the headline effect.
+//! let kernel = VecOpKernel::new(64, VecOpVariant::Chained).build();
+//! let run = kernel.run(CoreConfig::new(), 100_000)?;
+//! assert!(run.measured().fpu_utilization() > 0.9);
+//! # Ok::<(), KernelError>(())
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
+//! for the per-figure experiment binaries.
+
+#![warn(missing_docs)]
+
+#[doc(inline)]
+pub use sc_bench as benchkit;
+pub use sc_core as core_model;
+pub use sc_energy as energy;
+pub use sc_fpu as fpu;
+pub use sc_isa as isa;
+pub use sc_kernels as kernels;
+pub use sc_mem as mem;
+pub use sc_ssr as ssr;
+
+/// The most commonly used types, importable with one line.
+pub mod prelude {
+    pub use sc_core::{CoreConfig, PerfCounters, RunSummary, SimError, Simulator, StallCause};
+    pub use sc_energy::{AreaEstimate, EnergyModel, EnergyReport};
+    pub use sc_isa::{csr, FpReg, Instruction, IntReg, Program, ProgramBuilder};
+    pub use sc_kernels::{
+        Grid3, Kernel, KernelError, KernelRun, Stencil, StencilKernel, Variant, VecOpKernel,
+        VecOpVariant,
+    };
+    pub use sc_mem::{Tcdm, TcdmConfig};
+    pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};
+}

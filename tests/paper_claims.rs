@@ -1,0 +1,113 @@
+//! Top-level acceptance tests: every quantitative claim the paper makes,
+//! checked end-to-end through the public facade.
+
+use scalar_chaining::benchkit::{headline, measure, Fig3Experiment};
+use scalar_chaining::prelude::*;
+
+/// §I / Fig. 1: the baseline wastes exactly the FPU depth per iteration.
+#[test]
+fn claim_raw_stall_equals_pipeline_depth() {
+    let kernel = VecOpKernel::new(64, VecOpVariant::Baseline).build();
+    let run = kernel.run(CoreConfig::new(), 1_000_000).expect("baseline runs");
+    let m = run.measured();
+    // 2 issue slots + 3 stalls per element → 40 % utilisation.
+    assert!((0.36..=0.44).contains(&m.fpu_utilization()), "{}", m.fpu_utilization());
+    assert!(m.stalls_of(StallCause::RawHazard) >= 3 * 60);
+}
+
+/// §II: chaining delivers unrolling's performance with one register.
+#[test]
+fn claim_chaining_matches_unrolling() {
+    let unrolled = VecOpKernel::new(256, VecOpVariant::Unrolled)
+        .build()
+        .run(CoreConfig::new(), 1_000_000)
+        .expect("unrolled runs");
+    let chained = VecOpKernel::new(256, VecOpVariant::Chained)
+        .build()
+        .run(CoreConfig::new(), 1_000_000)
+        .expect("chained runs");
+    assert!(chained.measured().cycles <= unrolled.measured().cycles + 4);
+    assert_eq!(VecOpVariant::Chained.extra_registers(), 0);
+    assert_eq!(VecOpVariant::Unrolled.extra_registers(), 3);
+}
+
+/// §III headline: >93 % FPU utilisation, ~4 % speedup, ~10 % higher
+/// energy efficiency over the optimised baselines (geomean over both
+/// stencils). Bands are generous: the claim is the shape, not the digit.
+#[test]
+fn claim_fig3_headline_numbers() {
+    let experiment = Fig3Experiment::new();
+    let model = EnergyModel::new();
+    let results = experiment.run(&model).expect("fig3 sweep");
+    let h = headline(&results);
+    assert!(h.best_utilization > 0.93, "utilisation {:.3}", h.best_utilization);
+    assert!(
+        (1.01..=1.10).contains(&h.speedup_vs_base),
+        "speedup vs Base {:.3} (paper ~1.04)",
+        h.speedup_vs_base
+    );
+    assert!(
+        (1.05..=1.20).contains(&h.efficiency_vs_base),
+        "efficiency vs Base {:.3} (paper ~1.10)",
+        h.efficiency_vs_base
+    );
+    assert!(
+        (1.03..=1.20).contains(&h.speedup_vs_base_minus),
+        "speedup vs Base- {:.3} (paper ~1.08)",
+        h.speedup_vs_base_minus
+    );
+    assert!(
+        (1.02..=1.15).contains(&h.chaining_efficiency_vs_base),
+        "efficiency Chaining vs Base {:.3} (paper ~1.07)",
+        h.chaining_efficiency_vs_base
+    );
+}
+
+/// Fig. 3 left panel: utilisation ordering across the five variants.
+#[test]
+fn claim_fig3_utilization_ordering() {
+    let experiment = Fig3Experiment::new();
+    let model = EnergyModel::new();
+    let results = experiment.run(&model).expect("fig3 sweep");
+    for (stencil, rows) in &results {
+        let util: Vec<f64> = rows.iter().map(|m| m.utilization()).collect();
+        // Variant order: Base--, Base-, Base, Chaining, Chaining+.
+        assert!(util[0] < util[2], "{stencil}: Base-- {:.3} vs Base {:.3}", util[0], util[2]);
+        assert!(util[1] < util[2], "{stencil}: Base- vs Base");
+        assert!(util[2] < util[4], "{stencil}: Base {:.3} vs Chaining+ {:.3}", util[2], util[4]);
+        assert!(util[3] <= util[4] + 0.01, "{stencil}: Chaining vs Chaining+");
+    }
+}
+
+/// §III: the extension's area overhead is below 2 %.
+#[test]
+fn claim_area_overhead_below_two_percent() {
+    let area = AreaEstimate::for_config(&CoreConfig::new());
+    assert!(area.chaining_overhead() < 0.02);
+    assert!(area.chaining_overhead() > 0.0);
+}
+
+/// §III: power lands in the paper's ~60 mW ballpark at 1 GHz.
+#[test]
+fn claim_power_in_papers_ballpark() {
+    let gen = StencilKernel::new(Stencil::box3d1r(), Grid3::new(16, 6, 4), Variant::Base)
+        .expect("valid");
+    let m = measure(&gen.build(), CoreConfig::new(), &EnergyModel::new(), 100_000_000)
+        .expect("measures");
+    assert!(
+        (45.0..=75.0).contains(&m.power_mw()),
+        "power {:.1} mW, paper reports ≈ 60 mW",
+        m.power_mw()
+    );
+}
+
+/// The register-budget arithmetic behind the paper's "register-limited"
+/// argument: the chained variants fit all 27 coefficients, the baselines
+/// cannot.
+#[test]
+fn claim_register_budget() {
+    // Chained: 3 SSR + 1 chained accumulator + 27 coefficients = 31 ≤ 32.
+    assert!(3 + 1 + 27 <= 32);
+    // Baselines: 3 SSR + 8 accumulators + 2 scratch + 27 coefficients > 32.
+    assert!(3 + 8 + 2 + 27 > 32);
+}
