@@ -1,35 +1,43 @@
-//! Criterion bench for the Fig. 3 experiment: simulates each
+//! Host-time bench for the Fig. 3 experiment: simulates each
 //! stencil × variant point on a reduced tile and reports host time. The
 //! full-figure numbers come from the `fig3` binary; this bench guards the
 //! ordering the paper reports (chained variants beat the baselines).
+//!
+//! Dependency-free harness (`harness = false`): the environment has no
+//! registry access, so criterion is replaced by a simple timing loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use sc_core::CoreConfig;
 use sc_kernels::{Grid3, Stencil, StencilKernel, Variant};
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let grid = Grid3::new(8, 4, 2);
-    let mut group = c.benchmark_group("fig3_box3d1r");
-    group.sample_size(10);
+    println!(
+        "fig3_box3d1r — host time per simulated kernel ({}x{}x{})",
+        grid.nx, grid.ny, grid.nz
+    );
     for variant in Variant::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant),
-            &variant,
-            |b, &variant| {
-                let gen = StencilKernel::new(Stencil::box3d1r(), grid, variant)
-                    .expect("valid combination");
-                let kernel = gen.build();
-                b.iter(|| {
-                    kernel
-                        .run(CoreConfig::new(), 100_000_000)
-                        .expect("stencil kernel verifies")
-                        .summary
-                        .cycles
-                });
-            },
-        );
+        let gen = StencilKernel::new(Stencil::box3d1r(), grid, variant).expect("valid combination");
+        let kernel = gen.build();
+        for _ in 0..2 {
+            kernel
+                .run(CoreConfig::new(), 100_000_000)
+                .expect("stencil kernel verifies");
+        }
+        let iters = 10;
+        let start = Instant::now();
+        let mut cycles = 0;
+        for _ in 0..iters {
+            cycles = kernel
+                .run(CoreConfig::new(), 100_000_000)
+                .expect("stencil kernel verifies")
+                .summary
+                .cycles;
+        }
+        let per_run = start.elapsed() / iters;
+        println!("  {variant:<10} {per_run:>10.2?}/run   ({cycles} simulated cycles)");
     }
-    group.finish();
 
     // Regression guard: Chaining+ must beat Base in simulated cycles.
     let cycles = |v: Variant| {
@@ -43,8 +51,9 @@ fn bench_fig3(c: &mut Criterion) {
     };
     let base = cycles(Variant::Base);
     let chp = cycles(Variant::ChainingPlus);
-    assert!(chp < base, "fig3 regression: Chaining+ {chp} vs Base {base} cycles");
+    assert!(
+        chp < base,
+        "fig3 regression: Chaining+ {chp} vs Base {base} cycles"
+    );
+    println!("regression guard passed: Chaining+ {chp} vs Base {base} cycles");
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

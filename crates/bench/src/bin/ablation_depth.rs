@@ -11,8 +11,12 @@
 //! * chaining with a matched software pipeline — same schedule, but all
 //!   partial results rotate through ONE architectural register.
 //!
+//! Config points run in parallel on host threads; results are also
+//! serialized to `target/reports/ablation_depth.json`.
+//!
 //! Run with `cargo run --release -p sc-bench --bin ablation_depth`.
 
+use sc_bench::{json, parallel_sweep, Json};
 use sc_core::CoreConfig;
 use sc_fpu::FpuTiming;
 use sc_kernels::{VecOpKernel, VecOpVariant};
@@ -25,6 +29,25 @@ fn util(cfg: CoreConfig, n: u32, variant: VecOpVariant, unroll: u32) -> f64 {
     run.measured().fpu_utilization()
 }
 
+struct Row {
+    depth: u32,
+    baseline: f64,
+    fixed4: f64,
+    matched: f64,
+    chained: f64,
+}
+
+fn run_row(depth: u32, n: u32) -> Row {
+    let cfg = CoreConfig::new().with_fpu(FpuTiming::new().with_addmul_latency(depth));
+    Row {
+        depth,
+        baseline: util(cfg, n, VecOpVariant::Baseline, 1),
+        fixed4: util(cfg, n, VecOpVariant::Unrolled, 4),
+        matched: util(cfg, n, VecOpVariant::Unrolled, depth + 1),
+        chained: util(cfg, n, VecOpVariant::Chained, depth + 1),
+    }
+}
+
 fn main() {
     println!("=== Chaining benefit vs FPU pipeline depth (vecop, n = 840) ===\n");
     println!(
@@ -33,22 +56,47 @@ fn main() {
     );
     // n divisible by every unroll in use (lcm of 1..=8 factors: 840).
     let n = 840;
-    for depth in [1u32, 2, 3, 4, 5, 6, 7] {
-        let cfg = CoreConfig::new().with_fpu(FpuTiming::new().with_addmul_latency(depth));
-        let base = util(cfg, n, VecOpVariant::Baseline, 1);
-        let fixed4 = util(cfg, n, VecOpVariant::Unrolled, 4);
-        let matched = util(cfg, n, VecOpVariant::Unrolled, depth + 1);
-        let chained = util(cfg, n, VecOpVariant::Chained, depth + 1);
+    let (rows, timing) = parallel_sweep(vec![1u32, 2, 3, 4, 5, 6, 7], |depth| run_row(depth, n));
+    for row in &rows {
         println!(
             "{:>6} | {:>9.1}% {:>11.1}% {:>13.1}% {:>11.1}% | {:>14}",
-            depth,
-            base * 100.0,
-            fixed4 * 100.0,
-            matched * 100.0,
-            chained * 100.0,
-            depth, // matched unroll needs d+1 regs, chaining needs 1
+            row.depth,
+            row.baseline * 100.0,
+            row.fixed4 * 100.0,
+            row.matched * 100.0,
+            row.chained * 100.0,
+            row.depth, // matched unroll needs d+1 regs, chaining needs 1
         );
     }
+    println!("\n{}", timing.report(rows.len()));
+
+    let report = Json::obj()
+        .set("sweep", "ablation_depth")
+        .set("kernel", "vecop")
+        .set("n", u64::from(n))
+        .set("wall_seconds", timing.wall.as_secs_f64())
+        .set("host_thread_speedup", timing.speedup())
+        .set(
+            "points",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("depth", r.depth)
+                            .set("baseline_utilization", r.baseline)
+                            .set("unroll4_utilization", r.fixed4)
+                            .set("matched_unroll_utilization", r.matched)
+                            .set("chained_utilization", r.chained)
+                            .set("registers_saved", r.depth)
+                    })
+                    .collect(),
+            ),
+        );
+    match json::write_report("ablation_depth.json", &report) {
+        Ok(path) => println!("json report: {}", path.display()),
+        Err(e) => eprintln!("could not write json report: {e}"),
+    }
+
     println!();
     println!("`regs saved` = architectural registers the chained version frees at");
     println!("each depth (matched unroll needs d+1 temporaries, chaining needs 1).");

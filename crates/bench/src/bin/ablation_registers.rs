@@ -2,35 +2,90 @@
 //! architectural registers does software pipelining need to hide the FPU
 //! latency, and what does chaining deliver with one?
 //!
+//! Config points run in parallel on host threads; results are also
+//! serialized to `target/reports/ablation_registers.json`.
+//!
 //! Run with `cargo run --release -p sc-bench --bin ablation_registers`.
 
+use sc_bench::{json, parallel_sweep, Json};
 use sc_core::CoreConfig;
 use sc_kernels::{VecOpKernel, VecOpVariant};
+
+struct Row {
+    label: String,
+    regs: u32,
+    util: f64,
+}
 
 fn main() {
     let n = 840;
     println!("=== Register pressure vs FPU utilisation (vecop, 3-stage FPU) ===\n");
     println!("{:>22} {:>10} {:>12}", "schedule", "FP regs", "fpu util");
-    for unroll in [1u32, 2, 3, 4, 6, 8] {
-        let kernel = VecOpKernel::with_unroll(n, VecOpVariant::Unrolled, unroll).build();
-        let run = kernel
-            .run(CoreConfig::new(), 10_000_000)
-            .unwrap_or_else(|e| panic!("unroll {unroll}: {e}"));
+
+    // Config points: unrolled ×1..×8, then the chained schedule.
+    let points: Vec<Option<u32>> = [1u32, 2, 3, 4, 6, 8]
+        .iter()
+        .map(|u| Some(*u))
+        .chain([None])
+        .collect();
+    let (rows, timing) = parallel_sweep(points, |point| match point {
+        Some(unroll) => {
+            let kernel = VecOpKernel::with_unroll(n, VecOpVariant::Unrolled, unroll).build();
+            let run = kernel
+                .run(CoreConfig::new(), 10_000_000)
+                .unwrap_or_else(|e| panic!("unroll {unroll}: {e}"));
+            Row {
+                label: format!("unrolled ×{unroll}"),
+                regs: unroll,
+                util: run.measured().fpu_utilization(),
+            }
+        }
+        None => {
+            let kernel = VecOpKernel::with_unroll(n, VecOpVariant::Chained, 4).build();
+            let run = kernel
+                .run(CoreConfig::new(), 10_000_000)
+                .expect("chained runs");
+            Row {
+                label: "chained (paper)".to_owned(),
+                regs: 1,
+                util: run.measured().fpu_utilization(),
+            }
+        }
+    });
+    for row in &rows {
         println!(
             "{:>22} {:>10} {:>11.1}%",
-            format!("unrolled ×{unroll}"),
-            unroll,
-            run.measured().fpu_utilization() * 100.0
+            row.label,
+            row.regs,
+            row.util * 100.0
         );
     }
-    let chained = VecOpKernel::with_unroll(n, VecOpVariant::Chained, 4).build();
-    let run = chained.run(CoreConfig::new(), 10_000_000).expect("chained runs");
-    println!(
-        "{:>22} {:>10} {:>11.1}%",
-        "chained (paper)",
-        1,
-        run.measured().fpu_utilization() * 100.0
-    );
+    println!("\n{}", timing.report(rows.len()));
+
+    let report = Json::obj()
+        .set("sweep", "ablation_registers")
+        .set("kernel", "vecop")
+        .set("n", u64::from(n))
+        .set("wall_seconds", timing.wall.as_secs_f64())
+        .set("host_thread_speedup", timing.speedup())
+        .set(
+            "points",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("schedule", r.label.as_str())
+                            .set("fp_registers", r.regs)
+                            .set("fpu_utilization", r.util)
+                    })
+                    .collect(),
+            ),
+        );
+    match json::write_report("ablation_registers.json", &report) {
+        Ok(path) => println!("json report: {}", path.display()),
+        Err(e) => eprintln!("could not write json report: {e}"),
+    }
+
     println!();
     println!("Unrolling needs `depth + 1 = 4` live temporaries to hide the 3-stage");
     println!("FPU; chaining reaches the same utilisation with a single register,");

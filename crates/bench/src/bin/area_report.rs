@@ -22,5 +22,8 @@ fn main() {
         "extension overhead: {:.2} %   (paper claims < 2 %)",
         with.chaining_overhead() * 100.0
     );
-    assert!(with.chaining_overhead() < 0.02, "overhead exceeds the paper's claim");
+    assert!(
+        with.chaining_overhead() < 0.02,
+        "overhead exceeds the paper's claim"
+    );
 }

@@ -12,7 +12,9 @@ fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
     let experiment = Fig3Experiment::new();
     let model = EnergyModel::new();
-    let results = experiment.run(&model).unwrap_or_else(|e| panic!("fig3 sweep failed: {e}"));
+    let results = experiment
+        .run(&model)
+        .unwrap_or_else(|e| panic!("fig3 sweep failed: {e}"));
     if csv {
         print!("{}", fig3_csv(&results));
         return;

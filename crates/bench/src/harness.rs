@@ -44,7 +44,11 @@ pub fn measure(
     let run = kernel.run(cfg, max_cycles)?;
     let counters = *run.measured();
     let energy = model.report(&counters);
-    Ok(Measurement { name: kernel.name().to_owned(), counters, energy })
+    Ok(Measurement {
+        name: kernel.name().to_owned(),
+        counters,
+        energy,
+    })
 }
 
 /// The Fig. 3 experiment: both stencils × all five variants.
@@ -64,7 +68,10 @@ impl Fig3Experiment {
     /// variant) and small enough to run in seconds.
     #[must_use]
     pub fn new() -> Self {
-        Fig3Experiment { cfg: CoreConfig::new(), max_cycles: 200_000_000 }
+        Fig3Experiment {
+            cfg: CoreConfig::new(),
+            max_cycles: 200_000_000,
+        }
     }
 
     /// The stencils of the paper's evaluation, with their tiles.
@@ -186,10 +193,15 @@ mod tests {
 
     #[test]
     fn measure_small_kernel() {
-        let gen = StencilKernel::new(Stencil::box3d1r(), Grid3::new(8, 2, 2), Variant::Base)
-            .unwrap();
-        let m = measure(&gen.build(), CoreConfig::new(), &EnergyModel::new(), 10_000_000)
-            .unwrap();
+        let gen =
+            StencilKernel::new(Stencil::box3d1r(), Grid3::new(8, 2, 2), Variant::Base).unwrap();
+        let m = measure(
+            &gen.build(),
+            CoreConfig::new(),
+            &EnergyModel::new(),
+            10_000_000,
+        )
+        .unwrap();
         assert!(m.utilization() > 0.5);
         assert!(m.power_mw() > 10.0);
         assert!(m.name.contains("box3d1r"));

@@ -1,0 +1,283 @@
+//! Minimal JSON serialization for machine-readable bench reports.
+//!
+//! The environment has no registry access, so instead of serde this
+//! module hand-rolls the tiny subset the reports need: a [`Json`] value
+//! tree with a stable, pretty renderer. Perf-trajectory tooling across
+//! PRs parses these files, so renderer output is deterministic: object
+//! keys keep insertion order and floats render with up to six significant
+//! decimals.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Integers (kept exact — cycle counts exceed `f64`'s 2^53 mantissa
+    /// in principle).
+    Int(i64),
+    /// Unsigned integers.
+    UInt(u64),
+    /// Floating-point numbers; non-finite values render as `null`.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Arr(Vec<Json>),
+    /// Objects (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be filled with [`Json::set`].
+    #[must_use]
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Inserts/updates a key in an object (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(entries) => {
+                let value = value.into();
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    entries.push((key.to_owned(), value));
+                }
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Renders compact single-line JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON with 2-space indentation.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    if (v.fract() == 0.0) && v.abs() < 1e15 {
+                        let _ = write!(out, "{v:.1}");
+                    } else {
+                        let _ = write!(out, "{v:.6}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(v: &[T]) -> Self {
+        Json::Arr(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Writes a report file under `target/reports/`, creating the directory
+/// as needed. Returns the path written (for the binary's stdout note).
+///
+/// # Errors
+///
+/// I/O errors from directory creation or the write.
+pub fn write_report(name: &str, json: &Json) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("reports");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, json.render_pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj()
+            .set("name", "cluster_scaling")
+            .set("cores", vec![1u64, 2, 4, 8])
+            .set("ok", true)
+            .set(
+                "point",
+                Json::obj()
+                    .set("cycles", 12345u64)
+                    .set("util", 0.934_567_89),
+            );
+        let s = j.render();
+        assert_eq!(
+            s,
+            "{\"name\":\"cluster_scaling\",\"cores\":[1,2,4,8],\"ok\":true,\
+             \"point\":{\"cycles\":12345,\"util\":0.934568}}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::Str("a\"b\\c\nd".into()).render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented_and_stable() {
+        let j = Json::obj()
+            .set("a", 1u64)
+            .set("b", Json::Arr(vec![Json::Int(2)]));
+        let s = j.render_pretty();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn set_replaces_existing_keys() {
+        let j = Json::obj().set("a", 1u64).set("a", 2u64);
+        assert_eq!(j.render(), "{\"a\":2}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+}

@@ -17,12 +17,22 @@
 //! | `ablation_depth` | §II claim: chaining benefit grows with pipeline depth |
 //! | `ablation_registers` | §I claim: unrolling trades registers for ILP |
 //! | `ablation_banks` | TCDM bank-count sensitivity of the Fig. 3 sweep |
+//! | `cluster_scaling` | multi-core scaling: 1/2/4/8 cores × chaining on/off |
+//!
+//! Sweep binaries fan their config points out over host threads
+//! ([`parallel_sweep`]) and serialize machine-readable results to
+//! `target/reports/*.json` ([`json::write_report`]) alongside their text
+//! tables, so the perf trajectory can be tracked across PRs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod harness;
+pub mod json;
+mod parallel;
 mod report;
 
 pub use harness::{geomean, headline, measure, Fig3Experiment, HeadlineNumbers, Measurement};
+pub use json::Json;
+pub use parallel::{parallel_sweep, SweepTiming};
 pub use report::{fig3_csv, render_fig3, render_headline};

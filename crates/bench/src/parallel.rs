@@ -1,0 +1,128 @@
+//! Host-thread parallelism for sweep binaries.
+//!
+//! Simulation config points are independent, so ablation and scaling
+//! sweeps fan them out over OS threads (one per point — sweeps have a
+//! handful to a few dozen points) and report the wall-clock speedup over
+//! the serial estimate (the sum of per-point runtimes), keeping results
+//! in input order.
+
+use std::time::{Duration, Instant};
+
+/// Timing of a parallel sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepTiming {
+    /// Wall-clock time of the whole fan-out.
+    pub wall: Duration,
+    /// Sum of per-point runtimes — what a serial sweep would have cost.
+    pub serial_estimate: Duration,
+}
+
+impl SweepTiming {
+    /// Wall-clock speedup of the fan-out over the serial estimate.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.serial_estimate.as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+
+    /// One-line human-readable summary for a binary's output.
+    #[must_use]
+    pub fn report(&self, points: usize) -> String {
+        format!(
+            "{points} config points in {:.2?} wall ({:.2?} serial estimate, {:.2}x speedup from host threads)",
+            self.wall,
+            self.serial_estimate,
+            self.speedup()
+        )
+    }
+}
+
+/// Runs `f` over every item on its own host thread, returning results in
+/// input order plus the sweep timing.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn parallel_sweep<T, R, F>(items: Vec<T>, f: F) -> (Vec<R>, SweepTiming)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let start = Instant::now();
+    let mut results: Vec<(R, Duration)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for item in items {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let t0 = Instant::now();
+                let out = f(item);
+                (out, t0.elapsed())
+            }));
+        }
+        for handle in handles {
+            results.push(handle.join().expect("sweep worker panicked"));
+        }
+    });
+    let wall = start.elapsed();
+    let mut serial_estimate = Duration::ZERO;
+    let ordered = results
+        .into_iter()
+        .map(|(out, took)| {
+            serial_estimate += took;
+            out
+        })
+        .collect();
+    (
+        ordered,
+        SweepTiming {
+            wall,
+            serial_estimate,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let (results, timing) = parallel_sweep((0..16).collect(), |i: i32| i * i);
+        assert_eq!(results, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        assert!(timing.serial_estimate >= Duration::ZERO);
+        assert!(timing.speedup() > 0.0);
+    }
+
+    #[test]
+    fn actually_overlaps_work() {
+        let (results, timing) = parallel_sweep(vec![10u64; 8], |ms| {
+            std::thread::sleep(Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(results.len(), 8);
+        // Eight 10 ms sleeps in parallel must take well under 80 ms.
+        assert!(
+            timing.wall < timing.serial_estimate,
+            "wall {:?} vs serial {:?}",
+            timing.wall,
+            timing.serial_estimate
+        );
+    }
+
+    #[test]
+    fn report_mentions_speedup() {
+        let timing = SweepTiming {
+            wall: Duration::from_millis(100),
+            serial_estimate: Duration::from_millis(400),
+        };
+        let line = timing.report(4);
+        assert!(line.contains("4 config points"));
+        assert!(line.contains("4.00x"));
+    }
+}

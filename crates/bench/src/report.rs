@@ -12,7 +12,10 @@ use crate::harness::{HeadlineNumbers, Measurement};
 pub fn render_fig3(results: &[(String, Vec<Measurement>)]) -> String {
     let mut s = String::new();
     for (stencil, rows) in results {
-        let _ = writeln!(s, "── {stencil} ─────────────────────────────────────────────────");
+        let _ = writeln!(
+            s,
+            "── {stencil} ─────────────────────────────────────────────────"
+        );
         let _ = writeln!(
             s,
             "{:<12} {:>9} {:>11} {:>11} {:>12} {:>14}",
@@ -64,7 +67,10 @@ pub fn fig3_csv(results: &[(String, Vec<Measurement>)]) -> String {
 #[must_use]
 pub fn render_headline(h: &HeadlineNumbers) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "headline claim                         paper      measured");
+    let _ = writeln!(
+        s,
+        "headline claim                         paper      measured"
+    );
     let _ = writeln!(
         s,
         "geomean speedup  Chaining+ vs Base      ~1.04      {:.3}",
@@ -112,14 +118,21 @@ mod tests {
             tcdm_accesses: cycles / 3,
             ..Default::default()
         };
-        Measurement { name: name.into(), counters, energy: EnergyModel::new().report(&counters) }
+        Measurement {
+            name: name.into(),
+            counters,
+            energy: EnergyModel::new().report(&counters),
+        }
     }
 
     #[test]
     fn fig3_table_has_all_rows() {
         let results = vec![(
             "box3d1r".to_owned(),
-            vec![fake_measurement("box3d1r/Base", 1000), fake_measurement("box3d1r/Chaining+", 900)],
+            vec![
+                fake_measurement("box3d1r/Base", 1000),
+                fake_measurement("box3d1r/Chaining+", 900),
+            ],
         )];
         let table = render_fig3(&results);
         assert!(table.contains("box3d1r"));

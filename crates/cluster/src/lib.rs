@@ -1,0 +1,433 @@
+//! # sc-cluster — multi-core simulation over a shared banked TCDM
+//!
+//! A Snitch-style *cluster*: N compute cores ([`sc_core::Core`]) stepped
+//! cycle by cycle in lock-step against one shared multi-banked TCDM.
+//! Inter-core bank contention — each core brings its LSU port plus one
+//! port per stream data mover — is the first-order effect a single-core
+//! model cannot express, and the quantity the cluster counters break
+//! down.
+//!
+//! ## Lock-step protocol
+//!
+//! Every cluster cycle:
+//!
+//! 1. each active core runs its writeback/issue/execute phases
+//!    ([`sc_core::Core::begin_cycle`]),
+//! 2. all cores' TCDM requests are gathered (ports are namespaced
+//!    `hart × ports_per_core`) and arbitrated in **one** crossbar pass,
+//!    with inter-core fair round-robin
+//!    ([`sc_mem::Tcdm::set_port_group_size`]),
+//! 3. grants are applied per core, then every core advances its
+//!    pipelines,
+//! 4. barrier rendezvous resolves: once every active hart has written the
+//!    barrier CSR, all of them release in the same cycle.
+//!
+//! A 1-core cluster performs exactly the same sequence as the single-core
+//! [`sc_core::Simulator`], cycle for cycle — the equivalence tests in
+//! `sc-kernels` pin this.
+//!
+//! ## Barrier semantics
+//!
+//! A hart arrives at the barrier by writing CSR 0x7C5 (after draining its
+//! FP subsystem and streams; see `sc-core`). The cluster releases all
+//! waiting harts in the cycle in which the *last active* hart arrives.
+//! Harts that have already halted (`ecall`) no longer participate: a
+//! barrier among the remaining active harts still releases. A program in
+//! which some hart never reaches a barrier the others wait on is a
+//! software bug and surfaces as [`ClusterError::MaxCyclesExceeded`].
+//!
+//! ```
+//! use sc_cluster::{Cluster, ClusterConfig};
+//! use sc_isa::{csr, IntReg, ProgramBuilder};
+//!
+//! // Every hart stores its ID to TCDM word 0x100 + hart*4, rendezvous,
+//! // halts.
+//! let program = |_hart: u32| {
+//!     let mut b = ProgramBuilder::new();
+//!     b.csrrs(IntReg::new(10), csr::MHARTID, IntReg::ZERO);
+//!     b.slli(IntReg::new(11), IntReg::new(10), 2);
+//!     b.sw(IntReg::new(10), IntReg::new(11), 0x100);
+//!     b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+//!     b.ecall();
+//!     b.build().unwrap()
+//! };
+//! let mut cluster = Cluster::new(ClusterConfig::new(4), (0..4).map(program).collect());
+//! let summary = cluster.run(10_000)?;
+//! for hart in 0..4u32 {
+//!     assert_eq!(cluster.tcdm().read_u32(0x100 + hart * 4)?, hart);
+//! }
+//! assert_eq!(summary.barriers, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+
+use sc_core::{Core, CoreConfig, PerfCounters, RunSummary, SimError};
+use sc_isa::Program;
+use sc_mem::{Request, Tcdm};
+
+/// Cluster geometry: how many cores share the TCDM, and their per-core
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of compute cores.
+    pub num_cores: u32,
+    /// Per-core configuration; `core.tcdm` describes the *shared* TCDM.
+    pub core: CoreConfig,
+}
+
+impl ClusterConfig {
+    /// A cluster of `num_cores` default-configured cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    #[must_use]
+    pub fn new(num_cores: u32) -> Self {
+        assert!(num_cores >= 1, "a cluster has at least one core");
+        ClusterConfig {
+            num_cores,
+            core: CoreConfig::new(),
+        }
+    }
+
+    /// Replaces the per-core configuration.
+    #[must_use]
+    pub fn with_core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// TCDM crossbar ports each core occupies (LSU + stream movers).
+    #[must_use]
+    pub fn ports_per_core(&self) -> u8 {
+        1 + self.core.num_ssrs
+    }
+}
+
+/// Any failure during cluster simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A core's simulation failed.
+    Core {
+        /// The faulting hart.
+        hart: u32,
+        /// The underlying error.
+        source: SimError,
+    },
+    /// The cycle budget ran out before every core halted — including the
+    /// case of a barrier some hart never reaches.
+    MaxCyclesExceeded {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Core { hart, source } => write!(f, "hart {hart}: {source}"),
+            ClusterError::MaxCyclesExceeded { max_cycles } => {
+                write!(
+                    f,
+                    "cluster exceeded {max_cycles} cycles before all harts halted"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Core { source, .. } => Some(source),
+            ClusterError::MaxCyclesExceeded { .. } => None,
+        }
+    }
+}
+
+/// Aggregated result of a completed cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Cluster cycles until the *last* core halted.
+    pub cycles: u64,
+    /// Each core's own run summary (counters, measured region, trace).
+    pub per_core: Vec<RunSummary>,
+    /// Element-wise sum of all cores' whole-run counters, with `cycles`
+    /// overwritten by the cluster cycle count (so utilisation-style
+    /// ratios use wall-clock cycles, not core-cycle sums).
+    pub aggregate: PerfCounters,
+    /// Cycle at which each core halted.
+    pub core_done_at: Vec<u64>,
+    /// Lost TCDM arbitrations per core (inter- plus intra-core).
+    pub core_conflicts: Vec<u64>,
+    /// Granted TCDM accesses per core.
+    pub core_accesses: Vec<u64>,
+    /// Lost arbitrations per TCDM bank.
+    pub conflicts_by_bank: Vec<u64>,
+    /// Granted accesses per TCDM bank.
+    pub accesses_by_bank: Vec<u64>,
+    /// Barrier episodes completed by the whole cluster.
+    pub barriers: u64,
+}
+
+impl ClusterSummary {
+    /// Aggregate FPU utilisation: compute-issue cycles of all cores over
+    /// `num_cores × cluster cycles` — the cluster's peak-relative
+    /// throughput.
+    #[must_use]
+    pub fn cluster_utilization(&self) -> f64 {
+        let peak = self.cycles.saturating_mul(self.per_core.len() as u64);
+        if peak == 0 {
+            0.0
+        } else {
+            self.aggregate.fpu_issue_cycles as f64 / peak as f64
+        }
+    }
+
+    /// Total flops over cluster cycles.
+    #[must_use]
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.aggregate.flops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The cluster: N lock-stepped cores over one shared banked TCDM.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    cores: Vec<Core>,
+    tcdm: Tcdm,
+    cycles: u64,
+    core_done_at: Vec<Option<u64>>,
+    barriers: u64,
+    // Scratch reused across cycles to keep the hot loop allocation-free.
+    requests: Vec<Request>,
+    active: Vec<usize>,
+    ranges: Vec<(usize, usize, usize)>,
+}
+
+impl Cluster {
+    /// Creates a cluster running one program per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `programs.len() == cfg.num_cores`.
+    #[must_use]
+    pub fn new(cfg: ClusterConfig, programs: Vec<Program>) -> Self {
+        assert_eq!(
+            programs.len(),
+            cfg.num_cores as usize,
+            "one program per core"
+        );
+        let mut tcdm = Tcdm::new(cfg.core.tcdm);
+        tcdm.set_port_group_size(cfg.ports_per_core());
+        let cores: Vec<Core> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(hart, program)| Core::with_hart(cfg.core, program, hart as u32, cfg.num_cores))
+            .collect();
+        let n = cores.len();
+        Cluster {
+            cfg,
+            cores,
+            tcdm,
+            cycles: 0,
+            core_done_at: vec![None; n],
+            barriers: 0,
+            requests: Vec::new(),
+            active: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
+
+    /// The cluster configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The shared TCDM (pre-load inputs / read back results).
+    #[must_use]
+    pub fn tcdm(&self) -> &Tcdm {
+        &self.tcdm
+    }
+
+    /// Mutable shared-TCDM access.
+    pub fn tcdm_mut(&mut self) -> &mut Tcdm {
+        &mut self.tcdm
+    }
+
+    /// One core, by hart ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart` is out of range.
+    #[must_use]
+    pub fn core(&self, hart: usize) -> &Core {
+        &self.cores[hart]
+    }
+
+    /// Mutable core access (test setup: seed registers before running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart` is out of range.
+    pub fn core_mut(&mut self, hart: usize) -> &mut Core {
+        &mut self.cores[hart]
+    }
+
+    /// Cluster cycles simulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Whether every core has halted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(Core::is_halted)
+    }
+
+    /// Executes one lock-step cluster cycle.
+    ///
+    /// # Errors
+    ///
+    /// The first core error, tagged with its hart ID.
+    pub fn step(&mut self) -> Result<(), ClusterError> {
+        let tag = |hart: usize| {
+            move |source| ClusterError::Core {
+                hart: hart as u32,
+                source,
+            }
+        };
+
+        // Cores already halted at cycle start sit the cycle out entirely
+        // (their counters freeze at their own completion).
+        self.active.clear();
+        self.active
+            .extend((0..self.cores.len()).filter(|&h| !self.cores[h].is_halted()));
+
+        // Phases 1–2 on every active core.
+        for &h in &self.active {
+            self.cores[h].begin_cycle().map_err(tag(h))?;
+        }
+
+        // Phase 3: one crossbar pass over all cores' requests.
+        self.requests.clear();
+        self.ranges.clear();
+        for &h in &self.active {
+            let start = self.requests.len();
+            self.cores[h].mem_requests(&mut self.requests);
+            self.ranges.push((h, start, self.requests.len()));
+        }
+        if self.requests.is_empty() {
+            for &h in &self.active {
+                self.cores[h]
+                    .apply_grants(&[], &mut self.tcdm)
+                    .map_err(tag(h))?;
+            }
+        } else {
+            let grants = self.tcdm.arbitrate(&self.requests);
+            for &(h, start, end) in &self.ranges {
+                self.cores[h]
+                    .apply_grants(&grants[start..end], &mut self.tcdm)
+                    .map_err(tag(h))?;
+            }
+        }
+
+        // Phase 4.
+        for &h in &self.active {
+            self.cores[h].end_cycle();
+        }
+        self.cycles += 1;
+
+        // Barrier rendezvous: release once every active hart has arrived.
+        let waiting = self.cores.iter().filter(|c| c.in_barrier()).count();
+        let still_active = self.cores.iter().filter(|c| !c.is_halted()).count();
+        if waiting > 0 && waiting == still_active {
+            for core in &mut self.cores {
+                core.release_barrier();
+            }
+            self.barriers += 1;
+        }
+
+        for &h in &self.active {
+            if self.cores[h].is_halted() && self.core_done_at[h].is_none() {
+                self.core_done_at[h] = Some(self.cycles);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until every core halts or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Core errors (tagged with the hart) or budget exhaustion — the
+    /// latter also covers barrier deadlocks (a hart waiting on a
+    /// rendezvous the others never reach).
+    pub fn run(&mut self, max_cycles: u64) -> Result<ClusterSummary, ClusterError> {
+        while !self.is_done() {
+            if self.cycles >= max_cycles {
+                return Err(ClusterError::MaxCyclesExceeded { max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.summary())
+    }
+
+    /// The cluster summary as of now (meaningful once [`Self::is_done`]).
+    #[must_use]
+    pub fn summary(&self) -> ClusterSummary {
+        let per_core: Vec<RunSummary> = self.cores.iter().map(Core::summary).collect();
+        let mut aggregate = PerfCounters::new();
+        for s in &per_core {
+            aggregate.accumulate(&s.counters);
+        }
+        aggregate.cycles = self.cycles;
+        let stats = self.tcdm.stats();
+        let ppc = self.cfg.ports_per_core();
+        let mut core_conflicts = Vec::with_capacity(self.cores.len());
+        let mut core_accesses = Vec::with_capacity(self.cores.len());
+        for core in &self.cores {
+            let base = core.port_base();
+            let (accesses, conflicts) = stats.totals_of_port_range(base..base + ppc);
+            core_accesses.push(accesses);
+            core_conflicts.push(conflicts);
+        }
+        debug_assert_eq!(
+            core_accesses.iter().sum::<u64>(),
+            stats.total_accesses(),
+            "per-core port ranges must partition the crossbar"
+        );
+        ClusterSummary {
+            cycles: self.cycles,
+            aggregate,
+            core_done_at: self
+                .core_done_at
+                .iter()
+                .map(|d| d.unwrap_or(self.cycles))
+                .collect(),
+            core_conflicts,
+            core_accesses,
+            conflicts_by_bank: stats.conflicts_by_bank().to_vec(),
+            accesses_by_bank: stats.accesses_by_bank().to_vec(),
+            barriers: self.barriers,
+            per_core,
+        }
+    }
+}

@@ -110,7 +110,12 @@ impl ChainUnit {
     ///
     /// In strict mode, returns [`ChainError::DisableWithInflight`] when a
     /// disabled register still has in-flight producers.
-    pub fn set_mask(&mut self, new_mask: u32, inflight: &[u32; 32], strict: bool) -> Result<(), ChainError> {
+    pub fn set_mask(
+        &mut self,
+        new_mask: u32,
+        inflight: &[u32; 32],
+        strict: bool,
+    ) -> Result<(), ChainError> {
         let disabled = self.mask & !new_mask;
         if strict && disabled != 0 {
             for idx in 0..32u8 {
@@ -165,7 +170,10 @@ impl ChainUnit {
     /// Panics if the register is still valid — gate with
     /// [`ChainUnit::can_push`]; the producer must have held instead.
     pub fn push(&mut self, reg: FpReg) {
-        assert!(self.can_push(reg), "push overwriting unconsumed chained register {reg}");
+        assert!(
+            self.can_push(reg),
+            "push overwriting unconsumed chained register {reg}"
+        );
         self.valid |= reg.chain_mask_bit();
     }
 
@@ -193,12 +201,19 @@ mod tests {
     #[test]
     fn push_pop_cycle() {
         let mut u = ChainUnit::new();
-        u.set_mask(FpReg::FT3.chain_mask_bit(), &NO_INFLIGHT, true).unwrap();
-        assert!(!u.can_pop(FpReg::FT3), "empty register must not be poppable");
+        u.set_mask(FpReg::FT3.chain_mask_bit(), &NO_INFLIGHT, true)
+            .unwrap();
+        assert!(
+            !u.can_pop(FpReg::FT3),
+            "empty register must not be poppable"
+        );
         assert!(u.can_push(FpReg::FT3));
         u.push(FpReg::FT3);
         assert!(u.can_pop(FpReg::FT3));
-        assert!(!u.can_push(FpReg::FT3), "occupied register must backpressure");
+        assert!(
+            !u.can_push(FpReg::FT3),
+            "occupied register must backpressure"
+        );
         u.pop(FpReg::FT3);
         assert!(u.can_push(FpReg::FT3));
     }
@@ -238,7 +253,13 @@ mod tests {
         let mut inflight = NO_INFLIGHT;
         inflight[3] = 2;
         let err = u.set_mask(0, &inflight, true).unwrap_err();
-        assert_eq!(err, ChainError::DisableWithInflight { reg: FpReg::FT3, inflight: 2 });
+        assert_eq!(
+            err,
+            ChainError::DisableWithInflight {
+                reg: FpReg::FT3,
+                inflight: 2
+            }
+        );
         // Lenient mode allows it.
         u.set_mask(0, &inflight, false).unwrap();
         assert_eq!(u.mask(), 0);

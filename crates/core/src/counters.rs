@@ -45,7 +45,10 @@ impl StallCause {
     ];
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|c| *c == self).expect("cause listed in ALL")
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("cause listed in ALL")
     }
 
     /// Short label for reports.
@@ -148,6 +151,29 @@ impl PerfCounters {
         } else {
             self.flops as f64 / self.cycles as f64
         }
+    }
+
+    /// Adds every event counter of `other` into `self` — including
+    /// `cycles`, which callers aggregating lock-step cores usually want
+    /// to overwrite with the wall-clock cycle count afterwards.
+    pub fn accumulate(&mut self, other: &PerfCounters) {
+        self.cycles += other.cycles;
+        self.int_retired += other.int_retired;
+        self.fp_issued += other.fp_issued;
+        self.fpu_issue_cycles += other.fpu_issue_cycles;
+        self.flops += other.flops;
+        for (s, o) in self.stalls.iter_mut().zip(other.stalls.iter()) {
+            *s += o;
+        }
+        self.fp_mem_ops += other.fp_mem_ops;
+        self.int_mem_ops += other.int_mem_ops;
+        self.ssr_elements += other.ssr_elements;
+        self.tcdm_accesses += other.tcdm_accesses;
+        self.tcdm_conflicts += other.tcdm_conflicts;
+        self.fp_rf_reads += other.fp_rf_reads;
+        self.fp_rf_writes += other.fp_rf_writes;
+        self.fetches += other.fetches;
+        self.frep_replays += other.frep_replays;
     }
 
     /// Difference `self - start`, used to compute region deltas.

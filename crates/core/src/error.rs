@@ -77,7 +77,10 @@ impl fmt::Display for SimError {
                 write!(f, "simulation exceeded {max_cycles} cycles without ecall")
             }
             SimError::StreamReadExhausted { dm } => {
-                write!(f, "read of stream register ft{dm} after its stream completed")
+                write!(
+                    f,
+                    "read of stream register ft{dm} after its stream completed"
+                )
             }
             SimError::EcallWithActiveStream { dm } => {
                 write!(f, "ecall with undelivered elements in stream {dm}")

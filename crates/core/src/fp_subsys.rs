@@ -52,9 +52,20 @@ struct WbOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FpLsu {
     Idle,
-    StorePending { addr: u32, bits: u64, fmt: FpFormat },
-    LoadPending { addr: u32, dest: WbDest, fmt: FpFormat },
-    LoadLanded { dest: WbDest, bits: u64 },
+    StorePending {
+        addr: u32,
+        bits: u64,
+        fmt: FpFormat,
+    },
+    LoadPending {
+        addr: u32,
+        dest: WbDest,
+        fmt: FpFormat,
+    },
+    LoadLanded {
+        dest: WbDest,
+        bits: u64,
+    },
 }
 
 /// Outcome of the issue phase.
@@ -101,6 +112,8 @@ pub struct FpSubsystem {
     seq: Sequencer,
     ssr: SsrUnit,
     cfg: CoreConfig,
+    /// First TCDM port of this core's namespace (LSU port; movers follow).
+    port_base: u8,
     /// Why each unit's writeback is blocked (refines `UnitBusy` stalls).
     blocked_reason: Option<StallCause>,
 }
@@ -109,6 +122,13 @@ impl FpSubsystem {
     /// Creates the subsystem per the core configuration.
     #[must_use]
     pub fn new(cfg: &CoreConfig) -> Self {
+        Self::with_port_base(cfg, 0)
+    }
+
+    /// Creates the subsystem with its TCDM requests namespaced to the
+    /// ports `port_base ..= port_base + num_ssrs` (cluster use).
+    #[must_use]
+    pub fn with_port_base(cfg: &CoreConfig, port_base: u8) -> Self {
         FpSubsystem {
             rf: [0; 32],
             pending: [0; 32],
@@ -119,8 +139,9 @@ impl FpSubsystem {
             divsqrt: IterativeUnit::new(),
             lsu: FpLsu::Idle,
             seq: Sequencer::new(cfg.offload_queue_depth, cfg.sequence_buffer_depth),
-            ssr: SsrUnit::new(cfg.num_ssrs, cfg.ssr_fifo_capacity),
+            ssr: SsrUnit::with_port_base(cfg.num_ssrs, cfg.ssr_fifo_capacity, port_base),
             cfg: *cfg,
+            port_base,
             blocked_reason: None,
         }
     }
@@ -315,7 +336,10 @@ impl FpSubsystem {
                 }
             }
             WbDest::Int(reg) => {
-                int_wb.push(IntWriteback { reg, value: bits as u32 });
+                int_wb.push(IntWriteback {
+                    reg,
+                    value: bits as u32,
+                });
                 true
             }
         }
@@ -444,7 +468,11 @@ impl FpSubsystem {
             Instruction::FpStore { fmt, frs2, .. } => {
                 counters.fp_mem_ops += 1;
                 let addr = fp.addr.expect("store address resolved at offload");
-                self.lsu = FpLsu::StorePending { addr, bits: lookup(frs2), fmt };
+                self.lsu = FpLsu::StorePending {
+                    addr,
+                    bits: lookup(frs2),
+                    fmt,
+                };
             }
             Instruction::FpLoad { fmt, frd, .. } => {
                 counters.fp_mem_ops += 1;
@@ -464,9 +492,9 @@ impl FpSubsystem {
                 // Build positional operands.
                 let srcs: [u64; 3] = match inst {
                     Instruction::FpBin { frs1, frs2, .. } => [lookup(frs1), lookup(frs2), 0],
-                    Instruction::FpFma { frs1, frs2, frs3, .. } => {
-                        [lookup(frs1), lookup(frs2), lookup(frs3)]
-                    }
+                    Instruction::FpFma {
+                        frs1, frs2, frs3, ..
+                    } => [lookup(frs1), lookup(frs2), lookup(frs3)],
                     Instruction::FpSqrt { frs1, .. } => [lookup(frs1), 0, 0],
                     Instruction::FpCmp { frs1, frs2, .. } => [lookup(frs1), lookup(frs2), 0],
                     Instruction::FpCvt { op: c, frs1, .. } => {
@@ -527,16 +555,21 @@ impl FpSubsystem {
     // Phase 3: memory
     // ------------------------------------------------------------------
 
-    /// The LSU's TCDM request for this cycle, if any (port 0).
+    /// The LSU's TCDM request for this cycle, if any (the core's first
+    /// namespaced port — port 0 on a single-core system).
     #[must_use]
     pub fn lsu_request(&self) -> Option<Request> {
         match self.lsu {
-            FpLsu::StorePending { addr, .. } => {
-                Some(Request { port: PortId(0), addr, kind: AccessKind::Write })
-            }
-            FpLsu::LoadPending { addr, .. } => {
-                Some(Request { port: PortId(0), addr, kind: AccessKind::Read })
-            }
+            FpLsu::StorePending { addr, .. } => Some(Request {
+                port: PortId(self.port_base),
+                addr,
+                kind: AccessKind::Write,
+            }),
+            FpLsu::LoadPending { addr, .. } => Some(Request {
+                port: PortId(self.port_base),
+                addr,
+                kind: AccessKind::Read,
+            }),
             _ => None,
         }
     }
@@ -605,7 +638,11 @@ pub(crate) fn offload_item(
     addr: Option<u32>,
     int_operand: Option<u32>,
 ) -> SeqItem {
-    SeqItem::Fp(OffloadedFp { inst, addr, int_operand })
+    SeqItem::Fp(OffloadedFp {
+        inst,
+        addr,
+        int_operand,
+    })
 }
 
 #[cfg(test)]
@@ -665,7 +702,8 @@ mod tests {
         let mut c = PerfCounters::new();
         fs.set_reg(FpReg::new(5), 2.0);
         fs.set_reg(FpReg::new(6), 3.0);
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
         fs.sequencer_mut().offload(offload_item(
             Instruction::FpBin {
                 op: FpBinOp::Mul,
@@ -686,7 +724,10 @@ mod tests {
         }
         assert_eq!(issues.len(), 2);
         assert_eq!(issues[0].0, 0);
-        assert_eq!(issues[1].0, 4, "RAW consumer issues 4 cycles later (3 bubbles)");
+        assert_eq!(
+            issues[1].0, 4,
+            "RAW consumer issues 4 cycles later (3 bubbles)"
+        );
         assert_eq!(c.stalls_of(StallCause::RawHazard), 4 - 1);
         assert_eq!(fs.reg(FpReg::new(7)), 10.0);
     }
@@ -698,8 +739,10 @@ mod tests {
         // Plain: two fadds to the same destination serialise.
         let mut fs = FpSubsystem::new(&cfg);
         let mut c = PerfCounters::new();
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
         let mut issue_cycles = Vec::new();
         for n in 0..12 {
             if let IssueOutcome::Issued(_) = cycle(&mut fs, &mut tcdm, &mut c) {
@@ -712,15 +755,21 @@ mod tests {
         let mut fs = FpSubsystem::new(&cfg);
         let mut c = PerfCounters::new();
         fs.set_chain_mask(FpReg::new(4).chain_mask_bit()).unwrap();
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
         let mut issue_cycles = Vec::new();
         for n in 0..12 {
             if let IssueOutcome::Issued(_) = cycle(&mut fs, &mut tcdm, &mut c) {
                 issue_cycles.push(n);
             }
         }
-        assert_eq!(issue_cycles, vec![0, 1], "chained writes drop the WAW dependency");
+        assert_eq!(
+            issue_cycles,
+            vec![0, 1],
+            "chained writes drop the WAW dependency"
+        );
     }
 
     #[test]
@@ -738,9 +787,12 @@ mod tests {
         fs.set_reg(FpReg::new(8), 10.0);
         // f4 <- 1, f4 <- 10+1=11? No: keep producers independent:
         // push 1.0 (f5+f6), push 10.0 (f8+f6), push 11.0 (f8+f5).
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
-        fs.sequencer_mut().offload(offload_item(fadd(4, 8, 6), None, None));
-        fs.sequencer_mut().offload(offload_item(fadd(4, 8, 5), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 8, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 8, 5), None, None));
         // Run enough cycles for all three to complete; no consumer pops.
         for _ in 0..20 {
             cycle(&mut fs, &mut tcdm, &mut c);
@@ -769,9 +821,21 @@ mod tests {
         for _ in 0..30 {
             cycle(&mut fs, &mut tcdm, &mut c);
         }
-        assert_eq!(fs.reg(FpReg::new(9)), 10.0, "first pop returns the oldest push (1.0 * 10.0)");
-        assert_eq!(fs.reg(FpReg::new(10)), 100.0, "second pop returns the next push (10.0 * 10.0)");
-        assert_eq!(fs.reg(FpReg::new(4)), 11.0, "third push landed after the pops");
+        assert_eq!(
+            fs.reg(FpReg::new(9)),
+            10.0,
+            "first pop returns the oldest push (1.0 * 10.0)"
+        );
+        assert_eq!(
+            fs.reg(FpReg::new(10)),
+            100.0,
+            "second pop returns the next push (10.0 * 10.0)"
+        );
+        assert_eq!(
+            fs.reg(FpReg::new(4)),
+            11.0,
+            "third push landed after the pops"
+        );
         assert!(fs.chain().is_valid(FpReg::new(4)));
         assert_eq!(fs.pending_counts()[4], 0);
     }
@@ -811,7 +875,8 @@ mod tests {
         fs.set_chain_mask(FpReg::new(4).chain_mask_bit()).unwrap();
         fs.set_reg(FpReg::new(5), 4.5);
         fs.set_reg(FpReg::new(6), 0.0);
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
         fs.sequencer_mut().offload(offload_item(
             Instruction::FpStore {
                 fmt: FpFormat::Double,
@@ -826,7 +891,10 @@ mod tests {
             cycle(&mut fs, &mut tcdm, &mut c);
         }
         assert_eq!(tcdm.read_f64(128).unwrap(), 4.5);
-        assert!(!fs.chain().is_valid(FpReg::new(4)), "store consumed the element");
+        assert!(
+            !fs.chain().is_valid(FpReg::new(4)),
+            "store consumed the element"
+        );
         assert!(fs.is_drained());
     }
 
@@ -848,7 +916,8 @@ mod tests {
             None,
         ));
         // Dependent consumer.
-        fs.sequencer_mut().offload(offload_item(fadd(11, 10, 10), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(11, 10, 10), None, None));
         for _ in 0..12 {
             cycle(&mut fs, &mut tcdm, &mut c);
         }
@@ -884,7 +953,13 @@ mod tests {
             let _ = fs.try_issue(&mut c).unwrap();
             fs.advance();
         }
-        assert_eq!(got, vec![IntWriteback { reg: IntReg::new(7), value: 1 }]);
+        assert_eq!(
+            got,
+            vec![IntWriteback {
+                reg: IntReg::new(7),
+                value: 1
+            }]
+        );
     }
 
     #[test]
@@ -895,7 +970,8 @@ mod tests {
         let mut c = PerfCounters::new();
         fs.ssr_mut().set_enabled(true);
         // DM0 never armed → it is "done" → reading ft0 is a bug.
-        fs.sequencer_mut().offload(offload_item(fadd(4, 0, 0), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 0, 0), None, None));
         let err = loop {
             c.cycles += 1;
             fs.writeback(&mut c);
@@ -914,7 +990,8 @@ mod tests {
         let mut tcdm = Tcdm::new(cfg.tcdm);
         let mut fs = FpSubsystem::new(&cfg);
         let mut c = PerfCounters::new();
-        fs.sequencer_mut().offload(offload_item(fadd(4, 5, 6), None, None));
+        fs.sequencer_mut()
+            .offload(offload_item(fadd(4, 5, 6), None, None));
         fs.sequencer_mut().offload(offload_item(
             Instruction::FpFma {
                 op: FmaOp::Madd,

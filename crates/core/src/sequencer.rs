@@ -63,7 +63,10 @@ impl std::fmt::Display for SeqError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SeqError::BodyTooLarge { n_instr, capacity } => {
-                write!(f, "frep body of {n_instr} exceeds sequence buffer of {capacity}")
+                write!(
+                    f,
+                    "frep body of {n_instr} exceeds sequence buffer of {capacity}"
+                )
             }
         }
     }
@@ -76,11 +79,28 @@ enum SeqState {
     /// Passing instructions straight through.
     Passthrough,
     /// Outer FREP: capturing the body while issuing its first iteration.
-    Capture { remaining: u16, n_rep: u32, stagger_max: u8, stagger_mask: u8 },
+    Capture {
+        remaining: u16,
+        n_rep: u32,
+        stagger_max: u8,
+        stagger_mask: u8,
+    },
     /// Outer FREP: replaying the captured body from the buffer.
-    Replay { pos: usize, iter: u32, n_rep: u32, stagger_max: u8, stagger_mask: u8 },
+    Replay {
+        pos: usize,
+        iter: u32,
+        n_rep: u32,
+        stagger_max: u8,
+        stagger_mask: u8,
+    },
     /// Inner FREP: repeating each incoming instruction `n_rep` times.
-    Inner { remaining: u16, rep_done: u32, n_rep: u32, stagger_max: u8, stagger_mask: u8 },
+    Inner {
+        remaining: u16,
+        rep_done: u32,
+        n_rep: u32,
+        stagger_max: u8,
+        stagger_mask: u8,
+    },
 }
 
 /// The sequencer itself.
@@ -157,7 +177,13 @@ impl Sequencer {
         loop {
             match self.state {
                 SeqState::Passthrough => match self.inbox.front() {
-                    Some(&SeqItem::Frep { is_outer, n_instr, n_rep, stagger_max, stagger_mask }) => {
+                    Some(&SeqItem::Frep {
+                        is_outer,
+                        n_instr,
+                        n_rep,
+                        stagger_max,
+                        stagger_mask,
+                    }) => {
                         if n_instr as usize > self.buffer_capacity {
                             return Err(SeqError::BodyTooLarge {
                                 n_instr,
@@ -167,15 +193,30 @@ impl Sequencer {
                         self.inbox.pop();
                         self.buffer.clear();
                         self.state = if is_outer {
-                            SeqState::Capture { remaining: n_instr, n_rep, stagger_max, stagger_mask }
+                            SeqState::Capture {
+                                remaining: n_instr,
+                                n_rep,
+                                stagger_max,
+                                stagger_mask,
+                            }
                         } else {
-                            SeqState::Inner { remaining: n_instr, rep_done: 0, n_rep, stagger_max, stagger_mask }
+                            SeqState::Inner {
+                                remaining: n_instr,
+                                rep_done: 0,
+                                n_rep,
+                                stagger_max,
+                                stagger_mask,
+                            }
                         };
                     }
                     Some(&SeqItem::Fp(fp)) => return Ok(Some(fp)),
                     None => return Ok(None),
                 },
-                SeqState::Capture { stagger_max: _, stagger_mask: _, .. } => {
+                SeqState::Capture {
+                    stagger_max: _,
+                    stagger_mask: _,
+                    ..
+                } => {
                     match self.inbox.front() {
                         // First iteration: issue as-is (stagger offset 0).
                         Some(&SeqItem::Fp(fp)) => return Ok(Some(fp)),
@@ -185,27 +226,36 @@ impl Sequencer {
                         None => return Ok(None),
                     }
                 }
-                SeqState::Replay { pos, iter, stagger_max, stagger_mask, .. } => {
+                SeqState::Replay {
+                    pos,
+                    iter,
+                    stagger_max,
+                    stagger_mask,
+                    ..
+                } => {
                     let fp = self.buffer[pos];
                     let offset = stagger_offset(iter, stagger_max);
                     return Ok(Some(apply_stagger(fp, offset, stagger_mask)));
                 }
-                SeqState::Inner { rep_done: _, stagger_max, stagger_mask, .. } => {
-                    match self.inbox.front() {
-                        Some(&SeqItem::Fp(fp)) => {
-                            let iter = match self.state {
-                                SeqState::Inner { rep_done, .. } => rep_done,
-                                _ => unreachable!(),
-                            };
-                            let offset = stagger_offset(iter, stagger_max);
-                            return Ok(Some(apply_stagger(fp, offset, stagger_mask)));
-                        }
-                        Some(&SeqItem::Frep { .. }) => {
-                            unreachable!("nested frep rejected by the assembler")
-                        }
-                        None => return Ok(None),
+                SeqState::Inner {
+                    rep_done: _,
+                    stagger_max,
+                    stagger_mask,
+                    ..
+                } => match self.inbox.front() {
+                    Some(&SeqItem::Fp(fp)) => {
+                        let iter = match self.state {
+                            SeqState::Inner { rep_done, .. } => rep_done,
+                            _ => unreachable!(),
+                        };
+                        let offset = stagger_offset(iter, stagger_max);
+                        return Ok(Some(apply_stagger(fp, offset, stagger_mask)));
                     }
-                }
+                    Some(&SeqItem::Frep { .. }) => {
+                        unreachable!("nested frep rejected by the assembler")
+                    }
+                    None => return Ok(None),
+                },
             }
         }
     }
@@ -221,39 +271,85 @@ impl Sequencer {
                 let item = self.inbox.pop().expect("consume without peek");
                 debug_assert!(matches!(item, SeqItem::Fp(_)));
             }
-            SeqState::Capture { remaining, n_rep, stagger_max, stagger_mask } => {
+            SeqState::Capture {
+                remaining,
+                n_rep,
+                stagger_max,
+                stagger_mask,
+            } => {
                 let item = self.inbox.pop().expect("consume without peek");
-                let SeqItem::Fp(fp) = item else { unreachable!("marker in capture") };
+                let SeqItem::Fp(fp) = item else {
+                    unreachable!("marker in capture")
+                };
                 self.buffer.push(fp);
                 let remaining = remaining - 1;
                 if remaining > 0 {
-                    self.state = SeqState::Capture { remaining, n_rep, stagger_max, stagger_mask };
+                    self.state = SeqState::Capture {
+                        remaining,
+                        n_rep,
+                        stagger_max,
+                        stagger_mask,
+                    };
                 } else if n_rep > 1 {
-                    self.state =
-                        SeqState::Replay { pos: 0, iter: 1, n_rep, stagger_max, stagger_mask };
+                    self.state = SeqState::Replay {
+                        pos: 0,
+                        iter: 1,
+                        n_rep,
+                        stagger_max,
+                        stagger_mask,
+                    };
                 } else {
                     self.buffer.clear();
                     self.state = SeqState::Passthrough;
                 }
             }
-            SeqState::Replay { pos, iter, n_rep, stagger_max, stagger_mask } => {
+            SeqState::Replay {
+                pos,
+                iter,
+                n_rep,
+                stagger_max,
+                stagger_mask,
+            } => {
                 self.replayed += 1;
                 let pos = pos + 1;
                 if pos < self.buffer.len() {
-                    self.state = SeqState::Replay { pos, iter, n_rep, stagger_max, stagger_mask };
+                    self.state = SeqState::Replay {
+                        pos,
+                        iter,
+                        n_rep,
+                        stagger_max,
+                        stagger_mask,
+                    };
                 } else if iter + 1 < n_rep {
-                    self.state =
-                        SeqState::Replay { pos: 0, iter: iter + 1, n_rep, stagger_max, stagger_mask };
+                    self.state = SeqState::Replay {
+                        pos: 0,
+                        iter: iter + 1,
+                        n_rep,
+                        stagger_max,
+                        stagger_mask,
+                    };
                 } else {
                     self.buffer.clear();
                     self.state = SeqState::Passthrough;
                 }
             }
-            SeqState::Inner { remaining, rep_done, n_rep, stagger_max, stagger_mask } => {
+            SeqState::Inner {
+                remaining,
+                rep_done,
+                n_rep,
+                stagger_max,
+                stagger_mask,
+            } => {
                 let rep_done = rep_done + 1;
                 if rep_done > 0 && rep_done < n_rep {
                     self.replayed += u64::from(rep_done > 1);
-                    self.state = SeqState::Inner { remaining, rep_done, n_rep, stagger_max, stagger_mask };
+                    self.state = SeqState::Inner {
+                        remaining,
+                        rep_done,
+                        n_rep,
+                        stagger_max,
+                        stagger_mask,
+                    };
                 } else {
                     if rep_done > 1 {
                         self.replayed += 1;
@@ -261,8 +357,13 @@ impl Sequencer {
                     self.inbox.pop().expect("consume without peek");
                     let remaining = remaining - 1;
                     if remaining > 0 {
-                        self.state =
-                            SeqState::Inner { remaining, rep_done: 0, n_rep, stagger_max, stagger_mask };
+                        self.state = SeqState::Inner {
+                            remaining,
+                            rep_done: 0,
+                            n_rep,
+                            stagger_max,
+                            stagger_mask,
+                        };
                     } else {
                         self.state = SeqState::Passthrough;
                     }
@@ -289,14 +390,27 @@ fn apply_stagger(fp: OffloadedFp, offset: u8, mask: u8) -> OffloadedFp {
     }
     let bump = |r: FpReg| FpReg::new((r.index() + offset) % 32);
     let inst = match fp.inst {
-        Instruction::FpBin { op, fmt, frd, frs1, frs2 } => Instruction::FpBin {
+        Instruction::FpBin {
+            op,
+            fmt,
+            frd,
+            frs1,
+            frs2,
+        } => Instruction::FpBin {
             op,
             fmt,
             frd: if mask & 1 != 0 { bump(frd) } else { frd },
             frs1: if mask & 2 != 0 { bump(frs1) } else { frs1 },
             frs2: if mask & 4 != 0 { bump(frs2) } else { frs2 },
         },
-        Instruction::FpFma { op, fmt, frd, frs1, frs2, frs3 } => Instruction::FpFma {
+        Instruction::FpFma {
+            op,
+            fmt,
+            frd,
+            frs1,
+            frs2,
+            frs3,
+        } => Instruction::FpFma {
             op,
             fmt,
             frd: if mask & 1 != 0 { bump(frd) } else { frd },
@@ -415,7 +529,10 @@ mod tests {
         });
         assert_eq!(
             s.peek().unwrap_err(),
-            SeqError::BodyTooLarge { n_instr: 5, capacity: 4 }
+            SeqError::BodyTooLarge {
+                n_instr: 5,
+                capacity: 4
+            }
         );
     }
 

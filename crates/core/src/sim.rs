@@ -1,4 +1,10 @@
-//! The simulator: integer core + FP subsystem + TCDM, cycle by cycle.
+//! The core model and the single-core simulator driver.
+//!
+//! [`Core`] is one Snitch-like compute core — integer pipeline, FP
+//! subsystem, CSRs, counters — stepped cycle by cycle against an
+//! *externally owned* [`Tcdm`]. [`Simulator`] pairs one core with its own
+//! TCDM and keeps the original single-core API; `sc-cluster` instantiates
+//! many cores over one shared TCDM.
 //!
 //! ## Cycle structure
 //!
@@ -9,10 +15,18 @@
 //!    then the integer core executes one instruction (pseudo dual-issue:
 //!    FP instructions are *offloaded* into the sequencer queue in a single
 //!    integer cycle, becoming issueable from the next cycle).
-//! 3. **Memory** — the integer LSU, the FP LSU (shared TCDM port 0, integer
+//! 3. **Memory** — the integer LSU, the FP LSU (shared first port, integer
 //!    priority) and every stream data mover place requests; the banked
 //!    TCDM arbitrates; grants move data.
 //! 4. **Advance** — pipelines shift, landed stream data becomes poppable.
+//!
+//! A lone core drives all four phases through [`Core::step`]. In a
+//! cluster the memory phase must see *every* core's requests at once, so
+//! the phases are also exposed separately: [`Core::begin_cycle`] (1+2),
+//! [`Core::mem_requests`]/[`Core::apply_grants`] (3) and
+//! [`Core::end_cycle`] (4). `Core::step` is exactly the composition of
+//! those four calls, which is what makes a 1-core cluster cycle-identical
+//! to the plain simulator.
 //!
 //! ## Synchronising instructions
 //!
@@ -22,6 +36,18 @@
 //! until that data mover has finished its previous stream. `ecall` waits
 //! for full quiescence. These rules make the extension CSRs safe without
 //! modelling Snitch's explicit fence idioms.
+//!
+//! ## Cluster primitives
+//!
+//! * Reading `mhartid` (0xF14) returns the core's hart ID; reading the
+//!   custom cluster-size CSR (0x7C6) returns the number of harts.
+//! * Writing the barrier CSR (0x7C5) first waits for the FP subsystem to
+//!   drain and all streams to complete (like the other synchronising
+//!   CSRs), then parks the hart in a barrier-wait state. The owner of the
+//!   cores — the cluster, or [`Simulator`] for the 1-hart case — releases
+//!   all waiting harts in the same cycle once every active hart has
+//!   arrived; the CSR read value delivered on release is the number of
+//!   barrier episodes completed before this one.
 
 use sc_isa::{csr, CsrFile, CsrOp, CsrSrc, FpReg, Instruction, IntReg, LoadOp, Program, StoreOp};
 use sc_mem::{AccessKind, PortId, Request, Tcdm};
@@ -64,37 +90,64 @@ enum IntState {
     /// Fixed bubbles (branch penalty, load writeback).
     Bubble(u32),
     /// Integer load waiting for its TCDM grant.
-    LoadWait { op: LoadOp, rd: IntReg, addr: u32 },
+    LoadWait {
+        op: LoadOp,
+        rd: IntReg,
+        addr: u32,
+    },
     /// Integer store waiting for its TCDM grant.
-    StoreWait { op: StoreOp, addr: u32, value: u32 },
+    StoreWait {
+        op: StoreOp,
+        addr: u32,
+        value: u32,
+    },
+    /// Parked on the cluster barrier CSR; released externally.
+    BarrierWait {
+        rd: IntReg,
+    },
     /// `ecall` executed; waiting for quiescence.
     Halting,
     Halted,
 }
 
-/// The whole-core simulator.
+/// What the memory phase queued this cycle (bookkeeping between
+/// [`Core::mem_requests`] and [`Core::apply_grants`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct MemPlan {
+    int_req: bool,
+    fp_lsu: bool,
+    n_dm: usize,
+}
+
+/// One steppable compute core, memory-system agnostic.
+///
+/// The core owns everything *private* to a hart — register files, FP
+/// subsystem, sequencer, CSRs, counters — but not the TCDM, which is
+/// passed into each cycle. See the module docs for the phase protocol.
 ///
 /// # Examples
 ///
 /// ```
-/// use sc_core::{CoreConfig, Simulator};
-/// use sc_isa::{ProgramBuilder, IntReg};
+/// use sc_core::{Core, CoreConfig};
+/// use sc_isa::{IntReg, ProgramBuilder};
+/// use sc_mem::Tcdm;
 ///
 /// let mut b = ProgramBuilder::new();
-/// b.li(IntReg::new(5), 42);
+/// b.li(IntReg::new(5), 7);
 /// b.ecall();
-/// let prog = b.build()?;
-/// let mut sim = Simulator::new(CoreConfig::new(), prog);
-/// let summary = sim.run(1_000)?;
-/// assert_eq!(sim.int_reg(IntReg::new(5)), 42);
-/// assert!(summary.cycles < 20);
+/// let cfg = CoreConfig::new();
+/// let mut tcdm = Tcdm::new(cfg.tcdm);
+/// let mut core = Core::new(cfg, b.build()?);
+/// while !core.is_halted() {
+///     core.step(&mut tcdm)?;
+/// }
+/// assert_eq!(core.int_reg(IntReg::new(5)), 7);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Core {
     cfg: CoreConfig,
     program: Program,
-    tcdm: Tcdm,
     fp: FpSubsystem,
     regs: [u32; 32],
     int_pending: [bool; 32],
@@ -105,15 +158,48 @@ pub struct Simulator {
     region_start: Option<PerfCounters>,
     region: Option<PerfCounters>,
     trace: IssueTrace,
+    hart_id: u32,
+    num_harts: u32,
+    port_base: u8,
+    barriers_completed: u32,
+    plan: MemPlan,
+    dm_plan: Vec<u8>,
+    trace_int_slot: Option<Instruction>,
+    trace_fp_slot: FpSlot,
 }
 
-impl Simulator {
-    /// Creates a simulator for `program` under `cfg`.
+impl Core {
+    /// Creates a lone core (hart 0 of 1) for `program` under `cfg`.
     #[must_use]
     pub fn new(cfg: CoreConfig, program: Program) -> Self {
-        Simulator {
-            fp: FpSubsystem::new(&cfg),
-            tcdm: Tcdm::new(cfg.tcdm),
+        Self::with_hart(cfg, program, 0, 1)
+    }
+
+    /// Creates hart `hart_id` of a `num_harts`-core cluster.
+    ///
+    /// The core's TCDM requests use the port namespace
+    /// `hart_id * (1 + num_ssrs) ..`: first the LSU port, then one port
+    /// per stream data mover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart_id >= num_harts` or the port namespace overflows
+    /// the 8-bit port space.
+    #[must_use]
+    pub fn with_hart(cfg: CoreConfig, program: Program, hart_id: u32, num_harts: u32) -> Self {
+        assert!(num_harts >= 1, "a cluster has at least one hart");
+        assert!(
+            hart_id < num_harts,
+            "hart {hart_id} outside cluster of {num_harts}"
+        );
+        let ports_per_core = 1 + u32::from(cfg.num_ssrs);
+        let port_base = hart_id * ports_per_core;
+        assert!(
+            port_base + ports_per_core <= 256,
+            "port namespace overflow: hart {hart_id} with {ports_per_core} ports/core"
+        );
+        Core {
+            fp: FpSubsystem::with_port_base(&cfg, port_base as u8),
             program,
             cfg,
             regs: [0; 32],
@@ -125,18 +211,45 @@ impl Simulator {
             region_start: None,
             region: None,
             trace: IssueTrace::new(),
+            hart_id,
+            num_harts,
+            port_base: port_base as u8,
+            barriers_completed: 0,
+            plan: MemPlan::default(),
+            dm_plan: Vec::new(),
+            trace_int_slot: None,
+            trace_fp_slot: FpSlot::Idle,
         }
     }
 
-    /// The TCDM (pre-load inputs / read back results).
+    /// This core's hart ID.
     #[must_use]
-    pub fn tcdm(&self) -> &Tcdm {
-        &self.tcdm
+    pub fn hart_id(&self) -> u32 {
+        self.hart_id
     }
 
-    /// Mutable TCDM access.
-    pub fn tcdm_mut(&mut self) -> &mut Tcdm {
-        &mut self.tcdm
+    /// Number of harts in the cluster this core belongs to.
+    #[must_use]
+    pub fn num_harts(&self) -> u32 {
+        self.num_harts
+    }
+
+    /// First TCDM port of this core's namespace.
+    #[must_use]
+    pub fn port_base(&self) -> u8 {
+        self.port_base
+    }
+
+    /// Ports this core occupies at the TCDM crossbar (LSU + movers).
+    #[must_use]
+    pub fn ports_per_core(&self) -> u8 {
+        1 + self.cfg.num_ssrs
+    }
+
+    /// The configuration this core was built with.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
     }
 
     /// Reads an integer register.
@@ -175,34 +288,81 @@ impl Simulator {
         &self.counters
     }
 
-    /// Runs until `ecall` or the cycle budget is exhausted.
-    ///
-    /// # Errors
-    ///
-    /// Any [`SimError`]: strict-mode misuse, memory faults, `ebreak`,
-    /// budget exhaustion.
-    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
-        while self.state != IntState::Halted {
-            if self.counters.cycles >= max_cycles {
-                return Err(SimError::MaxCyclesExceeded { max_cycles });
-            }
-            self.step()?;
+    /// Whether the core has executed `ecall` and fully quiesced.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.state == IntState::Halted
+    }
+
+    /// Whether the core is parked on the cluster barrier.
+    #[must_use]
+    pub fn in_barrier(&self) -> bool {
+        matches!(self.state, IntState::BarrierWait { .. })
+    }
+
+    /// Barrier episodes this core has completed.
+    #[must_use]
+    pub fn barriers_completed(&self) -> u32 {
+        self.barriers_completed
+    }
+
+    /// Releases a core parked on the barrier: the barrier-CSR write
+    /// retires, its destination register receiving the number of barrier
+    /// episodes completed before this one. No-op if the core is not
+    /// waiting. Called by the cluster (or [`Simulator`], immediately)
+    /// once every active hart has arrived.
+    pub fn release_barrier(&mut self) {
+        if let IntState::BarrierWait { rd } = self.state {
+            let completed = self.barriers_completed;
+            self.barriers_completed += 1;
+            self.write_reg(rd, completed);
+            self.pc = self.pc.wrapping_add(4);
+            self.counters.int_retired += 1;
+            self.counters.fetches += 1;
+            self.state = IntState::Running;
         }
-        Ok(RunSummary {
+    }
+
+    /// The run summary as of now (cheap apart from cloning the trace).
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
             cycles: self.counters.cycles,
             counters: self.counters,
             region: self.region,
             trace: self.trace.clone(),
             offload_queue_high_water: self.fp.sequencer().queue_high_water(),
-        })
+        }
     }
 
-    /// Executes one cycle.
+    /// Executes one full cycle against `tcdm`, running the memory phase
+    /// (arbitration included) locally. Exactly equivalent to
+    /// `begin_cycle`; `mem_requests`; `arbitrate`; `apply_grants`;
+    /// `end_cycle`.
     ///
     /// # Errors
     ///
-    /// See [`Simulator::run`].
-    pub fn step(&mut self) -> Result<(), SimError> {
+    /// Any [`SimError`]: strict-mode misuse, memory faults, `ebreak`.
+    pub fn step(&mut self, tcdm: &mut Tcdm) -> Result<(), SimError> {
+        self.begin_cycle()?;
+        let mut requests = Vec::with_capacity(2 + self.fp.ssr().len());
+        self.mem_requests(&mut requests);
+        let grants = if requests.is_empty() {
+            Vec::new()
+        } else {
+            tcdm.arbitrate(&requests)
+        };
+        self.apply_grants(&grants, tcdm)?;
+        self.end_cycle();
+        Ok(())
+    }
+
+    /// Phases 1–2: FP writeback, FP issue, integer execute.
+    ///
+    /// # Errors
+    ///
+    /// See [`Core::step`].
+    pub fn begin_cycle(&mut self) -> Result<(), SimError> {
         // Phase 1: FP writeback (int-register results apply immediately).
         let int_wbs = self.fp.writeback(&mut self.counters);
         for wb in int_wbs {
@@ -218,26 +378,142 @@ impl Simulator {
         // Phase 2b: integer execute.
         let int_slot = self.int_step()?;
 
-        // Phase 3: memory.
-        self.memory_phase()?;
-
-        // Phase 4: advance.
-        self.fp.advance();
-
-        // Bookkeeping.
-        self.counters.cycles += 1;
-        self.counters.tcdm_accesses = self.tcdm.stats().total_accesses();
-        self.counters.tcdm_conflicts = self.tcdm.stats().conflicts();
-        self.counters.frep_replays = self.fp.sequencer().replayed();
         if self.cfg.trace {
-            let fp_slot = match fp_outcome {
+            self.trace_int_slot = int_slot;
+            self.trace_fp_slot = match fp_outcome {
                 IssueOutcome::Issued(i) => FpSlot::Issued(i),
                 IssueOutcome::Stalled(c) => FpSlot::Stalled(c),
                 IssueOutcome::Idle => FpSlot::Idle,
             };
-            self.trace.push(TraceCycle { cycle: self.counters.cycles - 1, int_slot, fp_slot });
         }
         Ok(())
+    }
+
+    /// Phase 3a: appends this cycle's TCDM requests to `out`, ports
+    /// already namespaced. The caller must pass the grant flags for
+    /// exactly these requests (in order) to [`Core::apply_grants`].
+    pub fn mem_requests(&mut self, out: &mut Vec<Request>) {
+        self.plan = MemPlan::default();
+        self.dm_plan.clear();
+        // The first namespaced port carries at most one request: the
+        // integer LSU has priority over the FP LSU (same physical port).
+        match self.state {
+            IntState::LoadWait { addr, .. } => {
+                out.push(Request {
+                    port: PortId(self.port_base),
+                    addr,
+                    kind: AccessKind::Read,
+                });
+                self.plan.int_req = true;
+            }
+            IntState::StoreWait { addr, .. } => {
+                out.push(Request {
+                    port: PortId(self.port_base),
+                    addr,
+                    kind: AccessKind::Write,
+                });
+                self.plan.int_req = true;
+            }
+            _ => {}
+        }
+        if !self.plan.int_req {
+            if let Some(req) = self.fp.lsu_request() {
+                out.push(req);
+                self.plan.fp_lsu = true;
+            }
+        }
+        for (dm, req) in self
+            .fp
+            .ssr()
+            .movers()
+            .filter_map(|m| m.request().map(|r| (m.index(), r)))
+        {
+            out.push(req);
+            self.dm_plan.push(dm);
+        }
+        self.plan.n_dm = self.dm_plan.len();
+    }
+
+    /// Phase 3b: applies the arbitration outcome for the requests issued
+    /// by [`Core::mem_requests`] this cycle. `grants` must be
+    /// index-aligned with them. Granted requests move data through
+    /// `tcdm`'s functional interface; denied stream requests retry next
+    /// cycle. Per-core TCDM access/conflict counters update here.
+    ///
+    /// # Errors
+    ///
+    /// Functional memory errors (misaligned / out-of-bounds addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grants` does not match the requests of this cycle.
+    pub fn apply_grants(&mut self, grants: &[bool], tcdm: &mut Tcdm) -> Result<(), SimError> {
+        let expected =
+            usize::from(self.plan.int_req) + usize::from(self.plan.fp_lsu) + self.plan.n_dm;
+        assert_eq!(
+            grants.len(),
+            expected,
+            "grant flags must match this cycle's requests"
+        );
+        for granted in grants {
+            if *granted {
+                self.counters.tcdm_accesses += 1;
+            } else {
+                self.counters.tcdm_conflicts += 1;
+            }
+        }
+
+        let mut idx = 0;
+        if self.plan.int_req {
+            if grants[idx] {
+                match self.state {
+                    IntState::LoadWait { op, rd, addr } => {
+                        let value = self.int_load(op, addr, tcdm)?;
+                        self.write_reg(rd, value);
+                        // Data lands at end of cycle; one bubble before the
+                        // dependent instruction can run (2-cycle load).
+                        self.state = IntState::Bubble(1);
+                    }
+                    IntState::StoreWait { op, addr, value } => {
+                        self.int_store(op, addr, value, tcdm)?;
+                        self.state = IntState::Running;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            idx += 1;
+        } else if self.plan.fp_lsu {
+            if grants[idx] {
+                self.fp.lsu_grant(tcdm)?;
+            }
+            idx += 1;
+        }
+
+        for k in 0..self.plan.n_dm {
+            let dm = self.dm_plan[k];
+            if grants[idx + k] {
+                self.fp.ssr_mut().mover_mut(dm).apply_grant(tcdm)?;
+            } else {
+                self.fp.ssr_mut().mover_mut(dm).note_denied();
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 4: pipelines shift, landed stream data becomes poppable, and
+    /// the cycle's bookkeeping (counters, trace) commits.
+    pub fn end_cycle(&mut self) {
+        self.fp.advance();
+        self.counters.cycles += 1;
+        self.counters.frep_replays = self.fp.sequencer().replayed();
+        if self.cfg.trace {
+            self.trace.push(TraceCycle {
+                cycle: self.counters.cycles - 1,
+                int_slot: self.trace_int_slot,
+                fp_slot: std::mem::replace(&mut self.trace_fp_slot, FpSlot::Idle),
+            });
+            self.trace_int_slot = None;
+        }
     }
 
     /// One integer-pipeline step. Returns the retired instruction, if any
@@ -246,11 +522,18 @@ impl Simulator {
         match self.state {
             IntState::Halted => return Ok(None),
             IntState::Bubble(n) => {
-                self.state = if n <= 1 { IntState::Running } else { IntState::Bubble(n - 1) };
+                self.state = if n <= 1 {
+                    IntState::Running
+                } else {
+                    IntState::Bubble(n - 1)
+                };
                 return Ok(None);
             }
-            IntState::LoadWait { .. } | IntState::StoreWait { .. } => {
-                // Resolved in the memory phase.
+            IntState::LoadWait { .. }
+            | IntState::StoreWait { .. }
+            | IntState::BarrierWait { .. } => {
+                // Loads/stores resolve in the memory phase; barrier waits
+                // resolve externally via `release_barrier`.
                 return Ok(None);
             }
             IntState::Halting => {
@@ -285,7 +568,13 @@ impl Simulator {
         }
 
         match inst {
-            Instruction::Frep { is_outer, max_rpt, n_instr, stagger_max, stagger_mask } => {
+            Instruction::Frep {
+                is_outer,
+                max_rpt,
+                n_instr,
+                stagger_max,
+                stagger_mask,
+            } => {
                 if !self.fp.sequencer().can_accept() {
                     return Ok(None);
                 }
@@ -304,12 +593,11 @@ impl Simulator {
                 // Pointer writes (affine arms at 24..=31, indirect arm at
                 // 16) wait for the previous stream on this mover to
                 // complete before re-arming.
-                if addr.reg >= 24 || addr.reg == 16 {
-                    if (addr.dm as usize) < self.fp.ssr().len()
-                        && !self.fp.ssr().mover(addr.dm).is_done()
-                    {
-                        return Ok(None);
-                    }
+                if (addr.reg >= 24 || addr.reg == 16)
+                    && (addr.dm as usize) < self.fp.ssr().len()
+                    && !self.fp.ssr().mover(addr.dm).is_done()
+                {
+                    return Ok(None);
                 }
                 let value = self.reg(rs1);
                 self.fp.ssr_mut().write_cfg(addr, value)?;
@@ -320,7 +608,12 @@ impl Simulator {
                 self.write_reg(rd, value);
                 self.retire(inst, 4)
             }
-            Instruction::Csr { op, rd, csr: addr, src } => self.exec_csr(inst, op, rd, addr, src),
+            Instruction::Csr {
+                op,
+                rd,
+                csr: addr,
+                src,
+            } => self.exec_csr(inst, op, rd, addr, src),
             Instruction::Lui { rd, imm } => {
                 self.write_reg(rd, imm);
                 self.retire(inst, 4)
@@ -339,7 +632,12 @@ impl Simulator {
                 self.write_reg(rd, self.pc.wrapping_add(4));
                 self.jump(inst, target)
             }
-            Instruction::Branch { op, rs1, rs2, offset } => {
+            Instruction::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if op.evaluate(self.reg(rs1), self.reg(rs2)) {
                     let target = self.pc.wrapping_add(offset as u32);
                     self.jump(inst, target)
@@ -347,7 +645,12 @@ impl Simulator {
                     self.retire(inst, 4)
                 }
             }
-            Instruction::Load { op, rd, rs1, offset } => {
+            Instruction::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 self.state = IntState::LoadWait { op, rd, addr };
                 self.counters.int_mem_ops += 1;
@@ -356,7 +659,12 @@ impl Simulator {
                 self.pc = self.pc.wrapping_add(4);
                 Ok(Some(inst))
             }
-            Instruction::Store { op, rs2, rs1, offset } => {
+            Instruction::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let value = self.reg(rs2);
                 self.state = IntState::StoreWait { op, addr, value };
@@ -405,7 +713,8 @@ impl Simulator {
         match addr {
             csr::CHAIN_MASK => {
                 if !self.fp.is_drained() {
-                    self.counters.record_stall(crate::counters::StallCause::Sync);
+                    self.counters
+                        .record_stall(crate::counters::StallCause::Sync);
                     return Ok(None);
                 }
                 let old = self.fp.chain_mask();
@@ -414,7 +723,8 @@ impl Simulator {
             }
             csr::SSR_ENABLE => {
                 if !self.fp.is_drained() || !self.fp.ssr().all_done() {
-                    self.counters.record_stall(crate::counters::StallCause::Sync);
+                    self.counters
+                        .record_stall(crate::counters::StallCause::Sync);
                     return Ok(None);
                 }
                 let old = u32::from(self.fp.ssr().is_enabled());
@@ -429,7 +739,8 @@ impl Simulator {
                 let opens = op.apply(self.csrs.read(addr), operand) != 0;
                 let streams_ok = opens || self.fp.ssr().all_done();
                 if !self.fp.is_drained() || !streams_ok {
-                    self.counters.record_stall(crate::counters::StallCause::Sync);
+                    self.counters
+                        .record_stall(crate::counters::StallCause::Sync);
                     return Ok(None);
                 }
                 let old = self.csrs.apply(addr, op, operand);
@@ -444,17 +755,48 @@ impl Simulator {
                 } else if let Some(start) = self.region_start.take() {
                     let mut end = self.counters;
                     end.cycles += 1; // include this cycle consistently
-                    end.tcdm_accesses = self.tcdm.stats().total_accesses();
-                    end.tcdm_conflicts = self.tcdm.stats().conflicts();
                     end.frep_replays = self.fp.sequencer().replayed();
                     self.region = Some(end.delta_since(&start));
                 }
+            }
+            csr::CLUSTER_BARRIER => {
+                // Pure reads (csrrs/csrrc with the x0 / zero-immediate
+                // operand — per the RISC-V spec, no write occurs) just
+                // return the completed-episode count without arriving.
+                let pure_read = matches!(op, CsrOp::ReadSet | CsrOp::ReadClear)
+                    && match src {
+                        CsrSrc::Reg(r) => r.is_zero(),
+                        CsrSrc::Imm(i) => i == 0,
+                    };
+                if pure_read {
+                    self.write_reg(rd, self.barriers_completed);
+                } else {
+                    // A barrier is a rendezvous of the *harts*; each hart's
+                    // FP work and streams must complete before it arrives.
+                    if !self.fp.is_drained() || !self.fp.ssr().all_done() {
+                        self.counters
+                            .record_stall(crate::counters::StallCause::Sync);
+                        return Ok(None);
+                    }
+                    // Park without retiring; `release_barrier` retires.
+                    self.state = IntState::BarrierWait { rd };
+                    return Ok(None);
+                }
+            }
+            csr::MHARTID => {
+                self.write_reg(rd, self.hart_id);
+            }
+            csr::CLUSTER_NUM_CORES => {
+                self.write_reg(rd, self.num_harts);
             }
             csr::MCYCLE => {
                 self.write_reg(rd, self.counters.cycles as u32);
             }
             csr::MINSTRET => {
-                self.write_reg(rd, (self.counters.int_retired + self.counters.fp_issued) as u32);
+                self.write_reg(
+                    rd,
+                    (self.counters.int_retired + self.counters.fp_issued) as u32,
+                );
             }
             _ => {
                 let old = self.csrs.apply(addr, op, operand);
@@ -484,105 +826,38 @@ impl Simulator {
         if let Some(rd) = inst.int_dest() {
             self.int_pending[rd.index() as usize] = true;
         }
-        self.fp
-            .sequencer_mut()
-            .offload(SeqItem::Fp(OffloadedFp { inst, addr, int_operand }));
+        self.fp.sequencer_mut().offload(SeqItem::Fp(OffloadedFp {
+            inst,
+            addr,
+            int_operand,
+        }));
         self.counters.fetches += 1;
         self.pc += 4;
         Ok(Some(inst))
     }
 
-    fn memory_phase(&mut self) -> Result<(), SimError> {
-        // Port 0 carries at most one request: the integer LSU has priority
-        // over the FP LSU (they are the same physical port).
-        let mut requests: Vec<Request> = Vec::with_capacity(2 + self.fp.ssr().len());
-        let mut int_req = false;
-        match self.state {
-            IntState::LoadWait { addr, .. } => {
-                requests.push(Request { port: PortId(0), addr, kind: AccessKind::Read });
-                int_req = true;
-            }
-            IntState::StoreWait { addr, .. } => {
-                requests.push(Request { port: PortId(0), addr, kind: AccessKind::Write });
-                int_req = true;
-            }
-            _ => {}
-        }
-        let mut fp_lsu_idx = None;
-        if !int_req {
-            if let Some(req) = self.fp.lsu_request() {
-                fp_lsu_idx = Some(requests.len());
-                requests.push(req);
-            }
-        }
-        let dm_start = requests.len();
-        let dm_indexes: Vec<u8> = self
-            .fp
-            .ssr()
-            .movers()
-            .filter_map(|m| m.request().map(|r| (m.index(), r)))
-            .map(|(i, r)| {
-                requests.push(r);
-                i
-            })
-            .collect();
-
-        if requests.is_empty() {
-            return Ok(());
-        }
-        let grants = self.tcdm.arbitrate(&requests);
-
-        // Integer LSU outcome.
-        if int_req {
-            if grants[0] {
-                match self.state {
-                    IntState::LoadWait { op, rd, addr } => {
-                        let value = self.int_load(op, addr)?;
-                        self.write_reg(rd, value);
-                        // Data lands at end of cycle; one bubble before the
-                        // dependent instruction can run (2-cycle load).
-                        self.state = IntState::Bubble(1);
-                    }
-                    IntState::StoreWait { op, addr, value } => {
-                        self.int_store(op, addr, value)?;
-                        self.state = IntState::Running;
-                    }
-                    _ => unreachable!(),
-                }
-            }
-        } else if let Some(idx) = fp_lsu_idx {
-            if grants[idx] {
-                self.fp.lsu_grant(&mut self.tcdm)?;
-            }
-        }
-
-        // Stream movers.
-        for (k, dm) in dm_indexes.iter().enumerate() {
-            if grants[dm_start + k] {
-                self.fp.ssr_mut().mover_mut(*dm).apply_grant(&mut self.tcdm)?;
-            } else {
-                self.fp.ssr_mut().mover_mut(*dm).note_denied();
-            }
-        }
-        Ok(())
-    }
-
-    fn int_load(&mut self, op: LoadOp, addr: u32) -> Result<u32, SimError> {
+    fn int_load(&mut self, op: LoadOp, addr: u32, tcdm: &Tcdm) -> Result<u32, SimError> {
         let v = match op {
-            LoadOp::Lw => self.tcdm.read_u32(addr)?,
-            LoadOp::Lb => self.tcdm.read_u8(addr)? as i8 as i32 as u32,
-            LoadOp::Lbu => u32::from(self.tcdm.read_u8(addr)?),
-            LoadOp::Lh => self.tcdm.read_u16(addr)? as i16 as i32 as u32,
-            LoadOp::Lhu => u32::from(self.tcdm.read_u16(addr)?),
+            LoadOp::Lw => tcdm.read_u32(addr)?,
+            LoadOp::Lb => tcdm.read_u8(addr)? as i8 as i32 as u32,
+            LoadOp::Lbu => u32::from(tcdm.read_u8(addr)?),
+            LoadOp::Lh => tcdm.read_u16(addr)? as i16 as i32 as u32,
+            LoadOp::Lhu => u32::from(tcdm.read_u16(addr)?),
         };
         Ok(v)
     }
 
-    fn int_store(&mut self, op: StoreOp, addr: u32, value: u32) -> Result<(), SimError> {
+    fn int_store(
+        &mut self,
+        op: StoreOp,
+        addr: u32,
+        value: u32,
+        tcdm: &mut Tcdm,
+    ) -> Result<(), SimError> {
         match op {
-            StoreOp::Sw => self.tcdm.write_u32(addr, value)?,
-            StoreOp::Sh => self.tcdm.write_u16(addr, value as u16)?,
-            StoreOp::Sb => self.tcdm.write_u8(addr, value as u8)?,
+            StoreOp::Sw => tcdm.write_u32(addr, value)?,
+            StoreOp::Sh => tcdm.write_u16(addr, value as u16)?,
+            StoreOp::Sb => tcdm.write_u8(addr, value as u8)?,
         }
         Ok(())
     }
@@ -629,5 +904,121 @@ impl Simulator {
             self.state = IntState::Bubble(self.cfg.branch_taken_penalty);
         }
         Ok(Some(inst))
+    }
+}
+
+/// The single-core simulator: one [`Core`] driving its own private TCDM.
+///
+/// # Examples
+///
+/// ```
+/// use sc_core::{CoreConfig, Simulator};
+/// use sc_isa::{ProgramBuilder, IntReg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(IntReg::new(5), 42);
+/// b.ecall();
+/// let prog = b.build()?;
+/// let mut sim = Simulator::new(CoreConfig::new(), prog);
+/// let summary = sim.run(1_000)?;
+/// assert_eq!(sim.int_reg(IntReg::new(5)), 42);
+/// assert!(summary.cycles < 20);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    core: Core,
+    tcdm: Tcdm,
+}
+
+impl Simulator {
+    /// Creates a simulator for `program` under `cfg`.
+    #[must_use]
+    pub fn new(cfg: CoreConfig, program: Program) -> Self {
+        Simulator {
+            tcdm: Tcdm::new(cfg.tcdm),
+            core: Core::new(cfg, program),
+        }
+    }
+
+    /// The TCDM (pre-load inputs / read back results).
+    #[must_use]
+    pub fn tcdm(&self) -> &Tcdm {
+        &self.tcdm
+    }
+
+    /// Mutable TCDM access.
+    pub fn tcdm_mut(&mut self) -> &mut Tcdm {
+        &mut self.tcdm
+    }
+
+    /// The core being simulated.
+    #[must_use]
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Reads an integer register.
+    #[must_use]
+    pub fn int_reg(&self, reg: IntReg) -> u32 {
+        self.core.int_reg(reg)
+    }
+
+    /// Writes an integer register (argument passing in tests).
+    pub fn set_int_reg(&mut self, reg: IntReg, value: u32) {
+        self.core.set_int_reg(reg, value);
+    }
+
+    /// Reads an FP register as a double.
+    #[must_use]
+    pub fn fp_reg(&self, reg: FpReg) -> f64 {
+        self.core.fp_reg(reg)
+    }
+
+    /// Writes an FP register (test setup).
+    pub fn set_fp_reg(&mut self, reg: FpReg, value: f64) {
+        self.core.set_fp_reg(reg, value);
+    }
+
+    /// The FP subsystem (diagnostics).
+    #[must_use]
+    pub fn fp_subsystem(&self) -> &FpSubsystem {
+        self.core.fp_subsystem()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> &PerfCounters {
+        self.core.counters()
+    }
+
+    /// Runs until `ecall` or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]: strict-mode misuse, memory faults, `ebreak`,
+    /// budget exhaustion.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        while !self.core.is_halted() {
+            if self.core.counters().cycles >= max_cycles {
+                return Err(SimError::MaxCyclesExceeded { max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.core.summary())
+    }
+
+    /// Executes one cycle.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run`].
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.core.step(&mut self.tcdm)?;
+        // A lone hart is the whole rendezvous: release immediately.
+        if self.core.in_barrier() {
+            self.core.release_barrier();
+        }
+        Ok(())
     }
 }

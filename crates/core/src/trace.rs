@@ -86,7 +86,10 @@ impl IssueTrace {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{:>8} | {:<28} | {}\n", "cycle", "integer slot", "fp slot"));
+        out.push_str(&format!(
+            "{:>8} | {:<28} | {}\n",
+            "cycle", "integer slot", "fp slot"
+        ));
         out.push_str(&format!("{:->8}-+-{:-<28}-+-{:-<30}\n", "", "", ""));
         for c in &self.cycles {
             let int_s = c.int_slot.map_or(String::new(), |i| i.to_string());
@@ -143,8 +146,16 @@ mod tests {
     #[test]
     fn render_contains_slots_and_stalls() {
         let mut t = IssueTrace::new();
-        t.push(TraceCycle { cycle: 1, int_slot: Some(Instruction::NOP), fp_slot: FpSlot::Issued(fadd()) });
-        t.push(TraceCycle { cycle: 2, int_slot: None, fp_slot: FpSlot::Stalled(StallCause::RawHazard) });
+        t.push(TraceCycle {
+            cycle: 1,
+            int_slot: Some(Instruction::NOP),
+            fp_slot: FpSlot::Issued(fadd()),
+        });
+        t.push(TraceCycle {
+            cycle: 2,
+            int_slot: None,
+            fp_slot: FpSlot::Stalled(StallCause::RawHazard),
+        });
         let s = t.render();
         assert!(s.contains("fadd.d ft3, ft0, ft1"));
         assert!(s.contains("stall (raw)"));
@@ -156,7 +167,11 @@ mod tests {
     fn window_filters_by_cycle() {
         let mut t = IssueTrace::new();
         for cycle in 0..10 {
-            t.push(TraceCycle { cycle, int_slot: None, fp_slot: FpSlot::Idle });
+            t.push(TraceCycle {
+                cycle,
+                int_slot: None,
+                fp_slot: FpSlot::Idle,
+            });
         }
         let w = t.window(3, 6);
         assert_eq!(w.len(), 3);

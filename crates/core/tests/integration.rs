@@ -29,7 +29,14 @@ fn cfg_linear_stream(b: &mut ProgramBuilder, dm: u8, base: u32, n: u32, write: b
     b.li(tmp, 8);
     b.scfgwi(tmp, CfgAddr { dm, reg: 6 }.to_imm());
     b.li(tmp, base as i32);
-    b.scfgwi(tmp, CfgAddr { dm, reg: if write { 28 } else { 24 } }.to_imm());
+    b.scfgwi(
+        tmp,
+        CfgAddr {
+            dm,
+            reg: if write { 28 } else { 24 },
+        }
+        .to_imm(),
+    );
 }
 
 fn enable_ssr(b: &mut ProgramBuilder) {
@@ -212,7 +219,9 @@ fn run_fig1(prog: Program, n: u32) -> (Simulator, sc_core::RunSummary) {
     let coef = 2.5f64;
     sim.tcdm_mut().write_f64(0x4000, coef).unwrap();
     for k in 0..n {
-        sim.tcdm_mut().write_f64(0x1000 + k * 8, f64::from(k)).unwrap();
+        sim.tcdm_mut()
+            .write_f64(0x1000 + k * 8, f64::from(k))
+            .unwrap();
         sim.tcdm_mut().write_f64(0x2000 + k * 8, 1.0).unwrap();
     }
     let summary = sim.run(100_000).expect("fig1 program runs to completion");
@@ -234,7 +243,10 @@ fn fig1a_baseline_stalls_three_cycles_per_iteration() {
         (0.36..=0.44).contains(&util),
         "baseline utilisation {util:.3}, expected ≈ 0.40"
     );
-    assert!(m.stalls_of(StallCause::RawHazard) >= 3 * 60, "RAW stalls dominate");
+    assert!(
+        m.stalls_of(StallCause::RawHazard) >= 3 * 60,
+        "RAW stalls dominate"
+    );
 }
 
 #[test]
@@ -242,7 +254,10 @@ fn fig1b_unrolling_reaches_high_utilization() {
     let (_, summary) = run_fig1(fig1_unrolled(64), 64);
     let m = summary.measured();
     let util = m.fpu_utilization();
-    assert!(util > 0.90, "unrolled utilisation {util:.3}, expected > 0.90");
+    assert!(
+        util > 0.90,
+        "unrolled utilisation {util:.3}, expected > 0.90"
+    );
 }
 
 #[test]
@@ -310,7 +325,9 @@ fn frep_loop_runs_without_integer_issue() {
     let mut sim = Simulator::new(cfg(), b.build().unwrap());
     sim.tcdm_mut().write_f64(0x4000, 3.0).unwrap();
     for k in 0..n {
-        sim.tcdm_mut().write_f64(0x1000 + k * 8, f64::from(k)).unwrap();
+        sim.tcdm_mut()
+            .write_f64(0x1000 + k * 8, f64::from(k))
+            .unwrap();
         sim.tcdm_mut().write_f64(0x2000 + k * 8, 2.0).unwrap();
     }
     let summary = sim.run(100_000).unwrap();
@@ -344,8 +361,10 @@ fn lenient_core_ignores_chaining_csr() {
     b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, T0);
     b.fadd_d(f(3), f(4), f(5));
     b.ecall();
-    let mut sim =
-        Simulator::new(cfg().with_chaining(false).with_strict(false), b.build().unwrap());
+    let mut sim = Simulator::new(
+        cfg().with_chaining(false).with_strict(false),
+        b.build().unwrap(),
+    );
     sim.set_fp_reg(f(4), 1.0);
     sim.set_fp_reg(f(5), 2.0);
     sim.run(1_000).unwrap();
@@ -365,6 +384,116 @@ fn trace_records_issue_slots() {
     let text = summary.trace.render();
     assert!(text.contains("fadd.d"));
     assert!(text.contains("stall (raw)"));
+}
+
+#[test]
+fn mhartid_and_cluster_size_read_zero_and_one_on_lone_core() {
+    let mut b = ProgramBuilder::new();
+    b.csrrs(t(10), sc_isa::csr::MHARTID, IntReg::ZERO);
+    b.csrrs(t(11), sc_isa::csr::CLUSTER_NUM_CORES, IntReg::ZERO);
+    b.ecall();
+    let mut sim = Simulator::new(cfg(), b.build().unwrap());
+    sim.run(100).unwrap();
+    assert_eq!(sim.int_reg(t(10)), 0);
+    assert_eq!(sim.int_reg(t(11)), 1);
+}
+
+#[test]
+fn hart_identity_is_visible_to_programs() {
+    use sc_core::Core;
+    use sc_mem::Tcdm;
+    let mut b = ProgramBuilder::new();
+    b.csrrs(t(10), sc_isa::csr::MHARTID, IntReg::ZERO);
+    b.csrrs(t(11), sc_isa::csr::CLUSTER_NUM_CORES, IntReg::ZERO);
+    b.ecall();
+    let config = cfg();
+    let mut tcdm = Tcdm::new(config.tcdm);
+    let mut core = Core::with_hart(config, b.build().unwrap(), 2, 4);
+    while !core.is_halted() {
+        core.step(&mut tcdm).unwrap();
+        if core.in_barrier() {
+            core.release_barrier();
+        }
+    }
+    assert_eq!(core.int_reg(t(10)), 2);
+    assert_eq!(core.int_reg(t(11)), 4);
+    assert_eq!(
+        core.port_base(),
+        2 * 4,
+        "hart 2 with 3 SSRs owns ports 8..12"
+    );
+}
+
+#[test]
+fn lone_core_barrier_releases_immediately() {
+    let mut b = ProgramBuilder::new();
+    // Two barrier episodes; the second returns completion count 1.
+    b.csrrwi(t(10), sc_isa::csr::CLUSTER_BARRIER, 0);
+    b.csrrwi(t(11), sc_isa::csr::CLUSTER_BARRIER, 0);
+    b.ecall();
+    let mut sim = Simulator::new(cfg(), b.build().unwrap());
+    let summary = sim.run(1_000).unwrap();
+    assert_eq!(
+        sim.int_reg(t(10)),
+        0,
+        "first barrier reports zero prior episodes"
+    );
+    assert_eq!(
+        sim.int_reg(t(11)),
+        1,
+        "second barrier reports one prior episode"
+    );
+    assert_eq!(sim.core().barriers_completed(), 2);
+    assert!(
+        summary.cycles < 20,
+        "a lone hart's barrier must be nearly free"
+    );
+}
+
+#[test]
+fn barrier_csr_pure_read_does_not_arrive() {
+    // csrrs rd, 0x7C5, x0 is the canonical CSR read: per the RISC-V
+    // spec it performs no write, so it must return the completed-episode
+    // count without parking the hart on the barrier.
+    let mut b = ProgramBuilder::new();
+    b.csrrs(t(10), sc_isa::csr::CLUSTER_BARRIER, IntReg::ZERO); // read: 0
+    b.csrrwi(IntReg::ZERO, sc_isa::csr::CLUSTER_BARRIER, 0); // arrive
+    b.csrrs(t(11), sc_isa::csr::CLUSTER_BARRIER, IntReg::ZERO); // read: 1
+    b.csrrsi(t(12), sc_isa::csr::CLUSTER_BARRIER, 0); // imm-zero read: 1
+    b.ecall();
+    let mut sim = Simulator::new(cfg(), b.build().unwrap());
+    sim.run(1_000).unwrap();
+    assert_eq!(sim.int_reg(t(10)), 0, "read before any episode");
+    assert_eq!(sim.int_reg(t(11)), 1, "read after one episode");
+    assert_eq!(
+        sim.int_reg(t(12)),
+        1,
+        "zero-immediate csrrsi is also a pure read"
+    );
+    assert_eq!(sim.core().barriers_completed(), 1, "only the csrrw arrived");
+}
+
+#[test]
+fn barrier_waits_for_streams_to_complete() {
+    // The barrier is a rendezvous of quiesced harts: a pending write
+    // stream must drain before the hart arrives.
+    let n = 4u32;
+    let mut b = ProgramBuilder::new();
+    enable_ssr(&mut b);
+    cfg_linear_stream(&mut b, 2, 0x3000, n, true);
+    for _ in 0..n {
+        b.fmv_d(f(2), f(4)); // push into the write stream
+    }
+    b.csrrwi(t(10), sc_isa::csr::CLUSTER_BARRIER, 0);
+    disable_ssr(&mut b);
+    b.ecall();
+    let mut sim = Simulator::new(cfg(), b.build().unwrap());
+    sim.set_fp_reg(f(4), 6.5);
+    sim.run(10_000).unwrap();
+    for k in 0..n {
+        assert_eq!(sim.tcdm().read_f64(0x3000 + 8 * k).unwrap(), 6.5);
+    }
+    assert_eq!(sim.core().barriers_completed(), 1);
 }
 
 #[test]

@@ -35,7 +35,10 @@ fn integer_program_roundtrips_through_binary() {
         |_| {},
     );
     assert_eq!(a.int_reg(IntReg::new(6)), 300);
-    assert_eq!(a.tcdm().read_u32(0x80).unwrap(), b.tcdm().read_u32(0x80).unwrap());
+    assert_eq!(
+        a.tcdm().read_u32(0x80).unwrap(),
+        b.tcdm().read_u32(0x80).unwrap()
+    );
 }
 
 #[test]

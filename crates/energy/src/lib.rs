@@ -26,5 +26,5 @@
 mod area;
 mod model;
 
-pub use area::AreaEstimate;
-pub use model::{EnergyModel, EnergyReport};
+pub use area::{AreaEstimate, ClusterAreaEstimate};
+pub use model::{ClusterEnergyReport, EnergyModel, EnergyReport};

@@ -68,8 +68,8 @@ impl EnergyModel {
         let fetches = c.fetches as f64 * self.fetch_pj;
         let fp_issue = c.fp_issued as f64 * self.fp_issue_pj;
         let flops = c.flops as f64 * self.flop_pj;
-        let rf = c.fp_rf_reads as f64 * self.fp_rf_read_pj
-            + c.fp_rf_writes as f64 * self.fp_rf_write_pj;
+        let rf =
+            c.fp_rf_reads as f64 * self.fp_rf_read_pj + c.fp_rf_writes as f64 * self.fp_rf_write_pj;
         let tcdm = c.tcdm_accesses as f64 * self.tcdm_access_pj;
         let ssr = c.ssr_elements as f64 * self.ssr_element_pj;
         ints + fetches + fp_issue + flops + rf + tcdm + ssr
@@ -82,6 +82,55 @@ impl EnergyModel {
         self.static_mw * 1.0e-3 * seconds * 1.0e12
     }
 
+    /// Energy/power report for a whole cluster: per-core dynamic energy
+    /// summed, static power charged for every core over the *cluster*
+    /// runtime (`cluster_cycles`, i.e. until the last core halts — idle
+    /// tails still leak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_core` is empty.
+    #[must_use]
+    pub fn cluster_report(
+        &self,
+        per_core: &[PerfCounters],
+        cluster_cycles: u64,
+    ) -> ClusterEnergyReport {
+        assert!(!per_core.is_empty(), "a cluster has at least one core");
+        let reports: Vec<EnergyReport> = per_core.iter().map(|c| self.report(c)).collect();
+        let dynamic_pj: f64 = per_core.iter().map(|c| self.dynamic_energy_pj(c)).sum();
+        let seconds = cluster_cycles as f64 / self.frequency_hz;
+        let static_pj = self.static_mw * per_core.len() as f64 * 1.0e-3 * seconds * 1.0e12;
+        let total_pj = dynamic_pj + static_pj;
+        let flops: u64 = per_core.iter().map(|c| c.flops).sum();
+        let power_mw = if seconds > 0.0 {
+            total_pj * 1.0e-12 / seconds * 1.0e3
+        } else {
+            0.0
+        };
+        let gflops = if seconds > 0.0 {
+            flops as f64 / seconds / 1.0e9
+        } else {
+            0.0
+        };
+        let gflops_per_w = if total_pj > 0.0 {
+            flops as f64 / (total_pj * 1.0e-12) / 1.0e9
+        } else {
+            0.0
+        };
+        ClusterEnergyReport {
+            cycles: cluster_cycles,
+            runtime_s: seconds,
+            dynamic_pj,
+            static_pj,
+            total_pj,
+            power_mw,
+            gflops,
+            gflops_per_w,
+            per_core: reports,
+        }
+    }
+
     /// Full energy report for a counter snapshot.
     #[must_use]
     pub fn report(&self, c: &PerfCounters) -> EnergyReport {
@@ -89,10 +138,21 @@ impl EnergyModel {
         let static_pj = self.static_energy_pj(c);
         let total_pj = dynamic_pj + static_pj;
         let seconds = c.cycles as f64 / self.frequency_hz;
-        let power_mw = if seconds > 0.0 { total_pj * 1.0e-12 / seconds * 1.0e3 } else { 0.0 };
-        let gflops = if seconds > 0.0 { c.flops as f64 / seconds / 1.0e9 } else { 0.0 };
-        let gflops_per_w =
-            if total_pj > 0.0 { c.flops as f64 / (total_pj * 1.0e-12) / 1.0e9 } else { 0.0 };
+        let power_mw = if seconds > 0.0 {
+            total_pj * 1.0e-12 / seconds * 1.0e3
+        } else {
+            0.0
+        };
+        let gflops = if seconds > 0.0 {
+            c.flops as f64 / seconds / 1.0e9
+        } else {
+            0.0
+        };
+        let gflops_per_w = if total_pj > 0.0 {
+            c.flops as f64 / (total_pj * 1.0e-12) / 1.0e9
+        } else {
+            0.0
+        };
         EnergyReport {
             cycles: c.cycles,
             runtime_s: seconds,
@@ -144,6 +204,43 @@ impl EnergyReport {
     #[must_use]
     pub fn speedup_over(&self, baseline: &EnergyReport) -> f64 {
         baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Energy/power/efficiency numbers for a whole cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterEnergyReport {
+    /// Cluster cycles (to the last core halting).
+    pub cycles: u64,
+    /// Runtime in seconds at the configured frequency.
+    pub runtime_s: f64,
+    /// Dynamic energy summed over every core (pJ).
+    pub dynamic_pj: f64,
+    /// Static energy of all cores over the cluster runtime (pJ).
+    pub static_pj: f64,
+    /// Total energy (pJ).
+    pub total_pj: f64,
+    /// Average cluster power (mW).
+    pub power_mw: f64,
+    /// Cluster throughput (Gflop/s).
+    pub gflops: f64,
+    /// Cluster energy efficiency (Gflop/s/W).
+    pub gflops_per_w: f64,
+    /// Per-core reports (each over the core's own cycles).
+    pub per_core: Vec<EnergyReport>,
+}
+
+impl ClusterEnergyReport {
+    /// Speedup vs. a baseline cluster run in cycles (>1 = faster).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &ClusterEnergyReport) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Energy efficiency ratio vs. a baseline (>1 = better).
+    #[must_use]
+    pub fn efficiency_gain_over(&self, baseline: &ClusterEnergyReport) -> f64 {
+        self.gflops_per_w / baseline.gflops_per_w
     }
 }
 
@@ -220,5 +317,35 @@ mod tests {
         let r = m.report(&PerfCounters::default());
         assert_eq!(r.power_mw, 0.0);
         assert_eq!(r.gflops, 0.0);
+    }
+
+    #[test]
+    fn cluster_energy_sums_cores_and_charges_idle_leakage() {
+        let m = EnergyModel::new();
+        let per_core = vec![sample_counters(); 4];
+        // Perfect lock-step: cluster runtime equals each core's runtime.
+        let r = m.cluster_report(&per_core, 1_000);
+        let single = m.report(&sample_counters());
+        assert!((r.dynamic_pj - 4.0 * single.dynamic_pj).abs() < 1e-6);
+        assert!((r.static_pj - 4.0 * single.static_pj).abs() < 1e-6);
+        assert_eq!(r.per_core.len(), 4);
+        // Same per-core activity over a longer cluster runtime (stragglers):
+        // identical dynamic energy, more leakage, worse efficiency.
+        let slower = m.cluster_report(&per_core, 2_000);
+        assert!((slower.dynamic_pj - r.dynamic_pj).abs() < 1e-9);
+        assert!(slower.static_pj > r.static_pj);
+        assert!(slower.gflops_per_w < r.gflops_per_w);
+        assert!((r.speedup_over(&slower) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_of_one_matches_single_core_report() {
+        let m = EnergyModel::new();
+        let c = sample_counters();
+        let single = m.report(&c);
+        let cluster = m.cluster_report(&[c], c.cycles);
+        assert!((cluster.total_pj - single.total_pj).abs() < 1e-9);
+        assert!((cluster.power_mw - single.power_mw).abs() < 1e-9);
+        assert!((cluster.gflops_per_w - single.gflops_per_w).abs() < 1e-9);
     }
 }

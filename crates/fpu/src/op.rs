@@ -218,8 +218,20 @@ fn evaluate_f32(op: FpuOp, srcs: [u64; 3], int_src: u32) -> FpuOutput {
         FpuOp::Bin(FpBinOp::Sub) => fp(a - b),
         FpuOp::Bin(FpBinOp::Mul) => fp(a * b),
         FpuOp::Bin(FpBinOp::Div) => fp(a / b),
-        FpuOp::Bin(FpBinOp::Min) => fp(if a.is_nan() { b } else if b.is_nan() { a } else { a.min(b) }),
-        FpuOp::Bin(FpBinOp::Max) => fp(if a.is_nan() { b } else if b.is_nan() { a } else { a.max(b) }),
+        FpuOp::Bin(FpBinOp::Min) => fp(if a.is_nan() {
+            b
+        } else if b.is_nan() {
+            a
+        } else {
+            a.min(b)
+        }),
+        FpuOp::Bin(FpBinOp::Max) => fp(if a.is_nan() {
+            b
+        } else if b.is_nan() {
+            a
+        } else {
+            a.max(b)
+        }),
         FpuOp::Bin(FpBinOp::Sgnj) => fp(f32::from_bits(
             (a.to_bits() & !SIGN32) | (b.to_bits() & SIGN32),
         )),
@@ -249,9 +261,7 @@ fn evaluate_cvt(op: FpCvtOp, fp_src: u64, int_src: u32) -> FpuOutput {
         FpCvtOp::WFromD => {
             let v = f64::from_bits(fp_src);
             // Round-towards-zero with RISC-V saturation semantics.
-            let clamped = if v.is_nan() {
-                i32::MAX
-            } else if v >= f64::from(i32::MAX) {
+            let clamped = if v.is_nan() || v >= f64::from(i32::MAX) {
                 i32::MAX
             } else if v <= f64::from(i32::MIN) {
                 i32::MIN
@@ -271,12 +281,8 @@ fn evaluate_cvt(op: FpCvtOp, fp_src: u64, int_src: u32) -> FpuOutput {
             };
             FpuOutput::Int(clamped)
         }
-        FpCvtOp::DFromS => {
-            FpuOutput::Fp(f64::from(f32::from_bits(fp_src as u32)).to_bits())
-        }
-        FpCvtOp::SFromD => {
-            FpuOutput::Fp(u64::from((f64::from_bits(fp_src) as f32).to_bits()))
-        }
+        FpCvtOp::DFromS => FpuOutput::Fp(f64::from(f32::from_bits(fp_src as u32)).to_bits()),
+        FpCvtOp::SFromD => FpuOutput::Fp(u64::from((f64::from_bits(fp_src) as f32).to_bits())),
         FpCvtOp::MvXW => FpuOutput::Int(fp_src as u32),
         FpCvtOp::MvWX => FpuOutput::Fp(u64::from(int_src)),
     }
@@ -328,9 +334,18 @@ mod tests {
     #[test]
     fn double_arithmetic() {
         let e = |op, a: f64, b: f64| evaluate(op, FpFormat::Double, [bits(a), bits(b), 0], 0);
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Add), 2.0, 0.5), FpuOutput::Fp(bits(2.5)));
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Mul), 3.0, -2.0), FpuOutput::Fp(bits(-6.0)));
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Div), 1.0, 4.0), FpuOutput::Fp(bits(0.25)));
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Add), 2.0, 0.5),
+            FpuOutput::Fp(bits(2.5))
+        );
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Mul), 3.0, -2.0),
+            FpuOutput::Fp(bits(-6.0))
+        );
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Div), 1.0, 4.0),
+            FpuOutput::Fp(bits(0.25))
+        );
         let fma = evaluate(
             FpuOp::Fma(FmaOp::Madd),
             FpFormat::Double,
@@ -359,19 +374,37 @@ mod tests {
     #[test]
     fn sign_injection() {
         let e = |op, a: f64, b: f64| evaluate(op, FpFormat::Double, [bits(a), bits(b), 0], 0);
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Sgnj), 2.0, -1.0), FpuOutput::Fp(bits(-2.0)));
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Sgnjn), 2.0, -1.0), FpuOutput::Fp(bits(2.0)));
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Sgnjx), -2.0, -1.0), FpuOutput::Fp(bits(2.0)));
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Sgnj), 2.0, -1.0),
+            FpuOutput::Fp(bits(-2.0))
+        );
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Sgnjn), 2.0, -1.0),
+            FpuOutput::Fp(bits(2.0))
+        );
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Sgnjx), -2.0, -1.0),
+            FpuOutput::Fp(bits(2.0))
+        );
         // fmv.d is fsgnj.d rd, rs, rs
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Sgnj), -3.5, -3.5), FpuOutput::Fp(bits(-3.5)));
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Sgnj), -3.5, -3.5),
+            FpuOutput::Fp(bits(-3.5))
+        );
     }
 
     #[test]
     fn min_max_nan_handling() {
         let nan = f64::NAN;
         let e = |op, a: f64, b: f64| evaluate(op, FpFormat::Double, [bits(a), bits(b), 0], 0);
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Min), nan, 1.0), FpuOutput::Fp(bits(1.0)));
-        assert_eq!(e(FpuOp::Bin(FpBinOp::Max), 2.0, nan), FpuOutput::Fp(bits(2.0)));
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Min), nan, 1.0),
+            FpuOutput::Fp(bits(1.0))
+        );
+        assert_eq!(
+            e(FpuOp::Bin(FpBinOp::Max), 2.0, nan),
+            FpuOutput::Fp(bits(2.0))
+        );
     }
 
     #[test]
@@ -379,7 +412,10 @@ mod tests {
         let e = |op, a: f64, b: f64| evaluate(op, FpFormat::Double, [bits(a), bits(b), 0], 0);
         assert_eq!(e(FpuOp::Cmp(FpCmpOp::Lt), 1.0, 2.0), FpuOutput::Int(1));
         assert_eq!(e(FpuOp::Cmp(FpCmpOp::Le), 2.0, 2.0), FpuOutput::Int(1));
-        assert_eq!(e(FpuOp::Cmp(FpCmpOp::Eq), f64::NAN, f64::NAN), FpuOutput::Int(0));
+        assert_eq!(
+            e(FpuOp::Cmp(FpCmpOp::Eq), f64::NAN, f64::NAN),
+            FpuOutput::Int(0)
+        );
     }
 
     #[test]
@@ -388,9 +424,17 @@ mod tests {
         assert_eq!(e(FpCvtOp::WFromD, 3.7), FpuOutput::Int(3));
         assert_eq!(e(FpCvtOp::WFromD, -3.7), FpuOutput::Int((-3i32) as u32));
         assert_eq!(e(FpCvtOp::WFromD, 1e300), FpuOutput::Int(i32::MAX as u32));
-        assert_eq!(e(FpCvtOp::WFromD, f64::NAN), FpuOutput::Int(i32::MAX as u32));
+        assert_eq!(
+            e(FpCvtOp::WFromD, f64::NAN),
+            FpuOutput::Int(i32::MAX as u32)
+        );
         assert_eq!(e(FpCvtOp::WuFromD, -1.0), FpuOutput::Int(0));
-        let from_int = evaluate(FpuOp::Cvt(FpCvtOp::DFromW), FpFormat::Double, [0, 0, 0], -7i32 as u32);
+        let from_int = evaluate(
+            FpuOp::Cvt(FpCvtOp::DFromW),
+            FpFormat::Double,
+            [0, 0, 0],
+            -7i32 as u32,
+        );
         assert_eq!(from_int, FpuOutput::Fp(bits(-7.0)));
     }
 

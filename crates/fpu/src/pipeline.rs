@@ -185,7 +185,11 @@ impl<T> IterativeUnit<T> {
     /// Creates an idle unit.
     #[must_use]
     pub fn new() -> Self {
-        IterativeUnit { current: None, done: None, issued: 0 }
+        IterativeUnit {
+            current: None,
+            done: None,
+            issued: 0,
+        }
     }
 
     /// Whether the unit can accept a new op (idle and result drained).
@@ -269,7 +273,11 @@ impl<T> BoundedFifo<T> {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "FIFO capacity must be at least 1");
-        BoundedFifo { items: VecDeque::with_capacity(capacity), capacity, high_water: 0 }
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+        }
     }
 
     /// Maximum number of elements.

@@ -61,7 +61,10 @@ impl fmt::Display for AsmError {
                 write!(f, "branch to `{label}` out of range (offset {offset})")
             }
             AsmError::NonFpInFrepBody { index, inst } => {
-                write!(f, "frep body instruction {index} is not an FP instruction: {inst}")
+                write!(
+                    f,
+                    "frep body instruction {index} is not an FP instruction: {inst}"
+                )
             }
         }
     }
@@ -120,7 +123,10 @@ impl ProgramBuilder {
         if self.labels.insert(name.clone(), self.code.len()).is_some() {
             // Remember the duplicate by re-inserting a sentinel fixup;
             // build() re-checks. Simplest: record via special label map.
-            self.fixups.push(Fixup::Branch { index: usize::MAX, label: name });
+            self.fixups.push(Fixup::Branch {
+                index: usize::MAX,
+                label: name,
+            });
         }
     }
 
@@ -131,7 +137,11 @@ impl ProgramBuilder {
     /// Returns [`AsmError`] on undefined/duplicate labels, out-of-range
     /// offsets, or an invalid FREP body.
     pub fn build(self) -> Result<Program, AsmError> {
-        let ProgramBuilder { mut code, labels, fixups } = self;
+        let ProgramBuilder {
+            mut code,
+            labels,
+            fixups,
+        } = self;
         for fixup in &fixups {
             let (index, label, is_jal) = match fixup {
                 Fixup::Branch { index, label } => (*index, label, false),
@@ -144,9 +154,16 @@ impl ProgramBuilder {
                 .get(label)
                 .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
             let offset = (target as i64 - index as i64) * 4;
-            let range = if is_jal { -(1 << 20)..(1 << 20) } else { -(1 << 12)..(1 << 12) };
+            let range = if is_jal {
+                -(1 << 20)..(1 << 20)
+            } else {
+                -(1 << 12)..(1 << 12)
+            };
             if !range.contains(&offset) {
-                return Err(AsmError::OffsetOutOfRange { label: label.clone(), offset });
+                return Err(AsmError::OffsetOutOfRange {
+                    label: label.clone(),
+                    offset,
+                });
             }
             match &mut code[index] {
                 Instruction::Branch { offset: o, .. } | Instruction::Jal { offset: o, .. } => {
@@ -156,7 +173,10 @@ impl ProgramBuilder {
             }
         }
         validate_frep_bodies(&code)?;
-        let symbols = labels.into_iter().map(|(k, v)| (k, (v * 4) as u32)).collect();
+        let symbols = labels
+            .into_iter()
+            .map(|(k, v)| (k, (v * 4) as u32))
+            .collect();
         Ok(Program::new(code, symbols))
     }
 
@@ -164,42 +184,80 @@ impl ProgramBuilder {
 
     /// `lui rd, imm20` (`imm` is the full 32-bit value; low 12 bits ignored).
     pub fn lui(&mut self, rd: IntReg, imm: u32) {
-        self.push(Instruction::Lui { rd, imm: imm & 0xFFFF_F000 });
+        self.push(Instruction::Lui {
+            rd,
+            imm: imm & 0xFFFF_F000,
+        });
     }
 
     /// `addi rd, rs1, imm`.
     pub fn addi(&mut self, rd: IntReg, rs1: IntReg, imm: i32) {
-        self.push(Instruction::OpImm { op: AluOp::Add, rd, rs1, imm });
+        self.push(Instruction::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `slli rd, rs1, shamt`.
     pub fn slli(&mut self, rd: IntReg, rs1: IntReg, shamt: i32) {
-        self.push(Instruction::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt });
+        self.push(Instruction::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
 
     /// `srli rd, rs1, shamt`.
     pub fn srli(&mut self, rd: IntReg, rs1: IntReg, shamt: i32) {
-        self.push(Instruction::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt });
+        self.push(Instruction::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
 
     /// `andi rd, rs1, imm`.
     pub fn andi(&mut self, rd: IntReg, rs1: IntReg, imm: i32) {
-        self.push(Instruction::OpImm { op: AluOp::And, rd, rs1, imm });
+        self.push(Instruction::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `add rd, rs1, rs2`.
     pub fn add(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
-        self.push(Instruction::Op { op: AluOp::Add, rd, rs1, rs2 });
+        self.push(Instruction::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `sub rd, rs1, rs2`.
     pub fn sub(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
-        self.push(Instruction::Op { op: AluOp::Sub, rd, rs1, rs2 });
+        self.push(Instruction::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `mul rd, rs1, rs2`.
     pub fn mul(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
-        self.push(Instruction::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 });
+        self.push(Instruction::MulDiv {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `li rd, imm` pseudo-instruction (1–2 instructions).
@@ -229,12 +287,22 @@ impl ProgramBuilder {
 
     /// `lw rd, offset(rs1)`.
     pub fn lw(&mut self, rd: IntReg, rs1: IntReg, offset: i32) {
-        self.push(Instruction::Load { op: LoadOp::Lw, rd, rs1, offset });
+        self.push(Instruction::Load {
+            op: LoadOp::Lw,
+            rd,
+            rs1,
+            offset,
+        });
     }
 
     /// `sw rs2, offset(rs1)`.
     pub fn sw(&mut self, rs2: IntReg, rs1: IntReg, offset: i32) {
-        self.push(Instruction::Store { op: StoreOp::Sw, rs2, rs1, offset });
+        self.push(Instruction::Store {
+            op: StoreOp::Sw,
+            rs2,
+            rs1,
+            offset,
+        });
     }
 
     /// `beq rs1, rs2, label`.
@@ -259,14 +327,28 @@ impl ProgramBuilder {
 
     /// Emits a conditional branch to a label.
     pub fn branch(&mut self, op: BranchOp, rs1: IntReg, rs2: IntReg, label: impl Into<String>) {
-        self.fixups.push(Fixup::Branch { index: self.code.len(), label: label.into() });
-        self.push(Instruction::Branch { op, rs1, rs2, offset: 0 });
+        self.fixups.push(Fixup::Branch {
+            index: self.code.len(),
+            label: label.into(),
+        });
+        self.push(Instruction::Branch {
+            op,
+            rs1,
+            rs2,
+            offset: 0,
+        });
     }
 
     /// `j label` pseudo-instruction (`jal x0, label`).
     pub fn j(&mut self, label: impl Into<String>) {
-        self.fixups.push(Fixup::Jal { index: self.code.len(), label: label.into() });
-        self.push(Instruction::Jal { rd: IntReg::ZERO, offset: 0 });
+        self.fixups.push(Fixup::Jal {
+            index: self.code.len(),
+            label: label.into(),
+        });
+        self.push(Instruction::Jal {
+            rd: IntReg::ZERO,
+            offset: 0,
+        });
     }
 
     /// `ecall` — halts the simulation (program exit convention).
@@ -278,39 +360,74 @@ impl ProgramBuilder {
 
     /// `csrrw rd, csr, rs1`.
     pub fn csrrw(&mut self, rd: IntReg, csr: u16, rs1: IntReg) {
-        self.push(Instruction::Csr { op: CsrOp::ReadWrite, rd, csr, src: CsrSrc::Reg(rs1) });
+        self.push(Instruction::Csr {
+            op: CsrOp::ReadWrite,
+            rd,
+            csr,
+            src: CsrSrc::Reg(rs1),
+        });
     }
 
     /// `csrrs rd, csr, rs1` (`csrs csr, rs1` when `rd` = x0).
     pub fn csrrs(&mut self, rd: IntReg, csr: u16, rs1: IntReg) {
-        self.push(Instruction::Csr { op: CsrOp::ReadSet, rd, csr, src: CsrSrc::Reg(rs1) });
+        self.push(Instruction::Csr {
+            op: CsrOp::ReadSet,
+            rd,
+            csr,
+            src: CsrSrc::Reg(rs1),
+        });
     }
 
     /// `csrrc rd, csr, rs1`.
     pub fn csrrc(&mut self, rd: IntReg, csr: u16, rs1: IntReg) {
-        self.push(Instruction::Csr { op: CsrOp::ReadClear, rd, csr, src: CsrSrc::Reg(rs1) });
+        self.push(Instruction::Csr {
+            op: CsrOp::ReadClear,
+            rd,
+            csr,
+            src: CsrSrc::Reg(rs1),
+        });
     }
 
     /// `csrrwi rd, csr, imm5`.
     pub fn csrrwi(&mut self, rd: IntReg, csr: u16, imm: u8) {
-        self.push(Instruction::Csr { op: CsrOp::ReadWrite, rd, csr, src: CsrSrc::Imm(imm) });
+        self.push(Instruction::Csr {
+            op: CsrOp::ReadWrite,
+            rd,
+            csr,
+            src: CsrSrc::Imm(imm),
+        });
     }
 
     /// `csrrsi rd, csr, imm5`.
     pub fn csrrsi(&mut self, rd: IntReg, csr: u16, imm: u8) {
-        self.push(Instruction::Csr { op: CsrOp::ReadSet, rd, csr, src: CsrSrc::Imm(imm) });
+        self.push(Instruction::Csr {
+            op: CsrOp::ReadSet,
+            rd,
+            csr,
+            src: CsrSrc::Imm(imm),
+        });
     }
 
     // ---- FP instructions --------------------------------------------------
 
     /// `fld frd, offset(rs1)`.
     pub fn fld(&mut self, frd: FpReg, rs1: IntReg, offset: i32) {
-        self.push(Instruction::FpLoad { fmt: FpFormat::Double, frd, rs1, offset });
+        self.push(Instruction::FpLoad {
+            fmt: FpFormat::Double,
+            frd,
+            rs1,
+            offset,
+        });
     }
 
     /// `fsd frs2, offset(rs1)`.
     pub fn fsd(&mut self, frs2: FpReg, rs1: IntReg, offset: i32) {
-        self.push(Instruction::FpStore { fmt: FpFormat::Double, frs2, rs1, offset });
+        self.push(Instruction::FpStore {
+            fmt: FpFormat::Double,
+            frs2,
+            rs1,
+            offset,
+        });
     }
 
     /// `fadd.d frd, frs1, frs2`.
@@ -334,17 +451,37 @@ impl ProgramBuilder {
     }
 
     fn fp_bin(&mut self, op: FpBinOp, frd: FpReg, frs1: FpReg, frs2: FpReg) {
-        self.push(Instruction::FpBin { op, fmt: FpFormat::Double, frd, frs1, frs2 });
+        self.push(Instruction::FpBin {
+            op,
+            fmt: FpFormat::Double,
+            frd,
+            frs1,
+            frs2,
+        });
     }
 
     /// `fmadd.d frd, frs1, frs2, frs3` (`frd = frs1*frs2 + frs3`).
     pub fn fmadd_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg, frs3: FpReg) {
-        self.push(Instruction::FpFma { op: FmaOp::Madd, fmt: FpFormat::Double, frd, frs1, frs2, frs3 });
+        self.push(Instruction::FpFma {
+            op: FmaOp::Madd,
+            fmt: FpFormat::Double,
+            frd,
+            frs1,
+            frs2,
+            frs3,
+        });
     }
 
     /// `fmsub.d frd, frs1, frs2, frs3` (`frd = frs1*frs2 - frs3`).
     pub fn fmsub_d(&mut self, frd: FpReg, frs1: FpReg, frs2: FpReg, frs3: FpReg) {
-        self.push(Instruction::FpFma { op: FmaOp::Msub, fmt: FpFormat::Double, frd, frs1, frs2, frs3 });
+        self.push(Instruction::FpFma {
+            op: FmaOp::Msub,
+            fmt: FpFormat::Double,
+            frd,
+            frs1,
+            frs2,
+            frs3,
+        });
     }
 
     /// `fmv.d frd, frs1` pseudo-instruction (`fsgnj.d frd, frs1, frs1`).
@@ -379,7 +516,13 @@ impl ProgramBuilder {
     ///
     /// Prefer [`ProgramBuilder::frep_outer`], which counts the body for you.
     pub fn frep_o(&mut self, max_rpt: IntReg, n_instr: u16, stagger_max: u8, stagger_mask: u8) {
-        self.push(Instruction::Frep { is_outer: true, max_rpt, n_instr, stagger_max, stagger_mask });
+        self.push(Instruction::Frep {
+            is_outer: true,
+            max_rpt,
+            n_instr,
+            stagger_max,
+            stagger_mask,
+        });
     }
 
     /// `frep.i max_rpt, n_instr, stagger_max, stagger_mask`.
@@ -497,7 +640,10 @@ mod tests {
     fn undefined_label_errors() {
         let mut b = ProgramBuilder::new();
         b.j("nowhere");
-        assert_eq!(b.build().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
     }
 
     #[test]
@@ -546,7 +692,9 @@ mod tests {
         b.ecall();
         let prog = b.build().unwrap();
         match prog.fetch(4).unwrap() {
-            Instruction::Frep { n_instr, is_outer, .. } => {
+            Instruction::Frep {
+                n_instr, is_outer, ..
+            } => {
                 assert_eq!(n_instr, 2);
                 assert!(is_outer);
             }
@@ -559,6 +707,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.frep_o(IntReg::new(5), 1, 0, 0);
         b.addi(IntReg::new(1), IntReg::new(1), 1);
-        assert!(matches!(b.build().unwrap_err(), AsmError::NonFpInFrepBody { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            AsmError::NonFpInFrepBody { .. }
+        ));
     }
 }

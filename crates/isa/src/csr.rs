@@ -18,6 +18,9 @@ use std::fmt;
 pub const MCYCLE: u16 = 0xB00;
 /// Machine retired-instruction counter.
 pub const MINSTRET: u16 = 0xB02;
+/// Hart (hardware thread) ID — the standard machine-mode CSR. Reads the
+/// core's position within its cluster; 0 on a single-core system.
+pub const MHARTID: u16 = 0xF14;
 /// Custom: stream semantic register enable (Snitch `ssr` CSR).
 pub const SSR_ENABLE: u16 = 0x7C0;
 /// Custom: FP mode register (unused placeholder, kept for layout fidelity).
@@ -31,6 +34,15 @@ pub const CHAIN_MASK: u16 = 0x7C3;
 /// subsystem so cycle counts are attributable (the model's analogue of
 /// the `mcycle` bracketing used in RTL benchmarks).
 pub const PERF_REGION: u16 = 0x7C4;
+/// Custom: cluster barrier. Any write makes the hart wait (after its FP
+/// subsystem drains and its streams complete) until every active hart in
+/// the cluster has also written it; the read value returned on release is
+/// the number of barrier episodes completed before this one. On a
+/// single-core system the barrier releases immediately.
+pub const CLUSTER_BARRIER: u16 = 0x7C5;
+/// Custom: number of cores in the cluster (read-only; 1 outside a
+/// cluster).
+pub const CLUSTER_NUM_CORES: u16 = 0x7C6;
 /// FP accrued exception flags (fcsr subset).
 pub const FFLAGS: u16 = 0x001;
 /// FP dynamic rounding mode (fcsr subset).

@@ -94,14 +94,27 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
     let err = || DecodeError { word };
     let op = word & 0x7F;
     let inst = match op {
-        opcode::LUI => Instruction::Lui { rd: rd(word), imm: word & 0xFFFF_F000 },
-        opcode::AUIPC => Instruction::Auipc { rd: rd(word), imm: word & 0xFFFF_F000 },
-        opcode::JAL => Instruction::Jal { rd: rd(word), offset: imm_j(word) },
+        opcode::LUI => Instruction::Lui {
+            rd: rd(word),
+            imm: word & 0xFFFF_F000,
+        },
+        opcode::AUIPC => Instruction::Auipc {
+            rd: rd(word),
+            imm: word & 0xFFFF_F000,
+        },
+        opcode::JAL => Instruction::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
         opcode::JALR => {
             if funct3(word) != 0 {
                 return Err(err());
             }
-            Instruction::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            Instruction::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         opcode::BRANCH => {
             let bop = match funct3(word) {
@@ -113,7 +126,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 0b111 => BranchOp::Geu,
                 _ => return Err(err()),
             };
-            Instruction::Branch { op: bop, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+            Instruction::Branch {
+                op: bop,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            }
         }
         opcode::LOAD => {
             let lop = match funct3(word) {
@@ -124,7 +142,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 0b101 => LoadOp::Lhu,
                 _ => return Err(err()),
             };
-            Instruction::Load { op: lop, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            Instruction::Load {
+                op: lop,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         opcode::STORE => {
             let sop = match funct3(word) {
@@ -133,7 +156,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 0b010 => StoreOp::Sw,
                 _ => return Err(err()),
             };
-            Instruction::Store { op: sop, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) }
+            Instruction::Store {
+                op: sop,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                offset: imm_s(word),
+            }
         }
         opcode::OP_IMM => {
             let imm = imm_i(word);
@@ -154,7 +182,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 }
                 _ => unreachable!(),
             };
-            Instruction::OpImm { op: aop, rd: rd(word), rs1: rs1(word), imm }
+            Instruction::OpImm {
+                op: aop,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            }
         }
         opcode::OP => {
             if funct7(word) == 1 {
@@ -169,7 +202,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                     0b111 => MulDivOp::Remu,
                     _ => unreachable!(),
                 };
-                Instruction::MulDiv { op: mop, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+                Instruction::MulDiv {
+                    op: mop,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
             } else {
                 let alt = funct7(word) == 0x20;
                 if funct7(word) != 0 && !alt {
@@ -188,7 +226,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                     (0b111, false) => AluOp::And,
                     _ => return Err(err()),
                 };
-                Instruction::Op { op: aop, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+                Instruction::Op {
+                    op: aop,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
             }
         }
         opcode::MISC_MEM => Instruction::Fence,
@@ -210,7 +253,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 } else {
                     CsrSrc::Reg(rs1(word))
                 };
-                Instruction::Csr { op: cop, rd: rd(word), csr: (word >> 20) as u16, src }
+                Instruction::Csr {
+                    op: cop,
+                    rd: rd(word),
+                    csr: (word >> 20) as u16,
+                    src,
+                }
             }
         },
         opcode::LOAD_FP => {
@@ -219,7 +267,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 0b011 => FpFormat::Double,
                 _ => return Err(err()),
             };
-            Instruction::FpLoad { fmt, frd: frd(word), rs1: rs1(word), offset: imm_i(word) }
+            Instruction::FpLoad {
+                fmt,
+                frd: frd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         opcode::STORE_FP => {
             let fmt = match funct3(word) {
@@ -227,7 +280,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 0b011 => FpFormat::Double,
                 _ => return Err(err()),
             };
-            Instruction::FpStore { fmt, frs2: frs2(word), rs1: rs1(word), offset: imm_s(word) }
+            Instruction::FpStore {
+                fmt,
+                frs2: frs2(word),
+                rs1: rs1(word),
+                offset: imm_s(word),
+            }
         }
         opcode::MADD | opcode::MSUB | opcode::NMSUB | opcode::NMADD => {
             let fop = match op {
@@ -255,8 +313,14 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
             stagger_mask: ((word >> 8) & 0xF) as u8,
         },
         opcode::CUSTOM1 => match funct3(word) {
-            0b010 => Instruction::Scfgwi { rs1: rs1(word), imm: ((word >> 20) & 0xFFF) as u16 },
-            0b001 => Instruction::Scfgri { rd: rd(word), imm: ((word >> 20) & 0xFFF) as u16 },
+            0b010 => Instruction::Scfgwi {
+                rs1: rs1(word),
+                imm: ((word >> 20) & 0xFFF) as u16,
+            },
+            0b001 => Instruction::Scfgri {
+                rd: rd(word),
+                imm: ((word >> 20) & 0xFFF) as u16,
+            },
             _ => return Err(err()),
         },
         _ => return Err(err()),
@@ -304,7 +368,13 @@ fn decode_op_fp(word: u32) -> Result<Instruction, DecodeError> {
                 0b010 => FpBinOp::Sgnjx,
                 _ => return Err(err()),
             };
-            Ok(Instruction::FpBin { op, fmt, frd: frd(word), frs1: frs1(word), frs2: frs2(word) })
+            Ok(Instruction::FpBin {
+                op,
+                fmt,
+                frd: frd(word),
+                frs1: frs1(word),
+                frs2: frs2(word),
+            })
         }
         0b00101 => {
             let op = match funct3(word) {
@@ -312,9 +382,19 @@ fn decode_op_fp(word: u32) -> Result<Instruction, DecodeError> {
                 0b001 => FpBinOp::Max,
                 _ => return Err(err()),
             };
-            Ok(Instruction::FpBin { op, fmt, frd: frd(word), frs1: frs1(word), frs2: frs2(word) })
+            Ok(Instruction::FpBin {
+                op,
+                fmt,
+                frd: frd(word),
+                frs1: frs1(word),
+                frs2: frs2(word),
+            })
         }
-        0b01011 => Ok(Instruction::FpSqrt { fmt, frd: frd(word), frs1: frs1(word) }),
+        0b01011 => Ok(Instruction::FpSqrt {
+            fmt,
+            frd: frd(word),
+            frs1: frs1(word),
+        }),
         0b10100 => {
             let op = match funct3(word) {
                 0b000 => FpCmpOp::Le,
@@ -322,14 +402,28 @@ fn decode_op_fp(word: u32) -> Result<Instruction, DecodeError> {
                 0b010 => FpCmpOp::Eq,
                 _ => return Err(err()),
             };
-            Ok(Instruction::FpCmp { op, fmt, rd: rd(word), frs1: frs1(word), frs2: frs2(word) })
+            Ok(Instruction::FpCmp {
+                op,
+                fmt,
+                rd: rd(word),
+                frs1: frs1(word),
+                frs2: frs2(word),
+            })
         }
         0b11010 if fmt == FpFormat::Double => {
-            let op = if (word >> 20) & 0x1F == 0 { FpCvtOp::DFromW } else { FpCvtOp::DFromWu };
+            let op = if (word >> 20) & 0x1F == 0 {
+                FpCvtOp::DFromW
+            } else {
+                FpCvtOp::DFromWu
+            };
             Ok(cvt(op, word))
         }
         0b11000 if fmt == FpFormat::Double => {
-            let op = if (word >> 20) & 0x1F == 0 { FpCvtOp::WFromD } else { FpCvtOp::WuFromD };
+            let op = if (word >> 20) & 0x1F == 0 {
+                FpCvtOp::WFromD
+            } else {
+                FpCvtOp::WuFromD
+            };
             Ok(cvt(op, word))
         }
         0b01000 if fmt == FpFormat::Double => Ok(cvt(FpCvtOp::DFromS, word)),
@@ -345,11 +439,29 @@ fn cvt(op: FpCvtOp, word: u32) -> Instruction {
     // others are canonicalised to zero so decode(encode(i)) == i.
     let (z, fz) = (IntReg::ZERO, FpReg::new(0));
     if op.writes_int() {
-        Instruction::FpCvt { op, rd: rd(word), frd: fz, rs1: z, frs1: frs1(word) }
+        Instruction::FpCvt {
+            op,
+            rd: rd(word),
+            frd: fz,
+            rs1: z,
+            frs1: frs1(word),
+        }
     } else if op.reads_int() {
-        Instruction::FpCvt { op, rd: z, frd: frd(word), rs1: rs1(word), frs1: fz }
+        Instruction::FpCvt {
+            op,
+            rd: z,
+            frd: frd(word),
+            rs1: rs1(word),
+            frs1: fz,
+        }
     } else {
-        Instruction::FpCvt { op, rd: z, frd: frd(word), rs1: z, frs1: frs1(word) }
+        Instruction::FpCvt {
+            op,
+            rd: z,
+            frd: frd(word),
+            rs1: z,
+            frs1: frs1(word),
+        }
     }
 }
 
@@ -367,10 +479,23 @@ mod tests {
     #[test]
     fn roundtrip_sample_instructions() {
         let samples = vec![
-            Instruction::Lui { rd: IntReg::new(7), imm: 0xDEAD_B000 },
-            Instruction::Auipc { rd: IntReg::new(1), imm: 0x1000 },
-            Instruction::Jal { rd: IntReg::ZERO, offset: -36 },
-            Instruction::Jalr { rd: IntReg::RA, rs1: IntReg::new(5), offset: 16 },
+            Instruction::Lui {
+                rd: IntReg::new(7),
+                imm: 0xDEAD_B000,
+            },
+            Instruction::Auipc {
+                rd: IntReg::new(1),
+                imm: 0x1000,
+            },
+            Instruction::Jal {
+                rd: IntReg::ZERO,
+                offset: -36,
+            },
+            Instruction::Jalr {
+                rd: IntReg::RA,
+                rs1: IntReg::new(5),
+                offset: 16,
+            },
             Instruction::Branch {
                 op: BranchOp::Ne,
                 rs1: IntReg::new(9),
@@ -407,7 +532,11 @@ mod tests {
                 csr: 0x7C3,
                 src: CsrSrc::Imm(8),
             },
-            Instruction::FpSqrt { fmt: FpFormat::Double, frd: FpReg::new(9), frs1: FpReg::new(9) },
+            Instruction::FpSqrt {
+                fmt: FpFormat::Double,
+                frd: FpReg::new(9),
+                frs1: FpReg::new(9),
+            },
             Instruction::FpCmp {
                 op: FpCmpOp::Lt,
                 fmt: FpFormat::Double,
@@ -429,8 +558,14 @@ mod tests {
                 stagger_max: 3,
                 stagger_mask: 0b1001,
             },
-            Instruction::Scfgwi { rs1: IntReg::new(15), imm: 0x7A2 },
-            Instruction::Scfgri { rd: IntReg::new(16), imm: 0x012 },
+            Instruction::Scfgwi {
+                rs1: IntReg::new(15),
+                imm: 0x7A2,
+            },
+            Instruction::Scfgri {
+                rd: IntReg::new(16),
+                imm: 0x012,
+            },
             Instruction::Ecall,
             Instruction::Ebreak,
             Instruction::Fence,
@@ -447,17 +582,37 @@ mod tests {
     /// encoding does so equality is meaningful.
     fn canonical(inst: Instruction) -> Instruction {
         match inst {
-            Instruction::FpCvt { op, rd, frd, rs1, frs1 } => {
+            Instruction::FpCvt {
+                op,
+                rd,
+                frd,
+                rs1,
+                frs1,
+            } => {
                 let z = IntReg::ZERO;
                 let fz = FpReg::new(0);
                 match op {
-                    FpCvtOp::DFromW | FpCvtOp::DFromWu | FpCvtOp::MvWX => {
-                        Instruction::FpCvt { op, rd: z, frd, rs1, frs1: fz }
-                    }
-                    FpCvtOp::WFromD | FpCvtOp::WuFromD | FpCvtOp::MvXW => {
-                        Instruction::FpCvt { op, rd, frd: fz, rs1: z, frs1 }
-                    }
-                    _ => Instruction::FpCvt { op, rd: z, frd, rs1: z, frs1 },
+                    FpCvtOp::DFromW | FpCvtOp::DFromWu | FpCvtOp::MvWX => Instruction::FpCvt {
+                        op,
+                        rd: z,
+                        frd,
+                        rs1,
+                        frs1: fz,
+                    },
+                    FpCvtOp::WFromD | FpCvtOp::WuFromD | FpCvtOp::MvXW => Instruction::FpCvt {
+                        op,
+                        rd,
+                        frd: fz,
+                        rs1: z,
+                        frs1,
+                    },
+                    _ => Instruction::FpCvt {
+                        op,
+                        rd: z,
+                        frd,
+                        rs1: z,
+                        frs1,
+                    },
                 }
             }
             other => other,

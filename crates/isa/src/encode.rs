@@ -9,6 +9,10 @@
 //!   `inst[7] = is_outer` — mirroring the Snitch FREP layout.
 //! * `scfgwi`/`scfgri` on opcode `0x2B` (custom-1), funct3 2/1, I-type
 //!   immediate carrying the SSR config word address.
+
+// Binary literals here split fields the way the spec draws them
+// (e.g. funct5 | fmt), not in even digit groups.
+#![allow(clippy::unusual_byte_groupings)]
 //!
 //! These choices are internal to this model (the upstream RTL uses its own
 //! encodings); [`crate::decode`] is the exact inverse, which the property
@@ -133,8 +137,17 @@ pub fn encode(inst: &Instruction) -> u32 {
         Instruction::Lui { rd: d, imm } => utype(LUI, rd(d), imm),
         Instruction::Auipc { rd: d, imm } => utype(AUIPC, rd(d), imm),
         Instruction::Jal { rd: d, offset } => jtype(JAL, rd(d), offset),
-        Instruction::Jalr { rd: d, rs1: s1, offset } => itype(JALR, 0, rd(d), rs1(s1), offset),
-        Instruction::Branch { op, rs1: s1, rs2: s2, offset } => {
+        Instruction::Jalr {
+            rd: d,
+            rs1: s1,
+            offset,
+        } => itype(JALR, 0, rd(d), rs1(s1), offset),
+        Instruction::Branch {
+            op,
+            rs1: s1,
+            rs2: s2,
+            offset,
+        } => {
             let f3 = match op {
                 BranchOp::Eq => 0b000,
                 BranchOp::Ne => 0b001,
@@ -145,7 +158,12 @@ pub fn encode(inst: &Instruction) -> u32 {
             };
             btype(BRANCH, f3, rs1(s1), rs2(s2), offset)
         }
-        Instruction::Load { op, rd: d, rs1: s1, offset } => {
+        Instruction::Load {
+            op,
+            rd: d,
+            rs1: s1,
+            offset,
+        } => {
             let f3 = match op {
                 LoadOp::Lb => 0b000,
                 LoadOp::Lh => 0b001,
@@ -155,7 +173,12 @@ pub fn encode(inst: &Instruction) -> u32 {
             };
             itype(LOAD, f3, rd(d), rs1(s1), offset)
         }
-        Instruction::Store { op, rs2: s2, rs1: s1, offset } => {
+        Instruction::Store {
+            op,
+            rs2: s2,
+            rs1: s1,
+            offset,
+        } => {
             let f3 = match op {
                 StoreOp::Sb => 0b000,
                 StoreOp::Sh => 0b001,
@@ -163,7 +186,12 @@ pub fn encode(inst: &Instruction) -> u32 {
             };
             stype(STORE, f3, rs1(s1), rs2(s2), offset)
         }
-        Instruction::OpImm { op, rd: d, rs1: s1, imm } => {
+        Instruction::OpImm {
+            op,
+            rd: d,
+            rs1: s1,
+            imm,
+        } => {
             let (f3, imm) = match op {
                 AluOp::Add => (0b000, imm),
                 AluOp::Slt => (0b010, imm),
@@ -178,7 +206,12 @@ pub fn encode(inst: &Instruction) -> u32 {
             };
             itype(OP_IMM, f3, rd(d), rs1(s1), imm)
         }
-        Instruction::Op { op, rd: d, rs1: s1, rs2: s2 } => {
+        Instruction::Op {
+            op,
+            rd: d,
+            rs1: s1,
+            rs2: s2,
+        } => {
             let (f3, f7) = match op {
                 AluOp::Add => (0b000, 0),
                 AluOp::Sub => (0b000, 0x20),
@@ -193,7 +226,12 @@ pub fn encode(inst: &Instruction) -> u32 {
             };
             OP | rd(d) | funct3(f3) | rs1(s1) | rs2(s2) | funct7(f7)
         }
-        Instruction::MulDiv { op, rd: d, rs1: s1, rs2: s2 } => {
+        Instruction::MulDiv {
+            op,
+            rd: d,
+            rs1: s1,
+            rs2: s2,
+        } => {
             let f3 = match op {
                 MulDivOp::Mul => 0b000,
                 MulDivOp::Mulh => 0b001,
@@ -209,7 +247,12 @@ pub fn encode(inst: &Instruction) -> u32 {
         Instruction::Fence => MISC_MEM,
         Instruction::Ecall => SYSTEM,
         Instruction::Ebreak => SYSTEM | (1 << 20),
-        Instruction::Csr { op, rd: d, csr, src } => {
+        Instruction::Csr {
+            op,
+            rd: d,
+            csr,
+            src,
+        } => {
             let (f3_base, s1field) = match src {
                 CsrSrc::Reg(r) => (0u32, rs1(r)),
                 CsrSrc::Imm(i) => (4u32, u32::from(i & 0x1F) << 15),
@@ -222,12 +265,30 @@ pub fn encode(inst: &Instruction) -> u32 {
                 };
             SYSTEM | rd(d) | funct3(f3) | s1field | (u32::from(csr) << 20)
         }
-        Instruction::FpLoad { fmt, frd, rs1: s1, offset } => {
-            let f3 = if fmt == FpFormat::Double { 0b011 } else { 0b010 };
+        Instruction::FpLoad {
+            fmt,
+            frd,
+            rs1: s1,
+            offset,
+        } => {
+            let f3 = if fmt == FpFormat::Double {
+                0b011
+            } else {
+                0b010
+            };
             itype(LOAD_FP, f3, frd_(frd), rs1(s1), offset)
         }
-        Instruction::FpStore { fmt, frs2, rs1: s1, offset } => {
-            let f3 = if fmt == FpFormat::Double { 0b011 } else { 0b010 };
+        Instruction::FpStore {
+            fmt,
+            frs2,
+            rs1: s1,
+            offset,
+        } => {
+            let f3 = if fmt == FpFormat::Double {
+                0b011
+            } else {
+                0b010
+            };
             let imm = offset as u32;
             STORE_FP
                 | ((imm & 0x1F) << 7)
@@ -236,7 +297,13 @@ pub fn encode(inst: &Instruction) -> u32 {
                 | frs2_(frs2)
                 | (((imm >> 5) & 0x7F) << 25)
         }
-        Instruction::FpBin { op, fmt, frd, frs1, frs2 } => {
+        Instruction::FpBin {
+            op,
+            fmt,
+            frd,
+            frs1,
+            frs2,
+        } => {
             let (f7hi, f3) = match op {
                 FpBinOp::Add => (0b00000_00, RM_DYN),
                 FpBinOp::Sub => (0b00001_00, RM_DYN),
@@ -248,9 +315,21 @@ pub fn encode(inst: &Instruction) -> u32 {
                 FpBinOp::Min => (0b00101_00, 0b000),
                 FpBinOp::Max => (0b00101_00, 0b001),
             };
-            OP_FP | frd_(frd) | funct3(f3) | frs1_(frs1) | frs2_(frs2) | funct7(f7hi | fmt_bits(fmt))
+            OP_FP
+                | frd_(frd)
+                | funct3(f3)
+                | frs1_(frs1)
+                | frs2_(frs2)
+                | funct7(f7hi | fmt_bits(fmt))
         }
-        Instruction::FpFma { op, fmt, frd, frs1, frs2, frs3 } => {
+        Instruction::FpFma {
+            op,
+            fmt,
+            frd,
+            frs1,
+            frs2,
+            frs3,
+        } => {
             let op7 = match op {
                 FmaOp::Madd => MADD,
                 FmaOp::Msub => MSUB,
@@ -267,24 +346,37 @@ pub fn encode(inst: &Instruction) -> u32 {
         Instruction::FpSqrt { fmt, frd, frs1 } => {
             OP_FP | frd_(frd) | funct3(RM_DYN) | frs1_(frs1) | funct7(0b01011_00 | fmt_bits(fmt))
         }
-        Instruction::FpCmp { op, fmt, rd: d, frs1, frs2 } => {
+        Instruction::FpCmp {
+            op,
+            fmt,
+            rd: d,
+            frs1,
+            frs2,
+        } => {
             let f3 = match op {
                 FpCmpOp::Le => 0b000,
                 FpCmpOp::Lt => 0b001,
                 FpCmpOp::Eq => 0b010,
             };
-            OP_FP | rd(d) | funct3(f3) | frs1_(frs1) | frs2_(frs2) | funct7(0b10100_00 | fmt_bits(fmt))
+            OP_FP
+                | rd(d)
+                | funct3(f3)
+                | frs1_(frs1)
+                | frs2_(frs2)
+                | funct7(0b10100_00 | fmt_bits(fmt))
         }
-        Instruction::FpCvt { op, rd: d, frd, rs1: s1, frs1 } => match op {
-            FpCvtOp::DFromW => {
-                OP_FP | frd_(frd) | funct3(RM_DYN) | rs1(s1) | funct7(0b11010_01)
-            }
+        Instruction::FpCvt {
+            op,
+            rd: d,
+            frd,
+            rs1: s1,
+            frs1,
+        } => match op {
+            FpCvtOp::DFromW => OP_FP | frd_(frd) | funct3(RM_DYN) | rs1(s1) | funct7(0b11010_01),
             FpCvtOp::DFromWu => {
                 OP_FP | frd_(frd) | funct3(RM_DYN) | rs1(s1) | (1 << 20) | funct7(0b11010_01)
             }
-            FpCvtOp::WFromD => {
-                OP_FP | rd(d) | funct3(0b001) | frs1_(frs1) | funct7(0b11000_01)
-            }
+            FpCvtOp::WFromD => OP_FP | rd(d) | funct3(0b001) | frs1_(frs1) | funct7(0b11000_01),
             FpCvtOp::WuFromD => {
                 OP_FP | rd(d) | funct3(0b001) | frs1_(frs1) | (1 << 20) | funct7(0b11000_01)
             }
@@ -297,8 +389,17 @@ pub fn encode(inst: &Instruction) -> u32 {
             FpCvtOp::MvXW => OP_FP | rd(d) | frs1_(frs1) | funct7(0b11100_00),
             FpCvtOp::MvWX => OP_FP | frd_(frd) | rs1(s1) | funct7(0b11110_00),
         },
-        Instruction::Frep { is_outer, max_rpt, n_instr, stagger_max, stagger_mask } => {
-            assert!(n_instr >= 1, "frep body must contain at least one instruction");
+        Instruction::Frep {
+            is_outer,
+            max_rpt,
+            n_instr,
+            stagger_max,
+            stagger_mask,
+        } => {
+            assert!(
+                n_instr >= 1,
+                "frep body must contain at least one instruction"
+            );
             CUSTOM0
                 | (u32::from(is_outer) << 7)
                 | ((u32::from(stagger_mask) & 0xF) << 8)
@@ -398,7 +499,10 @@ mod tests {
     #[test]
     fn jal_offset_fields() {
         // jal x1, 2048 -> 0x001000ef ... (imm 0x800: bit11=1)
-        let j = Instruction::Jal { rd: IntReg::RA, offset: 2048 };
+        let j = Instruction::Jal {
+            rd: IntReg::RA,
+            offset: 2048,
+        };
         assert_eq!(encode(&j), 0x0010_00EF);
     }
 

@@ -224,13 +224,7 @@ impl MulDivOp {
                     sa.wrapping_div(sb) as u32
                 }
             }
-            MulDivOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             MulDivOp::Rem => {
                 if b == 0 {
                     a
@@ -453,19 +447,53 @@ pub enum Instruction {
     /// `jal rd, offset`.
     Jal { rd: IntReg, offset: i32 },
     /// `jalr rd, rs1, offset`.
-    Jalr { rd: IntReg, rs1: IntReg, offset: i32 },
+    Jalr {
+        rd: IntReg,
+        rs1: IntReg,
+        offset: i32,
+    },
     /// Conditional branch.
-    Branch { op: BranchOp, rs1: IntReg, rs2: IntReg, offset: i32 },
+    Branch {
+        op: BranchOp,
+        rs1: IntReg,
+        rs2: IntReg,
+        offset: i32,
+    },
     /// Integer load.
-    Load { op: LoadOp, rd: IntReg, rs1: IntReg, offset: i32 },
+    Load {
+        op: LoadOp,
+        rd: IntReg,
+        rs1: IntReg,
+        offset: i32,
+    },
     /// Integer store.
-    Store { op: StoreOp, rs2: IntReg, rs1: IntReg, offset: i32 },
+    Store {
+        op: StoreOp,
+        rs2: IntReg,
+        rs1: IntReg,
+        offset: i32,
+    },
     /// Register-immediate ALU op (`Sub` is invalid here).
-    OpImm { op: AluOp, rd: IntReg, rs1: IntReg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: IntReg,
+        rs1: IntReg,
+        imm: i32,
+    },
     /// Register-register ALU op.
-    Op { op: AluOp, rd: IntReg, rs1: IntReg, rs2: IntReg },
+    Op {
+        op: AluOp,
+        rd: IntReg,
+        rs1: IntReg,
+        rs2: IntReg,
+    },
     /// RV32M multiply/divide.
-    MulDiv { op: MulDivOp, rd: IntReg, rs1: IntReg, rs2: IntReg },
+    MulDiv {
+        op: MulDivOp,
+        rd: IntReg,
+        rs1: IntReg,
+        rs2: IntReg,
+    },
     /// Memory fence (a timing no-op in this single-core model).
     Fence,
     /// Environment call: halts the simulation (used as program exit).
@@ -473,22 +501,66 @@ pub enum Instruction {
     /// Breakpoint: halts the simulation with an error.
     Ebreak,
     /// CSR read-modify-write.
-    Csr { op: CsrOp, rd: IntReg, csr: u16, src: CsrSrc },
+    Csr {
+        op: CsrOp,
+        rd: IntReg,
+        csr: u16,
+        src: CsrSrc,
+    },
     /// FP load (`flw`/`fld`).
-    FpLoad { fmt: FpFormat, frd: FpReg, rs1: IntReg, offset: i32 },
+    FpLoad {
+        fmt: FpFormat,
+        frd: FpReg,
+        rs1: IntReg,
+        offset: i32,
+    },
     /// FP store (`fsw`/`fsd`).
-    FpStore { fmt: FpFormat, frs2: FpReg, rs1: IntReg, offset: i32 },
+    FpStore {
+        fmt: FpFormat,
+        frs2: FpReg,
+        rs1: IntReg,
+        offset: i32,
+    },
     /// Two-operand FP compute op.
-    FpBin { op: FpBinOp, fmt: FpFormat, frd: FpReg, frs1: FpReg, frs2: FpReg },
+    FpBin {
+        op: FpBinOp,
+        fmt: FpFormat,
+        frd: FpReg,
+        frs1: FpReg,
+        frs2: FpReg,
+    },
     /// Fused multiply-add family (three sources).
-    FpFma { op: FmaOp, fmt: FpFormat, frd: FpReg, frs1: FpReg, frs2: FpReg, frs3: FpReg },
+    FpFma {
+        op: FmaOp,
+        fmt: FpFormat,
+        frd: FpReg,
+        frs1: FpReg,
+        frs2: FpReg,
+        frs3: FpReg,
+    },
     /// Square root.
-    FpSqrt { fmt: FpFormat, frd: FpReg, frs1: FpReg },
+    FpSqrt {
+        fmt: FpFormat,
+        frd: FpReg,
+        frs1: FpReg,
+    },
     /// FP comparison writing an integer register.
-    FpCmp { op: FpCmpOp, fmt: FpFormat, rd: IntReg, frs1: FpReg, frs2: FpReg },
+    FpCmp {
+        op: FpCmpOp,
+        fmt: FpFormat,
+        rd: IntReg,
+        frs1: FpReg,
+        frs2: FpReg,
+    },
     /// Conversion / cross-file move. Exactly one of the register pairs is
     /// meaningful per op; the others are ignored (see [`FpCvtOp`]).
-    FpCvt { op: FpCvtOp, rd: IntReg, frd: FpReg, rs1: IntReg, frs1: FpReg },
+    FpCvt {
+        op: FpCvtOp,
+        rd: IntReg,
+        frd: FpReg,
+        rs1: IntReg,
+        frs1: FpReg,
+    },
     /// `frep.o`/`frep.i`: repeat the next `n_instr` FP instructions
     /// `rpt(rs1) + 1` times. `is_outer` selects loop order (outer repeats the
     /// whole block; inner repeats each instruction). `stagger_max`/
@@ -552,7 +624,9 @@ impl Instruction {
                 let _ = op;
                 vec![frs1, frs2]
             }
-            Instruction::FpFma { frs1, frs2, frs3, .. } => vec![frs1, frs2, frs3],
+            Instruction::FpFma {
+                frs1, frs2, frs3, ..
+            } => vec![frs1, frs2, frs3],
             Instruction::FpSqrt { frs1, .. } => vec![frs1],
             Instruction::FpCmp { frs1, frs2, .. } => vec![frs1, frs2],
             Instruction::FpCvt { op, frs1, .. } if !op.reads_int() => vec![frs1],
@@ -590,7 +664,10 @@ impl Instruction {
                 v.push(rs1);
                 v.push(rs2);
             }
-            Instruction::Csr { src: CsrSrc::Reg(rs1), .. } => v.push(rs1),
+            Instruction::Csr {
+                src: CsrSrc::Reg(rs1),
+                ..
+            } => v.push(rs1),
             Instruction::FpCvt { op, rs1, .. } if op.reads_int() => v.push(rs1),
             Instruction::Frep { max_rpt, .. } => v.push(max_rpt),
             Instruction::Scfgwi { rs1, .. } => v.push(rs1),
@@ -633,13 +710,28 @@ impl fmt::Display for Instruction {
             Instruction::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", imm >> 12),
             Instruction::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
             Instruction::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
-            Instruction::Branch { op, rs1, rs2, offset } => {
+            Instruction::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {offset}", op.mnemonic())
             }
-            Instruction::Load { op, rd, rs1, offset } => {
+            Instruction::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 write!(f, "{} {rd}, {offset}({rs1})", op.mnemonic())
             }
-            Instruction::Store { op, rs2, rs1, offset } => {
+            Instruction::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 write!(f, "{} {rs2}, {offset}({rs1})", op.mnemonic())
             }
             Instruction::OpImm { op, rd, rs1, imm } => {
@@ -666,18 +758,54 @@ impl fmt::Display for Instruction {
                 CsrSrc::Reg(rs1) => write!(f, "{op} {rd}, {csr:#x}, {rs1}"),
                 CsrSrc::Imm(imm) => write!(f, "{op}i {rd}, {csr:#x}, {imm}"),
             },
-            Instruction::FpLoad { fmt, frd, rs1, offset } => {
-                let m = if fmt == FpFormat::Double { "fld" } else { "flw" };
+            Instruction::FpLoad {
+                fmt,
+                frd,
+                rs1,
+                offset,
+            } => {
+                let m = if fmt == FpFormat::Double {
+                    "fld"
+                } else {
+                    "flw"
+                };
                 write!(f, "{m} {frd}, {offset}({rs1})")
             }
-            Instruction::FpStore { fmt, frs2, rs1, offset } => {
-                let m = if fmt == FpFormat::Double { "fsd" } else { "fsw" };
+            Instruction::FpStore {
+                fmt,
+                frs2,
+                rs1,
+                offset,
+            } => {
+                let m = if fmt == FpFormat::Double {
+                    "fsd"
+                } else {
+                    "fsw"
+                };
                 write!(f, "{m} {frs2}, {offset}({rs1})")
             }
-            Instruction::FpBin { op, fmt, frd, frs1, frs2 } => {
-                write!(f, "{}.{} {frd}, {frs1}, {frs2}", op.mnemonic(), fmt.suffix())
+            Instruction::FpBin {
+                op,
+                fmt,
+                frd,
+                frs1,
+                frs2,
+            } => {
+                write!(
+                    f,
+                    "{}.{} {frd}, {frs1}, {frs2}",
+                    op.mnemonic(),
+                    fmt.suffix()
+                )
             }
-            Instruction::FpFma { op, fmt, frd, frs1, frs2, frs3 } => write!(
+            Instruction::FpFma {
+                op,
+                fmt,
+                frd,
+                frs1,
+                frs2,
+                frs3,
+            } => write!(
                 f,
                 "{}.{} {frd}, {frs1}, {frs2}, {frs3}",
                 op.mnemonic(),
@@ -686,10 +814,22 @@ impl fmt::Display for Instruction {
             Instruction::FpSqrt { fmt, frd, frs1 } => {
                 write!(f, "fsqrt.{} {frd}, {frs1}", fmt.suffix())
             }
-            Instruction::FpCmp { op, fmt, rd, frs1, frs2 } => {
+            Instruction::FpCmp {
+                op,
+                fmt,
+                rd,
+                frs1,
+                frs2,
+            } => {
                 write!(f, "{}.{} {rd}, {frs1}, {frs2}", op.mnemonic(), fmt.suffix())
             }
-            Instruction::FpCvt { op, rd, frd, rs1, frs1 } => {
+            Instruction::FpCvt {
+                op,
+                rd,
+                frd,
+                rs1,
+                frs1,
+            } => {
                 if op.writes_int() {
                     write!(f, "{} {rd}, {frs1}", op.mnemonic())
                 } else if op.reads_int() {
@@ -698,7 +838,13 @@ impl fmt::Display for Instruction {
                     write!(f, "{} {frd}, {frs1}", op.mnemonic())
                 }
             }
-            Instruction::Frep { is_outer, max_rpt, n_instr, stagger_max, stagger_mask } => {
+            Instruction::Frep {
+                is_outer,
+                max_rpt,
+                n_instr,
+                stagger_max,
+                stagger_mask,
+            } => {
                 let m = if is_outer { "frep.o" } else { "frep.i" };
                 write!(f, "{m} {max_rpt}, {n_instr}, {stagger_max}, {stagger_mask}")
             }

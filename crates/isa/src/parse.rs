@@ -50,7 +50,10 @@ impl std::error::Error for ParseAsmError {}
 
 impl From<AsmError> for ParseAsmError {
     fn from(e: AsmError) -> Self {
-        ParseAsmError { line: 0, message: e.to_string() }
+        ParseAsmError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -80,7 +83,11 @@ pub fn parse_asm(src: &str) -> Result<Program, ParseAsmError> {
         while let Some(colon) = rest.find(':') {
             let (label, after) = rest.split_at(colon);
             let label = label.trim();
-            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
                 break;
             }
             b.label(label);
@@ -91,7 +98,10 @@ pub fn parse_asm(src: &str) -> Result<Program, ParseAsmError> {
         }
         parse_instruction(&mut b, rest, line)?;
     }
-    b.build().map_err(|e| ParseAsmError { line: 0, message: e.to_string() })
+    b.build().map_err(|e| ParseAsmError {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 struct Operands<'a> {
@@ -102,7 +112,10 @@ struct Operands<'a> {
 
 impl<'a> Operands<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseAsmError {
-        ParseAsmError { line: self.line, message: format!("{}: {}", self.mnemonic, msg.into()) }
+        ParseAsmError {
+            line: self.line,
+            message: format!("{}: {}", self.mnemonic, msg.into()),
+        }
     }
 
     fn count(&self, n: usize) -> Result<(), ParseAsmError> {
@@ -133,8 +146,12 @@ impl<'a> Operands<'a> {
     /// Parses `offset(base)` memory operands.
     fn mem(&self, i: usize) -> Result<(i32, IntReg), ParseAsmError> {
         let s = self.parts[i];
-        let open = s.find('(').ok_or_else(|| self.err(format!("`{s}` is not offset(base)")))?;
-        let close = s.rfind(')').ok_or_else(|| self.err(format!("`{s}` is not offset(base)")))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| self.err(format!("`{s}` is not offset(base)")))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| self.err(format!("`{s}` is not offset(base)")))?;
         let off_str = s[..open].trim();
         let offset = if off_str.is_empty() {
             0
@@ -180,7 +197,11 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
     } else {
         operand_text.split(',').map(str::trim).collect()
     };
-    let ops = Operands { parts, line, mnemonic };
+    let ops = Operands {
+        parts,
+        line,
+        mnemonic,
+    };
 
     match mnemonic {
         // ---- integer ALU ------------------------------------------------
@@ -266,7 +287,12 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
                 _ => LoadOp::Lbu,
             };
             let (offset, rs1) = ops.mem(1)?;
-            b.push(Instruction::Load { op, rd: ops.int_reg(0)?, rs1, offset });
+            b.push(Instruction::Load {
+                op,
+                rd: ops.int_reg(0)?,
+                rs1,
+                offset,
+            });
         }
         "sw" | "sh" | "sb" => {
             ops.count(2)?;
@@ -276,19 +302,42 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
                 _ => StoreOp::Sb,
             };
             let (offset, rs1) = ops.mem(1)?;
-            b.push(Instruction::Store { op, rs2: ops.int_reg(0)?, rs1, offset });
+            b.push(Instruction::Store {
+                op,
+                rs2: ops.int_reg(0)?,
+                rs1,
+                offset,
+            });
         }
         "fld" | "flw" => {
             ops.count(2)?;
-            let fmt = if mnemonic == "fld" { FpFormat::Double } else { FpFormat::Single };
+            let fmt = if mnemonic == "fld" {
+                FpFormat::Double
+            } else {
+                FpFormat::Single
+            };
             let (offset, rs1) = ops.mem(1)?;
-            b.push(Instruction::FpLoad { fmt, frd: ops.fp_reg(0)?, rs1, offset });
+            b.push(Instruction::FpLoad {
+                fmt,
+                frd: ops.fp_reg(0)?,
+                rs1,
+                offset,
+            });
         }
         "fsd" | "fsw" => {
             ops.count(2)?;
-            let fmt = if mnemonic == "fsd" { FpFormat::Double } else { FpFormat::Single };
+            let fmt = if mnemonic == "fsd" {
+                FpFormat::Double
+            } else {
+                FpFormat::Single
+            };
             let (offset, rs1) = ops.mem(1)?;
-            b.push(Instruction::FpStore { fmt, frs2: ops.fp_reg(0)?, rs1, offset });
+            b.push(Instruction::FpStore {
+                fmt,
+                frs2: ops.fp_reg(0)?,
+                rs1,
+                offset,
+            });
         }
         // ---- branches / jumps ---------------------------------------------
         "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
@@ -315,17 +364,16 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
         }
         // The paper writes `bneq`; accept it as `bne`.
         "bneq" => {
-            return parse_instruction(
-                b,
-                &text.replacen("bneq", "bne", 1),
-                line,
-            );
+            return parse_instruction(b, &text.replacen("bneq", "bne", 1), line);
         }
         "jal" => match ops.parts.len() {
             1 => b.j(ops.label(0)),
             2 => {
                 if let Some(off) = parse_imm(ops.label(1)) {
-                    b.push(Instruction::Jal { rd: ops.int_reg(0)?, offset: off as i32 });
+                    b.push(Instruction::Jal {
+                        rd: ops.int_reg(0)?,
+                        offset: off as i32,
+                    });
                 } else {
                     return Err(ops.err("jal with label target supports only `jal label`"));
                 }
@@ -335,7 +383,11 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
         "jalr" => {
             ops.count(2)?;
             let (offset, rs1) = ops.mem(1)?;
-            b.push(Instruction::Jalr { rd: ops.int_reg(0)?, rs1, offset });
+            b.push(Instruction::Jalr {
+                rd: ops.int_reg(0)?,
+                rs1,
+                offset,
+            });
         }
         "j" => {
             ops.count(1)?;
@@ -552,7 +604,11 @@ mod tests {
         assert_eq!(prog.len(), 4);
         assert!(matches!(
             prog.fetch(12).unwrap(),
-            Instruction::Branch { op: BranchOp::Ne, offset: -12, .. }
+            Instruction::Branch {
+                op: BranchOp::Ne,
+                offset: -12,
+                ..
+            }
         ));
     }
 
@@ -621,7 +677,11 @@ mod tests {
         .unwrap();
         assert!(matches!(
             prog.fetch(4).unwrap(),
-            Instruction::Frep { is_outer: true, n_instr: 4, .. }
+            Instruction::Frep {
+                is_outer: true,
+                n_instr: 4,
+                ..
+            }
         ));
     }
 

@@ -49,7 +49,7 @@ impl Program {
     /// Misaligned addresses return `None`.
     #[must_use]
     pub fn fetch(&self, pc: u32) -> Option<Instruction> {
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return None;
         }
         self.code.get((pc / 4) as usize).copied()
@@ -85,8 +85,14 @@ impl Program {
     ///
     /// Returns the first [`crate::DecodeError`] encountered.
     pub fn from_words(words: &[u32]) -> Result<Self, crate::DecodeError> {
-        let code = words.iter().map(|w| crate::decode(*w)).collect::<Result<Vec<_>, _>>()?;
-        Ok(Program { code, symbols: BTreeMap::new() })
+        let code = words
+            .iter()
+            .map(|w| crate::decode(*w))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program {
+            code,
+            symbols: BTreeMap::new(),
+        })
     }
 
     /// Renders a disassembly listing with addresses and labels.
@@ -125,7 +131,10 @@ mod tests {
 
     #[test]
     fn fetch_rejects_misaligned() {
-        let prog = Program::new(vec![Instruction::NOP, Instruction::Ecall], Default::default());
+        let prog = Program::new(
+            vec![Instruction::NOP, Instruction::Ecall],
+            Default::default(),
+        );
         assert!(prog.fetch(2).is_none());
         assert_eq!(prog.fetch(4), Some(Instruction::Ecall));
     }

@@ -55,12 +55,20 @@ fn alu_op() -> impl Strategy<Value = AluOp> {
 
 fn instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
-        (int_reg(), any::<u32>()).prop_map(|(rd, v)| Instruction::Lui { rd, imm: v & 0xFFFF_F000 }),
-        (int_reg(), any::<u32>())
-            .prop_map(|(rd, v)| Instruction::Auipc { rd, imm: v & 0xFFFF_F000 }),
+        (int_reg(), any::<u32>()).prop_map(|(rd, v)| Instruction::Lui {
+            rd,
+            imm: v & 0xFFFF_F000
+        }),
+        (int_reg(), any::<u32>()).prop_map(|(rd, v)| Instruction::Auipc {
+            rd,
+            imm: v & 0xFFFF_F000
+        }),
         (int_reg(), jal_offset()).prop_map(|(rd, offset)| Instruction::Jal { rd, offset }),
-        (int_reg(), int_reg(), imm12())
-            .prop_map(|(rd, rs1, offset)| Instruction::Jalr { rd, rs1, offset }),
+        (int_reg(), int_reg(), imm12()).prop_map(|(rd, rs1, offset)| Instruction::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (
             prop_oneof![
                 Just(BranchOp::Eq),
@@ -74,7 +82,12 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             int_reg(),
             branch_offset()
         )
-            .prop_map(|(op, rs1, rs2, offset)| Instruction::Branch { op, rs1, rs2, offset }),
+            .prop_map(|(op, rs1, rs2, offset)| Instruction::Branch {
+                op,
+                rs1,
+                rs2,
+                offset
+            }),
         (
             prop_oneof![
                 Just(LoadOp::Lb),
@@ -87,14 +100,24 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             int_reg(),
             imm12()
         )
-            .prop_map(|(op, rd, rs1, offset)| Instruction::Load { op, rd, rs1, offset }),
+            .prop_map(|(op, rd, rs1, offset)| Instruction::Load {
+                op,
+                rd,
+                rs1,
+                offset
+            }),
         (
             prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
             int_reg(),
             int_reg(),
             imm12()
         )
-            .prop_map(|(op, rs2, rs1, offset)| Instruction::Store { op, rs2, rs1, offset }),
+            .prop_map(|(op, rs2, rs1, offset)| Instruction::Store {
+                op,
+                rs2,
+                rs1,
+                offset
+            }),
         (alu_op_imm(), int_reg(), int_reg(), imm12())
             .prop_map(|(op, rd, rs1, imm)| Instruction::OpImm { op, rd, rs1, imm }),
         (
@@ -126,7 +149,11 @@ fn instruction() -> impl Strategy<Value = Instruction> {
         Just(Instruction::Ecall),
         Just(Instruction::Ebreak),
         (
-            prop_oneof![Just(CsrOp::ReadWrite), Just(CsrOp::ReadSet), Just(CsrOp::ReadClear)],
+            prop_oneof![
+                Just(CsrOp::ReadWrite),
+                Just(CsrOp::ReadSet),
+                Just(CsrOp::ReadClear)
+            ],
             int_reg(),
             any::<u16>().prop_map(|c| c & 0xFFF),
             prop_oneof![
@@ -135,10 +162,22 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             ]
         )
             .prop_map(|(op, rd, csr, src)| Instruction::Csr { op, rd, csr, src }),
-        (fmt(), fp_reg(), int_reg(), imm12())
-            .prop_map(|(fmt, frd, rs1, offset)| Instruction::FpLoad { fmt, frd, rs1, offset }),
-        (fmt(), fp_reg(), int_reg(), imm12())
-            .prop_map(|(fmt, frs2, rs1, offset)| Instruction::FpStore { fmt, frs2, rs1, offset }),
+        (fmt(), fp_reg(), int_reg(), imm12()).prop_map(|(fmt, frd, rs1, offset)| {
+            Instruction::FpLoad {
+                fmt,
+                frd,
+                rs1,
+                offset,
+            }
+        }),
+        (fmt(), fp_reg(), int_reg(), imm12()).prop_map(|(fmt, frs2, rs1, offset)| {
+            Instruction::FpStore {
+                fmt,
+                frs2,
+                rs1,
+                offset,
+            }
+        }),
         (
             prop_oneof![
                 Just(FpBinOp::Add),
@@ -156,7 +195,13 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             fp_reg(),
             fp_reg()
         )
-            .prop_map(|(op, fmt, frd, frs1, frs2)| Instruction::FpBin { op, fmt, frd, frs1, frs2 }),
+            .prop_map(|(op, fmt, frd, frs1, frs2)| Instruction::FpBin {
+                op,
+                fmt,
+                frd,
+                frs1,
+                frs2
+            }),
         (
             prop_oneof![
                 Just(FmaOp::Madd),
@@ -178,8 +223,11 @@ fn instruction() -> impl Strategy<Value = Instruction> {
                 frs2,
                 frs3
             }),
-        (fmt(), fp_reg(), fp_reg())
-            .prop_map(|(fmt, frd, frs1)| Instruction::FpSqrt { fmt, frd, frs1 }),
+        (fmt(), fp_reg(), fp_reg()).prop_map(|(fmt, frd, frs1)| Instruction::FpSqrt {
+            fmt,
+            frd,
+            frs1
+        }),
         (
             prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
             fmt(),
@@ -187,7 +235,13 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             fp_reg(),
             fp_reg()
         )
-            .prop_map(|(op, fmt, rd, frs1, frs2)| Instruction::FpCmp { op, fmt, rd, frs1, frs2 }),
+            .prop_map(|(op, fmt, rd, frs1, frs2)| Instruction::FpCmp {
+                op,
+                fmt,
+                rd,
+                frs1,
+                frs2
+            }),
         fp_cvt(),
         (int_reg(), 1u16..256, 0u8..8, 0u8..16).prop_map(
             |(max_rpt, n_instr, stagger_max, stagger_mask)| Instruction::Frep {
@@ -217,11 +271,29 @@ fn fp_cvt() -> impl Strategy<Value = Instruction> {
     (op, int_reg(), fp_reg()).prop_map(|(op, ir, fr)| {
         let (z, fz) = (IntReg::ZERO, FpReg::new(0));
         if op.writes_int() {
-            Instruction::FpCvt { op, rd: ir, frd: fz, rs1: z, frs1: fr }
+            Instruction::FpCvt {
+                op,
+                rd: ir,
+                frd: fz,
+                rs1: z,
+                frs1: fr,
+            }
         } else if op.reads_int() {
-            Instruction::FpCvt { op, rd: z, frd: fr, rs1: ir, frs1: fz }
+            Instruction::FpCvt {
+                op,
+                rd: z,
+                frd: fr,
+                rs1: ir,
+                frs1: fz,
+            }
         } else {
-            Instruction::FpCvt { op, rd: z, frd: fr, rs1: z, frs1: FpReg::new(ir.index()) }
+            Instruction::FpCvt {
+                op,
+                rd: z,
+                frd: fr,
+                rs1: z,
+                frs1: FpReg::new(ir.index()),
+            }
         }
     })
 }

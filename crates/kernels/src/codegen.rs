@@ -16,11 +16,13 @@
 
 use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
 use sc_mem::MemError;
-use sc_ssr::CfgAddr;
 use sc_mem::Tcdm;
+use sc_ssr::CfgAddr;
 
+use crate::cluster_kernel::ClusterKernel;
 use crate::grid::Grid3;
-use crate::kernel::{verify_f64_exact, Kernel};
+use crate::kernel::{verify_f64_exact, CheckFn, Kernel, SetupFn};
+use crate::partition::split_ranges;
 use crate::stencil::Stencil;
 use crate::variant::Variant;
 
@@ -43,7 +45,11 @@ impl Layout {
         let coeff_base = 0x100;
         let in_base = 0x400;
         let out_base = align_up(in_base + grid.byte_len(), 64);
-        Layout { in_base, out_base, coeff_base }
+        Layout {
+            in_base,
+            out_base,
+            coeff_base,
+        }
     }
 
     /// Bytes of TCDM the layout needs.
@@ -85,10 +91,16 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::UnsupportedShape { stencil } => {
-                write!(f, "stencil `{stencil}` is not a dense box; needs indirect streams")
+                write!(
+                    f,
+                    "stencil `{stencil}` is not a dense box; needs indirect streams"
+                )
             }
             BuildError::BadUnroll { nx, unroll } => {
-                write!(f, "interior nx={nx} must be a multiple of the unroll factor {unroll}")
+                write!(
+                    f,
+                    "interior nx={nx} must be a multiple of the unroll factor {unroll}"
+                )
             }
             BuildError::TooManyCoefficients { n } => {
                 write!(f, "{n} coefficients exceed the 27 preloadable registers")
@@ -151,16 +163,26 @@ impl StencilKernel {
     ///
     /// See [`BuildError`].
     pub fn new(stencil: Stencil, grid: Grid3, variant: Variant) -> Result<Self, BuildError> {
-        let dims = box_dims(&stencil).ok_or(BuildError::UnsupportedShape { stencil: stencil.name() })?;
+        let dims = box_dims(&stencil).ok_or(BuildError::UnsupportedShape {
+            stencil: stencil.name(),
+        })?;
         let _ = dims;
-        if grid.nx % variant.unroll() != 0 {
-            return Err(BuildError::BadUnroll { nx: grid.nx, unroll: variant.unroll() });
+        if !grid.nx.is_multiple_of(variant.unroll()) {
+            return Err(BuildError::BadUnroll {
+                nx: grid.nx,
+                unroll: variant.unroll(),
+            });
         }
         if variant.uses_chaining() && stencil.len() > 27 {
             return Err(BuildError::TooManyCoefficients { n: stencil.len() });
         }
         let layout = Layout::for_grid(&grid);
-        Ok(StencilKernel { stencil, grid, variant, layout })
+        Ok(StencilKernel {
+            stencil,
+            grid,
+            variant,
+            layout,
+        })
     }
 
     /// The memory layout the generated program assumes.
@@ -180,13 +202,51 @@ impl StencilKernel {
     /// Generates the runnable [`Kernel`] (program + setup + check).
     #[must_use]
     pub fn build(&self) -> Kernel {
-        let program = self.emit();
+        let (setup, check) = self.data_fns();
+        Kernel::new(
+            format!("{}/{}", self.stencil.name(), self.variant),
+            self.emit(),
+            self.flops(),
+            setup,
+            check,
+        )
+    }
+
+    /// Generates a [`ClusterKernel`] with the grid's z-planes tiled
+    /// across `num_harts` harts. Each hart runs the same variant over a
+    /// contiguous slab (imbalance at most one plane; surplus harts get an
+    /// empty slab), marks its own measured region, and rendezvouses on
+    /// the cluster barrier before halting. A 1-hart cluster kernel uses
+    /// the identical program to [`StencilKernel::build`] plus the final
+    /// barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_harts` is zero.
+    #[must_use]
+    pub fn build_cluster(&self, num_harts: u32) -> ClusterKernel {
+        let slabs = split_ranges(self.grid.nz, num_harts, 1);
+        let programs = slabs
+            .iter()
+            .map(|&(z0, nzc)| self.emit_slab(z0, nzc, num_harts > 1))
+            .collect();
+        let (setup, check) = self.data_fns();
+        ClusterKernel::new(
+            format!("{}/{} x{num_harts}", self.stencil.name(), self.variant),
+            programs,
+            self.flops(),
+            setup,
+            check,
+        )
+    }
+
+    /// The shared data setup and whole-grid verification closures.
+    fn data_fns(&self) -> (SetupFn, CheckFn) {
         let grid = self.grid;
-        let stencil = self.stencil.clone();
         let layout = self.layout;
-        let input = grid.random_field(0x5EED ^ grid.nx as u64);
-        let golden = stencil.golden(&grid, &input);
-        let coeffs: Vec<f64> = stencil.coeffs().to_vec();
+        let input = grid.random_field(0x5EED ^ u64::from(grid.nx));
+        let golden = self.stencil.golden(&grid, &input);
+        let coeffs: Vec<f64> = self.stencil.coeffs().to_vec();
         let setup_input = input;
         let setup = move |tcdm: &mut Tcdm| -> Result<(), MemError> {
             tcdm.write_f64_slice(layout.coeff_base, &coeffs)?;
@@ -195,28 +255,28 @@ impl StencilKernel {
         };
         let check = move |tcdm: &Tcdm| {
             // The kernel writes the padded interior; verify row by row.
-            let mut idx = 0;
-            for (x, y, z) in grid.interior() {
+            for (idx, (x, y, z)) in grid.interior().enumerate() {
                 let addr = grid.addr(layout.out_base, x, y, z);
                 verify_f64_exact(tcdm, addr, &golden[idx..=idx]).map_err(|mut e| {
                     e.index = idx;
                     e
                 })?;
-                idx += 1;
             }
             Ok(())
         };
-        Kernel::new(
-            format!("{}/{}", self.stencil.name(), self.variant),
-            program,
-            self.flops(),
-            Box::new(setup),
-            Box::new(check),
-        )
+        (Box::new(setup), Box::new(check))
     }
 
-    /// Emits the program.
+    /// Emits the whole-grid program.
     fn emit(&self) -> Program {
+        self.emit_slab(0, self.grid.nz, false)
+    }
+
+    /// Emits the program for the z-plane slab `[z0, z0 + nzc)` — the
+    /// whole grid when `(0, nz)`. With `barrier`, the hart rendezvouses
+    /// on the cluster barrier before `ecall` (after its streams drain),
+    /// so no hart halts while its neighbours still stream results.
+    fn emit_slab(&self, z0: u32, nzc: u32, barrier: bool) -> Program {
         let mut b = ProgramBuilder::new();
         let grid = &self.grid;
         let v = self.variant;
@@ -225,6 +285,15 @@ impl StencilKernel {
         let (bx, by, bz) = box_dims(&self.stencil).expect("validated in new");
         let row_pitch = grid.row_pitch() as i32;
         let plane_pitch = grid.plane_pitch() as i32;
+
+        // A hart with no planes only participates in the rendezvous.
+        if nzc == 0 {
+            if barrier {
+                b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+            }
+            b.ecall();
+            return b.build().expect("empty slab program is valid");
+        }
 
         // ---- prologue -------------------------------------------------
         b.li(ir::COEFF, self.layout.coeff_base as i32);
@@ -259,28 +328,37 @@ impl StencilKernel {
         }
         if v.streams_output() {
             // SSR1: 3-D interior write stream, armed once for the whole
-            // grid (x fastest — exactly the block walk order).
+            // slab (x fastest — exactly the block walk order).
             self.cfg_word(&mut b, 1, 2, grid.nx as i32 - 1);
             self.cfg_word(&mut b, 1, 3, grid.ny as i32 - 1);
-            self.cfg_word(&mut b, 1, 4, grid.nz as i32 - 1);
+            self.cfg_word(&mut b, 1, 4, nzc as i32 - 1);
             self.cfg_word(&mut b, 1, 6, 8);
             self.cfg_word(&mut b, 1, 7, row_pitch);
             self.cfg_word(&mut b, 1, 8, plane_pitch);
-            b.li(ir::TMP, grid.addr(self.layout.out_base, 1, 1, 1) as i32);
+            b.li(
+                ir::TMP,
+                grid.addr(self.layout.out_base, 1, 1, 1 + z0) as i32,
+            );
             b.scfgwi(ir::TMP, CfgAddr { dm: 1, reg: 28 + 2 }.to_imm()); // arm 3-D write
         }
 
         // Loop bookkeeping registers. The window corner of the first
         // output block sits one halo behind the output in every dimension
         // the stencil extends into (z stays put for planar stencils).
-        let z_start = Grid3::HALO - bz / 2;
-        b.li(ir::INPTR, grid.addr(self.layout.in_base, 0, 0, z_start) as i32);
+        let z_start = Grid3::HALO - bz / 2 + z0;
+        b.li(
+            ir::INPTR,
+            grid.addr(self.layout.in_base, 0, 0, z_start) as i32,
+        );
         if !v.streams_output() {
-            b.li(ir::OUTPTR, grid.addr(self.layout.out_base, 1, 1, 1) as i32);
+            b.li(
+                ir::OUTPTR,
+                grid.addr(self.layout.out_base, 1, 1, 1 + z0) as i32,
+            );
         }
         b.li(ir::XEND, (grid.nx / u) as i32);
         b.li(ir::YEND, grid.ny as i32);
-        b.li(ir::ZEND, grid.nz as i32);
+        b.li(ir::ZEND, nzc as i32);
         if v.streams_coefficients() {
             b.li(ir::FREP, n as i32 - 2); // n-1 frep iterations (k = 1..n)
         }
@@ -337,6 +415,9 @@ impl StencilKernel {
             b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
         }
         b.csrrw(IntReg::ZERO, csr::SSR_ENABLE, IntReg::ZERO);
+        if barrier {
+            b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+        }
         b.ecall();
         b.build().expect("stencil codegen produces valid programs")
     }
@@ -483,15 +564,15 @@ mod tests {
 
     #[test]
     fn star_stencil_is_rejected() {
-        let err = StencilKernel::new(Stencil::j3d7pt(), Grid3::new(8, 4, 4), Variant::Base)
-            .unwrap_err();
+        let err =
+            StencilKernel::new(Stencil::j3d7pt(), Grid3::new(8, 4, 4), Variant::Base).unwrap_err();
         assert!(matches!(err, BuildError::UnsupportedShape { .. }));
     }
 
     #[test]
     fn bad_unroll_is_rejected() {
-        let err = StencilKernel::new(Stencil::box3d1r(), Grid3::new(6, 4, 4), Variant::Base)
-            .unwrap_err();
+        let err =
+            StencilKernel::new(Stencil::box3d1r(), Grid3::new(6, 4, 4), Variant::Base).unwrap_err();
         assert_eq!(err, BuildError::BadUnroll { nx: 6, unroll: 8 });
         // 6 is fine for the chained variants (unroll 4 divides... it does not).
         let err = StencilKernel::new(Stencil::box3d1r(), Grid3::new(6, 4, 4), Variant::Chaining)

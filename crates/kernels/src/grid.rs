@@ -100,7 +100,9 @@ impl Grid3 {
     #[must_use]
     pub fn random_field(&self, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..self.padded_len()).map(|_| rng.gen_range(-1.0..1.0)).collect()
+        (0..self.padded_len())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect()
     }
 
     /// Iterates over interior coordinates `(x, y, z)` in memory order.

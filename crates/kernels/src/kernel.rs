@@ -35,6 +35,8 @@ impl std::error::Error for VerifyError {}
 pub enum KernelError {
     /// The simulation itself failed.
     Sim(SimError),
+    /// A cluster simulation failed (hart-tagged).
+    Cluster(sc_cluster::ClusterError),
     /// Data setup failed (layout outside the TCDM).
     Mem(MemError),
     /// The kernel ran but produced wrong results.
@@ -45,6 +47,7 @@ impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KernelError::Sim(e) => write!(f, "simulation error: {e}"),
+            KernelError::Cluster(e) => write!(f, "cluster simulation error: {e}"),
             KernelError::Mem(e) => write!(f, "data setup error: {e}"),
             KernelError::Verify(e) => write!(f, "verification error: {e}"),
         }
@@ -56,6 +59,12 @@ impl std::error::Error for KernelError {}
 impl From<SimError> for KernelError {
     fn from(e: SimError) -> Self {
         KernelError::Sim(e)
+    }
+}
+
+impl From<sc_cluster::ClusterError> for KernelError {
+    fn from(e: sc_cluster::ClusterError) -> Self {
+        KernelError::Cluster(e)
     }
 }
 
@@ -71,8 +80,10 @@ impl From<VerifyError> for KernelError {
     }
 }
 
-type SetupFn = Box<dyn Fn(&mut Tcdm) -> Result<(), MemError> + Send + Sync>;
-type CheckFn = Box<dyn Fn(&Tcdm) -> Result<(), VerifyError> + Send + Sync>;
+/// Writes a kernel's input data into a TCDM.
+pub type SetupFn = Box<dyn Fn(&mut Tcdm) -> Result<(), MemError> + Send + Sync>;
+/// Checks a TCDM against a kernel's golden model.
+pub type CheckFn = Box<dyn Fn(&Tcdm) -> Result<(), VerifyError> + Send + Sync>;
 
 /// A runnable kernel: program + data setup + golden-model check.
 pub struct Kernel {
@@ -93,7 +104,13 @@ impl Kernel {
         setup: SetupFn,
         check: CheckFn,
     ) -> Self {
-        Kernel { name: name.into(), program, flops, setup, check }
+        Kernel {
+            name: name.into(),
+            program,
+            flops,
+            setup,
+            check,
+        }
     }
 
     /// The kernel's display name (e.g. `"box3d1r/Chaining+"`).
@@ -126,6 +143,26 @@ impl Kernel {
         let summary = sim.run(max_cycles)?;
         (self.check)(sim.tcdm())?;
         Ok(KernelRun { summary })
+    }
+
+    /// Writes the kernel's input data into `tcdm` — for callers driving a
+    /// simulator (or cluster) themselves, e.g. the cycle-equivalence
+    /// tests.
+    ///
+    /// # Errors
+    ///
+    /// Functional memory errors if the layout does not fit.
+    pub fn apply_setup(&self, tcdm: &mut Tcdm) -> Result<(), MemError> {
+        (self.setup)(tcdm)
+    }
+
+    /// Checks `tcdm` against the kernel's golden model.
+    ///
+    /// # Errors
+    ///
+    /// The first mismatching element.
+    pub fn verify(&self, tcdm: &Tcdm) -> Result<(), VerifyError> {
+        (self.check)(tcdm)
     }
 }
 
@@ -163,9 +200,17 @@ pub fn verify_f64_exact(tcdm: &Tcdm, base: u32, want: &[f64]) -> Result<(), Veri
     for (i, w) in want.iter().enumerate() {
         let got = tcdm
             .read_f64(base + 8 * i as u32)
-            .map_err(|_| VerifyError { index: i, got: f64::NAN, want: *w })?;
+            .map_err(|_| VerifyError {
+                index: i,
+                got: f64::NAN,
+                want: *w,
+            })?;
         if got.to_bits() != w.to_bits() {
-            return Err(VerifyError { index: i, got, want: *w });
+            return Err(VerifyError {
+                index: i,
+                got,
+                want: *w,
+            });
         }
     }
     Ok(())
@@ -182,7 +227,11 @@ mod tests {
         let a0 = sc_isa::IntReg::new(10);
         b.li(a0, 0x100);
         b.fld(sc_isa::FpReg::new(4), a0, 0);
-        b.fadd_d(sc_isa::FpReg::new(5), sc_isa::FpReg::new(4), sc_isa::FpReg::new(4));
+        b.fadd_d(
+            sc_isa::FpReg::new(5),
+            sc_isa::FpReg::new(4),
+            sc_isa::FpReg::new(4),
+        );
         b.fsd(sc_isa::FpReg::new(5), a0, 8);
         b.ecall();
         Kernel::new(

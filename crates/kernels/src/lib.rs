@@ -27,18 +27,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cluster_kernel;
 mod codegen;
 mod grid;
 mod kernel;
+mod partition;
 mod star;
 mod stencil;
 mod variant;
 mod vecop;
 
+pub use cluster_kernel::{ClusterKernel, ClusterKernelRun};
 pub use codegen::{BuildError, Layout, StencilKernel};
-pub use star::{StarBuildError, StarStencilKernel, StarVariant};
 pub use grid::Grid3;
-pub use kernel::{verify_f64_exact, Kernel, KernelError, KernelRun, VerifyError};
+pub use kernel::{verify_f64_exact, CheckFn, Kernel, KernelError, KernelRun, SetupFn, VerifyError};
+pub use partition::split_ranges;
+pub use star::{StarBuildError, StarStencilKernel, StarVariant};
 pub use stencil::Stencil;
 pub use variant::Variant;
 pub use vecop::{VecOpKernel, VecOpVariant};

@@ -1,0 +1,85 @@
+//! Work partitioning: tiling a kernel's iteration space across the harts
+//! of a cluster.
+//!
+//! The split is 1-D and contiguous — z-planes for the stencils, element
+//! ranges for the vecop — in units of a *quantum* (the codegen's unroll
+//! granule). Remainder quanta go to the lowest-numbered harts, so the
+//! imbalance is at most one quantum and the schedule is deterministic.
+
+/// Splits `total` work items (a multiple of `quantum`) into
+/// `parts` contiguous `(start, len)` ranges, each a multiple of
+/// `quantum`. Ranges may be empty when there are more harts than quanta.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero, `quantum` is zero, or `total` is not a
+/// multiple of `quantum`.
+#[must_use]
+pub fn split_ranges(total: u32, parts: u32, quantum: u32) -> Vec<(u32, u32)> {
+    assert!(parts > 0, "cannot partition over zero harts");
+    assert!(quantum > 0, "quantum must be positive");
+    assert_eq!(
+        total % quantum,
+        0,
+        "total {total} must be a multiple of the quantum {quantum}"
+    );
+    let units = total / quantum;
+    let base = units / parts;
+    let rem = units % parts;
+    let mut start = 0;
+    (0..parts)
+        .map(|h| {
+            let len = (base + u32::from(h < rem)) * quantum;
+            let range = (start, len);
+            start += len;
+            range
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_everything_contiguously() {
+        for (total, parts, quantum) in [
+            (24, 4, 4),
+            (24, 3, 8),
+            (7, 7, 1),
+            (8, 3, 1),
+            (40, 8, 4),
+            (4, 8, 4),
+        ] {
+            let ranges = split_ranges(total, parts, quantum);
+            assert_eq!(ranges.len(), parts as usize);
+            let mut expect_start = 0;
+            for (start, len) in &ranges {
+                assert_eq!(*start, expect_start, "ranges must be contiguous");
+                assert_eq!(len % quantum, 0, "each range must respect the quantum");
+                expect_start += len;
+            }
+            assert_eq!(expect_start, total, "ranges must cover the whole space");
+        }
+    }
+
+    #[test]
+    fn imbalance_is_at_most_one_quantum() {
+        let ranges = split_ranges(40, 3, 4);
+        let lens: Vec<u32> = ranges.iter().map(|(_, l)| *l).collect();
+        assert_eq!(lens.iter().sum::<u32>(), 40);
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 4);
+    }
+
+    #[test]
+    fn surplus_harts_get_empty_ranges() {
+        let ranges = split_ranges(8, 4, 4);
+        assert_eq!(ranges, vec![(0, 4), (4, 4), (8, 0), (8, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the quantum")]
+    fn misaligned_total_is_rejected() {
+        let _ = split_ranges(10, 2, 4);
+    }
+}

@@ -83,7 +83,10 @@ impl std::fmt::Display for StarBuildError {
                 write!(f, "padded grid of {padded} elements exceeds u16 indexing")
             }
             StarBuildError::TooManyTaps { taps } => {
-                write!(f, "{taps} taps exceed the preloadable coefficient registers")
+                write!(
+                    f,
+                    "{taps} taps exceed the preloadable coefficient registers"
+                )
             }
         }
     }
@@ -117,11 +120,13 @@ impl StarStencilKernel {
         grid: Grid3,
         variant: StarVariant,
     ) -> Result<Self, StarBuildError> {
-        if grid.nx % UNROLL != 0 {
+        if !grid.nx.is_multiple_of(UNROLL) {
             return Err(StarBuildError::BadWidth { nx: grid.nx });
         }
         if grid.padded_len() > usize::from(u16::MAX) + 1 {
-            return Err(StarBuildError::GridTooLarge { padded: grid.padded_len() });
+            return Err(StarBuildError::GridTooLarge {
+                padded: grid.padded_len(),
+            });
         }
         let max_taps = match variant {
             StarVariant::Chained => 27,
@@ -129,9 +134,15 @@ impl StarStencilKernel {
             StarVariant::Unrolled => 23,
         };
         if stencil.len() > max_taps {
-            return Err(StarBuildError::TooManyTaps { taps: stencil.len() });
+            return Err(StarBuildError::TooManyTaps {
+                taps: stencil.len(),
+            });
         }
-        Ok(StarStencilKernel { stencil, grid, variant })
+        Ok(StarStencilKernel {
+            stencil,
+            grid,
+            variant,
+        })
     }
 
     fn out_base(&self) -> u32 {
@@ -185,14 +196,12 @@ impl StarStencilKernel {
             Ok(())
         };
         let check = move |tcdm: &Tcdm| {
-            let mut i = 0;
-            for (x, y, z) in grid.interior() {
+            for (i, (x, y, z)) in grid.interior().enumerate() {
                 let addr = grid.addr(out_base, x, y, z);
                 verify_f64_exact(tcdm, addr, &golden[i..=i]).map_err(|mut e| {
                     e.index = i;
                     e
                 })?;
-                i += 1;
             }
             Ok(())
         };
@@ -218,8 +227,12 @@ impl StarStencilKernel {
             IntReg::new(17),
             IntReg::new(18),
         );
-        let (idxptr, outptr, rep, coeffb) =
-            (IntReg::new(20), IntReg::new(21), IntReg::new(19), IntReg::new(14));
+        let (idxptr, outptr, rep, coeffb) = (
+            IntReg::new(20),
+            IntReg::new(21),
+            IntReg::new(19),
+            IntReg::new(14),
+        );
         let acc_chained = FpReg::FT3;
         let coeff = |k: u32| FpReg::new(5 + k as u8);
         // Plain accumulators live above the coefficient window (which
@@ -333,10 +346,15 @@ mod tests {
     fn dense_box_through_indirection_matches_golden_too() {
         // The gather path must agree with the golden model even for shapes
         // the affine path could also handle.
-        let gen =
-            StarStencilKernel::new(Stencil::box2d1r(), Grid3::new(8, 4, 1), StarVariant::Chained)
-                .expect("valid");
-        gen.build().run(CoreConfig::new(), 10_000_000).expect("verifies");
+        let gen = StarStencilKernel::new(
+            Stencil::box2d1r(),
+            Grid3::new(8, 4, 1),
+            StarVariant::Chained,
+        )
+        .expect("valid");
+        gen.build()
+            .run(CoreConfig::new(), 10_000_000)
+            .expect("verifies");
     }
 
     #[test]
@@ -363,9 +381,12 @@ mod tests {
 
     #[test]
     fn oversized_grid_rejected() {
-        let err =
-            StarStencilKernel::new(Stencil::j3d7pt(), Grid3::new(64, 64, 64), StarVariant::Chained)
-                .unwrap_err();
+        let err = StarStencilKernel::new(
+            Stencil::j3d7pt(),
+            Grid3::new(64, 64, 64),
+            StarVariant::Chained,
+        )
+        .unwrap_err();
         assert!(matches!(err, StarBuildError::GridTooLarge { .. }));
     }
 

@@ -32,7 +32,11 @@ impl Stencil {
     pub fn new(name: &'static str, offsets: Vec<(i32, i32, i32)>, coeffs: Vec<f64>) -> Self {
         assert_eq!(offsets.len(), coeffs.len(), "one coefficient per offset");
         assert!(!offsets.is_empty(), "stencil must have at least one point");
-        Stencil { name, offsets, coeffs }
+        Stencil {
+            name,
+            offsets,
+            coeffs,
+        }
     }
 
     /// The 27-point box stencil of radius 1 (`box3d1r` in SARIS) with
@@ -41,7 +45,9 @@ impl Stencil {
     pub fn box3d1r() -> Self {
         let mut rng = StdRng::seed_from_u64(0x0b0c_3d17);
         let offsets = box_offsets();
-        let coeffs = (0..offsets.len()).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let coeffs = (0..offsets.len())
+            .map(|_| rng.gen_range(0.01..1.0))
+            .collect();
         Stencil::new("box3d1r", offsets, coeffs)
     }
 
@@ -81,7 +87,15 @@ impl Stencil {
             (0, 1, 0),
             (0, 0, 1),
         ];
-        let coeffs = vec![1.0 / 12.0, 1.0 / 12.0, 1.0 / 12.0, 0.5, 1.0 / 12.0, 1.0 / 12.0, 1.0 / 12.0];
+        let coeffs = vec![
+            1.0 / 12.0,
+            1.0 / 12.0,
+            1.0 / 12.0,
+            0.5,
+            1.0 / 12.0,
+            1.0 / 12.0,
+            1.0 / 12.0,
+        ];
         Stencil::new("j3d7pt", offsets, coeffs)
     }
 
@@ -95,7 +109,9 @@ impl Stencil {
                 offsets.push((dx, dy, 0));
             }
         }
-        let coeffs = (0..offsets.len()).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let coeffs = (0..offsets.len())
+            .map(|_| rng.gen_range(0.01..1.0))
+            .collect();
         Stencil::new("box2d1r", offsets, coeffs)
     }
 
@@ -142,7 +158,11 @@ impl Stencil {
     /// bit-exact comparable.
     #[must_use]
     pub fn golden(&self, grid: &Grid3, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), grid.padded_len(), "input must cover the padded grid");
+        assert_eq!(
+            input.len(),
+            grid.padded_len(),
+            "input must cover the padded grid"
+        );
         let mut out = Vec::with_capacity(grid.interior_len());
         for (x, y, z) in grid.interior() {
             let mut acc = 0.0f64;

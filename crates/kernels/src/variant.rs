@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         let labels: Vec<&str> = Variant::ALL.iter().map(|v| v.label()).collect();
-        assert_eq!(labels, vec!["Base--", "Base-", "Base", "Chaining", "Chaining+"]);
+        assert_eq!(
+            labels,
+            vec!["Base--", "Base-", "Base", "Chaining", "Chaining+"]
+        );
     }
 
     #[test]

@@ -5,11 +5,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sc_isa::{csr, FpReg, IntReg, ProgramBuilder};
+use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
 use sc_mem::{MemError, Tcdm};
 use sc_ssr::CfgAddr;
 
-use crate::kernel::{verify_f64_exact, Kernel};
+use crate::cluster_kernel::ClusterKernel;
+use crate::kernel::{verify_f64_exact, CheckFn, Kernel, SetupFn};
+use crate::partition::split_ranges;
 
 /// The three code variants of Fig. 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,8 +27,11 @@ pub enum VecOpVariant {
 
 impl VecOpVariant {
     /// All variants in figure order.
-    pub const ALL: [VecOpVariant; 3] =
-        [VecOpVariant::Baseline, VecOpVariant::Unrolled, VecOpVariant::Chained];
+    pub const ALL: [VecOpVariant; 3] = [
+        VecOpVariant::Baseline,
+        VecOpVariant::Unrolled,
+        VecOpVariant::Chained,
+    ];
 
     /// Display label.
     #[must_use]
@@ -105,28 +110,89 @@ impl VecOpKernel {
     #[must_use]
     pub fn with_unroll(n: u32, variant: VecOpVariant, unroll: u32) -> Self {
         assert!((1..=8).contains(&unroll), "unroll must be in 1..=8");
-        assert!(n > 0 && n % unroll == 0, "element count must be a positive multiple of the unroll");
+        assert!(
+            n > 0 && n.is_multiple_of(unroll),
+            "element count must be a positive multiple of the unroll"
+        );
         VecOpKernel { n, variant, unroll }
     }
 
     /// Builds the runnable kernel.
     #[must_use]
     pub fn build(&self) -> Kernel {
+        let (setup, check) = self.data_fns();
+        Kernel::new(
+            format!("vecop/{}", self.variant),
+            self.emit_range(0, self.n, false),
+            u64::from(2 * self.n),
+            setup,
+            check,
+        )
+    }
+
+    /// Builds a [`ClusterKernel`] with the element range split into
+    /// contiguous per-hart chunks (each a multiple of the unroll;
+    /// imbalance at most one unroll group; surplus harts idle). Every
+    /// hart rendezvouses on the cluster barrier before halting. A 1-hart
+    /// cluster kernel uses the identical program to
+    /// [`VecOpKernel::build`] plus the final barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_harts` is zero.
+    #[must_use]
+    pub fn build_cluster(&self, num_harts: u32) -> ClusterKernel {
+        let ranges = split_ranges(self.n, num_harts, self.unroll);
+        let programs = ranges
+            .iter()
+            .map(|&(start, len)| self.emit_range(start, len, num_harts > 1))
+            .collect();
+        let (setup, check) = self.data_fns();
+        ClusterKernel::new(
+            format!("vecop/{} x{num_harts}", self.variant),
+            programs,
+            u64::from(2 * self.n),
+            setup,
+            check,
+        )
+    }
+
+    /// Emits the program for elements `[start, start + len)` — the whole
+    /// vector when `(0, n)`. With `barrier`, the hart rendezvouses on the
+    /// cluster barrier before `ecall`.
+    fn emit_range(&self, start: u32, len: u32, barrier: bool) -> Program {
         let mut b = ProgramBuilder::new();
         let t0 = IntReg::new(5);
-        let n = self.n;
+        let n = len;
+
+        // A hart with no elements only participates in the rendezvous.
+        if len == 0 {
+            if barrier {
+                b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+            }
+            b.ecall();
+            return b.build().expect("empty range program is valid");
+        }
 
         b.li(IntReg::new(12), B_ADDR as i32);
         b.fld(FpReg::new(4), IntReg::new(12), 0);
         b.li(t0, 1);
         b.csrrs(IntReg::ZERO, csr::SSR_ENABLE, t0);
         for (dm, base, write) in [(0u8, C_BASE, false), (1, D_BASE, false), (2, A_BASE, true)] {
+            let base = base + 8 * start;
             b.li(t0, n as i32 - 1);
             b.scfgwi(t0, CfgAddr { dm, reg: 2 }.to_imm());
             b.li(t0, 8);
             b.scfgwi(t0, CfgAddr { dm, reg: 6 }.to_imm());
             b.li(t0, base as i32);
-            b.scfgwi(t0, CfgAddr { dm, reg: if write { 28 } else { 24 } }.to_imm());
+            b.scfgwi(
+                t0,
+                CfgAddr {
+                    dm,
+                    reg: if write { 28 } else { 24 },
+                }
+                .to_imm(),
+            );
         }
 
         match self.variant {
@@ -178,14 +244,25 @@ impl VecOpKernel {
             }
         }
         b.csrrw(IntReg::ZERO, csr::SSR_ENABLE, IntReg::ZERO);
+        if barrier {
+            b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+        }
         b.ecall();
-        let program = b.build().expect("vecop codegen produces valid programs");
+        b.build().expect("vecop codegen produces valid programs")
+    }
 
+    /// The shared data setup and whole-vector verification closures.
+    fn data_fns(&self) -> (SetupFn, CheckFn) {
+        let n = self.n;
         let mut rng = StdRng::seed_from_u64(u64::from(n) * 31 + 7);
         let c: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
         let d: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
         let coef: f64 = rng.gen_range(0.5..1.5);
-        let golden: Vec<f64> = c.iter().zip(&d).map(|(&ci, &di)| coef * (ci + di)).collect();
+        let golden: Vec<f64> = c
+            .iter()
+            .zip(&d)
+            .map(|(&ci, &di)| coef * (ci + di))
+            .collect();
 
         let setup = move |tcdm: &mut Tcdm| -> Result<(), MemError> {
             tcdm.write_f64(B_ADDR, coef)?;
@@ -194,14 +271,7 @@ impl VecOpKernel {
             Ok(())
         };
         let check = move |tcdm: &Tcdm| verify_f64_exact(tcdm, A_BASE, &golden);
-
-        Kernel::new(
-            format!("vecop/{}", self.variant),
-            program,
-            u64::from(2 * n),
-            Box::new(setup),
-            Box::new(check),
-        )
+        (Box::new(setup), Box::new(check))
     }
 }
 

@@ -43,7 +43,10 @@ fn chaining_plus_reaches_papers_utilization() {
     let grid = Grid3::new(16, 6, 4);
     let run = run(Stencil::box3d1r(), grid, Variant::ChainingPlus);
     let util = run.measured().fpu_utilization();
-    assert!(util > 0.93, "Chaining+ utilisation {util:.3}, paper reports >93 %");
+    assert!(
+        util > 0.93,
+        "Chaining+ utilisation {util:.3}, paper reports >93 %"
+    );
 }
 
 #[test]
@@ -53,10 +56,21 @@ fn utilization_ordering_matches_figure_three() {
     let grid = Grid3::new(16, 6, 4);
     let utils: Vec<(Variant, f64)> = Variant::ALL
         .iter()
-        .map(|&v| (v, run(Stencil::box3d1r(), grid, v).measured().fpu_utilization()))
+        .map(|&v| {
+            (
+                v,
+                run(Stencil::box3d1r(), grid, v)
+                    .measured()
+                    .fpu_utilization(),
+            )
+        })
         .collect();
     let get = |v: Variant| utils.iter().find(|(x, _)| *x == v).unwrap().1;
-    let (bmm, bm, base) = (get(Variant::BaseMinusMinus), get(Variant::BaseMinus), get(Variant::Base));
+    let (bmm, bm, base) = (
+        get(Variant::BaseMinusMinus),
+        get(Variant::BaseMinus),
+        get(Variant::Base),
+    );
     let (ch, chp) = (get(Variant::Chaining), get(Variant::ChainingPlus));
     assert!(bmm < bm + 0.01, "Base-- {bmm:.3} vs Base- {bm:.3}");
     assert!(bm < base + 0.01, "Base- {bm:.3} vs Base {base:.3}");
@@ -82,10 +96,15 @@ fn chained_variants_save_memory_traffic() {
 
 #[test]
 fn chaining_on_extensionless_core_fails() {
-    let gen = StencilKernel::new(Stencil::box3d1r(), Grid3::new(8, 2, 2), Variant::Chaining)
-        .unwrap();
-    let err = gen.build().run(CoreConfig::new().with_chaining(false), 1_000_000);
-    assert!(err.is_err(), "chained kernel must fail without the extension");
+    let gen =
+        StencilKernel::new(Stencil::box3d1r(), Grid3::new(8, 2, 2), Variant::Chaining).unwrap();
+    let err = gen
+        .build()
+        .run(CoreConfig::new().with_chaining(false), 1_000_000);
+    assert!(
+        err.is_err(),
+        "chained kernel must fail without the extension"
+    );
 }
 
 #[test]

@@ -8,7 +8,11 @@ fn request() -> impl Strategy<Value = Request> {
     (0u8..8, 0u32..512, any::<bool>()).prop_map(|(p, word, w)| Request {
         port: PortId(p),
         addr: word * 8,
-        kind: if w { AccessKind::Write } else { AccessKind::Read },
+        kind: if w {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
     })
 }
 

@@ -14,13 +14,18 @@ pub struct TcdmStats {
     writes_by_port: BTreeMap<u8, u64>,
     conflicts_by_port: BTreeMap<u8, u64>,
     accesses_by_bank: Vec<u64>,
+    conflicts_by_bank: Vec<u64>,
 }
 
 impl TcdmStats {
     /// Creates zeroed statistics for a memory with `banks` banks.
     #[must_use]
     pub fn new(banks: u32) -> Self {
-        TcdmStats { accesses_by_bank: vec![0; banks as usize], ..Default::default() }
+        TcdmStats {
+            accesses_by_bank: vec![0; banks as usize],
+            conflicts_by_bank: vec![0; banks as usize],
+            ..Default::default()
+        }
     }
 
     pub(crate) fn record_grant(&mut self, port: PortId, bank: u32, kind: AccessKind) {
@@ -33,8 +38,11 @@ impl TcdmStats {
         }
     }
 
-    pub(crate) fn record_conflict(&mut self, port: PortId) {
+    pub(crate) fn record_conflict(&mut self, port: PortId, bank: u32) {
         *self.conflicts_by_port.entry(port.0).or_default() += 1;
+        if let Some(b) = self.conflicts_by_bank.get_mut(bank as usize) {
+            *b += 1;
+        }
     }
 
     /// Total granted reads across ports.
@@ -79,10 +87,37 @@ impl TcdmStats {
         self.conflicts_by_port.get(&port.0).copied().unwrap_or(0)
     }
 
+    /// Granted accesses (reads + writes) for one port.
+    #[must_use]
+    pub fn accesses_of(&self, port: PortId) -> u64 {
+        self.reads_of(port) + self.writes_of(port)
+    }
+
     /// Accesses per bank, index-aligned with bank numbers.
     #[must_use]
     pub fn accesses_by_bank(&self) -> &[u64] {
         &self.accesses_by_bank
+    }
+
+    /// Lost arbitrations per bank, index-aligned with bank numbers.
+    #[must_use]
+    pub fn conflicts_by_bank(&self) -> &[u64] {
+        &self.conflicts_by_bank
+    }
+
+    /// Totals over a contiguous port range — the per-core view when
+    /// ports are namespaced `core × ports_per_core` (see
+    /// [`crate::Tcdm::set_port_group_size`]). Returns
+    /// `(accesses, conflicts)`.
+    #[must_use]
+    pub fn totals_of_port_range(&self, ports: core::ops::Range<u8>) -> (u64, u64) {
+        let mut accesses = 0;
+        let mut conflicts = 0;
+        for p in ports {
+            accesses += self.accesses_of(PortId(p));
+            conflicts += self.conflicts_of(PortId(p));
+        }
+        (accesses, conflicts)
     }
 }
 
@@ -96,7 +131,7 @@ mod tests {
         s.record_grant(PortId(0), 1, AccessKind::Read);
         s.record_grant(PortId(0), 1, AccessKind::Write);
         s.record_grant(PortId(2), 3, AccessKind::Read);
-        s.record_conflict(PortId(1));
+        s.record_conflict(PortId(1), 1);
         assert_eq!(s.reads(), 2);
         assert_eq!(s.writes(), 1);
         assert_eq!(s.total_accesses(), 3);
@@ -104,6 +139,20 @@ mod tests {
         assert_eq!(s.reads_of(PortId(0)), 1);
         assert_eq!(s.writes_of(PortId(0)), 1);
         assert_eq!(s.conflicts_of(PortId(1)), 1);
+        assert_eq!(s.accesses_of(PortId(0)), 2);
         assert_eq!(s.accesses_by_bank(), &[0, 2, 0, 1]);
+        assert_eq!(s.conflicts_by_bank(), &[0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn port_range_totals_group_by_core() {
+        // Two cores of two ports each (group size 2).
+        let mut s = TcdmStats::new(4);
+        s.record_grant(PortId(0), 0, AccessKind::Read);
+        s.record_grant(PortId(1), 1, AccessKind::Read);
+        s.record_grant(PortId(2), 2, AccessKind::Write);
+        s.record_conflict(PortId(3), 0);
+        assert_eq!(s.totals_of_port_range(0..2), (2, 0));
+        assert_eq!(s.totals_of_port_range(2..4), (1, 1));
     }
 }

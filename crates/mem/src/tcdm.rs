@@ -100,7 +100,11 @@ impl TcdmConfig {
     /// timing-relevant part) is unchanged.
     #[must_use]
     pub fn new() -> Self {
-        TcdmConfig { size: 4 << 20, banks: 32, bank_width: 8 }
+        TcdmConfig {
+            size: 4 << 20,
+            banks: 32,
+            bank_width: 8,
+        }
     }
 
     /// Sets the bank count (must be a power of two).
@@ -152,6 +156,12 @@ pub struct Tcdm {
     /// Round-robin arbitration pointer, rotated every arbitration cycle so
     /// no master is starved under persistent conflicts.
     rr_next: u8,
+    /// Ports per requester group (0 = ungrouped). When a cluster
+    /// namespaces ports as `core × ports_per_core`, grouping makes
+    /// arbitration fair *between cores* first and between a core's own
+    /// ports second, so one core's many streams cannot starve another
+    /// core's single LSU.
+    port_group_size: u8,
 }
 
 impl Tcdm {
@@ -163,7 +173,22 @@ impl Tcdm {
             stats: TcdmStats::new(cfg.banks),
             cfg,
             rr_next: 0,
+            port_group_size: 0,
         }
+    }
+
+    /// Enables inter-group fair arbitration: ports `g*size..(g+1)*size`
+    /// form group `g` (a core), and tie-breaking rotates over groups
+    /// before rotating over a group's own ports. With a single group this
+    /// reduces exactly to the ungrouped round-robin. Pass 0 to disable.
+    pub fn set_port_group_size(&mut self, size: u8) {
+        self.port_group_size = size;
+    }
+
+    /// The configured port group size (0 = ungrouped).
+    #[must_use]
+    pub fn port_group_size(&self) -> u8 {
+        self.port_group_size
     }
 
     /// The configuration this TCDM was built with.
@@ -200,18 +225,53 @@ impl Tcdm {
     pub fn arbitrate(&mut self, requests: &[Request]) -> Vec<bool> {
         let mut grants = vec![false; requests.len()];
         let mut bank_taken = vec![false; self.cfg.banks as usize];
-        // Order candidate indexes by rotated port priority. The rotation is
-        // taken modulo the highest requesting port so two contenders share
-        // bandwidth 50/50 rather than by the full 8-bit wrap.
-        let nports = requests.iter().map(|r| u16::from(r.port.0) + 1).max().unwrap_or(1);
-        let rr = u16::from(self.rr_next) % nports;
+        // Order candidate indexes by rotated priority. The rotation is
+        // taken modulo the highest requesting port (or group) so two
+        // contenders share bandwidth 50/50 rather than by the full 8-bit
+        // wrap. With port grouping, the group (core) key rotates first:
+        // inter-core fairness dominates intra-core port order.
+        let g = u16::from(self.port_group_size.max(1));
+        let grouped = self.port_group_size > 0;
+        let key_parts = |port: u8| -> (u16, u16) {
+            let p = u16::from(port);
+            if grouped {
+                (p / g, p % g)
+            } else {
+                (0, p)
+            }
+        };
+        let ngroups = requests
+            .iter()
+            .map(|r| key_parts(r.port.0).0 + 1)
+            .max()
+            .unwrap_or(1);
+        let nports = requests
+            .iter()
+            .map(|r| key_parts(r.port.0).1 + 1)
+            .max()
+            .unwrap_or(1);
+        // The two rotations must not stay phase-locked: with a shared
+        // counter and common factors between `ngroups` and `nports`
+        // (always, for power-of-two clusters) some (group, port)
+        // priority combinations would never occur and a port could
+        // starve. Dividing by `ngroups` gives the port rotation an
+        // independent phase; with a single group this reduces exactly
+        // to the ungrouped rotation.
+        let rr_group = u16::from(self.rr_next) % ngroups;
+        let rr_port = (u16::from(self.rr_next) / ngroups) % nports;
         let mut order: Vec<usize> = (0..requests.len()).collect();
-        order.sort_by_key(|&i| (u16::from(requests[i].port.0) + nports - rr) % nports);
+        order.sort_by_key(|&i| {
+            let (group, port) = key_parts(requests[i].port.0);
+            (
+                (group + ngroups - rr_group) % ngroups,
+                (port + nports - rr_port) % nports,
+            )
+        });
         for i in order {
             let req = &requests[i];
             let bank = self.bank_of(req.addr) as usize;
             if bank_taken[bank] {
-                self.stats.record_conflict(req.port);
+                self.stats.record_conflict(req.port, bank as u32);
             } else {
                 bank_taken[bank] = true;
                 grants[i] = true;
@@ -225,11 +285,18 @@ impl Tcdm {
     }
 
     fn check(&self, addr: u32, width: u32) -> Result<(), MemError> {
-        if addr % width != 0 {
+        if !addr.is_multiple_of(width) {
             return Err(MemError::Misaligned { addr, width });
         }
-        if addr.checked_add(width).map_or(true, |end| end > self.cfg.size) {
-            return Err(MemError::OutOfBounds { addr, width, size: self.cfg.size });
+        if addr
+            .checked_add(width)
+            .is_none_or(|end| end > self.cfg.size)
+        {
+            return Err(MemError::OutOfBounds {
+                addr,
+                width,
+                size: self.cfg.size,
+            });
         }
         Ok(())
     }
@@ -242,7 +309,9 @@ impl Tcdm {
     pub fn read_u64(&self, addr: u32) -> Result<u64, MemError> {
         self.check(addr, 8)?;
         let a = addr as usize;
-        Ok(u64::from_le_bytes(self.data[a..a + 8].try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.data[a..a + 8].try_into().expect("8 bytes"),
+        ))
     }
 
     /// Writes a little-endian `u64`.
@@ -265,7 +334,9 @@ impl Tcdm {
     pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
         self.check(addr, 4)?;
         let a = addr as usize;
-        Ok(u32::from_le_bytes(self.data[a..a + 4].try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.data[a..a + 4].try_into().expect("4 bytes"),
+        ))
     }
 
     /// Writes a little-endian `u32`.
@@ -309,7 +380,9 @@ impl Tcdm {
     pub fn read_u16(&self, addr: u32) -> Result<u16, MemError> {
         self.check(addr, 2)?;
         let a = addr as usize;
-        Ok(u16::from_le_bytes(self.data[a..a + 2].try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.data[a..a + 2].try_into().expect("2 bytes"),
+        ))
     }
 
     /// Writes a 16-bit little-endian value.
@@ -360,7 +433,9 @@ impl Tcdm {
     ///
     /// Fails if any element lands misaligned or out of bounds.
     pub fn read_f64_slice(&self, addr: u32, n: usize) -> Result<Vec<f64>, MemError> {
-        (0..n).map(|i| self.read_f64(addr + (i as u32) * 8)).collect()
+        (0..n)
+            .map(|i| self.read_f64(addr + (i as u32) * 8))
+            .collect()
     }
 }
 
@@ -390,10 +465,17 @@ mod tests {
     #[test]
     fn misaligned_and_oob_rejected() {
         let mut m = small();
-        assert_eq!(m.read_u32(2).unwrap_err(), MemError::Misaligned { addr: 2, width: 4 });
+        assert_eq!(
+            m.read_u32(2).unwrap_err(),
+            MemError::Misaligned { addr: 2, width: 4 }
+        );
         assert_eq!(
             m.write_u64(4096, 0).unwrap_err(),
-            MemError::OutOfBounds { addr: 4096, width: 8, size: 4096 }
+            MemError::OutOfBounds {
+                addr: 4096,
+                width: 8,
+                size: 4096
+            }
         );
         // Last valid u64 slot works.
         m.write_u64(4088, 7).unwrap();
@@ -413,9 +495,21 @@ mod tests {
     fn conflicting_requests_serialise() {
         let mut m = small();
         let reqs = [
-            Request { port: PortId(0), addr: 0, kind: AccessKind::Read },
-            Request { port: PortId(1), addr: 32, kind: AccessKind::Read }, // same bank 0
-            Request { port: PortId(2), addr: 8, kind: AccessKind::Read },  // bank 1
+            Request {
+                port: PortId(0),
+                addr: 0,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(1),
+                addr: 32,
+                kind: AccessKind::Read,
+            }, // same bank 0
+            Request {
+                port: PortId(2),
+                addr: 8,
+                kind: AccessKind::Read,
+            }, // bank 1
         ];
         let grants = m.arbitrate(&reqs);
         assert_eq!(grants.iter().filter(|g| **g).count(), 2);
@@ -427,7 +521,11 @@ mod tests {
     fn disjoint_banks_all_granted() {
         let mut m = small();
         let reqs: Vec<Request> = (0..4)
-            .map(|i| Request { port: PortId(i), addr: u32::from(i) * 8, kind: AccessKind::Read })
+            .map(|i| Request {
+                port: PortId(i),
+                addr: u32::from(i) * 8,
+                kind: AccessKind::Read,
+            })
             .collect();
         let grants = m.arbitrate(&reqs);
         assert!(grants.iter().all(|g| *g));
@@ -436,11 +534,130 @@ mod tests {
     }
 
     #[test]
+    fn grouped_arbitration_is_fair_between_cores() {
+        // Core 0 owns ports 0..4, core 1 owns ports 4..8; all requests hit
+        // bank 0. Ungrouped round-robin would hand core 0 (with four
+        // contending ports) most of the bandwidth; grouping must split the
+        // grants evenly between the two cores.
+        let mut m = small();
+        m.set_port_group_size(4);
+        let reqs = [
+            Request {
+                port: PortId(0),
+                addr: 0,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(1),
+                addr: 32,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(2),
+                addr: 64,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(3),
+                addr: 96,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(4),
+                addr: 128,
+                kind: AccessKind::Read,
+            },
+        ];
+        let mut core_wins = [0u32; 2];
+        for _ in 0..100 {
+            let g = m.arbitrate(&reqs);
+            for (i, granted) in g.iter().enumerate() {
+                if *granted {
+                    core_wins[if i < 4 { 0 } else { 1 }] += 1;
+                }
+            }
+        }
+        assert_eq!(core_wins[0] + core_wins[1], 100);
+        assert_eq!(
+            core_wins[1], 50,
+            "inter-core split must be even, got {core_wins:?}"
+        );
+    }
+
+    #[test]
+    fn grouped_arbitration_starves_no_port() {
+        // Regression: group and port rotation once shared one counter,
+        // phase-locking the priorities so (e.g.) core 0's mover and
+        // core 1's LSU never won a contended bank. Two cores × two
+        // ports, all on bank 0: every port must win equally.
+        let mut m = small();
+        m.set_port_group_size(2);
+        let reqs: Vec<Request> = (0..4)
+            .map(|p| Request {
+                port: PortId(p),
+                addr: u32::from(p) * 32, // all bank 0
+                kind: AccessKind::Read,
+            })
+            .collect();
+        let mut wins = [0u32; 4];
+        for _ in 0..100 {
+            for (w, granted) in wins.iter_mut().zip(m.arbitrate(&reqs)) {
+                *w += u32::from(granted);
+            }
+        }
+        assert_eq!(wins, [25; 4], "every port must share the contended bank");
+    }
+
+    #[test]
+    fn single_group_matches_ungrouped_arbitration() {
+        // With every port inside one group, grouped arbitration must be
+        // bit-identical to the legacy ungrouped order (the single-core
+        // equivalence guarantee).
+        let mut plain = small();
+        let mut grouped = small();
+        grouped.set_port_group_size(4);
+        let reqs = [
+            Request {
+                port: PortId(0),
+                addr: 0,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(1),
+                addr: 32,
+                kind: AccessKind::Write,
+            },
+            Request {
+                port: PortId(2),
+                addr: 8,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(3),
+                addr: 64,
+                kind: AccessKind::Read,
+            },
+        ];
+        for _ in 0..25 {
+            assert_eq!(plain.arbitrate(&reqs), grouped.arbitrate(&reqs));
+        }
+        assert_eq!(plain.stats(), grouped.stats());
+    }
+
+    #[test]
     fn round_robin_rotates_priority() {
         let mut m = small();
         let reqs = [
-            Request { port: PortId(0), addr: 0, kind: AccessKind::Read },
-            Request { port: PortId(1), addr: 0, kind: AccessKind::Read },
+            Request {
+                port: PortId(0),
+                addr: 0,
+                kind: AccessKind::Read,
+            },
+            Request {
+                port: PortId(1),
+                addr: 0,
+                kind: AccessKind::Read,
+            },
         ];
         let mut wins = [0u32; 2];
         for _ in 0..10 {

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the tiny API subset its kernels use: `rngs::StdRng`, [`SeedableRng`]
+//! and [`Rng::gen_range`]. The generator is a deterministic
+//! splitmix64/xorshift mix — *not* the real `StdRng` stream. Every
+//! consumer in this workspace derives both its inputs and its golden
+//! reference data from the same stream, so only determinism matters, not
+//! stream compatibility.
+
+#![warn(missing_docs)]
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi)` from a raw 64-bit random word.
+    fn from_word(word: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_word(word: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                debug_assert!(span > 0, "empty gen_range span");
+                lo.wrapping_add((word as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn from_word(word: u64, lo: Self, hi: Self) -> Self {
+        // 53 uniformly distributed mantissa bits in [0, 1).
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn from_word(word: u64, lo: Self, hi: Self) -> Self {
+        let unit = (word >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// The user-facing generator trait (API subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64-bit random word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value uniformly from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        assert!(
+            range.start < range.end,
+            "gen_range called with an empty range"
+        );
+        T::from_word(self.next_u64(), range.start, range.end)
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    /// A deterministic 64-bit generator (xorshift64* over a
+    /// splitmix64-initialised state). Statistically fine for test-data
+    /// generation; not cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 step decorrelates small seeds.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&i));
+            let n = rng.gen_range(-5i32..6);
+            assert!((-5..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn full_range_is_reached() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

@@ -26,7 +26,13 @@ impl AffinePattern {
     /// A 1-D contiguous stream of `n` doubles starting at `base`.
     #[must_use]
     pub fn linear_f64(base: u32, n: u32) -> Self {
-        AffinePattern { base, bounds: [n, 1, 1, 1], strides: [8, 0, 0, 0], repeat: 0, dims: 1 }
+        AffinePattern {
+            base,
+            bounds: [n, 1, 1, 1],
+            strides: [8, 0, 0, 0],
+            repeat: 0,
+            dims: 1,
+        }
     }
 
     /// Builds a pattern from explicit loop bounds/strides, innermost first.
@@ -46,7 +52,13 @@ impl AffinePattern {
             bounds[d] = b;
             strides[d] = s;
         }
-        AffinePattern { base, bounds, strides, repeat: 0, dims: loops.len() as u8 }
+        AffinePattern {
+            base,
+            bounds,
+            strides,
+            repeat: 0,
+            dims: loops.len() as u8,
+        }
     }
 
     /// Sets the repetition count (each element delivered `repeat + 1` times).
@@ -92,8 +104,14 @@ impl AddrGen {
     /// Starts a fresh walk of `pattern`.
     #[must_use]
     pub fn new(pattern: AffinePattern) -> Self {
-        let exhausted = pattern.bounds[..pattern.dims as usize].iter().any(|&b| b == 0);
-        AddrGen { pattern, idx: [0; 4], rep: 0, current: i64::from(pattern.base), exhausted }
+        let exhausted = pattern.bounds[..pattern.dims as usize].contains(&0);
+        AddrGen {
+            pattern,
+            idx: [0; 4],
+            rep: 0,
+            current: i64::from(pattern.base),
+            exhausted,
+        }
     }
 
     /// Whether all addresses have been produced.

@@ -55,7 +55,10 @@ impl std::fmt::Display for SsrError {
             SsrError::StillActive { dm } => write!(f, "data mover {dm} re-armed while active"),
             SsrError::Mem(e) => write!(f, "stream memory access failed: {e}"),
             SsrError::WrongDirection { dm, armed } => {
-                write!(f, "data mover {dm} accessed against its direction ({armed:?})")
+                write!(
+                    f,
+                    "data mover {dm} accessed against its direction ({armed:?})"
+                )
             }
             SsrError::UnknownCfg { dm, reg } => {
                 write!(f, "unknown stream config register {reg} on data mover {dm}")
@@ -126,7 +129,10 @@ impl DataMover {
     /// Creates an idle data mover with the given crossbar port.
     #[must_use]
     pub fn new(index: u8, port: PortId, fifo_capacity: usize) -> Self {
-        assert!(fifo_capacity >= 1, "stream FIFO capacity must be at least 1");
+        assert!(
+            fifo_capacity >= 1,
+            "stream FIFO capacity must be at least 1"
+        );
         DataMover {
             index,
             port,
@@ -161,8 +167,16 @@ impl DataMover {
     #[must_use]
     pub fn is_active(&self) -> bool {
         match self.dir {
-            StreamDir::Read => self.gen.is_some() && !(self.gen.as_ref().is_some_and(|g| g.is_exhausted()) && self.fifo.is_empty()),
-            StreamDir::Write => self.gen.is_some() && (!self.fifo.is_empty() || !self.gen.as_ref().is_some_and(AddrGen::is_exhausted)),
+            StreamDir::Read => {
+                self.gen.is_some()
+                    && !(self.gen.as_ref().is_some_and(|g| g.is_exhausted())
+                        && self.fifo.is_empty())
+            }
+            StreamDir::Write => {
+                self.gen.is_some()
+                    && (!self.fifo.is_empty()
+                        || !self.gen.as_ref().is_some_and(AddrGen::is_exhausted))
+            }
         }
     }
 
@@ -170,8 +184,10 @@ impl DataMover {
     /// writes, drained to memory.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        let indirect_pending =
-            self.indirect.as_ref().is_some_and(|st| !st.pending_idx.is_empty());
+        let indirect_pending = self
+            .indirect
+            .as_ref()
+            .is_some_and(|st| !st.pending_idx.is_empty());
         match &self.gen {
             None => true,
             Some(g) => g.is_exhausted() && self.fifo.is_empty() && !indirect_pending,
@@ -209,9 +225,16 @@ impl DataMover {
             return Err(SsrError::StillActive { dm: self.index });
         }
         let words = cfg.count.div_ceil(cfg.idx_width.per_word());
-        self.gen = Some(AddrGen::new(AffinePattern::from_loops(idx_base, &[(words, 8)])));
+        self.gen = Some(AddrGen::new(AffinePattern::from_loops(
+            idx_base,
+            &[(words, 8)],
+        )));
         self.dir = StreamDir::Read;
-        self.indirect = Some(IndirectState { cfg, pending_idx: VecDeque::new(), unpacked: 0 });
+        self.indirect = Some(IndirectState {
+            cfg,
+            pending_idx: VecDeque::new(),
+            unpacked: 0,
+        });
         self.fifo.clear();
         Ok(())
     }
@@ -239,7 +262,9 @@ impl DataMover {
                 if let Some(&idx) = st.pending_idx.front() {
                     return Some(Action::FetchData(st.cfg.address_of(idx)));
                 }
-                if !gen.is_exhausted() && st.pending_idx.len() < st.cfg.idx_width.per_word() as usize {
+                if !gen.is_exhausted()
+                    && st.pending_idx.len() < st.cfg.idx_width.per_word() as usize
+                {
                     let mut peek = gen.clone();
                     return peek.next().map(Action::FetchIndexWord);
                 }
@@ -274,7 +299,11 @@ impl DataMover {
                 addr,
                 kind: AccessKind::Read,
             },
-            Action::WriteData(addr) => Request { port: self.port, addr, kind: AccessKind::Write },
+            Action::WriteData(addr) => Request {
+                port: self.port,
+                addr,
+                kind: AccessKind::Write,
+            },
         })
     }
 
@@ -296,9 +325,15 @@ impl DataMover {
                 // Arrives at the end of this cycle; poppable next cycle.
                 self.fifo.push_back((value, false));
                 if let Some(st) = &mut self.indirect {
-                    st.pending_idx.pop_front().expect("indirect data fetch without index");
+                    st.pending_idx
+                        .pop_front()
+                        .expect("indirect data fetch without index");
                 } else {
-                    self.gen.as_mut().expect("armed").next().expect("pending address");
+                    self.gen
+                        .as_mut()
+                        .expect("armed")
+                        .next()
+                        .expect("pending address");
                 }
             }
             Action::FetchIndexWord(addr) => {
@@ -355,7 +390,10 @@ impl DataMover {
     /// Panics if no element is ready — gate with [`DataMover::can_pop`].
     pub fn pop(&mut self) -> Result<u64, SsrError> {
         if self.dir != StreamDir::Read {
-            return Err(SsrError::WrongDirection { dm: self.index, armed: self.dir });
+            return Err(SsrError::WrongDirection {
+                dm: self.index,
+                armed: self.dir,
+            });
         }
         let (value, ready) = self.fifo.pop_front().expect("pop from empty stream FIFO");
         assert!(ready, "pop of a value still in the SRAM landing slot");
@@ -385,9 +423,15 @@ impl DataMover {
     /// Panics if the FIFO is full — gate with [`DataMover::can_push`].
     pub fn push(&mut self, value: u64) -> Result<(), SsrError> {
         if self.dir != StreamDir::Write {
-            return Err(SsrError::WrongDirection { dm: self.index, armed: self.dir });
+            return Err(SsrError::WrongDirection {
+                dm: self.index,
+                armed: self.dir,
+            });
         }
-        assert!(self.fifo.len() < self.fifo_capacity, "push into full stream FIFO");
+        assert!(
+            self.fifo.len() < self.fifo_capacity,
+            "push into full stream FIFO"
+        );
         self.fifo.push_back((value, true));
         self.stats.elements += 1;
         Ok(())
@@ -407,7 +451,7 @@ mod tests {
     fn tcdm() -> Tcdm {
         let mut t = Tcdm::new(TcdmConfig::new().with_size(4096).with_banks(4));
         for i in 0..16 {
-            t.write_f64(i * 8, f64::from(i as u32)).unwrap();
+            t.write_f64(i * 8, f64::from(i)).unwrap();
         }
         t
     }
@@ -430,7 +474,8 @@ mod tests {
     fn read_stream_prefetches_and_pops_in_order() {
         let mut mem = tcdm();
         let mut dm = DataMover::new(0, PortId(1), 4);
-        dm.arm(AffinePattern::linear_f64(0, 4), StreamDir::Read).unwrap();
+        dm.arm(AffinePattern::linear_f64(0, 4), StreamDir::Read)
+            .unwrap();
         // Cycle 1: request granted, lands; poppable the next cycle.
         assert!(run_mem_cycle(&mut dm, &mut mem));
         assert!(dm.can_pop());
@@ -455,7 +500,8 @@ mod tests {
     fn write_stream_drains_to_memory() {
         let mut mem = tcdm();
         let mut dm = DataMover::new(2, PortId(3), 4);
-        dm.arm(AffinePattern::linear_f64(256, 3), StreamDir::Write).unwrap();
+        dm.arm(AffinePattern::linear_f64(256, 3), StreamDir::Write)
+            .unwrap();
         for v in [10.0f64, 11.0, 12.0] {
             assert!(dm.can_push());
             dm.push(v.to_bits()).unwrap();
@@ -472,24 +518,32 @@ mod tests {
     #[test]
     fn rearm_while_active_is_error() {
         let mut dm = DataMover::new(0, PortId(1), 4);
-        dm.arm(AffinePattern::linear_f64(0, 4), StreamDir::Read).unwrap();
-        let err = dm.arm(AffinePattern::linear_f64(0, 4), StreamDir::Read).unwrap_err();
+        dm.arm(AffinePattern::linear_f64(0, 4), StreamDir::Read)
+            .unwrap();
+        let err = dm
+            .arm(AffinePattern::linear_f64(0, 4), StreamDir::Read)
+            .unwrap_err();
         assert_eq!(err, SsrError::StillActive { dm: 0 });
     }
 
     #[test]
     fn pop_against_write_direction_is_error() {
         let mut dm = DataMover::new(1, PortId(2), 4);
-        dm.arm(AffinePattern::linear_f64(0, 1), StreamDir::Write).unwrap();
+        dm.arm(AffinePattern::linear_f64(0, 1), StreamDir::Write)
+            .unwrap();
         dm.push(1.0f64.to_bits()).unwrap();
-        assert!(matches!(dm.pop().unwrap_err(), SsrError::WrongDirection { dm: 1, .. }));
+        assert!(matches!(
+            dm.pop().unwrap_err(),
+            SsrError::WrongDirection { dm: 1, .. }
+        ));
     }
 
     #[test]
     fn fifo_capacity_bounds_prefetch() {
         let mut mem = tcdm();
         let mut dm = DataMover::new(0, PortId(1), 2);
-        dm.arm(AffinePattern::linear_f64(0, 8), StreamDir::Read).unwrap();
+        dm.arm(AffinePattern::linear_f64(0, 8), StreamDir::Read)
+            .unwrap();
         for _ in 0..6 {
             run_mem_cycle(&mut dm, &mut mem);
         }
@@ -502,7 +556,8 @@ mod tests {
     fn out_of_bounds_stream_is_reported() {
         let mut mem = tcdm();
         let mut dm = DataMover::new(0, PortId(1), 2);
-        dm.arm(AffinePattern::linear_f64(4090, 4), StreamDir::Read).unwrap();
+        dm.arm(AffinePattern::linear_f64(4090, 4), StreamDir::Read)
+            .unwrap();
         let req = dm.request().unwrap();
         let g = mem.arbitrate(&[req]);
         assert!(g[0]);

@@ -39,7 +39,10 @@ impl CfgAddr {
     /// Splits a 12-bit config immediate into `(dm, reg)`.
     #[must_use]
     pub fn from_imm(imm: u16) -> Self {
-        CfgAddr { dm: (imm & 0x1F) as u8, reg: ((imm >> 5) & 0x7F) as u8 }
+        CfgAddr {
+            dm: (imm & 0x1F) as u8,
+            reg: ((imm >> 5) & 0x7F) as u8,
+        }
     }
 
     /// Packs `(dm, reg)` into the 12-bit immediate.
@@ -88,8 +91,26 @@ impl SsrUnit {
     /// (port 0 belongs to the core's LSU).
     #[must_use]
     pub fn new(n: u8, fifo_capacity: usize) -> Self {
+        Self::with_port_base(n, fifo_capacity, 0)
+    }
+
+    /// Creates a unit whose movers request on TCDM ports
+    /// `port_base + 1 + i` — the per-core port namespace of a cluster
+    /// (core `h` owns ports `h * (1 + n) ..`, its LSU on the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port numbers would overflow the 8-bit port space.
+    #[must_use]
+    pub fn with_port_base(n: u8, fifo_capacity: usize, port_base: u8) -> Self {
+        assert!(
+            port_base.checked_add(n).is_some(),
+            "port namespace overflow: base {port_base} + {n} movers"
+        );
         SsrUnit {
-            movers: (0..n).map(|i| DataMover::new(i, PortId(i + 1), fifo_capacity)).collect(),
+            movers: (0..n)
+                .map(|i| DataMover::new(i, PortId(port_base + 1 + i), fifo_capacity))
+                .collect(),
             staged: vec![StagedCfg::default(); n as usize],
             enabled: false,
         }
@@ -169,7 +190,10 @@ impl SsrUnit {
     pub fn write_cfg(&mut self, addr: CfgAddr, value: u32) -> Result<(), SsrError> {
         let dm = addr.dm as usize;
         if dm >= self.movers.len() {
-            return Err(SsrError::UnknownCfg { dm: addr.dm, reg: addr.reg });
+            return Err(SsrError::UnknownCfg {
+                dm: addr.dm,
+                reg: addr.reg,
+            });
         }
         match addr.reg {
             0 => Ok(()), // status writes are ignored (clear-on-write bits unused)
@@ -209,7 +233,10 @@ impl SsrUnit {
             }
             r @ 24..=27 => self.arm(addr.dm, value, (r - 24) + 1, StreamDir::Read),
             r @ 28..=31 => self.arm(addr.dm, value, (r - 28) + 1, StreamDir::Write),
-            _ => Err(SsrError::UnknownCfg { dm: addr.dm, reg: addr.reg }),
+            _ => Err(SsrError::UnknownCfg {
+                dm: addr.dm,
+                reg: addr.reg,
+            }),
         }
     }
 
@@ -221,7 +248,10 @@ impl SsrUnit {
     pub fn read_cfg(&self, addr: CfgAddr) -> Result<u32, SsrError> {
         let dm = addr.dm as usize;
         if dm >= self.movers.len() {
-            return Err(SsrError::UnknownCfg { dm: addr.dm, reg: addr.reg });
+            return Err(SsrError::UnknownCfg {
+                dm: addr.dm,
+                reg: addr.reg,
+            });
         }
         match addr.reg {
             0 => Ok(u32::from(self.movers[dm].is_done())),
@@ -231,15 +261,22 @@ impl SsrUnit {
             10 => Ok(self.staged[dm].idx_data_base),
             11 => Ok(self.staged[dm].idx_cfg),
             12 => Ok(self.staged[dm].idx_count_minus_one),
-            _ => Err(SsrError::UnknownCfg { dm: addr.dm, reg: addr.reg }),
+            _ => Err(SsrError::UnknownCfg {
+                dm: addr.dm,
+                reg: addr.reg,
+            }),
         }
     }
 
     fn arm(&mut self, dm: u8, base: u32, dims: u8, dir: StreamDir) -> Result<(), SsrError> {
         let staged = self.staged[dm as usize];
         let mut bounds = [1u32; 4];
-        for d in 0..dims as usize {
-            bounds[d] = staged.bounds_minus_one[d] + 1;
+        for (bound, &minus_one) in bounds
+            .iter_mut()
+            .zip(&staged.bounds_minus_one)
+            .take(dims as usize)
+        {
+            *bound = minus_one + 1;
         }
         let pattern = AffinePattern {
             base,

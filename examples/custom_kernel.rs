@@ -18,7 +18,12 @@ const BLOCKS: u32 = 8;
 const BLOCK: u32 = 16;
 
 fn build_program() -> Result<Program, Box<dyn std::error::Error>> {
-    let (t0, blk, nblk, sptr) = (IntReg::new(5), IntReg::new(10), IntReg::new(11), IntReg::new(12));
+    let (t0, blk, nblk, sptr) = (
+        IntReg::new(5),
+        IntReg::new(10),
+        IntReg::new(11),
+        IntReg::new(12),
+    );
     let acc = FpReg::FT3; // chained accumulator
     let (r0, r1) = (FpReg::new(8), FpReg::new(9)); // reduction temporaries
     let n = BLOCKS * BLOCK;
@@ -99,7 +104,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let want = ((partial[0] + partial[1]) + partial[2]) + partial[3];
         let got = sim.tcdm().read_f64(S_BASE + 8 * j as u32)?;
-        assert!((got - want).abs() < 1e-12, "block {j}: got {got}, want {want}");
+        assert!(
+            (got - want).abs() < 1e-12,
+            "block {j}: got {got}, want {want}"
+        );
     }
     println!(
         "8 blocked reductions verified in {} cycles (fpu util {:.1} %).",

@@ -15,7 +15,11 @@ fn prologue(n: u32) -> String {
     for (dm, base, write) in [(0, 0x1000u32, false), (1, 0x3000, false), (2, 0x5000, true)] {
         let bound = CfgAddr { dm, reg: 2 }.to_imm();
         let stride = CfgAddr { dm, reg: 6 }.to_imm();
-        let arm = CfgAddr { dm, reg: if write { 28 } else { 24 } }.to_imm();
+        let arm = CfgAddr {
+            dm,
+            reg: if write { 28 } else { 24 },
+        }
+        .to_imm();
         s.push_str(&format!(
             "li t0, {}\nscfgwi t0, {bound}\nli t0, 8\nscfgwi t0, {stride}\nli t0, {base}\nscfgwi t0, {arm}\n",
             n - 1
@@ -25,7 +29,11 @@ fn prologue(n: u32) -> String {
 }
 
 fn run(name: &str, body: &str, n: u32) -> Result<(), Box<dyn std::error::Error>> {
-    let src = format!("{}\nli a0, 0\nli a1, {}\n{body}\necall\n", prologue(n), n / 4);
+    let src = format!(
+        "{}\nli a0, 0\nli a1, {}\n{body}\necall\n",
+        prologue(n),
+        n / 4
+    );
     let program = parse_asm(&src)?;
     let mut sim = Simulator::new(CoreConfig::new().with_trace(true), program);
     sim.tcdm_mut().write_f64(0x100, 2.0)?;

@@ -25,14 +25,22 @@ fn main() {
     println!("{:<24} {:>9} {:>10}", "schedule", "FP regs", "fpu util");
     for unroll in [1u32, 2, 3, 4] {
         let util = run_one(CoreConfig::new(), VecOpVariant::Unrolled, unroll);
-        println!("{:<24} {:>9} {:>9.1}%", format!("unrolled ×{unroll}"), unroll, util * 100.0);
+        println!(
+            "{:<24} {:>9} {:>9.1}%",
+            format!("unrolled ×{unroll}"),
+            unroll,
+            util * 100.0
+        );
     }
     let chained = run_one(CoreConfig::new(), VecOpVariant::Chained, 4);
     println!("{:<24} {:>9} {:>9.1}%", "chained", 1, chained * 100.0);
 
     println!();
     println!("── and as the pipeline gets deeper (registers to hide latency) ──");
-    println!("{:<8} {:>22} {:>18}", "depth", "unrolled needs regs", "chained needs regs");
+    println!(
+        "{:<8} {:>22} {:>18}",
+        "depth", "unrolled needs regs", "chained needs regs"
+    );
     for depth in [2u32, 3, 4, 6, 7] {
         let cfg = CoreConfig::new().with_fpu(FpuTiming::new().with_addmul_latency(depth));
         let u = run_one(cfg, VecOpVariant::Unrolled, depth + 1);

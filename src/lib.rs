@@ -15,10 +15,11 @@
 //! | [`mem`] | `sc-mem` | banked TCDM with per-cycle arbitration |
 //! | [`fpu`] | `sc-fpu` | pipelined FPU with hold-on-backpressure |
 //! | [`ssr`] | `sc-ssr` | stream semantic registers (4-D affine movers) |
-//! | [`core_model`] | `sc-core` | the simulator + chaining extension |
-//! | [`energy`] | `sc-energy` | energy/power/area models |
-//! | [`kernels`] | `sc-kernels` | vecop + stencil workloads, five variants |
-//! | [`benchkit`] | `sc-bench` | figure-regeneration harness |
+//! | [`core_model`] | `sc-core` | the steppable core + single-core simulator |
+//! | [`cluster`] | `sc-cluster` | N-core lock-step cluster over a shared TCDM |
+//! | [`energy`] | `sc-energy` | energy/power/area models, core and cluster |
+//! | [`kernels`] | `sc-kernels` | vecop + stencil workloads, five variants, cluster tiling |
+//! | [`benchkit`] | `sc-bench` | figure-regeneration + cluster-scaling harness |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@
 
 #[doc(inline)]
 pub use sc_bench as benchkit;
+pub use sc_cluster as cluster;
 pub use sc_core as core_model;
 pub use sc_energy as energy;
 pub use sc_fpu as fpu;
@@ -49,12 +51,17 @@ pub use sc_ssr as ssr;
 
 /// The most commonly used types, importable with one line.
 pub mod prelude {
-    pub use sc_core::{CoreConfig, PerfCounters, RunSummary, SimError, Simulator, StallCause};
-    pub use sc_energy::{AreaEstimate, EnergyModel, EnergyReport};
+    pub use sc_cluster::{Cluster, ClusterConfig, ClusterError, ClusterSummary};
+    pub use sc_core::{
+        Core, CoreConfig, PerfCounters, RunSummary, SimError, Simulator, StallCause,
+    };
+    pub use sc_energy::{
+        AreaEstimate, ClusterAreaEstimate, ClusterEnergyReport, EnergyModel, EnergyReport,
+    };
     pub use sc_isa::{csr, FpReg, Instruction, IntReg, Program, ProgramBuilder};
     pub use sc_kernels::{
-        Grid3, Kernel, KernelError, KernelRun, Stencil, StencilKernel, Variant, VecOpKernel,
-        VecOpVariant,
+        ClusterKernel, ClusterKernelRun, Grid3, Kernel, KernelError, KernelRun, Stencil,
+        StencilKernel, Variant, VecOpKernel, VecOpVariant,
     };
     pub use sc_mem::{Tcdm, TcdmConfig};
     pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};

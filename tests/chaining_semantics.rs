@@ -110,7 +110,10 @@ fn reading_empty_chained_register_hangs_deterministically() {
     b.fadd_d(FpReg::new(8), FpReg::FT3, FpReg::new(6)); // pop of empty FIFO
     b.ecall();
     let mut sim = Simulator::new(CoreConfig::new(), b.build().unwrap());
-    assert_eq!(sim.run(500).unwrap_err(), SimError::MaxCyclesExceeded { max_cycles: 500 });
+    assert_eq!(
+        sim.run(500).unwrap_err(),
+        SimError::MaxCyclesExceeded { max_cycles: 500 }
+    );
 }
 
 /// Over-deep software pipelines deadlock by design: the logical FIFO holds
@@ -121,5 +124,8 @@ fn over_deep_chained_pipeline_backpressures_forever() {
     let kernel = VecOpKernel::with_unroll(48, VecOpVariant::Chained, 6).build();
     // Default FPU depth 3 → capacity 4 < unroll 6.
     let err = kernel.run(CoreConfig::new(), 50_000).unwrap_err();
-    assert!(matches!(err, KernelError::Sim(SimError::MaxCyclesExceeded { .. })), "{err}");
+    assert!(
+        matches!(err, KernelError::Sim(SimError::MaxCyclesExceeded { .. })),
+        "{err}"
+    );
 }

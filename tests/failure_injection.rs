@@ -101,7 +101,10 @@ fn fetch_past_program_end_is_reported() {
     let mut b = ProgramBuilder::new();
     b.nop(); // no ecall
     let mut sim = Simulator::new(CoreConfig::new(), b.build().unwrap());
-    assert_eq!(sim.run(100).unwrap_err(), SimError::FetchOutOfProgram { pc: 4 });
+    assert_eq!(
+        sim.run(100).unwrap_err(),
+        SimError::FetchOutOfProgram { pc: 4 }
+    );
 }
 
 #[test]
@@ -114,11 +117,14 @@ fn rearming_active_stream_stalls_until_complete_not_corrupt() {
     b.li(t(5), 1);
     b.csrrs(IntReg::ZERO, csr::SSR_ENABLE, t(5));
     arm_read_stream(&mut b, 0, 0x100, 8);
-    b.li(t(28), 0x200 as i32);
+    b.li(t(28), 0x200_i32);
     b.scfgwi(t(28), Cfg { dm: 0, reg: 24 }.to_imm()); // re-arm while active
     b.ecall();
     let mut sim = Simulator::new(CoreConfig::new(), b.build().unwrap());
-    assert_eq!(sim.run(1_000).unwrap_err(), SimError::MaxCyclesExceeded { max_cycles: 1_000 });
+    assert_eq!(
+        sim.run(1_000).unwrap_err(),
+        SimError::MaxCyclesExceeded { max_cycles: 1_000 }
+    );
 }
 
 #[test]
@@ -131,5 +137,6 @@ fn lenient_mode_is_available_for_bringup() {
     b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, t(5)); // ignored
     b.ecall();
     let mut sim = Simulator::new(cfg, b.build().unwrap());
-    sim.run(1_000).expect("lenient core ignores the chaining CSR");
+    sim.run(1_000)
+        .expect("lenient core ignores the chaining CSR");
 }

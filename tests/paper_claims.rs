@@ -8,10 +8,16 @@ use scalar_chaining::prelude::*;
 #[test]
 fn claim_raw_stall_equals_pipeline_depth() {
     let kernel = VecOpKernel::new(64, VecOpVariant::Baseline).build();
-    let run = kernel.run(CoreConfig::new(), 1_000_000).expect("baseline runs");
+    let run = kernel
+        .run(CoreConfig::new(), 1_000_000)
+        .expect("baseline runs");
     let m = run.measured();
     // 2 issue slots + 3 stalls per element → 40 % utilisation.
-    assert!((0.36..=0.44).contains(&m.fpu_utilization()), "{}", m.fpu_utilization());
+    assert!(
+        (0.36..=0.44).contains(&m.fpu_utilization()),
+        "{}",
+        m.fpu_utilization()
+    );
     assert!(m.stalls_of(StallCause::RawHazard) >= 3 * 60);
 }
 
@@ -40,7 +46,11 @@ fn claim_fig3_headline_numbers() {
     let model = EnergyModel::new();
     let results = experiment.run(&model).expect("fig3 sweep");
     let h = headline(&results);
-    assert!(h.best_utilization > 0.93, "utilisation {:.3}", h.best_utilization);
+    assert!(
+        h.best_utilization > 0.93,
+        "utilisation {:.3}",
+        h.best_utilization
+    );
     assert!(
         (1.01..=1.10).contains(&h.speedup_vs_base),
         "speedup vs Base {:.3} (paper ~1.04)",
@@ -72,10 +82,23 @@ fn claim_fig3_utilization_ordering() {
     for (stencil, rows) in &results {
         let util: Vec<f64> = rows.iter().map(|m| m.utilization()).collect();
         // Variant order: Base--, Base-, Base, Chaining, Chaining+.
-        assert!(util[0] < util[2], "{stencil}: Base-- {:.3} vs Base {:.3}", util[0], util[2]);
+        assert!(
+            util[0] < util[2],
+            "{stencil}: Base-- {:.3} vs Base {:.3}",
+            util[0],
+            util[2]
+        );
         assert!(util[1] < util[2], "{stencil}: Base- vs Base");
-        assert!(util[2] < util[4], "{stencil}: Base {:.3} vs Chaining+ {:.3}", util[2], util[4]);
-        assert!(util[3] <= util[4] + 0.01, "{stencil}: Chaining vs Chaining+");
+        assert!(
+            util[2] < util[4],
+            "{stencil}: Base {:.3} vs Chaining+ {:.3}",
+            util[2],
+            util[4]
+        );
+        assert!(
+            util[3] <= util[4] + 0.01,
+            "{stencil}: Chaining vs Chaining+"
+        );
     }
 }
 
@@ -90,10 +113,15 @@ fn claim_area_overhead_below_two_percent() {
 /// §III: power lands in the paper's ~60 mW ballpark at 1 GHz.
 #[test]
 fn claim_power_in_papers_ballpark() {
-    let gen = StencilKernel::new(Stencil::box3d1r(), Grid3::new(16, 6, 4), Variant::Base)
-        .expect("valid");
-    let m = measure(&gen.build(), CoreConfig::new(), &EnergyModel::new(), 100_000_000)
-        .expect("measures");
+    let gen =
+        StencilKernel::new(Stencil::box3d1r(), Grid3::new(16, 6, 4), Variant::Base).expect("valid");
+    let m = measure(
+        &gen.build(),
+        CoreConfig::new(),
+        &EnergyModel::new(),
+        100_000_000,
+    )
+    .expect("measures");
     assert!(
         (45.0..=75.0).contains(&m.power_mw()),
         "power {:.1} mW, paper reports ≈ 60 mW",
@@ -105,6 +133,7 @@ fn claim_power_in_papers_ballpark() {
 /// argument: the chained variants fit all 27 coefficients, the baselines
 /// cannot.
 #[test]
+#[allow(clippy::assertions_on_constants)] // the claim *is* constant arithmetic
 fn claim_register_budget() {
     // Chained: 3 SSR + 1 chained accumulator + 27 coefficients = 31 ≤ 32.
     assert!(3 + 1 + 27 <= 32);
