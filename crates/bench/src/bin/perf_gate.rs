@@ -1,0 +1,87 @@
+//! The CI perf-regression gate and report validator.
+//!
+//! ```text
+//! perf_gate check <report.json>...              # exists + parses + wellformed
+//! perf_gate diff <baseline.json> <report.json>  # tolerance diff, exit 1 on drift
+//! perf_gate baseline <report.json>              # print a fresh baseline to stdout
+//! ```
+//!
+//! `check` fails (exit 1) if any listed report is missing, unparseable
+//! or structurally hollow — the bench-reports CI job runs it over every
+//! file the sweep binaries are expected to produce. `diff` compares a
+//! fresh report against the checked-in `baselines/` file; regenerate
+//! with `baseline` when a metric shift is intentional.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use sc_bench::gate;
+use sc_bench::Json;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read report: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() >= 2 => {
+            for path in &args[1..] {
+                let report = load(path)?;
+                gate::check_wellformed(&report).map_err(|e| format!("{path}: {e}"))?;
+                println!("ok: {path}");
+            }
+            Ok(())
+        }
+        Some("diff") if args.len() == 3 => {
+            let baseline = load(&args[1])?;
+            let report = load(&args[2])?;
+            let outcome = gate::diff(&baseline, &report)?;
+            if outcome.passed() {
+                println!(
+                    "perf gate passed: {} metrics within tolerance",
+                    outcome.checked
+                );
+                Ok(())
+            } else {
+                for f in &outcome.failures {
+                    eprintln!("perf gate: {f}");
+                }
+                Err(format!(
+                    "{} of {} metrics drifted out of tolerance; fix the regression \
+                     or regenerate {} with `perf_gate baseline {}`",
+                    outcome.failures.len(),
+                    outcome.checked,
+                    args[1],
+                    args[2],
+                ))
+            }
+        }
+        Some("baseline") if args.len() == 2 => {
+            let report = load(&args[1])?;
+            let name = Path::new(&args[1])
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or(&args[1]);
+            let baseline = gate::baseline_from_report(name, &report)?;
+            print!("{}", baseline.render_pretty());
+            Ok(())
+        }
+        _ => Err(
+            "usage: perf_gate check <report>... | diff <baseline> <report> | baseline <report>"
+                .into(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

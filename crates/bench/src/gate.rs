@@ -1,0 +1,289 @@
+//! The CI performance-regression gate.
+//!
+//! A checked-in baseline file records key metrics of the bench reports
+//! (cycle counts, conflict counts, chaining speedups); the `perf_gate`
+//! binary diffs fresh reports against it with per-metric tolerances and
+//! fails CI on drift in *either* direction — regressions must be fixed,
+//! improvements must be banked by regenerating the baseline
+//! (`perf_gate baseline <report>`).
+//!
+//! The simulator is fully deterministic, so baseline values are exact;
+//! tolerances exist to absorb intentional small remodelings without a
+//! baseline churn on every PR. The default cycle tolerance (5 %) is
+//! tight enough that a 10 % cycle regression always fails.
+//!
+//! ## Baseline format
+//!
+//! ```json
+//! {
+//!   "report": "cluster_scaling.json",
+//!   "metrics": [
+//!     {"point": "tiled/c4/chaining", "metric": "cycles_to_last_core_done",
+//!      "value": 12345, "rel_tol": 0.05},
+//!     {"metric": "speedup_c4_tiled", "value": 1.08, "rel_tol": 0.05}
+//!   ]
+//! }
+//! ```
+//!
+//! Entries with a `"point"` select the report's `points[]` element with
+//! that `"id"`; entries without one read a top-level report key.
+
+use crate::json::Json;
+
+/// Default relative tolerance for cycle-count metrics.
+pub const CYCLES_REL_TOL: f64 = 0.05;
+/// Default relative tolerance for conflict-count metrics (noisier under
+/// arbitration changes), plus an absolute floor for near-zero counts.
+pub const CONFLICTS_REL_TOL: f64 = 0.10;
+/// Absolute tolerance floor for conflict counts.
+pub const CONFLICTS_ABS_TOL: f64 = 50.0;
+/// Default relative tolerance for speedup ratios.
+pub const SPEEDUP_REL_TOL: f64 = 0.05;
+
+/// The point-level metrics a generated baseline pins, with their
+/// (relative, absolute) tolerances.
+const POINT_METRICS: [(&str, f64, f64); 2] = [
+    ("cycles_to_last_core_done", CYCLES_REL_TOL, 0.0),
+    ("tcdm_conflicts", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
+];
+
+/// Outcome of a gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Metrics compared.
+    pub checked: usize,
+    /// Human-readable failure descriptions (empty = gate passed).
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether every metric stayed within tolerance.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Checks that a parsed report is a plausibly complete bench report: a
+/// non-empty object whose `points` array (when present) is non-empty,
+/// with every point a non-empty object carrying at least one numeric
+/// metric. Deliberately schema-agnostic — the ablation sweeps and the
+/// cluster sweep serialize different metric sets.
+///
+/// # Errors
+///
+/// A description of the malformation.
+pub fn check_wellformed(report: &Json) -> Result<(), String> {
+    let Json::Obj(entries) = report else {
+        return Err("report is not a JSON object".into());
+    };
+    if entries.is_empty() {
+        return Err("report object is empty".into());
+    }
+    if let Some(points) = report.get("points") {
+        let items = points
+            .items()
+            .ok_or_else(|| "`points` is not an array".to_string())?;
+        if items.is_empty() {
+            return Err("`points` is empty".into());
+        }
+        for (i, p) in items.iter().enumerate() {
+            let Json::Obj(fields) = p else {
+                return Err(format!("points[{i}] is not an object"));
+            };
+            if !fields.iter().any(|(_, v)| v.as_f64().is_some()) {
+                return Err(format!("points[{i}] has no numeric metric"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locates the value a baseline entry refers to inside `report`.
+fn lookup<'a>(report: &'a Json, point: Option<&str>, metric: &str) -> Result<&'a Json, String> {
+    let holder = match point {
+        None => report,
+        Some(id) => report
+            .get("points")
+            .and_then(Json::items)
+            .and_then(|pts| {
+                pts.iter()
+                    .find(|p| p.get("id").and_then(Json::as_str) == Some(id))
+            })
+            .ok_or_else(|| format!("report has no point with id `{id}`"))?,
+    };
+    holder.get(metric).ok_or_else(|| match point {
+        Some(id) => format!("point `{id}` has no metric `{metric}`"),
+        None => format!("report has no top-level metric `{metric}`"),
+    })
+}
+
+/// Diffs `report` against `baseline`, returning every out-of-tolerance
+/// metric. Drift is flagged in both directions.
+///
+/// # Errors
+///
+/// Structural problems (missing points/metrics/fields) that prevent the
+/// comparison from running at all.
+pub fn diff(baseline: &Json, report: &Json) -> Result<GateOutcome, String> {
+    let metrics = baseline
+        .get("metrics")
+        .and_then(Json::items)
+        .ok_or_else(|| "baseline has no `metrics` array".to_string())?;
+    let mut outcome = GateOutcome::default();
+    for (i, entry) in metrics.iter().enumerate() {
+        let metric = entry
+            .get("metric")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("metrics[{i}] has no `metric` name"))?;
+        let want = entry
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("metrics[{i}] has no numeric `value`"))?;
+        let rel_tol = entry.get("rel_tol").and_then(Json::as_f64).unwrap_or(0.0);
+        let abs_tol = entry.get("abs_tol").and_then(Json::as_f64).unwrap_or(0.0);
+        let point = entry.get("point").and_then(Json::as_str);
+        let got = lookup(report, point, metric)?
+            .as_f64()
+            .ok_or_else(|| format!("metric `{metric}` is not numeric in the report"))?;
+        outcome.checked += 1;
+        let tol = abs_tol.max(rel_tol * want.abs());
+        if (got - want).abs() > tol {
+            let place = point.map_or(String::new(), |p| format!("{p} "));
+            outcome.failures.push(format!(
+                "{place}{metric}: got {got}, baseline {want} (tolerance ±{tol:.3})"
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+/// Generates a baseline document from a fresh report: per-point cycle
+/// and conflict metrics, plus every top-level `speedup_*` ratio.
+///
+/// # Errors
+///
+/// Structural problems in the report.
+pub fn baseline_from_report(report_name: &str, report: &Json) -> Result<Json, String> {
+    check_wellformed(report)?;
+    let mut metrics = Vec::new();
+    if let Some(points) = report.get("points").and_then(Json::items) {
+        for (i, p) in points.iter().enumerate() {
+            let id = p
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("points[{i}] has no `id`"))?;
+            for (metric, rel, abs) in POINT_METRICS {
+                let Some(value) = p.get(metric).and_then(Json::as_f64) else {
+                    continue;
+                };
+                let mut m = Json::obj()
+                    .set("point", id)
+                    .set("metric", metric)
+                    .set("value", value)
+                    .set("rel_tol", rel);
+                if abs > 0.0 {
+                    m = m.set("abs_tol", abs);
+                }
+                metrics.push(m);
+            }
+        }
+    }
+    if let Json::Obj(entries) = report {
+        for (key, value) in entries {
+            if key.starts_with("speedup_") {
+                if let Some(v) = value.as_f64() {
+                    metrics.push(
+                        Json::obj()
+                            .set("metric", key.as_str())
+                            .set("value", v)
+                            .set("rel_tol", SPEEDUP_REL_TOL),
+                    );
+                }
+            }
+        }
+    }
+    if metrics.is_empty() {
+        return Err("report yields no baseline metrics (no point ids?)".into());
+    }
+    Ok(Json::obj()
+        .set("report", report_name)
+        .set("metrics", Json::Arr(metrics)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(cycles: u64) -> Json {
+        Json::obj()
+            .set("sweep", "cluster_scaling")
+            .set("speedup_c4_tiled", 1.10)
+            .set(
+                "points",
+                Json::Arr(vec![Json::obj()
+                    .set("id", "tiled/c4/chaining")
+                    .set("cycles_to_last_core_done", cycles)
+                    .set("tcdm_conflicts", 1000u64)]),
+            )
+    }
+
+    #[test]
+    fn identical_report_passes() {
+        let report = fake_report(100_000);
+        let baseline = baseline_from_report("cluster_scaling.json", &report).unwrap();
+        let outcome = diff(&baseline, &report).unwrap();
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+        assert_eq!(outcome.checked, 3);
+    }
+
+    #[test]
+    fn ten_percent_cycle_regression_fails_the_gate() {
+        // The acceptance criterion: an injected 10 % cycle regression in
+        // a baseline metric must fail.
+        let baseline = baseline_from_report("r.json", &fake_report(100_000)).unwrap();
+        let outcome = diff(&baseline, &fake_report(110_000)).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("cycles_to_last_core_done"));
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let baseline = baseline_from_report("r.json", &fake_report(100_000)).unwrap();
+        let outcome = diff(&baseline, &fake_report(104_000)).unwrap();
+        assert!(outcome.passed(), "4% is inside the 5% tolerance");
+    }
+
+    #[test]
+    fn large_improvements_also_flag_for_rebaselining() {
+        let baseline = baseline_from_report("r.json", &fake_report(100_000)).unwrap();
+        let outcome = diff(&baseline, &fake_report(80_000)).unwrap();
+        assert!(!outcome.passed(), "drift flags in both directions");
+    }
+
+    #[test]
+    fn missing_point_is_a_structural_error() {
+        let baseline = Json::parse(
+            r#"{"metrics":[{"point":"nope","metric":"cycles_to_last_core_done","value":1}]}"#,
+        )
+        .unwrap();
+        let err = diff(&baseline, &fake_report(1)).unwrap_err();
+        assert!(err.contains("no point with id"));
+    }
+
+    #[test]
+    fn wellformed_rejects_empty_and_pointless_reports() {
+        assert!(check_wellformed(&Json::obj()).is_err());
+        assert!(check_wellformed(&Json::parse("[1,2]").unwrap()).is_err());
+        let no_metrics = Json::parse(r#"{"points":[{"id":"a"}]}"#).unwrap();
+        assert!(check_wellformed(&no_metrics).is_err());
+        let empty_points = Json::parse(r#"{"points":[]}"#).unwrap();
+        assert!(check_wellformed(&empty_points).is_err());
+        // An ablation-style report (no cycle metrics, other numerics) is
+        // well-formed.
+        let ablation =
+            Json::parse(r#"{"sweep":"ablation_banks","points":[{"banks":4,"util":0.8}]}"#).unwrap();
+        assert!(check_wellformed(&ablation).is_ok());
+        assert!(check_wellformed(&fake_report(5)).is_ok());
+    }
+}

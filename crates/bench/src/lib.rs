@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod gate;
 mod harness;
 pub mod json;
 mod parallel;

@@ -65,9 +65,10 @@
 
 use std::fmt;
 
-use sc_core::{Core, CoreConfig, PerfCounters, RunSummary, SimError};
+use sc_core::{Core, CoreConfig, DmaCommand, PerfCounters, RunSummary, SimError};
+use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
-use sc_mem::{Request, Tcdm};
+use sc_mem::{Dram, PortId, Request, Tcdm};
 
 /// Cluster geometry: how many cores share the TCDM, and their per-core
 /// configuration.
@@ -124,6 +125,15 @@ pub enum ClusterError {
         /// The budget that was exceeded.
         max_cycles: u64,
     },
+    /// The DMA engine rejected a descriptor or faulted on a beat.
+    Dma {
+        /// The hart whose doorbell ring enqueued the transfer, if the
+        /// failure is attributable (descriptor rejection); beat faults
+        /// mid-transfer are reported without a hart.
+        hart: Option<u32>,
+        /// The underlying error.
+        source: DmaError,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -136,6 +146,11 @@ impl fmt::Display for ClusterError {
                     "cluster exceeded {max_cycles} cycles before all harts halted"
                 )
             }
+            ClusterError::Dma {
+                hart: Some(hart),
+                source,
+            } => write!(f, "hart {hart}: {source}"),
+            ClusterError::Dma { hart: None, source } => write!(f, "dma engine: {source}"),
         }
     }
 }
@@ -145,6 +160,7 @@ impl std::error::Error for ClusterError {
         match self {
             ClusterError::Core { source, .. } => Some(source),
             ClusterError::MaxCyclesExceeded { .. } => None,
+            ClusterError::Dma { source, .. } => Some(source),
         }
     }
 }
@@ -172,6 +188,39 @@ pub struct ClusterSummary {
     pub accesses_by_bank: Vec<u64>,
     /// Barrier episodes completed by the whole cluster.
     pub barriers: u64,
+    /// DMA activity and compute–transfer overlap, when an engine is
+    /// attached ([`Cluster::attach_dma`]).
+    pub dma: Option<DmaSummary>,
+}
+
+/// DMA activity of a cluster run, including the overlap metrics that
+/// quantify how well double-buffered tiling hides transfer time behind
+/// compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaSummary {
+    /// Engine counters (beats, bytes, conflicts, wait cycles).
+    pub stats: DmaStats,
+    /// Cycles the engine had a transfer in flight.
+    pub busy_cycles: u64,
+    /// Busy cycles during which at least one core simultaneously issued
+    /// an FPU compute op — transfer time hidden behind compute.
+    pub overlap_cycles: u64,
+    /// The crossbar port the engine's beats arbitrate on (index into the
+    /// per-port TCDM statistics).
+    pub port: u8,
+}
+
+impl DmaSummary {
+    /// Fraction of DMA-busy cycles overlapped with compute (0 when the
+    /// engine never ran).
+    #[must_use]
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.overlap_cycles as f64 / self.busy_cycles as f64
+        }
+    }
 }
 
 impl ClusterSummary {
@@ -199,7 +248,21 @@ impl ClusterSummary {
     }
 }
 
-/// The cluster: N lock-stepped cores over one shared banked TCDM.
+/// The attached DMA subsystem: the engine, the background memory it
+/// moves against, and the overlap bookkeeping.
+#[derive(Debug)]
+struct DmaAttachment {
+    engine: DmaEngine,
+    dram: Dram,
+    busy_cycles: u64,
+    overlap_cycles: u64,
+    /// Aggregate `fpu_issue_cycles` after the previous cycle, to detect
+    /// whether any core issued compute this cycle.
+    prev_fpu_issue: u64,
+}
+
+/// The cluster: N lock-stepped cores over one shared banked TCDM,
+/// optionally fed by a DMA engine from an unbounded background memory.
 #[derive(Debug)]
 pub struct Cluster {
     cfg: ClusterConfig,
@@ -208,6 +271,7 @@ pub struct Cluster {
     cycles: u64,
     core_done_at: Vec<Option<u64>>,
     barriers: u64,
+    dma: Option<DmaAttachment>,
     // Scratch reused across cycles to keep the hot loop allocation-free.
     requests: Vec<Request>,
     active: Vec<usize>,
@@ -242,10 +306,76 @@ impl Cluster {
             cycles: 0,
             core_done_at: vec![None; n],
             barriers: 0,
+            dma: None,
             requests: Vec::new(),
             active: Vec::new(),
             ranges: Vec::new(),
         }
+    }
+
+    /// Attaches a DMA engine moving data between `dram` and the shared
+    /// TCDM. The engine arbitrates on the first crossbar port *after*
+    /// every core's namespace (`num_cores × ports_per_core`), forming its
+    /// own arbitration group — inter-group fairness treats the mover
+    /// like one more core, so DMA beats neither starve nor are starved
+    /// by compute traffic. An attached-but-idle engine leaves the
+    /// cluster's cycle-by-cycle behaviour bit-identical to a cluster
+    /// without one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's port would overflow the 8-bit port space.
+    pub fn attach_dma(&mut self, dram: Dram) {
+        let port = self.cfg.num_cores * u32::from(self.cfg.ports_per_core());
+        assert!(port < 256, "DMA port overflows the 8-bit port namespace");
+        self.dma = Some(DmaAttachment {
+            engine: DmaEngine::new(PortId(port as u8)),
+            dram,
+            busy_cycles: 0,
+            overlap_cycles: 0,
+            prev_fpu_issue: 0,
+        });
+    }
+
+    /// The background memory, when a DMA engine is attached (stage
+    /// inputs / read back results).
+    #[must_use]
+    pub fn dram(&self) -> Option<&Dram> {
+        self.dma.as_ref().map(|d| &d.dram)
+    }
+
+    /// Mutable background-memory access.
+    pub fn dram_mut(&mut self) -> Option<&mut Dram> {
+        self.dma.as_mut().map(|d| &mut d.dram)
+    }
+
+    /// The DMA engine, when attached (queue inspection in tests).
+    #[must_use]
+    pub fn dma_engine(&self) -> Option<&DmaEngine> {
+        self.dma.as_ref().map(|d| &d.engine)
+    }
+
+    /// Replaces every halted core's program and restarts them at
+    /// instruction 0, preserving all architectural and counter state —
+    /// the model of a software outer loop (the double-buffered tile
+    /// loop) starting its next iteration. Cycle and counter accumulation
+    /// continue seamlessly; an attached DMA engine keeps draining its
+    /// queue across the switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every core has halted, or if the program count does
+    /// not match the core count.
+    pub fn load_programs(&mut self, programs: Vec<Program>) {
+        assert!(
+            self.is_done(),
+            "load_programs requires every core to have halted"
+        );
+        assert_eq!(programs.len(), self.cores.len(), "one program per core");
+        for (core, program) in self.cores.iter_mut().zip(programs) {
+            core.load_program(program);
+        }
+        self.core_done_at.fill(None);
     }
 
     /// The cluster configuration.
@@ -321,18 +451,56 @@ impl Cluster {
         self.active
             .extend((0..self.cores.len()).filter(|&h| !self.cores[h].is_halted()));
 
+        // Mirror the DMA engine's state into the cores so this cycle's
+        // status-CSR reads see the queue as of cycle start.
+        if let Some(dma) = &self.dma {
+            let (outstanding, completed) = (dma.engine.outstanding(), dma.engine.completed());
+            for &h in &self.active {
+                self.cores[h].set_dma_status(outstanding, completed);
+            }
+        }
+
         // Phases 1–2 on every active core.
         for &h in &self.active {
             self.cores[h].begin_cycle().map_err(tag(h))?;
         }
 
-        // Phase 3: one crossbar pass over all cores' requests.
+        // Doorbells rung this cycle enter the engine's FIFO; the engine
+        // picks up new work at its own cycle start below.
+        let mut dma_busy = false;
+        if let Some(dma) = &mut self.dma {
+            for &h in &self.active {
+                if self.cores[h].has_dma_commands() {
+                    for cmd in self.cores[h].take_dma_commands() {
+                        dma.engine.enqueue(command_to_transfer(&cmd)).map_err(|e| {
+                            ClusterError::Dma {
+                                hart: Some(h as u32),
+                                source: e,
+                            }
+                        })?;
+                    }
+                }
+            }
+            dma.engine.begin_cycle(dma.dram.config());
+            dma_busy = dma.engine.is_busy();
+        }
+
+        // Phase 3: one crossbar pass over all cores' *and* the DMA
+        // engine's requests — DMA beats contend for bank ports exactly
+        // like compute traffic and show up in the per-bank stats.
         self.requests.clear();
         self.ranges.clear();
         for &h in &self.active {
             let start = self.requests.len();
             self.cores[h].mem_requests(&mut self.requests);
             self.ranges.push((h, start, self.requests.len()));
+        }
+        let mut dma_req = false;
+        if let Some(dma) = &self.dma {
+            if let Some(req) = dma.engine.request() {
+                self.requests.push(req);
+                dma_req = true;
+            }
         }
         if self.requests.is_empty() {
             for &h in &self.active {
@@ -347,11 +515,43 @@ impl Cluster {
                     .apply_grants(&grants[start..end], &mut self.tcdm)
                     .map_err(tag(h))?;
             }
+            if dma_req {
+                let dma = self.dma.as_mut().expect("dma_req implies attachment");
+                let timing = dma.dram.config();
+                dma.engine
+                    .apply_grant(
+                        grants[grants.len() - 1],
+                        &mut self.tcdm,
+                        &mut dma.dram,
+                        timing,
+                    )
+                    .map_err(|e| ClusterError::Dma {
+                        hart: None,
+                        source: e,
+                    })?;
+            }
         }
 
         // Phase 4.
         for &h in &self.active {
             self.cores[h].end_cycle();
+        }
+        if let Some(dma) = &mut self.dma {
+            dma.engine.end_cycle();
+            if dma_busy {
+                dma.busy_cycles += 1;
+            }
+            // Compute–transfer overlap: did any core issue an FPU compute
+            // op while the engine was busy?
+            let fpu_issue: u64 = self
+                .cores
+                .iter()
+                .map(|c| c.counters().fpu_issue_cycles)
+                .sum();
+            if dma_busy && fpu_issue > dma.prev_fpu_issue {
+                dma.overlap_cycles += 1;
+            }
+            dma.prev_fpu_issue = fpu_issue;
         }
         self.cycles += 1;
 
@@ -409,10 +609,14 @@ impl Cluster {
             core_accesses.push(accesses);
             core_conflicts.push(conflicts);
         }
+        let dma_accesses = self.dma.as_ref().map_or(0, |d| {
+            let port = d.engine.port().0;
+            stats.totals_of_port_range(port..port + 1).0
+        });
         debug_assert_eq!(
-            core_accesses.iter().sum::<u64>(),
+            core_accesses.iter().sum::<u64>() + dma_accesses,
             stats.total_accesses(),
-            "per-core port ranges must partition the crossbar"
+            "per-core port ranges plus the DMA port must partition the crossbar"
         );
         ClusterSummary {
             cycles: self.cycles,
@@ -427,7 +631,28 @@ impl Cluster {
             conflicts_by_bank: stats.conflicts_by_bank().to_vec(),
             accesses_by_bank: stats.accesses_by_bank().to_vec(),
             barriers: self.barriers,
+            dma: self.dma.as_ref().map(|d| DmaSummary {
+                stats: *d.engine.stats(),
+                busy_cycles: d.busy_cycles,
+                overlap_cycles: d.overlap_cycles,
+                port: d.engine.port().0,
+            }),
             per_core,
         }
+    }
+}
+
+/// Converts a core's doorbell snapshot into an engine transfer
+/// descriptor. The CSR naming is direction-relative (`src` = Dram side,
+/// `dst` = TCDM side, in the Dram→TCDM sense) regardless of direction.
+fn command_to_transfer(cmd: &DmaCommand) -> Transfer {
+    Transfer {
+        dram_addr: cmd.src,
+        tcdm_addr: cmd.dst,
+        row_bytes: cmd.len,
+        dram_stride: cmd.src_stride,
+        tcdm_stride: cmd.dst_stride,
+        reps: cmd.reps,
+        to_tcdm: cmd.to_tcdm,
     }
 }

@@ -116,6 +116,10 @@ pub struct FpSubsystem {
     port_base: u8,
     /// Why each unit's writeback is blocked (refines `UnitBusy` stalls).
     blocked_reason: Option<StallCause>,
+    /// Whether the single writeback port is still unused this cycle —
+    /// the chained-drain path in issue may use it for the same-cycle
+    /// FIFO shift (pop at the head + held push) if phase 1 left it free.
+    wb_port_free: bool,
 }
 
 impl FpSubsystem {
@@ -143,6 +147,7 @@ impl FpSubsystem {
             cfg: *cfg,
             port_base,
             blocked_reason: None,
+            wb_port_free: true,
         }
     }
 
@@ -289,7 +294,67 @@ impl FpSubsystem {
                 }
             }
         }
+        self.wb_port_free = !port_used;
         int_wb
+    }
+
+    /// Detects the chained-FIFO jam the issue stage can resolve itself:
+    /// `inst` (a compute op) targets a unit whose writeback slot holds a
+    /// completion into a chained register that `inst` is about to pop.
+    /// In hardware the pipeline registers *are* the tail of that
+    /// register's logical FIFO, so the pop at the head and the held push
+    /// advance together as one synchronous shift — the consumer must not
+    /// stall on the unit being "full", or the rotation deadlocks the
+    /// moment backpressure packs the pipeline. Returns the unit class to
+    /// drain during issue.
+    fn chained_drain_target(&self, inst: &Instruction, popped: &[FpReg]) -> Option<OpClass> {
+        if !self.wb_port_free
+            || matches!(
+                inst,
+                Instruction::FpLoad { .. } | Instruction::FpStore { .. }
+            )
+        {
+            return None;
+        }
+        let (op, _) = FpuOp::from_instruction(inst).expect("compute op");
+        let class = op.class();
+        let held = match class {
+            OpClass::AddMul => self.addmul.ready(),
+            OpClass::NonComp => self.noncomp.ready(),
+            OpClass::Conv => self.conv.ready(),
+            OpClass::DivSqrt => self.divsqrt.ready(),
+        }?;
+        match held.dest {
+            WbDest::Chained(reg)
+                if popped.contains(&reg)
+                    && matches!(self.classify(reg), RegClass::Chained)
+                    && self.chain.can_pop(reg) =>
+            {
+                Some(class)
+            }
+            _ => None,
+        }
+    }
+
+    /// Performs the drain found by [`FpSubsystem::chained_drain_target`]:
+    /// retires the held completion into the just-popped register through
+    /// the (unused) writeback port, freeing the unit for this cycle's
+    /// issue.
+    fn apply_chained_drain(&mut self, class: OpClass, counters: &mut PerfCounters) {
+        let op = match class {
+            OpClass::AddMul => self.addmul.take_ready(),
+            OpClass::NonComp => self.noncomp.take_ready(),
+            OpClass::Conv => self.conv.take_ready(),
+            OpClass::DivSqrt => self.divsqrt.take_ready(),
+        }
+        .expect("drain target verified by chained_drain_target");
+        let mut int_wb = Vec::new();
+        let committed = self.try_commit(op.dest, op.bits, counters, &mut int_wb);
+        debug_assert!(
+            committed && int_wb.is_empty(),
+            "a chained drain commits into the register popped this cycle"
+        );
+        self.wb_port_free = false;
     }
 
     /// Attempts one commit; records the block reason on failure.
@@ -420,7 +485,12 @@ impl FpSubsystem {
                 }
             }
         };
-        if !unit_free {
+        let drain = if unit_free {
+            None
+        } else {
+            self.chained_drain_target(&inst, &distinct)
+        };
+        if !unit_free && drain.is_none() {
             let cause = match &inst {
                 Instruction::FpLoad { .. } | Instruction::FpStore { .. } => StallCause::LsuBusy,
                 _ => self.blocked_reason.unwrap_or(StallCause::UnitBusy),
@@ -463,6 +533,13 @@ impl FpSubsystem {
         // --- dispatch ----------------------------------------------------
         self.seq.consume();
         counters.fp_issued += 1;
+
+        // The operand pop above freed the chained register the blocked
+        // completion targets; retire it now so the unit accepts this
+        // instruction (the same-cycle FIFO shift).
+        if let Some(class) = drain {
+            self.apply_chained_drain(class, counters);
+        }
 
         match inst {
             Instruction::FpStore { fmt, frs2, .. } => {

@@ -55,5 +55,5 @@ pub use counters::{PerfCounters, StallCause};
 pub use error::SimError;
 pub use fp_subsys::{FpSubsystem, IntWriteback, IssueOutcome};
 pub use sequencer::{OffloadedFp, SeqError, SeqItem, Sequencer};
-pub use sim::{Core, RunSummary, Simulator};
+pub use sim::{Core, DmaCommand, RunSummary, Simulator};
 pub use trace::{FpSlot, IssueTrace, TraceCycle};

@@ -119,6 +119,33 @@ struct MemPlan {
     n_dm: usize,
 }
 
+/// A DMA transfer descriptor, snapshotted from the DMA CSRs when a
+/// program rings the `DMA_START` doorbell.
+///
+/// The core itself does not own a DMA engine: commands accumulate in a
+/// per-core outbox the cluster drains each cycle
+/// ([`Core::take_dma_commands`]) into the shared engine, and the engine's
+/// status is mirrored back ([`Core::set_dma_status`]) for the status
+/// CSRs to read. On a lone [`Simulator`] the outbox is never drained and
+/// the doorbell is inert (status reads stay zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaCommand {
+    /// Byte address on the background-memory (Dram) side.
+    pub src: u32,
+    /// Byte address on the TCDM side.
+    pub dst: u32,
+    /// Bytes per row.
+    pub len: u32,
+    /// Byte stride between row starts on the Dram side.
+    pub src_stride: u32,
+    /// Byte stride between row starts on the TCDM side.
+    pub dst_stride: u32,
+    /// Row count (0 is treated as 1).
+    pub reps: u32,
+    /// Direction: `true` = Dram → TCDM.
+    pub to_tcdm: bool,
+}
+
 /// One steppable compute core, memory-system agnostic.
 ///
 /// The core owns everything *private* to a hart — register files, FP
@@ -166,6 +193,12 @@ pub struct Core {
     dm_plan: Vec<u8>,
     trace_int_slot: Option<Instruction>,
     trace_fp_slot: FpSlot,
+    dma_outbox: Vec<DmaCommand>,
+    /// Cumulative doorbell rings (the `DMA_START` read-back value — the
+    /// outbox itself is drained by the cluster every cycle).
+    dma_rung: u32,
+    dma_outstanding: u32,
+    dma_completed: u32,
 }
 
 impl Core {
@@ -219,6 +252,10 @@ impl Core {
             dm_plan: Vec::new(),
             trace_int_slot: None,
             trace_fp_slot: FpSlot::Idle,
+            dma_outbox: Vec::new(),
+            dma_rung: 0,
+            dma_outstanding: 0,
+            dma_completed: 0,
         }
     }
 
@@ -321,6 +358,46 @@ impl Core {
             self.counters.fetches += 1;
             self.state = IntState::Running;
         }
+    }
+
+    /// Drains the DMA commands rung since the last drain (cluster use).
+    pub fn take_dma_commands(&mut self) -> Vec<DmaCommand> {
+        std::mem::take(&mut self.dma_outbox)
+    }
+
+    /// Whether any DMA doorbell rings are waiting to be drained.
+    #[must_use]
+    pub fn has_dma_commands(&self) -> bool {
+        !self.dma_outbox.is_empty()
+    }
+
+    /// Mirrors the shared DMA engine's state into this core, making the
+    /// `DMA_STATUS` (outstanding) and `DMA_COMPLETED` (monotonic) CSRs
+    /// readable. The cluster calls this at the top of every cycle.
+    pub fn set_dma_status(&mut self, outstanding: u32, completed: u32) {
+        self.dma_outstanding = outstanding;
+        self.dma_completed = completed;
+    }
+
+    /// Replaces the program of a *halted* core and restarts execution at
+    /// its first instruction, keeping all architectural state — register
+    /// files, CSRs, counters, barrier episode count — intact. This
+    /// models a software outer loop (e.g. the double-buffered tile loop)
+    /// jumping back to its head, without charging refetch bubbles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the core has halted (post-`ecall` quiescence
+    /// guarantees the FP subsystem is drained and all streams are done,
+    /// so restarting is always architecturally clean).
+    pub fn load_program(&mut self, program: Program) {
+        assert!(
+            self.is_halted(),
+            "load_program requires a halted (quiesced) core"
+        );
+        self.program = program;
+        self.pc = 0;
+        self.state = IntState::Running;
     }
 
     /// The run summary as of now (cheap apart from cloning the trace).
@@ -782,6 +859,37 @@ impl Core {
                     self.state = IntState::BarrierWait { rd };
                     return Ok(None);
                 }
+            }
+            csr::DMA_START => {
+                // Pure reads (csrrs/csrrc with a zero operand) report the
+                // cumulative number of doorbells this core has rung; any
+                // write snapshots the descriptor CSRs into a command for
+                // the cluster's engine, operand bit 0 selecting the
+                // direction.
+                let pure_read = matches!(op, CsrOp::ReadSet | CsrOp::ReadClear)
+                    && match src {
+                        CsrSrc::Reg(r) => r.is_zero(),
+                        CsrSrc::Imm(i) => i == 0,
+                    };
+                self.write_reg(rd, self.dma_rung);
+                if !pure_read {
+                    self.dma_rung = self.dma_rung.wrapping_add(1);
+                    self.dma_outbox.push(DmaCommand {
+                        src: self.csrs.read(csr::DMA_SRC),
+                        dst: self.csrs.read(csr::DMA_DST),
+                        len: self.csrs.read(csr::DMA_LEN),
+                        src_stride: self.csrs.read(csr::DMA_SRC_STRIDE),
+                        dst_stride: self.csrs.read(csr::DMA_DST_STRIDE),
+                        reps: self.csrs.read(csr::DMA_REPS).max(1),
+                        to_tcdm: operand & 1 == 1,
+                    });
+                }
+            }
+            csr::DMA_STATUS => {
+                self.write_reg(rd, self.dma_outstanding);
+            }
+            csr::DMA_COMPLETED => {
+                self.write_reg(rd, self.dma_completed);
             }
             csr::MHARTID => {
                 self.write_reg(rd, self.hart_id);

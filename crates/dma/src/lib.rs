@@ -1,0 +1,576 @@
+//! # sc-dma — the per-cluster DMA engine
+//!
+//! A cycle-stepped model of a Snitch-style cluster DMA mover: it drains a
+//! FIFO of 1D/2D strided transfer descriptors, moving 64-bit beats
+//! between the unbounded background memory ([`sc_mem::Dram`]) and the
+//! banked TCDM. The TCDM side of every beat goes through the *same*
+//! crossbar arbitration as the cores' ports ([`sc_mem::Tcdm::arbitrate`]),
+//! so DMA traffic contends for banks — and shows up in the per-bank
+//! conflict statistics — exactly like compute traffic does.
+//!
+//! ## Timing
+//!
+//! Each transfer pays [`sc_mem::DramConfig::latency`] cycles of startup,
+//! then moves one 64-bit beat per TCDM grant, throttled to at most one
+//! beat every [`sc_mem::DramConfig::cycles_per_beat`] cycles. A beat that
+//! loses TCDM arbitration retries the next cycle (a bank conflict,
+//! charged to the engine's port). Transfers complete strictly in FIFO
+//! order; the monotonic completion counter is what programs poll through
+//! the `DMA_COMPLETED` CSR to synchronise double-buffered tiles.
+//!
+//! ## Step protocol
+//!
+//! The owner (usually `sc-cluster`) drives one engine cycle as:
+//! [`DmaEngine::begin_cycle`] → [`DmaEngine::request`] → (arbitrate) →
+//! [`DmaEngine::apply_grant`] → [`DmaEngine::end_cycle`]. A lone engine
+//! can be stepped to completion with [`DmaEngine::run_to_idle`].
+//!
+//! ```
+//! use sc_dma::{DmaEngine, Transfer};
+//! use sc_mem::{Dram, DramConfig, PortId, Tcdm, TcdmConfig};
+//!
+//! let mut dram = Dram::new(DramConfig::new().with_latency(4));
+//! let mut tcdm = Tcdm::new(TcdmConfig::new().with_size(4096).with_banks(4));
+//! dram.write_f64(0x1000, 6.25)?;
+//!
+//! let mut dma = DmaEngine::new(PortId(9));
+//! dma.enqueue(Transfer::contiguous(0x1000, 0x100, 8, true))?;
+//! dma.run_to_idle(&mut tcdm, &mut dram, 1_000)?;
+//! assert_eq!(tcdm.read_f64(0x100)?, 6.25);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use sc_mem::{AccessKind, Dram, DramConfig, MemError, PortId, Request, Tcdm};
+
+/// Beat width in bytes: the engine moves 64-bit words, matching the TCDM
+/// bank width.
+pub const BEAT_BYTES: u32 = 8;
+
+/// A 1D/2D strided transfer descriptor.
+///
+/// The transfer moves `reps` rows of `row_bytes` bytes each; consecutive
+/// rows start `dram_stride` / `tcdm_stride` bytes apart on their
+/// respective sides. `reps == 1` with equal strides is a plain 1D copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Byte address on the background-memory side.
+    pub dram_addr: u32,
+    /// Byte address on the TCDM side.
+    pub tcdm_addr: u32,
+    /// Bytes per row (positive multiple of [`BEAT_BYTES`]).
+    pub row_bytes: u32,
+    /// Byte distance between consecutive row starts on the Dram side.
+    pub dram_stride: u32,
+    /// Byte distance between consecutive row starts on the TCDM side.
+    pub tcdm_stride: u32,
+    /// Row count (≥ 1).
+    pub reps: u32,
+    /// Direction: `true` = Dram → TCDM ("in"), `false` = TCDM → Dram.
+    pub to_tcdm: bool,
+}
+
+impl Transfer {
+    /// A 1D contiguous transfer of `bytes` bytes.
+    #[must_use]
+    pub fn contiguous(dram_addr: u32, tcdm_addr: u32, bytes: u32, to_tcdm: bool) -> Self {
+        Transfer {
+            dram_addr,
+            tcdm_addr,
+            row_bytes: bytes,
+            dram_stride: bytes,
+            tcdm_stride: bytes,
+            reps: 1,
+            to_tcdm,
+        }
+    }
+
+    /// Total bytes the transfer moves.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.row_bytes) * u64::from(self.reps)
+    }
+
+    fn validate(&self) -> Result<(), DmaError> {
+        if self.row_bytes == 0 || self.reps == 0 {
+            return Err(DmaError::EmptyTransfer);
+        }
+        for (field, value) in [
+            ("dram_addr", self.dram_addr),
+            ("tcdm_addr", self.tcdm_addr),
+            ("row_bytes", self.row_bytes),
+        ] {
+            if !value.is_multiple_of(BEAT_BYTES) {
+                return Err(DmaError::Misaligned { field, value });
+            }
+        }
+        if self.reps > 1 {
+            for (field, value) in [
+                ("dram_stride", self.dram_stride),
+                ("tcdm_stride", self.tcdm_stride),
+            ] {
+                if !value.is_multiple_of(BEAT_BYTES) {
+                    return Err(DmaError::Misaligned { field, value });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised by the DMA engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaError {
+    /// A descriptor with zero rows or zero bytes per row.
+    EmptyTransfer,
+    /// A descriptor field not aligned to the 8-byte beat size.
+    Misaligned {
+        /// Which descriptor field.
+        field: &'static str,
+        /// Its offending value.
+        value: u32,
+    },
+    /// A functional memory fault while moving a beat (e.g. the TCDM side
+    /// of a transfer runs off the end of the scratchpad).
+    Mem(MemError),
+}
+
+impl fmt::Display for DmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmaError::EmptyTransfer => write!(f, "DMA transfer with zero rows or zero-byte rows"),
+            DmaError::Misaligned { field, value } => {
+                write!(
+                    f,
+                    "DMA descriptor field {field}={value:#x} is not a multiple of {BEAT_BYTES}"
+                )
+            }
+            DmaError::Mem(e) => write!(f, "DMA beat faulted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmaError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for DmaError {
+    fn from(e: MemError) -> Self {
+        DmaError::Mem(e)
+    }
+}
+
+/// Cumulative DMA activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaStats {
+    /// Descriptors accepted into the queue.
+    pub transfers_enqueued: u64,
+    /// Descriptors fully completed.
+    pub transfers_completed: u64,
+    /// 64-bit beats moved.
+    pub beats: u64,
+    /// Bytes moved Dram → TCDM.
+    pub bytes_to_tcdm: u64,
+    /// Bytes moved TCDM → Dram.
+    pub bytes_from_tcdm: u64,
+    /// Beats that lost TCDM arbitration (retried next cycle).
+    pub tcdm_conflicts: u64,
+    /// Busy cycles spent waiting on the background memory (startup
+    /// latency + bandwidth throttling), not on the TCDM.
+    pub dram_wait_cycles: u64,
+}
+
+impl DmaStats {
+    /// Total bytes moved in either direction.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_to_tcdm + self.bytes_from_tcdm
+    }
+}
+
+/// Progress through the active transfer.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    t: Transfer,
+    row: u32,
+    offset: u32,
+    /// Cycles still owed to the background memory before the next beat
+    /// may move (startup latency, then inter-beat bandwidth gaps).
+    wait: u32,
+}
+
+impl Active {
+    fn dram_cursor(&self) -> u32 {
+        self.t
+            .dram_addr
+            .wrapping_add(self.row.wrapping_mul(self.t.dram_stride))
+            .wrapping_add(self.offset)
+    }
+
+    fn tcdm_cursor(&self) -> u32 {
+        self.t
+            .tcdm_addr
+            .wrapping_add(self.row.wrapping_mul(self.t.tcdm_stride))
+            .wrapping_add(self.offset)
+    }
+}
+
+/// The cycle-stepped DMA engine (one per cluster).
+#[derive(Debug)]
+pub struct DmaEngine {
+    port: PortId,
+    queue: VecDeque<Transfer>,
+    active: Option<Active>,
+    stats: DmaStats,
+    completed: u32,
+    /// Whether a beat moved this cycle (so the end-of-cycle wait
+    /// decrement does not count the beat's own cycle as a stall).
+    moved_this_cycle: bool,
+}
+
+impl DmaEngine {
+    /// Creates an idle engine whose TCDM requests use `port`.
+    #[must_use]
+    pub fn new(port: PortId) -> Self {
+        DmaEngine {
+            port,
+            queue: VecDeque::new(),
+            active: None,
+            stats: DmaStats::default(),
+            completed: 0,
+            moved_this_cycle: false,
+        }
+    }
+
+    /// The engine's TCDM crossbar port.
+    #[must_use]
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// Accepts a transfer descriptor into the FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or beat-misaligned descriptors; the queue is
+    /// unbounded (descriptor storage is not the modelled resource).
+    pub fn enqueue(&mut self, t: Transfer) -> Result<(), DmaError> {
+        t.validate()?;
+        self.queue.push_back(t);
+        self.stats.transfers_enqueued += 1;
+        Ok(())
+    }
+
+    /// Transfers not yet completed (queued + in flight) — the value the
+    /// `DMA_STATUS` CSR reads.
+    #[must_use]
+    pub fn outstanding(&self) -> u32 {
+        self.queue.len() as u32 + u32::from(self.active.is_some())
+    }
+
+    /// Monotonic count of completed transfers — the value the
+    /// `DMA_COMPLETED` CSR reads. Programs poll it to synchronise
+    /// double-buffered tiles (transfers complete strictly in FIFO order).
+    #[must_use]
+    pub fn completed(&self) -> u32 {
+        self.completed
+    }
+
+    /// Whether the engine has nothing queued or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.active.is_none() && self.queue.is_empty()
+    }
+
+    /// Whether the engine is working this cycle (valid after
+    /// [`DmaEngine::begin_cycle`]).
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> &DmaStats {
+        &self.stats
+    }
+
+    /// Cycle start: pick up the next queued transfer if idle, paying the
+    /// background memory's startup latency.
+    pub fn begin_cycle(&mut self, timing: DramConfig) {
+        if self.active.is_none() {
+            if let Some(t) = self.queue.pop_front() {
+                self.active = Some(Active {
+                    t,
+                    row: 0,
+                    offset: 0,
+                    wait: timing.latency,
+                });
+            }
+        }
+    }
+
+    /// The TCDM request for this cycle's beat, if one is ready (in-flight
+    /// transfer, background memory not stalling).
+    #[must_use]
+    pub fn request(&self) -> Option<Request> {
+        let a = self.active.as_ref()?;
+        if a.wait > 0 {
+            return None;
+        }
+        Some(Request {
+            port: self.port,
+            addr: a.tcdm_cursor(),
+            kind: if a.t.to_tcdm {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        })
+    }
+
+    /// Applies this cycle's arbitration outcome for the request returned
+    /// by [`DmaEngine::request`]. A granted beat moves 8 bytes through
+    /// the functional interfaces; a denied beat retries next cycle.
+    ///
+    /// # Errors
+    ///
+    /// Functional memory faults (misaligned/out-of-bounds TCDM cursor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without an issuable request this cycle.
+    pub fn apply_grant(
+        &mut self,
+        granted: bool,
+        tcdm: &mut Tcdm,
+        dram: &mut Dram,
+        timing: DramConfig,
+    ) -> Result<(), DmaError> {
+        let a = self
+            .active
+            .as_mut()
+            .filter(|a| a.wait == 0)
+            .expect("apply_grant without an issuable DMA request");
+        if !granted {
+            self.stats.tcdm_conflicts += 1;
+            return Ok(());
+        }
+        if a.t.to_tcdm {
+            let v = dram.read_u64(a.dram_cursor())?;
+            tcdm.write_u64(a.tcdm_cursor(), v)?;
+            self.stats.bytes_to_tcdm += u64::from(BEAT_BYTES);
+        } else {
+            let v = tcdm.read_u64(a.tcdm_cursor())?;
+            dram.write_u64(a.dram_cursor(), v)?;
+            self.stats.bytes_from_tcdm += u64::from(BEAT_BYTES);
+        }
+        self.stats.beats += 1;
+        self.moved_this_cycle = true;
+        a.offset += BEAT_BYTES;
+        if a.offset == a.t.row_bytes {
+            a.offset = 0;
+            a.row += 1;
+        }
+        if a.row == a.t.reps {
+            self.active = None;
+            self.completed = self.completed.wrapping_add(1);
+            self.stats.transfers_completed += 1;
+        } else {
+            // Bandwidth throttle: a beat occupies the channel for
+            // `cycles_per_beat` cycles including its own, so the next
+            // beat may move `cycles_per_beat` cycles later.
+            a.wait = timing.cycles_per_beat;
+        }
+        Ok(())
+    }
+
+    /// Cycle end: background-memory wait cycles elapse.
+    pub fn end_cycle(&mut self) {
+        if let Some(a) = self.active.as_mut() {
+            if a.wait > 0 {
+                a.wait -= 1;
+                if !self.moved_this_cycle {
+                    self.stats.dram_wait_cycles += 1;
+                }
+            }
+        }
+        self.moved_this_cycle = false;
+    }
+
+    /// Steps the engine alone (no competing masters) until it is idle.
+    /// Returns the cycles taken. Used by tests and stand-alone tools; a
+    /// cluster steps the engine inside its own crossbar pass instead.
+    ///
+    /// # Errors
+    ///
+    /// Beat faults (misaligned or out-of-bounds cursors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget runs out before the queue drains: with no
+    /// competing masters every transfer finishes in bounded cycles, so
+    /// an overrun indicates a modelling bug, not a run-time condition.
+    pub fn run_to_idle(
+        &mut self,
+        tcdm: &mut Tcdm,
+        dram: &mut Dram,
+        max_cycles: u64,
+    ) -> Result<u64, DmaError> {
+        let timing = dram.config();
+        let mut cycles = 0;
+        while !self.is_idle() {
+            assert!(
+                cycles < max_cycles,
+                "DMA engine did not drain within {max_cycles} cycles"
+            );
+            self.begin_cycle(timing);
+            if let Some(req) = self.request() {
+                let grants = tcdm.arbitrate(&[req]);
+                self.apply_grant(grants[0], tcdm, dram, timing)?;
+            }
+            self.end_cycle();
+            cycles += 1;
+        }
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_mem::TcdmConfig;
+
+    fn rig() -> (Tcdm, Dram) {
+        (
+            Tcdm::new(TcdmConfig::new().with_size(4096).with_banks(4)),
+            Dram::new(DramConfig::new().with_latency(10)),
+        )
+    }
+
+    #[test]
+    fn contiguous_transfer_lands_and_pays_latency() {
+        let (mut tcdm, mut dram) = rig();
+        for i in 0..8u32 {
+            dram.write_u64(0x1000 + 8 * i, u64::from(i) * 3 + 1)
+                .unwrap();
+        }
+        let mut dma = DmaEngine::new(PortId(4));
+        dma.enqueue(Transfer::contiguous(0x1000, 0x200, 64, true))
+            .unwrap();
+        let cycles = dma.run_to_idle(&mut tcdm, &mut dram, 1_000).unwrap();
+        for i in 0..8u32 {
+            assert_eq!(tcdm.read_u64(0x200 + 8 * i).unwrap(), u64::from(i) * 3 + 1);
+        }
+        // 10 latency cycles + 8 beats.
+        assert_eq!(cycles, 18);
+        assert_eq!(dma.completed(), 1);
+        assert_eq!(dma.stats().beats, 8);
+        assert_eq!(dma.stats().dram_wait_cycles, 10);
+    }
+
+    #[test]
+    fn strided_2d_gathers_rows() {
+        let (mut tcdm, mut dram) = rig();
+        // 3 rows of 16 bytes, 64 bytes apart in Dram, packed in TCDM.
+        for r in 0..3u32 {
+            for w in 0..2u32 {
+                dram.write_u64(0x800 + r * 64 + w * 8, u64::from(r * 10 + w))
+                    .unwrap();
+            }
+        }
+        let mut dma = DmaEngine::new(PortId(4));
+        dma.enqueue(Transfer {
+            dram_addr: 0x800,
+            tcdm_addr: 0x100,
+            row_bytes: 16,
+            dram_stride: 64,
+            tcdm_stride: 16,
+            reps: 3,
+            to_tcdm: true,
+        })
+        .unwrap();
+        dma.run_to_idle(&mut tcdm, &mut dram, 1_000).unwrap();
+        for r in 0..3u32 {
+            for w in 0..2u32 {
+                assert_eq!(
+                    tcdm.read_u64(0x100 + r * 16 + w * 8).unwrap(),
+                    u64::from(r * 10 + w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_throttle_slows_beats() {
+        let mut tcdm = Tcdm::new(TcdmConfig::new().with_size(4096).with_banks(4));
+        let mut dram = Dram::new(DramConfig::new().with_latency(0).with_cycles_per_beat(3));
+        let mut dma = DmaEngine::new(PortId(4));
+        dma.enqueue(Transfer::contiguous(0, 0, 64, true)).unwrap();
+        let cycles = dma.run_to_idle(&mut tcdm, &mut dram, 1_000).unwrap();
+        // 8 beats, 3 cycles each, minus the trailing gap after the last.
+        assert_eq!(cycles, 8 * 3 - 2);
+    }
+
+    #[test]
+    fn fifo_order_and_completion_counter() {
+        let (mut tcdm, mut dram) = rig();
+        dram.write_u64(0x0, 7).unwrap();
+        let mut dma = DmaEngine::new(PortId(4));
+        dma.enqueue(Transfer::contiguous(0x0, 0x100, 8, true))
+            .unwrap();
+        dma.enqueue(Transfer::contiguous(0x300, 0x100, 8, false))
+            .unwrap();
+        assert_eq!(dma.outstanding(), 2);
+        dma.run_to_idle(&mut tcdm, &mut dram, 1_000).unwrap();
+        assert_eq!(dma.outstanding(), 0);
+        assert_eq!(dma.completed(), 2);
+        // Second transfer read what the first wrote.
+        assert_eq!(dram.read_u64(0x300).unwrap(), 7);
+    }
+
+    #[test]
+    fn bad_descriptors_are_rejected() {
+        let mut dma = DmaEngine::new(PortId(0));
+        assert_eq!(
+            dma.enqueue(Transfer::contiguous(0, 0, 0, true)),
+            Err(DmaError::EmptyTransfer)
+        );
+        assert_eq!(
+            dma.enqueue(Transfer::contiguous(4, 0, 8, true)),
+            Err(DmaError::Misaligned {
+                field: "dram_addr",
+                value: 4
+            })
+        );
+        assert_eq!(
+            dma.enqueue(Transfer::contiguous(0, 0, 12, true)),
+            Err(DmaError::Misaligned {
+                field: "row_bytes",
+                value: 12
+            })
+        );
+        assert!(dma.is_idle());
+    }
+
+    #[test]
+    fn tcdm_overrun_is_a_beat_fault() {
+        let (mut tcdm, mut dram) = rig();
+        let mut dma = DmaEngine::new(PortId(4));
+        // TCDM is 4096 bytes; this transfer runs off its end.
+        dma.enqueue(Transfer::contiguous(0, 4096 - 8, 24, true))
+            .unwrap();
+        let err = dma.run_to_idle(&mut tcdm, &mut dram, 1_000).unwrap_err();
+        assert!(matches!(err, DmaError::Mem(MemError::OutOfBounds { .. })));
+    }
+}

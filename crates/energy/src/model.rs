@@ -39,6 +39,12 @@ pub struct EnergyModel {
     /// Energy per stream element handled by a data mover (address
     /// generation + FIFO; the SRAM access is counted separately).
     pub ssr_element_pj: f64,
+    /// Engine overhead per 64-bit DMA beat (address generation, channel
+    /// control; the TCDM and background-memory accesses are separate).
+    pub dma_beat_pj: f64,
+    /// Energy per 64-bit background-memory (L2/HBM hop) access — the
+    /// expensive end of every DMA beat.
+    pub dram_access_pj: f64,
     /// Static (leakage + clock-tree) power in milliwatts.
     pub static_mw: f64,
 }
@@ -57,8 +63,17 @@ impl EnergyModel {
             fp_rf_write_pj: 1.1,
             tcdm_access_pj: 5.5,
             ssr_element_pj: 0.9,
+            dma_beat_pj: 1.1,
+            dram_access_pj: 18.0,
             static_mw: 24.0,
         }
+    }
+
+    /// Energy of `beats` 64-bit DMA beats: each pays one TCDM access,
+    /// one background-memory access and the engine overhead.
+    #[must_use]
+    pub fn dma_energy_pj(&self, beats: u64) -> f64 {
+        beats as f64 * (self.tcdm_access_pj + self.dram_access_pj + self.dma_beat_pj)
     }
 
     /// Total dynamic energy for a counter snapshot, in picojoules.
@@ -96,9 +111,31 @@ impl EnergyModel {
         per_core: &[PerfCounters],
         cluster_cycles: u64,
     ) -> ClusterEnergyReport {
+        self.cluster_report_with_dma(per_core, cluster_cycles, 0)
+    }
+
+    /// [`EnergyModel::cluster_report`] plus the traffic of a DMA engine
+    /// that moved `dma_beats` 64-bit beats during the run — the cores'
+    /// counters never see DMA accesses, so they are charged here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_core` is empty.
+    #[must_use]
+    pub fn cluster_report_with_dma(
+        &self,
+        per_core: &[PerfCounters],
+        cluster_cycles: u64,
+        dma_beats: u64,
+    ) -> ClusterEnergyReport {
         assert!(!per_core.is_empty(), "a cluster has at least one core");
         let reports: Vec<EnergyReport> = per_core.iter().map(|c| self.report(c)).collect();
-        let dynamic_pj: f64 = per_core.iter().map(|c| self.dynamic_energy_pj(c)).sum();
+        let dma_pj = self.dma_energy_pj(dma_beats);
+        let dynamic_pj: f64 = per_core
+            .iter()
+            .map(|c| self.dynamic_energy_pj(c))
+            .sum::<f64>()
+            + dma_pj;
         let seconds = cluster_cycles as f64 / self.frequency_hz;
         let static_pj = self.static_mw * per_core.len() as f64 * 1.0e-3 * seconds * 1.0e12;
         let total_pj = dynamic_pj + static_pj;
@@ -123,6 +160,7 @@ impl EnergyModel {
             runtime_s: seconds,
             dynamic_pj,
             static_pj,
+            dma_pj,
             total_pj,
             power_mw,
             gflops,
@@ -214,10 +252,13 @@ pub struct ClusterEnergyReport {
     pub cycles: u64,
     /// Runtime in seconds at the configured frequency.
     pub runtime_s: f64,
-    /// Dynamic energy summed over every core (pJ).
+    /// Dynamic energy summed over every core, DMA included (pJ).
     pub dynamic_pj: f64,
     /// Static energy of all cores over the cluster runtime (pJ).
     pub static_pj: f64,
+    /// DMA traffic energy included in `dynamic_pj`: TCDM +
+    /// background-memory accesses + engine overhead per beat (pJ).
+    pub dma_pj: f64,
     /// Total energy (pJ).
     pub total_pj: f64,
     /// Average cluster power (mW).
@@ -336,6 +377,22 @@ mod tests {
         assert!(slower.static_pj > r.static_pj);
         assert!(slower.gflops_per_w < r.gflops_per_w);
         assert!((r.speedup_over(&slower) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dma_traffic_is_charged_per_beat() {
+        let m = EnergyModel::new();
+        let per_core = vec![sample_counters(); 2];
+        let plain = m.cluster_report(&per_core, 1_000);
+        let with_dma = m.cluster_report_with_dma(&per_core, 1_000, 500);
+        assert_eq!(plain.dma_pj, 0.0);
+        let expect = 500.0 * (m.tcdm_access_pj + m.dram_access_pj + m.dma_beat_pj);
+        assert!((with_dma.dma_pj - expect).abs() < 1e-9);
+        assert!((with_dma.total_pj - plain.total_pj - expect).abs() < 1e-9);
+        assert!(
+            with_dma.gflops_per_w < plain.gflops_per_w,
+            "moving data costs efficiency"
+        );
     }
 
     #[test]

@@ -43,6 +43,38 @@ pub const CLUSTER_BARRIER: u16 = 0x7C5;
 /// Custom: number of cores in the cluster (read-only; 1 outside a
 /// cluster).
 pub const CLUSTER_NUM_CORES: u16 = 0x7C6;
+/// DMA: source byte address on the background-memory (Dram) side.
+pub const DMA_SRC: u16 = 0x7D0;
+/// DMA: destination byte address on the TCDM side.
+///
+/// The src/dst naming follows the Dram→TCDM ("in") direction; for
+/// TCDM→Dram transfers [`DMA_SRC`] still holds the Dram-side address and
+/// [`DMA_DST`] the TCDM-side address — the direction bit of
+/// [`DMA_START`] selects which side is read.
+pub const DMA_DST: u16 = 0x7D1;
+/// DMA: bytes per row (positive multiple of 8).
+pub const DMA_LEN: u16 = 0x7D2;
+/// DMA: byte stride between row starts on the Dram side (2-D transfers).
+pub const DMA_SRC_STRIDE: u16 = 0x7D3;
+/// DMA: byte stride between row starts on the TCDM side (2-D transfers).
+pub const DMA_DST_STRIDE: u16 = 0x7D4;
+/// DMA: row count; 0 and 1 both mean a plain 1-D transfer.
+pub const DMA_REPS: u16 = 0x7D5;
+/// DMA: doorbell. Any write snapshots the descriptor CSRs above into a
+/// transfer and enqueues it on the cluster's DMA engine; operand bit 0
+/// is the direction (1 = Dram → TCDM, 0 = TCDM → Dram). Transfers
+/// execute in FIFO order. On a core without an attached engine (the
+/// single-core `Simulator` path) the doorbell is inert.
+pub const DMA_START: u16 = 0x7D6;
+/// DMA: read-only count of transfers not yet completed (queued + in
+/// flight), mirrored from the cluster's engine each cycle.
+pub const DMA_STATUS: u16 = 0x7D7;
+/// DMA: read-only monotonic count of completed transfers. Because
+/// completion order is FIFO, polling `completed >= k` synchronises on a
+/// specific earlier doorbell ring — the primitive double-buffered tile
+/// loops use to wait for *their* input tile while later transfers
+/// stream in the background.
+pub const DMA_COMPLETED: u16 = 0x7D8;
 /// FP accrued exception flags (fcsr subset).
 pub const FFLAGS: u16 = 0x001;
 /// FP dynamic rounding mode (fcsr subset).

@@ -15,8 +15,7 @@
 //! register.
 
 use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
-use sc_mem::MemError;
-use sc_mem::Tcdm;
+use sc_mem::{Dram, MemError, Tcdm, TcdmConfig};
 use sc_ssr::CfgAddr;
 
 use crate::cluster_kernel::ClusterKernel;
@@ -24,6 +23,7 @@ use crate::grid::Grid3;
 use crate::kernel::{verify_f64_exact, CheckFn, Kernel, SetupFn};
 use crate::partition::split_ranges;
 use crate::stencil::Stencil;
+use crate::tiling::{self, TileError, TiledClusterKernel};
 use crate::variant::Variant;
 
 /// Memory placement of the kernel's arrays.
@@ -240,17 +240,199 @@ impl StencilKernel {
         )
     }
 
+    /// Plans a double-buffered DMA tiling of this kernel for a TCDM of
+    /// at most `capacity` bytes (typically [`crate::TCDM_CAP_BYTES`], the
+    /// real cluster's 128 KiB) and `num_harts` harts.
+    ///
+    /// The whole padded input/output grids live in the background memory
+    /// at the same addresses the unbounded-TCDM layout uses; the TCDM
+    /// holds ping-pong z-slab buffers (input slabs carry their two halo
+    /// planes). The tile size is the largest plane count whose
+    /// double-buffered footprint fits the cap. Results are bit-identical
+    /// to the unbounded run: every variant executes the same FMA
+    /// sequence per output point regardless of tiling.
+    ///
+    /// # Errors
+    ///
+    /// [`TileError`] when even a one-plane tile cannot be double-buffered
+    /// within `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_harts` is zero.
+    pub fn build_tiled(
+        &self,
+        num_harts: u32,
+        capacity: u32,
+    ) -> Result<TiledClusterKernel, TileError> {
+        assert!(num_harts >= 1, "a cluster has at least one hart");
+        let grid = self.grid;
+        let pp = grid.plane_pitch();
+        let coeff_base = self.layout.coeff_base;
+        let bufs_base = 0x400u32;
+        // The cap is hard: round DOWN to a whole TCDM interleave line so
+        // the instantiated scratchpad never exceeds what the caller
+        // allowed, and plan against that rounded size.
+        let cap = capacity / tiling::TCDM_LINE_BYTES * tiling::TCDM_LINE_BYTES;
+
+        // Buffer layout for a given tile plane count: two input slabs
+        // (with halo planes), two output slabs, 64-byte aligned. An
+        // output buffer spans `nzc + 1` planes: the kernel writes padded
+        // planes 1..=nzc of the tile grid, and the last interior row of
+        // plane `nzc` reaches into the address range of plane `nzc + 1`'s
+        // slot minus the trailing halo rows — one full extra plane
+        // covers it (the leading halo plane 0 is part of the span; the
+        // trailing halo plane is never addressed).
+        let plan_bufs = |nzc: u32| -> ([u32; 2], [u32; 2], u32) {
+            let in_bytes = pp * (nzc + 2);
+            let out_bytes = pp * (nzc + 1);
+            let in0 = bufs_base;
+            let in1 = tiling::align_up(in0 + in_bytes, 64);
+            let out0 = tiling::align_up(in1 + in_bytes, 64);
+            let out1 = tiling::align_up(out0 + out_bytes, 64);
+            ([in0, in1], [out0, out1], out1 + out_bytes)
+        };
+        let nzc = (1..=grid.nz)
+            .rev()
+            .find(|&v| plan_bufs(v).2 <= cap)
+            .ok_or(TileError {
+                needed: plan_bufs(1).2,
+                capacity,
+            })?;
+        let (in_bufs, out_bufs, _) = plan_bufs(nzc);
+
+        // Tile extents along z, and each tile's transfers.
+        let mut tiles = Vec::new();
+        let mut tile_kernels = Vec::new();
+        let mut z0 = 0;
+        while z0 < grid.nz {
+            let nzc_t = nzc.min(grid.nz - z0);
+            let t = tiles.len();
+            let mut io = tiling::TileIo::default();
+            if t == 0 {
+                io.inputs.push(tiling::DmaXfer {
+                    dram_addr: self.layout.coeff_base,
+                    tcdm_addr: coeff_base,
+                    bytes: tiling::align_up(8 * self.stencil.len() as u32, 8),
+                    to_tcdm: true,
+                });
+            }
+            // The input slab spans padded planes [z0, z0 + nzc_t + 2):
+            // interior planes plus both halo planes, contiguous in the
+            // row-major layout.
+            io.inputs.push(tiling::DmaXfer {
+                dram_addr: self.layout.in_base + pp * z0,
+                tcdm_addr: in_bufs[t % 2],
+                bytes: pp * (nzc_t + 2),
+                to_tcdm: true,
+            });
+            // The output slab writes back padded planes [z0+1, z0+1+nzc_t)
+            // — the x/y halo bytes of those planes are zero in both the
+            // tile buffer and the golden layout, so whole planes move.
+            io.outputs.push(tiling::DmaXfer {
+                dram_addr: self.layout.out_base + pp * (z0 + 1),
+                tcdm_addr: out_bufs[t % 2] + pp,
+                bytes: pp * nzc_t,
+                to_tcdm: false,
+            });
+            tiles.push(io);
+            // The tile's compute program is this kernel re-targeted at a
+            // sub-grid of nzc_t planes in the tile buffers.
+            tile_kernels.push(StencilKernel {
+                stencil: self.stencil.clone(),
+                grid: Grid3::new(grid.nx, grid.ny, nzc_t),
+                variant: self.variant,
+                layout: Layout {
+                    in_base: in_bufs[t % 2],
+                    out_base: out_bufs[t % 2],
+                    coeff_base,
+                },
+            });
+            z0 += nzc_t;
+        }
+
+        let sched = tiling::schedule(&tiles);
+        let tile_programs = tile_kernels
+            .iter()
+            .zip(&sched.per_tile)
+            .map(|(tk, (enq, wait))| {
+                let slabs = split_ranges(tk.grid.nz, num_harts, 1);
+                slabs
+                    .iter()
+                    .enumerate()
+                    .map(|(h, &(sz0, snzc))| {
+                        let mut b = ProgramBuilder::new();
+                        if h == 0 {
+                            tiling::emit_tile_prologue(&mut b, enq, *wait);
+                        } else {
+                            tiling::emit_tile_prologue(&mut b, &[], 0);
+                        }
+                        tk.emit_slab_into(&mut b, sz0, snzc, true);
+                        b.build().expect("tiled stencil codegen is valid")
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let epilogue = tiling::epilogue_programs(num_harts, &sched.epilogue.0, sched.epilogue.1);
+
+        let (setup, check) = self.dram_data_fns();
+        Ok(TiledClusterKernel::new(
+            format!(
+                "{}/{} x{num_harts} tiled",
+                self.stencil.name(),
+                self.variant
+            ),
+            TcdmConfig::new().with_size(cap),
+            tile_programs,
+            epilogue,
+            self.flops(),
+            setup,
+            check,
+        ))
+    }
+
+    /// The kernel's problem data: deterministic input field, its golden
+    /// output, and the coefficients. The single source both the
+    /// unbounded-TCDM and the tiled (Dram) paths stage from — which is
+    /// what makes their bit-identical-results guarantee structural
+    /// rather than a property of two copies staying in sync.
+    fn golden_data(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let input = self.grid.random_field(0x5EED ^ u64::from(self.grid.nx));
+        let golden = self.stencil.golden(&self.grid, &input);
+        let coeffs = self.stencil.coeffs().to_vec();
+        (input, golden, coeffs)
+    }
+
+    /// The background-memory data setup and verification closures for
+    /// the tiled path — same data, same golden model, same addresses as
+    /// [`StencilKernel::data_fns`], but against the [`Dram`].
+    fn dram_data_fns(&self) -> (tiling::DramSetupFn, tiling::DramCheckFn) {
+        let grid = self.grid;
+        let layout = self.layout;
+        let (input, golden, coeffs) = self.golden_data();
+        let setup = move |dram: &mut Dram| -> Result<(), MemError> {
+            dram.write_f64_slice(layout.coeff_base, &coeffs)?;
+            dram.write_f64_slice(layout.in_base, &input)?;
+            Ok(())
+        };
+        let check = move |dram: &Dram| {
+            for (idx, (x, y, z)) in grid.interior().enumerate() {
+                let addr = grid.addr(layout.out_base, x, y, z);
+                tiling::verify_dram_f64(dram, addr, golden[idx], idx)?;
+            }
+            Ok(())
+        };
+        (Box::new(setup), Box::new(check))
+    }
+
     /// The shared data setup and whole-grid verification closures.
     fn data_fns(&self) -> (SetupFn, CheckFn) {
         let grid = self.grid;
         let layout = self.layout;
-        let input = grid.random_field(0x5EED ^ u64::from(grid.nx));
-        let golden = self.stencil.golden(&grid, &input);
-        let coeffs: Vec<f64> = self.stencil.coeffs().to_vec();
-        let setup_input = input;
+        let (input, golden, coeffs) = self.golden_data();
         let setup = move |tcdm: &mut Tcdm| -> Result<(), MemError> {
             tcdm.write_f64_slice(layout.coeff_base, &coeffs)?;
-            tcdm.write_f64_slice(layout.in_base, &setup_input)?;
+            tcdm.write_f64_slice(layout.in_base, &input)?;
             Ok(())
         };
         let check = move |tcdm: &Tcdm| {
@@ -272,12 +454,20 @@ impl StencilKernel {
         self.emit_slab(0, self.grid.nz, false)
     }
 
-    /// Emits the program for the z-plane slab `[z0, z0 + nzc)` — the
-    /// whole grid when `(0, nz)`. With `barrier`, the hart rendezvouses
-    /// on the cluster barrier before `ecall` (after its streams drain),
-    /// so no hart halts while its neighbours still stream results.
+    /// Emits the program for the z-plane slab `[z0, z0 + nzc)`.
     fn emit_slab(&self, z0: u32, nzc: u32, barrier: bool) -> Program {
         let mut b = ProgramBuilder::new();
+        self.emit_slab_into(&mut b, z0, nzc, barrier);
+        b.build().expect("stencil codegen produces valid programs")
+    }
+
+    /// Emits the slab program for `[z0, z0 + nzc)` into an existing
+    /// builder — the whole grid when `(0, nz)`. The tiled path prepends
+    /// a DMA prologue and data-ready barrier before calling this. With
+    /// `barrier`, the hart rendezvouses on the cluster barrier before
+    /// `ecall` (after its streams drain), so no hart halts while its
+    /// neighbours still stream results.
+    pub(crate) fn emit_slab_into(&self, b: &mut ProgramBuilder, z0: u32, nzc: u32, barrier: bool) {
         let grid = &self.grid;
         let v = self.variant;
         let u = v.unroll();
@@ -292,7 +482,7 @@ impl StencilKernel {
                 b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
             }
             b.ecall();
-            return b.build().expect("empty slab program is valid");
+            return;
         }
 
         // ---- prologue -------------------------------------------------
@@ -311,30 +501,30 @@ impl StencilKernel {
         b.csrrs(IntReg::ZERO, csr::SSR_ENABLE, ir::TMP);
 
         // SSR0: input window pattern (static part).
-        self.cfg_word(&mut b, 0, 2, u as i32 - 1);
-        self.cfg_word(&mut b, 0, 3, bx as i32 - 1);
-        self.cfg_word(&mut b, 0, 4, by as i32 - 1);
-        self.cfg_word(&mut b, 0, 5, bz as i32 - 1);
-        self.cfg_word(&mut b, 0, 6, 8);
-        self.cfg_word(&mut b, 0, 7, 8);
-        self.cfg_word(&mut b, 0, 8, row_pitch);
-        self.cfg_word(&mut b, 0, 9, plane_pitch);
+        self.cfg_word(b, 0, 2, u as i32 - 1);
+        self.cfg_word(b, 0, 3, bx as i32 - 1);
+        self.cfg_word(b, 0, 4, by as i32 - 1);
+        self.cfg_word(b, 0, 5, bz as i32 - 1);
+        self.cfg_word(b, 0, 6, 8);
+        self.cfg_word(b, 0, 7, 8);
+        self.cfg_word(b, 0, 8, row_pitch);
+        self.cfg_word(b, 0, 9, plane_pitch);
 
         if v.streams_coefficients() {
             // SSR1: coefficient loop, each coefficient delivered `u` times.
-            self.cfg_word(&mut b, 1, 1, u as i32 - 1); // repeat
-            self.cfg_word(&mut b, 1, 2, n as i32 - 1);
-            self.cfg_word(&mut b, 1, 6, 8);
+            self.cfg_word(b, 1, 1, u as i32 - 1); // repeat
+            self.cfg_word(b, 1, 2, n as i32 - 1);
+            self.cfg_word(b, 1, 6, 8);
         }
         if v.streams_output() {
             // SSR1: 3-D interior write stream, armed once for the whole
             // slab (x fastest — exactly the block walk order).
-            self.cfg_word(&mut b, 1, 2, grid.nx as i32 - 1);
-            self.cfg_word(&mut b, 1, 3, grid.ny as i32 - 1);
-            self.cfg_word(&mut b, 1, 4, nzc as i32 - 1);
-            self.cfg_word(&mut b, 1, 6, 8);
-            self.cfg_word(&mut b, 1, 7, row_pitch);
-            self.cfg_word(&mut b, 1, 8, plane_pitch);
+            self.cfg_word(b, 1, 2, grid.nx as i32 - 1);
+            self.cfg_word(b, 1, 3, grid.ny as i32 - 1);
+            self.cfg_word(b, 1, 4, nzc as i32 - 1);
+            self.cfg_word(b, 1, 6, 8);
+            self.cfg_word(b, 1, 7, row_pitch);
+            self.cfg_word(b, 1, 8, plane_pitch);
             b.li(
                 ir::TMP,
                 grid.addr(self.layout.out_base, 1, 1, 1 + z0) as i32,
@@ -385,7 +575,7 @@ impl StencilKernel {
             b.scfgwi(ir::COEFF, CfgAddr { dm: 1, reg: 24 }.to_imm());
         }
 
-        self.emit_block(&mut b, u, n);
+        self.emit_block(b, u, n);
 
         // Advance pointers and close the loops.
         b.addi(ir::INPTR, ir::INPTR, (8 * u) as i32);
@@ -419,7 +609,6 @@ impl StencilKernel {
             b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
         }
         b.ecall();
-        b.build().expect("stencil codegen produces valid programs")
     }
 
     /// Emits one output block (the variant-specific part).

@@ -34,6 +34,7 @@ mod kernel;
 mod partition;
 mod star;
 mod stencil;
+mod tiling;
 mod variant;
 mod vecop;
 
@@ -44,5 +45,8 @@ pub use kernel::{verify_f64_exact, CheckFn, Kernel, KernelError, KernelRun, Setu
 pub use partition::split_ranges;
 pub use star::{StarBuildError, StarStencilKernel, StarVariant};
 pub use stencil::Stencil;
+pub use tiling::{
+    DramCheckFn, DramSetupFn, TileError, TiledClusterKernel, TiledRun, TCDM_CAP_BYTES,
+};
 pub use variant::Variant;
 pub use vecop::{VecOpKernel, VecOpVariant};

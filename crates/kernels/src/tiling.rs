@@ -1,0 +1,431 @@
+//! Double-buffered DMA tiling: running whole-problem kernels through a
+//! capacity-bounded TCDM.
+//!
+//! The unbounded-TCDM path cheats: it scales the scratchpad until the
+//! whole problem fits. This module retires that cheat. The problem's
+//! arrays live in the background memory ([`sc_mem::Dram`]); the TCDM
+//! holds only *ping-pong tile buffers* sized to a hard capacity cap
+//! (128 KiB for the real cluster), and a per-cluster DMA engine streams
+//! tiles in and results out **while the cores compute** — the software
+//! pipeline every Snitch kernel uses in practice.
+//!
+//! ## The pipeline
+//!
+//! For tiles `0..T`, hart 0's program for tile `i` begins by ringing the
+//! DMA doorbell for (a) the write-back of tile `i-1`'s output and (b)
+//! the fetch of tile `i+1`'s input — both into the buffers the current
+//! tile does *not* touch — then polls the FIFO completion counter until
+//! tile `i`'s own input has landed, and finally rendezvouses with the
+//! other harts on the cluster barrier before any of them reads the
+//! buffer. Compute of tile `i` thus overlaps the engine's work on tiles
+//! `i±1`; the only exposed transfer time is tile 0's fetch and whatever
+//! the engine cannot hide behind compute. A short epilogue program
+//! writes back the last tile and drains the queue.
+//!
+//! Buffer-reuse safety falls out of FIFO completion order: waiting for
+//! tile `i`'s input implies every earlier transfer — in particular the
+//! write-back of tile `i-2`, whose output buffer tile `i` overwrites —
+//! has completed.
+//!
+//! The tile loop itself (switching each hart to its next tile program)
+//! is modelled by [`sc_cluster::Cluster::load_programs`], which restarts
+//! halted cores with all architectural state and counters intact and
+//! charges no re-dispatch cycles.
+
+use sc_cluster::{Cluster, ClusterConfig, ClusterSummary};
+use sc_core::CoreConfig;
+use sc_isa::{csr, IntReg, Program, ProgramBuilder};
+use sc_mem::{Dram, DramConfig, MemError, TcdmConfig};
+
+use crate::kernel::{KernelError, VerifyError};
+
+/// The real cluster's L1 capacity — the default cap for tiled kernels.
+pub const TCDM_CAP_BYTES: u32 = 128 << 10;
+
+/// One TCDM interleave line (32 banks × 8 B) — the granule capacity caps
+/// are rounded *down* to, so an instantiated scratchpad never exceeds
+/// the cap.
+pub(crate) const TCDM_LINE_BYTES: u32 = 256;
+
+/// Writes a tiled kernel's input data into the background memory.
+pub type DramSetupFn = Box<dyn Fn(&mut Dram) -> Result<(), MemError> + Send + Sync>;
+/// Checks the background memory against a kernel's golden model.
+pub type DramCheckFn = Box<dyn Fn(&Dram) -> Result<(), VerifyError> + Send + Sync>;
+
+/// A tiling failure: the per-tile working set cannot be double-buffered
+/// within the capacity cap even at the minimum tile size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileError {
+    /// Bytes the smallest possible tile layout needs.
+    pub needed: u32,
+    /// The capacity cap that was requested.
+    pub capacity: u32,
+}
+
+impl std::fmt::Display for TileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "double-buffered tiles need at least {} B of TCDM, cap is {} B",
+            self.needed, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// One DMA transfer a tile program rings the doorbell for. Mirrors
+/// `sc_dma::Transfer`, but lives here so codegen does not depend on the
+/// engine crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DmaXfer {
+    pub dram_addr: u32,
+    pub tcdm_addr: u32,
+    pub bytes: u32,
+    pub to_tcdm: bool,
+}
+
+/// The transfers one tile consumes and produces.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TileIo {
+    pub inputs: Vec<DmaXfer>,
+    pub outputs: Vec<DmaXfer>,
+}
+
+/// The static software-pipeline schedule: which transfers hart 0
+/// enqueues at the head of each tile program, and the FIFO completion
+/// count it must observe before the tile's compute may touch its input
+/// buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct TileSchedule {
+    /// Per tile: (doorbells to ring, completion count to wait for).
+    pub per_tile: Vec<(Vec<DmaXfer>, u32)>,
+    /// Epilogue: (final write-backs, completion count draining the queue).
+    pub epilogue: (Vec<DmaXfer>, u32),
+}
+
+/// Builds the pipeline schedule for a tile sequence.
+///
+/// Enqueue order per tile `i`: write-back of tile `i-1` first (so it is
+/// already queued before any later input fetch), then the fetch of tile
+/// `i+1`. Tile 0 additionally fetches its own input at the very front.
+pub(crate) fn schedule(tiles: &[TileIo]) -> TileSchedule {
+    let t = tiles.len();
+    assert!(t > 0, "a tiled kernel has at least one tile");
+    let mut per_tile_enq: Vec<Vec<DmaXfer>> = vec![Vec::new(); t];
+    let mut input_end = vec![0u32; t];
+    let mut pos = 0u32;
+    for i in 0..t {
+        if i == 0 {
+            per_tile_enq[0].extend(tiles[0].inputs.iter().copied());
+            pos += tiles[0].inputs.len() as u32;
+            input_end[0] = pos;
+        } else {
+            per_tile_enq[i].extend(tiles[i - 1].outputs.iter().copied());
+            pos += tiles[i - 1].outputs.len() as u32;
+        }
+        if i + 1 < t {
+            per_tile_enq[i].extend(tiles[i + 1].inputs.iter().copied());
+            pos += tiles[i + 1].inputs.len() as u32;
+            input_end[i + 1] = pos;
+        }
+    }
+    let last_outputs: Vec<DmaXfer> = tiles[t - 1].outputs.clone();
+    pos += last_outputs.len() as u32;
+    TileSchedule {
+        per_tile: per_tile_enq.into_iter().zip(input_end).collect(),
+        epilogue: (last_outputs, pos),
+    }
+}
+
+/// Integer scratch registers used by the DMA prologue; clobbered freely
+/// because every kernel program re-initialises its own registers after
+/// the data-ready barrier.
+const DT0: IntReg = IntReg::new(5);
+const DT1: IntReg = IntReg::new(6);
+const DT2: IntReg = IntReg::new(7);
+
+/// Emits CSR writes describing `x` and rings the doorbell. All
+/// descriptor CSRs are rewritten every time — they persist between
+/// doorbells, so stale strides must not leak into 1-D transfers.
+pub(crate) fn emit_transfer(b: &mut ProgramBuilder, x: &DmaXfer) {
+    for (addr, value) in [
+        (csr::DMA_SRC, x.dram_addr),
+        (csr::DMA_DST, x.tcdm_addr),
+        (csr::DMA_LEN, x.bytes),
+        (csr::DMA_SRC_STRIDE, x.bytes),
+        (csr::DMA_DST_STRIDE, x.bytes),
+        (csr::DMA_REPS, 1),
+    ] {
+        b.li(DT0, value as i32);
+        b.csrrw(IntReg::ZERO, addr, DT0);
+    }
+    b.csrrwi(IntReg::ZERO, csr::DMA_START, u8::from(x.to_tcdm));
+}
+
+/// Emits a poll loop blocking until the engine's FIFO completion counter
+/// reaches `count`.
+pub(crate) fn emit_wait_completed(b: &mut ProgramBuilder, count: u32) {
+    b.li(DT1, count as i32);
+    b.label("dma_wait");
+    b.csrrs(DT2, csr::DMA_COMPLETED, IntReg::ZERO);
+    b.blt(DT2, DT1, "dma_wait");
+}
+
+/// Emits hart 0's tile prologue (doorbells + completion wait) followed
+/// by the data-ready barrier every hart executes. Call with an empty
+/// transfer list and `wait == 0` for harts other than 0 — they only
+/// rendezvous.
+pub(crate) fn emit_tile_prologue(
+    b: &mut ProgramBuilder,
+    transfers: &[DmaXfer],
+    wait_completed: u32,
+) {
+    for x in transfers {
+        emit_transfer(b, x);
+    }
+    if wait_completed > 0 {
+        emit_wait_completed(b, wait_completed);
+    }
+    b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+}
+
+/// Builds the per-hart epilogue programs: hart 0 rings the final
+/// write-back doorbells and waits for the whole queue to drain; every
+/// hart rendezvouses and halts.
+pub(crate) fn epilogue_programs(
+    num_harts: u32,
+    transfers: &[DmaXfer],
+    wait_completed: u32,
+) -> Vec<Program> {
+    (0..num_harts)
+        .map(|h| {
+            let mut b = ProgramBuilder::new();
+            if h == 0 {
+                for x in transfers {
+                    emit_transfer(&mut b, x);
+                }
+                emit_wait_completed(&mut b, wait_completed);
+            }
+            b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+            b.ecall();
+            b.build().expect("epilogue program is valid")
+        })
+        .collect()
+}
+
+/// Compares one TCDM-resident double in `dram` against `want` bit-exactly.
+pub(crate) fn verify_dram_f64(
+    dram: &Dram,
+    addr: u32,
+    want: f64,
+    index: usize,
+) -> Result<(), VerifyError> {
+    let got = dram.read_f64(addr).map_err(|_| VerifyError {
+        index,
+        got: f64::NAN,
+        want,
+    })?;
+    if got.to_bits() != want.to_bits() {
+        return Err(VerifyError { index, got, want });
+    }
+    Ok(())
+}
+
+/// Rounds `v` up to a multiple of `a`.
+pub(crate) fn align_up(v: u32, a: u32) -> u32 {
+    v.div_ceil(a) * a
+}
+
+/// A kernel tiled through a capacity-bounded TCDM: per-tile per-hart
+/// programs, the background-memory data closures, and the TCDM geometry
+/// the tiles were sized for.
+pub struct TiledClusterKernel {
+    name: String,
+    tcdm: TcdmConfig,
+    tile_programs: Vec<Vec<Program>>,
+    epilogue: Vec<Program>,
+    flops: u64,
+    setup: DramSetupFn,
+    check: DramCheckFn,
+}
+
+impl TiledClusterKernel {
+    /// Assembles a tiled kernel from its parts (used by the generators'
+    /// `build_tiled`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tiles were produced or hart counts are inconsistent.
+    #[must_use]
+    pub(crate) fn new(
+        name: String,
+        tcdm: TcdmConfig,
+        tile_programs: Vec<Vec<Program>>,
+        epilogue: Vec<Program>,
+        flops: u64,
+        setup: DramSetupFn,
+        check: DramCheckFn,
+    ) -> Self {
+        assert!(!tile_programs.is_empty(), "a tiled kernel has tiles");
+        let harts = epilogue.len();
+        assert!(
+            tile_programs.iter().all(|t| t.len() == harts),
+            "every tile partitions over the same harts"
+        );
+        TiledClusterKernel {
+            name,
+            tcdm,
+            tile_programs,
+            epilogue,
+            flops,
+            setup,
+            check,
+        }
+    }
+
+    /// The kernel's display name (e.g. `"box3d1r/Chaining+ x4 tiled"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compute tiles in the pipeline.
+    #[must_use]
+    pub fn num_tiles(&self) -> usize {
+        self.tile_programs.len()
+    }
+
+    /// Harts the kernel is partitioned over.
+    #[must_use]
+    pub fn num_harts(&self) -> usize {
+        self.epilogue.len()
+    }
+
+    /// The capacity-capped TCDM geometry the tiles were planned for.
+    #[must_use]
+    pub fn tcdm_config(&self) -> TcdmConfig {
+        self.tcdm
+    }
+
+    /// Double-precision flops the whole problem performs.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Runs the full tile pipeline on a DMA-equipped cluster, verifying
+    /// the background-memory image afterwards. The `cfg.tcdm` geometry
+    /// is overridden by the planner's capacity-capped one.
+    ///
+    /// # Errors
+    ///
+    /// Cluster/DMA simulation errors, setup errors and verification
+    /// mismatches are all reported as [`KernelError`].
+    pub fn run(
+        &self,
+        cfg: CoreConfig,
+        dram_cfg: DramConfig,
+        max_cycles: u64,
+    ) -> Result<TiledRun, KernelError> {
+        let core_cfg = CoreConfig {
+            tcdm: self.tcdm,
+            ..cfg
+        };
+        let ccfg = ClusterConfig::new(self.num_harts() as u32).with_core(core_cfg);
+        let mut cluster = Cluster::new(ccfg, self.tile_programs[0].clone());
+        let mut dram = Dram::new(dram_cfg);
+        (self.setup)(&mut dram)?;
+        cluster.attach_dma(dram);
+        cluster.run(max_cycles)?;
+        for programs in &self.tile_programs[1..] {
+            cluster.load_programs(programs.clone());
+            cluster.run(max_cycles)?;
+        }
+        cluster.load_programs(self.epilogue.clone());
+        let summary = cluster.run(max_cycles)?;
+        debug_assert!(
+            cluster.dma_engine().is_some_and(|e| e.is_idle()),
+            "epilogue must drain the DMA queue"
+        );
+        (self.check)(cluster.dram().expect("dma attached"))?;
+        Ok(TiledRun {
+            summary,
+            num_tiles: self.num_tiles(),
+        })
+    }
+}
+
+impl std::fmt::Debug for TiledClusterKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TiledClusterKernel")
+            .field("name", &self.name)
+            .field("tiles", &self.num_tiles())
+            .field("harts", &self.num_harts())
+            .field("tcdm_bytes", &self.tcdm.size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of a verified tiled run.
+#[derive(Debug, Clone)]
+pub struct TiledRun {
+    /// The cluster's aggregated summary (cycles span the whole pipeline;
+    /// `summary.dma` carries traffic and overlap metrics).
+    pub summary: ClusterSummary,
+    /// Tiles the pipeline executed.
+    pub num_tiles: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xfer(tag: u32) -> DmaXfer {
+        DmaXfer {
+            dram_addr: tag * 0x100,
+            tcdm_addr: tag * 0x10,
+            bytes: 8,
+            to_tcdm: true,
+        }
+    }
+
+    #[test]
+    fn schedule_pipelines_inputs_one_tile_ahead() {
+        let tiles: Vec<TileIo> = (0..3)
+            .map(|i| TileIo {
+                inputs: vec![xfer(10 + i)],
+                outputs: vec![xfer(20 + i)],
+            })
+            .collect();
+        let s = schedule(&tiles);
+        // Tile 0 fetches its own input and prefetches tile 1's.
+        assert_eq!(s.per_tile[0].0, vec![xfer(10), xfer(11)]);
+        assert_eq!(s.per_tile[0].1, 1, "wait for own input only");
+        // Tile 1 writes back tile 0 and prefetches tile 2; its input was
+        // the 2nd transfer enqueued.
+        assert_eq!(s.per_tile[1].0, vec![xfer(20), xfer(12)]);
+        assert_eq!(s.per_tile[1].1, 2);
+        // Tile 2 only writes back tile 1; its input was 4th in FIFO
+        // order (in0, in1, out0, in2).
+        assert_eq!(s.per_tile[2].0, vec![xfer(21)]);
+        assert_eq!(s.per_tile[2].1, 4);
+        // Epilogue writes back tile 2 and waits for everything: 3 ins +
+        // 3 outs.
+        assert_eq!(s.epilogue.0, vec![xfer(22)]);
+        assert_eq!(s.epilogue.1, 6);
+    }
+
+    #[test]
+    fn single_tile_schedule_degenerates() {
+        let tiles = vec![TileIo {
+            inputs: vec![xfer(1), xfer(2)],
+            outputs: vec![xfer(3)],
+        }];
+        let s = schedule(&tiles);
+        assert_eq!(s.per_tile.len(), 1);
+        assert_eq!(s.per_tile[0].0.len(), 2);
+        assert_eq!(s.per_tile[0].1, 2, "wait for both inputs");
+        assert_eq!(s.epilogue.1, 3);
+    }
+}

@@ -83,6 +83,48 @@ fn one_core_cluster_matches_simulator_without_chaining_hardware() {
 }
 
 #[test]
+fn one_core_cluster_with_idle_dma_matches_simulator() {
+    // Attaching the DMA subsystem must be cycle-invisible while its
+    // doorbell never rings: same paper kernels, same cycle counts and
+    // counters as the legacy simulator.
+    let cfg = CoreConfig::new();
+    let max_cycles = 50_000_000;
+    let kernels = [
+        VecOpKernel::new(64, VecOpVariant::Chained).build(),
+        StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, 3, 3),
+            Variant::ChainingPlus,
+        )
+        .expect("valid")
+        .build(),
+    ];
+    for kernel in &kernels {
+        let mut sim = sc_core::Simulator::new(cfg, kernel.program().clone());
+        kernel.apply_setup(sim.tcdm_mut()).expect("setup fits");
+        let legacy = sim.run(max_cycles).expect("legacy run");
+
+        let ccfg = sc_cluster::ClusterConfig::new(1).with_core(cfg);
+        let mut cluster = sc_cluster::Cluster::new(ccfg, vec![kernel.program().clone()]);
+        kernel.apply_setup(cluster.tcdm_mut()).expect("setup fits");
+        cluster.attach_dma(sc_mem::Dram::new(sc_mem::DramConfig::new()));
+        let with_dma = cluster.run(max_cycles).expect("dma-idle run");
+        kernel.verify(cluster.tcdm()).expect("result verifies");
+
+        assert_eq!(
+            legacy.cycles,
+            with_dma.cycles,
+            "{}: idle DMA must not change the cycle count",
+            kernel.name()
+        );
+        assert_eq!(legacy.counters, with_dma.per_core[0].counters);
+        let dma = with_dma.dma.expect("dma summary present");
+        assert_eq!(dma.busy_cycles, 0);
+        assert_eq!(dma.stats.beats, 0);
+    }
+}
+
+#[test]
 fn partitioned_stencil_verifies_on_every_hart_count() {
     let gen = StencilKernel::new(
         Stencil::box3d1r(),

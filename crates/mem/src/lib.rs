@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod dram;
 mod stats;
 mod tcdm;
 
 #[cfg(test)]
 mod proptests;
 
+pub use dram::{Dram, DramConfig};
 pub use stats::TcdmStats;
 pub use tcdm::{AccessKind, MemError, PortId, Request, Tcdm, TcdmConfig};

@@ -95,9 +95,10 @@ pub struct TcdmConfig {
 
 impl TcdmConfig {
     /// Snitch-like default: 32 banks × 64 bit. The capacity is scaled up
-    /// from the 128 KiB of a real cluster so whole experiment tiles fit
-    /// without a DMA double-buffering scheme; banking behaviour (the
-    /// timing-relevant part) is unchanged.
+    /// from the 128 KiB of a real cluster so whole experiment footprints
+    /// fit *without* DMA double-buffering; banking behaviour (the
+    /// timing-relevant part) is unchanged. Use [`TcdmConfig::snitch_128k`]
+    /// together with the DMA/tiling path for the true-capacity model.
     #[must_use]
     pub fn new() -> Self {
         TcdmConfig {
@@ -107,19 +108,59 @@ impl TcdmConfig {
         }
     }
 
-    /// Sets the bank count (must be a power of two).
+    /// The real Snitch cluster L1: a hard 128 KiB over 32 × 64-bit banks.
+    /// Whole-problem footprints generally do **not** fit; kernels must be
+    /// tiled through the DMA engine (`sc-kernels`' `build_tiled`).
+    #[must_use]
+    pub fn snitch_128k() -> Self {
+        Self::new().with_size(128 << 10)
+    }
+
+    /// Sets the bank count (must be a power of two, and the configured
+    /// size must remain a whole number of interleave lines).
     #[must_use]
     pub fn with_banks(mut self, banks: u32) -> Self {
         assert!(banks.is_power_of_two(), "bank count must be a power of two");
         self.banks = banks;
+        self.validate();
         self
     }
 
-    /// Sets the total size in bytes.
+    /// Sets the total size in bytes. The size must be a positive multiple
+    /// of one full interleave line (`banks × bank_width` bytes), so every
+    /// bank holds the same whole number of words.
     #[must_use]
     pub fn with_size(mut self, size: u32) -> Self {
         self.size = size;
+        self.validate();
         self
+    }
+
+    /// Bytes in one interleave line (one word from every bank).
+    #[must_use]
+    pub fn line_bytes(&self) -> u32 {
+        self.banks * self.bank_width
+    }
+
+    /// Checks the size/banking invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is zero or not a multiple of `banks × bank_width`
+    /// — such a geometry would give some banks one more word than others,
+    /// which the word-interleaved address mapping cannot express.
+    fn validate(&self) {
+        let line = self.line_bytes();
+        assert!(
+            self.size > 0 && self.size.is_multiple_of(line),
+            "TCDM size {} is not a positive multiple of one interleave line \
+             ({} banks × {} B = {} B); round the size to a multiple of {} B",
+            self.size,
+            self.banks,
+            self.bank_width,
+            line,
+            line,
+        );
     }
 }
 
@@ -445,6 +486,37 @@ mod tests {
 
     fn small() -> Tcdm {
         Tcdm::new(TcdmConfig::new().with_size(4096).with_banks(4))
+    }
+
+    #[test]
+    fn snitch_128k_is_a_valid_geometry() {
+        let c = TcdmConfig::snitch_128k();
+        assert_eq!(c.size, 128 << 10);
+        assert_eq!(c.banks, 32);
+        assert!(c.size.is_multiple_of(c.line_bytes()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a positive multiple of one interleave line")]
+    fn size_not_multiple_of_line_is_rejected() {
+        // 1000 B over 32 × 8 B banks would leave some banks a word short.
+        let _ = TcdmConfig::new().with_size(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a positive multiple of one interleave line")]
+    fn zero_size_is_rejected() {
+        let _ = TcdmConfig::new().with_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a positive multiple of one interleave line")]
+    fn bank_growth_can_invalidate_a_small_size() {
+        // 256 B is fine at 4 banks (64 B lines) but not at 64 banks (512 B).
+        let _ = TcdmConfig::new()
+            .with_banks(4)
+            .with_size(256)
+            .with_banks(64);
     }
 
     #[test]

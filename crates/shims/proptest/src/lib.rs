@@ -243,7 +243,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -279,6 +279,20 @@ pub mod collection {
 macro_rules! prop_oneof {
     ($($arm:expr),+ $(,)?) => {
         $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Skips the current property-test case unless `cond` holds.
+///
+/// Unlike the real crate, rejected cases are not counted or replaced
+/// with fresh draws — the case simply passes vacuously. Keep rejection
+/// rates low so the test still explores enough of the input space.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
     };
 }
 
@@ -365,7 +379,9 @@ macro_rules! __proptest_impl {
 /// The commonly used names, importable with one line.
 pub mod prelude {
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, Strategy,
+    };
 }
 
 #[cfg(test)]

@@ -12,7 +12,8 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`isa`] | `sc-isa` | registers, instructions, encoder/decoder, assembler |
-//! | [`mem`] | `sc-mem` | banked TCDM with per-cycle arbitration |
+//! | [`mem`] | `sc-mem` | banked TCDM with per-cycle arbitration + `Dram` background memory |
+//! | [`dma`] | `sc-dma` | per-cluster DMA engine (1D/2D strided Dram ↔ TCDM) |
 //! | [`fpu`] | `sc-fpu` | pipelined FPU with hold-on-backpressure |
 //! | [`ssr`] | `sc-ssr` | stream semantic registers (4-D affine movers) |
 //! | [`core_model`] | `sc-core` | the steppable core + single-core simulator |
@@ -42,6 +43,7 @@
 pub use sc_bench as benchkit;
 pub use sc_cluster as cluster;
 pub use sc_core as core_model;
+pub use sc_dma as dma;
 pub use sc_energy as energy;
 pub use sc_fpu as fpu;
 pub use sc_isa as isa;
@@ -51,18 +53,20 @@ pub use sc_ssr as ssr;
 
 /// The most commonly used types, importable with one line.
 pub mod prelude {
-    pub use sc_cluster::{Cluster, ClusterConfig, ClusterError, ClusterSummary};
+    pub use sc_cluster::{Cluster, ClusterConfig, ClusterError, ClusterSummary, DmaSummary};
     pub use sc_core::{
         Core, CoreConfig, PerfCounters, RunSummary, SimError, Simulator, StallCause,
     };
+    pub use sc_dma::{DmaEngine, DmaStats, Transfer};
     pub use sc_energy::{
         AreaEstimate, ClusterAreaEstimate, ClusterEnergyReport, EnergyModel, EnergyReport,
     };
     pub use sc_isa::{csr, FpReg, Instruction, IntReg, Program, ProgramBuilder};
     pub use sc_kernels::{
         ClusterKernel, ClusterKernelRun, Grid3, Kernel, KernelError, KernelRun, Stencil,
-        StencilKernel, Variant, VecOpKernel, VecOpVariant,
+        StencilKernel, TileError, TiledClusterKernel, TiledRun, Variant, VecOpKernel, VecOpVariant,
+        TCDM_CAP_BYTES,
     };
-    pub use sc_mem::{Tcdm, TcdmConfig};
+    pub use sc_mem::{Dram, DramConfig, Tcdm, TcdmConfig};
     pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};
 }
