@@ -94,6 +94,20 @@ pub fn check_wellformed(report: &Json) -> Result<(), String> {
             if !fields.iter().any(|(_, v)| v.as_f64().is_some()) {
                 return Err(format!("points[{i}] has no numeric metric"));
             }
+            // Physically impossible metrics are malformed, not merely
+            // drifted: a compute–transfer overlap fraction above 1
+            // means the busy/overlap accounting double-counted.
+            if let Some(frac) = p
+                .get("dma")
+                .and_then(|d| d.get("overlap_fraction"))
+                .and_then(Json::as_f64)
+            {
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(format!(
+                        "points[{i}] has overlap_fraction {frac} outside [0, 1]"
+                    ));
+                }
+            }
         }
     }
     Ok(())
@@ -119,12 +133,18 @@ fn lookup<'a>(report: &'a Json, point: Option<&str>, metric: &str) -> Result<&'a
 }
 
 /// Diffs `report` against `baseline`, returning every out-of-tolerance
-/// metric. Drift is flagged in both directions.
+/// metric. Drift is flagged in both directions. A baseline entry the
+/// report cannot satisfy — its point or metric is missing (e.g. after a
+/// rename), or the value is not numeric — is recorded as a **failure**,
+/// never skipped: every pinned metric is either compared or flagged, so
+/// a rename cannot silently drop a metric out of the gate. All problems
+/// are reported, not just the first.
 ///
 /// # Errors
 ///
-/// Structural problems (missing points/metrics/fields) that prevent the
-/// comparison from running at all.
+/// Structural problems in the *baseline document itself* (no `metrics`
+/// array, entries without a name/value) that prevent the comparison
+/// from running at all.
 pub fn diff(baseline: &Json, report: &Json) -> Result<GateOutcome, String> {
     let metrics = baseline
         .get("metrics")
@@ -143,10 +163,24 @@ pub fn diff(baseline: &Json, report: &Json) -> Result<GateOutcome, String> {
         let rel_tol = entry.get("rel_tol").and_then(Json::as_f64).unwrap_or(0.0);
         let abs_tol = entry.get("abs_tol").and_then(Json::as_f64).unwrap_or(0.0);
         let point = entry.get("point").and_then(Json::as_str);
-        let got = lookup(report, point, metric)?
-            .as_f64()
-            .ok_or_else(|| format!("metric `{metric}` is not numeric in the report"))?;
         outcome.checked += 1;
+        let got = match lookup(report, point, metric) {
+            Ok(v) => match v.as_f64() {
+                Some(got) => got,
+                None => {
+                    outcome
+                        .failures
+                        .push(format!("metric `{metric}` is not numeric in the report"));
+                    continue;
+                }
+            },
+            Err(e) => {
+                outcome
+                    .failures
+                    .push(format!("{e} (baseline pins it — renamed or dropped?)"));
+                continue;
+            }
+        };
         let tol = abs_tol.max(rel_tol * want.abs());
         if (got - want).abs() > tol {
             let place = point.map_or(String::new(), |p| format!("{p} "));
@@ -173,6 +207,22 @@ pub fn baseline_from_report(report_name: &str, report: &Json) -> Result<Json, St
                 .get("id")
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("points[{i}] has no `id`"))?;
+            // A point that carries NONE of the gated metrics would make
+            // the generated baseline silently blind to it — refuse, so
+            // a metric rename surfaces at regeneration time too.
+            if !POINT_METRICS
+                .iter()
+                .any(|(metric, _, _)| p.get(metric).and_then(Json::as_f64).is_some())
+            {
+                return Err(format!(
+                    "point `{id}` carries none of the gated metrics ({})",
+                    POINT_METRICS
+                        .iter()
+                        .map(|(m, _, _)| *m)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
             for (metric, rel, abs) in POINT_METRICS {
                 let Some(value) = p.get(metric).and_then(Json::as_f64) else {
                     continue;
@@ -262,13 +312,63 @@ mod tests {
     }
 
     #[test]
-    fn missing_point_is_a_structural_error() {
+    fn missing_point_fails_the_gate_loudly() {
         let baseline = Json::parse(
             r#"{"metrics":[{"point":"nope","metric":"cycles_to_last_core_done","value":1}]}"#,
         )
         .unwrap();
-        let err = diff(&baseline, &fake_report(1)).unwrap_err();
-        assert!(err.contains("no point with id"));
+        let outcome = diff(&baseline, &fake_report(1)).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("no point with id"));
+    }
+
+    #[test]
+    fn renamed_metric_fails_the_gate_instead_of_being_skipped() {
+        // Regression for the rename hole: a baseline entry whose metric
+        // no longer exists in the report (e.g. `cycles_to_last_core_done`
+        // renamed) must fail the gate — and every other entry must still
+        // be checked, so all problems surface in one run.
+        let baseline = baseline_from_report("r.json", &fake_report(100_000)).unwrap();
+        let mut renamed = fake_report(100_000);
+        if let Json::Obj(entries) = &mut renamed {
+            if let Some((_, Json::Arr(points))) = entries.iter_mut().find(|(k, _)| k == "points") {
+                if let Json::Obj(fields) = &mut points[0] {
+                    for (k, _) in fields.iter_mut() {
+                        if k == "cycles_to_last_core_done" {
+                            *k = "cycles_renamed".to_owned();
+                        }
+                    }
+                }
+            }
+        }
+        let outcome = diff(&baseline, &renamed).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("cycles_to_last_core_done"));
+        assert!(outcome.failures[0].contains("renamed or dropped"));
+        assert_eq!(outcome.checked, 3, "remaining metrics still compared");
+
+        // Regenerating a baseline from a report whose points carry none
+        // of the gated metrics refuses instead of pinning nothing.
+        let pointless = Json::parse(r#"{"points":[{"id":"a","other":1}]}"#).unwrap();
+        let err = baseline_from_report("r.json", &pointless).unwrap_err();
+        assert!(err.contains("none of the gated metrics"));
+    }
+
+    #[test]
+    fn overlap_fraction_above_one_is_malformed() {
+        let bad = Json::parse(
+            r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
+                "dma":{"overlap_fraction":1.25}}]}"#,
+        )
+        .unwrap();
+        let err = check_wellformed(&bad).unwrap_err();
+        assert!(err.contains("overlap_fraction"), "{err}");
+        let good = Json::parse(
+            r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
+                "dma":{"overlap_fraction":0.7}}]}"#,
+        )
+        .unwrap();
+        assert!(check_wellformed(&good).is_ok());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `ablation_registers` | §I claim: unrolling trades registers for ILP |
 //! | `ablation_banks` | TCDM bank-count sensitivity of the Fig. 3 sweep |
 //! | `cluster_scaling` | multi-core scaling: 1/2/4/8 cores × chaining on/off |
+//! | `system_scaling` | multi-cluster scaling: 1/2/4 clusters × 1/4/8 cores over a shared L2 |
 //!
 //! Sweep binaries fan their config points out over host threads
 //! ([`parallel_sweep`]) and serialize machine-readable results to

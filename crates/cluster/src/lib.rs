@@ -68,7 +68,7 @@ use std::fmt;
 use sc_core::{Core, CoreConfig, DmaCommand, PerfCounters, RunSummary, SimError};
 use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
-use sc_mem::{Dram, PortId, Request, Tcdm};
+use sc_mem::{AccessKind, Dram, DramConfig, PortId, Request, Tcdm};
 
 /// Cluster geometry: how many cores share the TCDM, and their per-core
 /// configuration.
@@ -188,6 +188,10 @@ pub struct ClusterSummary {
     pub accesses_by_bank: Vec<u64>,
     /// Barrier episodes completed by the whole cluster.
     pub barriers: u64,
+    /// Inter-cluster (system) barrier episodes this cluster's harts
+    /// completed. Resolved locally on a stand-alone cluster, by the
+    /// system when embedded.
+    pub system_barriers: u64,
     /// DMA activity and compute–transfer overlap, when an engine is
     /// attached ([`Cluster::attach_dma`]).
     pub dma: Option<DmaSummary>,
@@ -249,16 +253,31 @@ impl ClusterSummary {
 }
 
 /// The attached DMA subsystem: the engine, the background memory it
-/// moves against, and the overlap bookkeeping.
+/// moves against (owned here on the single-cluster path, supplied
+/// externally when the cluster is embedded in a multi-cluster system),
+/// and the overlap bookkeeping.
 #[derive(Debug)]
 struct DmaAttachment {
     engine: DmaEngine,
-    dram: Dram,
+    /// The private background memory — `None` when the cluster moves
+    /// against an externally owned store (shared L2/Dram in a system);
+    /// [`Cluster::finish_step`] then receives the store per cycle.
+    dram: Option<Dram>,
+    /// The per-transfer/per-beat timing the engine pays (the private
+    /// Dram's config, or the system L2's engine-side timing).
+    timing: DramConfig,
     busy_cycles: u64,
     overlap_cycles: u64,
     /// Aggregate `fpu_issue_cycles` after the previous cycle, to detect
     /// whether any core issued compute this cycle.
     prev_fpu_issue: u64,
+    /// Whether the engine had a transfer in flight at this cycle's start
+    /// (set by [`Cluster::begin_step`], consumed by
+    /// [`Cluster::finish_step`]).
+    busy_this_cycle: bool,
+    /// Whether the engine had an issuable beat this cycle (so an
+    /// external denial is attributed to the right cycle).
+    beat_ready: bool,
 }
 
 /// The cluster: N lock-stepped cores over one shared banked TCDM,
@@ -271,6 +290,11 @@ pub struct Cluster {
     cycles: u64,
     core_done_at: Vec<Option<u64>>,
     barriers: u64,
+    system_barriers: u64,
+    /// When embedded in a multi-cluster system, the system owns the
+    /// inter-cluster barrier rendezvous; a stand-alone cluster is the
+    /// whole system and resolves it locally.
+    system_managed: bool,
     dma: Option<DmaAttachment>,
     // Scratch reused across cycles to keep the hot loop allocation-free.
     requests: Vec<Request>,
@@ -306,6 +330,8 @@ impl Cluster {
             cycles: 0,
             core_done_at: vec![None; n],
             barriers: 0,
+            system_barriers: 0,
+            system_managed: false,
             dma: None,
             requests: Vec::new(),
             active: Vec::new(),
@@ -326,27 +352,49 @@ impl Cluster {
     ///
     /// Panics if the engine's port would overflow the 8-bit port space.
     pub fn attach_dma(&mut self, dram: Dram) {
+        let timing = dram.config();
+        self.attach_dma_inner(Some(dram), timing);
+    }
+
+    /// Attaches a DMA engine whose background memory is owned
+    /// *externally* — the multi-cluster system's shared L2/Dram. The
+    /// engine pays `timing` per transfer/beat (the L2 hop,
+    /// [`sc_mem::L2Config::engine_timing`]); the owner passes the shared
+    /// functional store into every [`Cluster::finish_step`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's port would overflow the 8-bit port space.
+    pub fn attach_dma_shared(&mut self, timing: DramConfig) {
+        self.attach_dma_inner(None, timing);
+    }
+
+    fn attach_dma_inner(&mut self, dram: Option<Dram>, timing: DramConfig) {
         let port = self.cfg.num_cores * u32::from(self.cfg.ports_per_core());
         assert!(port < 256, "DMA port overflows the 8-bit port namespace");
         self.dma = Some(DmaAttachment {
             engine: DmaEngine::new(PortId(port as u8)),
             dram,
+            timing,
             busy_cycles: 0,
             overlap_cycles: 0,
             prev_fpu_issue: 0,
+            busy_this_cycle: false,
+            beat_ready: false,
         });
     }
 
-    /// The background memory, when a DMA engine is attached (stage
-    /// inputs / read back results).
+    /// The background memory, when a DMA engine is attached *with* a
+    /// private store (stage inputs / read back results). `None` for
+    /// engines moving against an external (system-owned) memory.
     #[must_use]
     pub fn dram(&self) -> Option<&Dram> {
-        self.dma.as_ref().map(|d| &d.dram)
+        self.dma.as_ref().and_then(|d| d.dram.as_ref())
     }
 
-    /// Mutable background-memory access.
+    /// Mutable background-memory access (private store only).
     pub fn dram_mut(&mut self) -> Option<&mut Dram> {
-        self.dma.as_mut().map(|d| &mut d.dram)
+        self.dma.as_mut().and_then(|d| d.dram.as_mut())
     }
 
     /// The DMA engine, when attached (queue inspection in tests).
@@ -432,12 +480,48 @@ impl Cluster {
         self.cores.iter().all(Core::is_halted)
     }
 
+    /// Marks this cluster as cluster `cluster_id` of a
+    /// `num_clusters`-cluster system: every core's cluster-id /
+    /// system-size CSRs read the position, and the inter-cluster barrier
+    /// is resolved by the *system* (which sees every cluster's harts)
+    /// instead of locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_id >= num_clusters`.
+    pub fn embed_in_system(&mut self, cluster_id: u32, num_clusters: u32) {
+        for core in &mut self.cores {
+            core.set_cluster_pos(cluster_id, num_clusters);
+        }
+        self.system_managed = true;
+    }
+
     /// Executes one lock-step cluster cycle.
+    ///
+    /// Exactly [`Cluster::begin_step`] followed by
+    /// [`Cluster::finish_step`] with the DMA beat unconditionally
+    /// granted on the memory side — the single-cluster path has no
+    /// shared L2 to lose arbitration at.
     ///
     /// # Errors
     ///
     /// The first core error, tagged with its hart ID.
     pub fn step(&mut self) -> Result<(), ClusterError> {
+        self.begin_step()?;
+        self.finish_step(true, None)
+    }
+
+    /// First half of a cluster cycle: core phases 1–2 (writeback, issue,
+    /// integer execute), doorbell draining into the DMA engine, and the
+    /// engine's own cycle start. Returns the background-memory side of
+    /// the engine's beat, if one is ready this cycle — a multi-cluster
+    /// system arbitrates these across clusters at the shared L2, then
+    /// resumes each cluster with [`Cluster::finish_step`].
+    ///
+    /// # Errors
+    ///
+    /// The first core error, tagged with its hart ID.
+    pub fn begin_step(&mut self) -> Result<Option<(u32, AccessKind)>, ClusterError> {
         let tag = |hart: usize| {
             move |source| ClusterError::Core {
                 hart: hart as u32,
@@ -467,7 +551,7 @@ impl Cluster {
 
         // Doorbells rung this cycle enter the engine's FIFO; the engine
         // picks up new work at its own cycle start below.
-        let mut dma_busy = false;
+        let mut beat = None;
         if let Some(dma) = &mut self.dma {
             for &h in &self.active {
                 if self.cores[h].has_dma_commands() {
@@ -481,13 +565,49 @@ impl Cluster {
                     }
                 }
             }
-            dma.engine.begin_cycle(dma.dram.config());
-            dma_busy = dma.engine.is_busy();
+            dma.engine.begin_cycle(dma.timing);
+            dma.busy_this_cycle = dma.engine.is_busy();
+            beat = dma.engine.dram_request();
+            dma.beat_ready = beat.is_some();
         }
+        Ok(beat)
+    }
+
+    /// Second half of a cluster cycle: the TCDM crossbar pass (the DMA
+    /// beat participates only when `dma_mem_grant` allows it), grant
+    /// application, core/engine cycle end, and barrier rendezvous.
+    ///
+    /// `dma_mem_grant` is the shared-memory-side arbitration outcome for
+    /// the beat [`Cluster::begin_step`] returned (`true` when there was
+    /// none, or on the single-cluster path). `ext_mem` supplies the
+    /// externally owned functional store for engines attached with
+    /// [`Cluster::attach_dma_shared`]; pass `None` when the engine owns
+    /// its Dram.
+    ///
+    /// # Errors
+    ///
+    /// Core errors (hart-tagged) or DMA beat faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared-memory engine moves a beat without `ext_mem`.
+    pub fn finish_step(
+        &mut self,
+        dma_mem_grant: bool,
+        mut ext_mem: Option<&mut Dram>,
+    ) -> Result<(), ClusterError> {
+        let tag = |hart: usize| {
+            move |source| ClusterError::Core {
+                hart: hart as u32,
+                source,
+            }
+        };
 
         // Phase 3: one crossbar pass over all cores' *and* the DMA
         // engine's requests — DMA beats contend for bank ports exactly
-        // like compute traffic and show up in the per-bank stats.
+        // like compute traffic and show up in the per-bank stats. A beat
+        // denied at the shared memory never reaches the crossbar: the
+        // engine retries the whole beat next cycle.
         self.requests.clear();
         self.ranges.clear();
         for &h in &self.active {
@@ -496,10 +616,16 @@ impl Cluster {
             self.ranges.push((h, start, self.requests.len()));
         }
         let mut dma_req = false;
-        if let Some(dma) = &self.dma {
-            if let Some(req) = dma.engine.request() {
-                self.requests.push(req);
-                dma_req = true;
+        if let Some(dma) = &mut self.dma {
+            if dma.beat_ready {
+                if dma_mem_grant {
+                    if let Some(req) = dma.engine.request() {
+                        self.requests.push(req);
+                        dma_req = true;
+                    }
+                } else {
+                    dma.engine.note_l2_denied();
+                }
             }
         }
         if self.requests.is_empty() {
@@ -517,14 +643,15 @@ impl Cluster {
             }
             if dma_req {
                 let dma = self.dma.as_mut().expect("dma_req implies attachment");
-                let timing = dma.dram.config();
+                let timing = dma.timing;
+                let mem = match dma.dram.as_mut() {
+                    Some(own) => own,
+                    None => ext_mem
+                        .take()
+                        .expect("shared-memory DMA engine needs the external store"),
+                };
                 dma.engine
-                    .apply_grant(
-                        grants[grants.len() - 1],
-                        &mut self.tcdm,
-                        &mut dma.dram,
-                        timing,
-                    )
+                    .apply_grant(grants[grants.len() - 1], &mut self.tcdm, mem, timing)
                     .map_err(|e| ClusterError::Dma {
                         hart: None,
                         source: e,
@@ -538,7 +665,12 @@ impl Cluster {
         }
         if let Some(dma) = &mut self.dma {
             dma.engine.end_cycle();
-            if dma_busy {
+            // One increment per cluster cycle, however many descriptors
+            // were queued or completed within it — `overlap_cycles` can
+            // therefore never exceed `busy_cycles` and the overlap
+            // fraction stays in [0, 1] (asserted by the sweep
+            // validators).
+            if dma.busy_this_cycle {
                 dma.busy_cycles += 1;
             }
             // Compute–transfer overlap: did any core issue an FPU compute
@@ -548,10 +680,12 @@ impl Cluster {
                 .iter()
                 .map(|c| c.counters().fpu_issue_cycles)
                 .sum();
-            if dma_busy && fpu_issue > dma.prev_fpu_issue {
+            if dma.busy_this_cycle && fpu_issue > dma.prev_fpu_issue {
                 dma.overlap_cycles += 1;
             }
             dma.prev_fpu_issue = fpu_issue;
+            dma.busy_this_cycle = false;
+            dma.beat_ready = false;
         }
         self.cycles += 1;
 
@@ -564,6 +698,15 @@ impl Cluster {
             }
             self.barriers += 1;
         }
+        // A stand-alone cluster is the whole system: resolve the
+        // inter-cluster barrier among its own harts. Embedded clusters
+        // leave this to the system, which sees every cluster.
+        if !self.system_managed {
+            let waiting = self.cores.iter().filter(|c| c.in_system_barrier()).count();
+            if waiting > 0 && waiting == still_active {
+                self.release_system_barrier();
+            }
+        }
 
         for &h in &self.active {
             if self.cores[h].is_halted() && self.core_done_at[h].is_none() {
@@ -571,6 +714,32 @@ impl Cluster {
             }
         }
         Ok(())
+    }
+
+    /// How many of this cluster's harts are parked on the inter-cluster
+    /// barrier, and how many are still active (not halted) — the
+    /// system's rendezvous census.
+    #[must_use]
+    pub fn system_barrier_census(&self) -> (usize, usize) {
+        let waiting = self.cores.iter().filter(|c| c.in_system_barrier()).count();
+        let active = self.cores.iter().filter(|c| !c.is_halted()).count();
+        (waiting, active)
+    }
+
+    /// Releases every hart parked on the inter-cluster barrier and
+    /// counts the episode (system use; the caller must have verified
+    /// that every active hart across *all* clusters has arrived). A
+    /// cluster with no waiting hart — e.g. one that halted before a
+    /// system-wide episode it never participated in — is left untouched
+    /// and does not count the episode.
+    pub fn release_system_barrier(&mut self) {
+        if !self.cores.iter().any(Core::in_system_barrier) {
+            return;
+        }
+        for core in &mut self.cores {
+            core.release_system_barrier();
+        }
+        self.system_barriers += 1;
     }
 
     /// Runs until every core halts or the cycle budget is exhausted.
@@ -631,6 +800,7 @@ impl Cluster {
             conflicts_by_bank: stats.conflicts_by_bank().to_vec(),
             accesses_by_bank: stats.accesses_by_bank().to_vec(),
             barriers: self.barriers,
+            system_barriers: self.system_barriers,
             dma: self.dma.as_ref().map(|d| DmaSummary {
                 stats: *d.engine.stats(),
                 busy_cycles: d.busy_cycles,

@@ -40,14 +40,17 @@
 //! ## Cluster primitives
 //!
 //! * Reading `mhartid` (0xF14) returns the core's hart ID; reading the
-//!   custom cluster-size CSR (0x7C6) returns the number of harts.
+//!   custom cluster-size CSR (0x7C9) returns the number of harts; the
+//!   cluster-id CSR (0x7C7) and system-size CSR (0x7C8) place the core
+//!   within a multi-cluster system.
 //! * Writing the barrier CSR (0x7C5) first waits for the FP subsystem to
 //!   drain and all streams to complete (like the other synchronising
 //!   CSRs), then parks the hart in a barrier-wait state. The owner of the
 //!   cores — the cluster, or [`Simulator`] for the 1-hart case — releases
 //!   all waiting harts in the same cycle once every active hart has
 //!   arrived; the CSR read value delivered on release is the number of
-//!   barrier episodes completed before this one.
+//!   barrier episodes completed before this one. The system barrier CSR
+//!   (0x7C6) works the same way across every cluster of a system.
 
 use sc_isa::{csr, CsrFile, CsrOp, CsrSrc, FpReg, Instruction, IntReg, LoadOp, Program, StoreOp};
 use sc_mem::{AccessKind, PortId, Request, Tcdm};
@@ -103,6 +106,11 @@ enum IntState {
     },
     /// Parked on the cluster barrier CSR; released externally.
     BarrierWait {
+        rd: IntReg,
+    },
+    /// Parked on the inter-cluster (system) barrier CSR; released
+    /// externally once every active hart in the whole system arrived.
+    SystemBarrierWait {
         rd: IntReg,
     },
     /// `ecall` executed; waiting for quiescence.
@@ -187,8 +195,11 @@ pub struct Core {
     trace: IssueTrace,
     hart_id: u32,
     num_harts: u32,
+    cluster_id: u32,
+    num_clusters: u32,
     port_base: u8,
     barriers_completed: u32,
+    system_barriers_completed: u32,
     plan: MemPlan,
     dm_plan: Vec<u8>,
     trace_int_slot: Option<Instruction>,
@@ -246,8 +257,11 @@ impl Core {
             trace: IssueTrace::new(),
             hart_id,
             num_harts,
+            cluster_id: 0,
+            num_clusters: 1,
             port_base: port_base as u8,
             barriers_completed: 0,
+            system_barriers_completed: 0,
             plan: MemPlan::default(),
             dm_plan: Vec::new(),
             trace_int_slot: None,
@@ -269,6 +283,35 @@ impl Core {
     #[must_use]
     pub fn num_harts(&self) -> u32 {
         self.num_harts
+    }
+
+    /// This core's cluster ID within the system (0 outside a system).
+    #[must_use]
+    pub fn cluster_id(&self) -> u32 {
+        self.cluster_id
+    }
+
+    /// Number of clusters in the system (1 outside a system).
+    #[must_use]
+    pub fn num_clusters(&self) -> u32 {
+        self.num_clusters
+    }
+
+    /// Places the core inside a multi-cluster system: the values the
+    /// `CLUSTER_ID` (0x7C7) and `SYSTEM_NUM_CLUSTERS` (0x7C8) CSRs read.
+    /// Called by the cluster when the cluster itself is embedded in a
+    /// system; a stand-alone core is cluster 0 of 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_id >= num_clusters`.
+    pub fn set_cluster_pos(&mut self, cluster_id: u32, num_clusters: u32) {
+        assert!(
+            cluster_id < num_clusters,
+            "cluster {cluster_id} outside system of {num_clusters}"
+        );
+        self.cluster_id = cluster_id;
+        self.num_clusters = num_clusters;
     }
 
     /// First TCDM port of this core's namespace.
@@ -337,10 +380,22 @@ impl Core {
         matches!(self.state, IntState::BarrierWait { .. })
     }
 
+    /// Whether the core is parked on the inter-cluster (system) barrier.
+    #[must_use]
+    pub fn in_system_barrier(&self) -> bool {
+        matches!(self.state, IntState::SystemBarrierWait { .. })
+    }
+
     /// Barrier episodes this core has completed.
     #[must_use]
     pub fn barriers_completed(&self) -> u32 {
         self.barriers_completed
+    }
+
+    /// System-barrier episodes this core has completed.
+    #[must_use]
+    pub fn system_barriers_completed(&self) -> u32 {
+        self.system_barriers_completed
     }
 
     /// Releases a core parked on the barrier: the barrier-CSR write
@@ -352,6 +407,24 @@ impl Core {
         if let IntState::BarrierWait { rd } = self.state {
             let completed = self.barriers_completed;
             self.barriers_completed += 1;
+            self.write_reg(rd, completed);
+            self.pc = self.pc.wrapping_add(4);
+            self.counters.int_retired += 1;
+            self.counters.fetches += 1;
+            self.state = IntState::Running;
+        }
+    }
+
+    /// Releases a core parked on the system barrier: the barrier-CSR
+    /// write retires, its destination register receiving the number of
+    /// system-barrier episodes completed before this one. No-op if the
+    /// core is not waiting. Called by the system (or by the cluster /
+    /// [`Simulator`] when they are the whole system) once every active
+    /// hart of every cluster has arrived.
+    pub fn release_system_barrier(&mut self) {
+        if let IntState::SystemBarrierWait { rd } = self.state {
+            let completed = self.system_barriers_completed;
+            self.system_barriers_completed += 1;
             self.write_reg(rd, completed);
             self.pc = self.pc.wrapping_add(4);
             self.counters.int_retired += 1;
@@ -608,9 +681,11 @@ impl Core {
             }
             IntState::LoadWait { .. }
             | IntState::StoreWait { .. }
-            | IntState::BarrierWait { .. } => {
+            | IntState::BarrierWait { .. }
+            | IntState::SystemBarrierWait { .. } => {
                 // Loads/stores resolve in the memory phase; barrier waits
-                // resolve externally via `release_barrier`.
+                // resolve externally via `release_barrier` /
+                // `release_system_barrier`.
                 return Ok(None);
             }
             IntState::Halting => {
@@ -859,6 +934,36 @@ impl Core {
                     self.state = IntState::BarrierWait { rd };
                     return Ok(None);
                 }
+            }
+            csr::SYSTEM_BARRIER => {
+                // Same pure-read convention as the cluster barrier.
+                let pure_read = matches!(op, CsrOp::ReadSet | CsrOp::ReadClear)
+                    && match src {
+                        CsrSrc::Reg(r) => r.is_zero(),
+                        CsrSrc::Imm(i) => i == 0,
+                    };
+                if pure_read {
+                    self.write_reg(rd, self.system_barriers_completed);
+                } else {
+                    // A system barrier is a rendezvous of every hart in
+                    // every cluster; like the cluster barrier, each
+                    // hart's FP work and streams must complete first.
+                    if !self.fp.is_drained() || !self.fp.ssr().all_done() {
+                        self.counters
+                            .record_stall(crate::counters::StallCause::Sync);
+                        return Ok(None);
+                    }
+                    // Park without retiring; `release_system_barrier`
+                    // retires.
+                    self.state = IntState::SystemBarrierWait { rd };
+                    return Ok(None);
+                }
+            }
+            csr::CLUSTER_ID => {
+                self.write_reg(rd, self.cluster_id);
+            }
+            csr::SYSTEM_NUM_CLUSTERS => {
+                self.write_reg(rd, self.num_clusters);
             }
             csr::DMA_START => {
                 // Pure reads (csrrs/csrrc with a zero operand) report the
@@ -1123,9 +1228,13 @@ impl Simulator {
     /// See [`Simulator::run`].
     pub fn step(&mut self) -> Result<(), SimError> {
         self.core.step(&mut self.tcdm)?;
-        // A lone hart is the whole rendezvous: release immediately.
+        // A lone hart is the whole rendezvous — cluster or system:
+        // release immediately.
         if self.core.in_barrier() {
             self.core.release_barrier();
+        }
+        if self.core.in_system_barrier() {
+            self.core.release_system_barrier();
         }
         Ok(())
     }

@@ -188,6 +188,11 @@ pub struct DmaStats {
     /// Busy cycles spent waiting on the background memory (startup
     /// latency + bandwidth throttling), not on the TCDM.
     pub dram_wait_cycles: u64,
+    /// Beats that were ready but stalled on the background-memory side
+    /// of the hierarchy — an L2 bank lost to another cluster's engine,
+    /// or an L2 line still refilling from Dram. Zero when the engine
+    /// moves against a private `Dram` (the single-cluster path).
+    pub l2_wait_cycles: u64,
 }
 
 impl DmaStats {
@@ -281,9 +286,23 @@ impl DmaEngine {
     /// Monotonic count of completed transfers — the value the
     /// `DMA_COMPLETED` CSR reads. Programs poll it to synchronise
     /// double-buffered tiles (transfers complete strictly in FIFO order).
+    ///
+    /// The counter is a **wrapping** u32: on long runs it rolls over, so
+    /// consumers must compare with wrapping distance
+    /// (`target.wrapping_sub(completed) as i32 <= 0`), never with a raw
+    /// ordered compare — see `sc-kernels`' completion-poll codegen.
     #[must_use]
     pub fn completed(&self) -> u32 {
         self.completed
+    }
+
+    /// Starts the completion counter at an arbitrary value, as if the
+    /// engine had already completed `value` transfers in an earlier
+    /// phase of a long run. Completion polling must keep working across
+    /// the u32 wrap; tests use this to pin the near-wrap behaviour
+    /// without simulating four billion transfers.
+    pub fn preset_completed(&mut self, value: u32) {
+        self.completed = value;
     }
 
     /// Whether the engine has nothing queued or in flight.
@@ -337,6 +356,35 @@ impl DmaEngine {
                 AccessKind::Read
             },
         })
+    }
+
+    /// The background-memory side of this cycle's beat, if one is ready:
+    /// the byte address the beat reads (Dram→TCDM) or writes (TCDM→Dram)
+    /// on the far side of the hierarchy. A system owner arbitrates these
+    /// across clusters at the shared L2 *before* the TCDM pass; an
+    /// engine whose beat loses there must be told via
+    /// [`DmaEngine::note_l2_denied`] instead of receiving a grant.
+    #[must_use]
+    pub fn dram_request(&self) -> Option<(u32, AccessKind)> {
+        let a = self.active.as_ref()?;
+        if a.wait > 0 {
+            return None;
+        }
+        Some((
+            a.dram_cursor(),
+            if a.t.to_tcdm {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            },
+        ))
+    }
+
+    /// Records that this cycle's ready beat was stalled on the
+    /// background-memory side (shared-L2 bank conflict or refill); the
+    /// beat retries next cycle, exactly like a TCDM denial.
+    pub fn note_l2_denied(&mut self) {
+        self.stats.l2_wait_cycles += 1;
     }
 
     /// Applies this cycle's arbitration outcome for the request returned
@@ -561,6 +609,36 @@ mod tests {
             })
         );
         assert!(dma.is_idle());
+    }
+
+    #[test]
+    fn completion_counter_wraps_and_distance_compare_survives() {
+        // Long system-scaling runs roll the u32 completion counter over;
+        // the counter itself must wrap silently and the wrapping-distance
+        // idiom the poll loops use must stay correct across the seam —
+        // where a raw ordered compare (the old `blt` codegen) breaks.
+        let (mut tcdm, mut dram) = rig();
+        let mut dma = DmaEngine::new(PortId(4));
+        dma.preset_completed(u32::MAX - 1);
+        for _ in 0..3 {
+            dma.enqueue(Transfer::contiguous(0x0, 0x100, 8, true))
+                .unwrap();
+        }
+        let target = (u32::MAX - 1).wrapping_add(3); // == 1, past the wrap
+        assert!(
+            (target.wrapping_sub(dma.completed()) as i32) > 0,
+            "before the run the target lies ahead"
+        );
+        // The raw signed compare is already wrong here: completed
+        // 0xFFFF_FFFE reads as -2, target 1 — "done" before any beat.
+        assert!((dma.completed() as i32) < target as i32);
+        dma.run_to_idle(&mut tcdm, &mut dram, 1_000).unwrap();
+        assert_eq!(dma.completed(), 1, "counter wrapped through zero");
+        assert!(
+            (target.wrapping_sub(dma.completed()) as i32) <= 0,
+            "after the run the wrapping distance reports completion"
+        );
+        assert_eq!(dma.stats().transfers_completed, 3);
     }
 
     #[test]

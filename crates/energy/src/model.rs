@@ -42,8 +42,15 @@ pub struct EnergyModel {
     /// Engine overhead per 64-bit DMA beat (address generation, channel
     /// control; the TCDM and background-memory accesses are separate).
     pub dma_beat_pj: f64,
+    /// Energy per 64-bit shared-L2 SRAM access — what a multi-cluster
+    /// system's DMA beat pays on its far side instead of a full
+    /// background-memory access (between `tcdm_access_pj` and
+    /// `dram_access_pj`: bigger arrays and a longer interconnect hop
+    /// than the L1, but still on-die SRAM).
+    pub l2_access_pj: f64,
     /// Energy per 64-bit background-memory (L2/HBM hop) access — the
-    /// expensive end of every DMA beat.
+    /// expensive end of every single-cluster DMA beat, and of every
+    /// L2 refill beat in a multi-cluster system.
     pub dram_access_pj: f64,
     /// Static (leakage + clock-tree) power in milliwatts.
     pub static_mw: f64,
@@ -64,6 +71,7 @@ impl EnergyModel {
             tcdm_access_pj: 5.5,
             ssr_element_pj: 0.9,
             dma_beat_pj: 1.1,
+            l2_access_pj: 9.0,
             dram_access_pj: 18.0,
             static_mw: 24.0,
         }
@@ -74,6 +82,16 @@ impl EnergyModel {
     #[must_use]
     pub fn dma_energy_pj(&self, beats: u64) -> f64 {
         beats as f64 * (self.tcdm_access_pj + self.dram_access_pj + self.dma_beat_pj)
+    }
+
+    /// Energy of a multi-cluster system's DMA traffic: every beat pays
+    /// one TCDM access, one **L2** access and the engine overhead, and
+    /// every 64-bit beat the L2's refill channel moved from the
+    /// background memory pays one Dram access on top.
+    #[must_use]
+    pub fn system_dma_energy_pj(&self, beats: u64, l2_refill_beats: u64) -> f64 {
+        beats as f64 * (self.tcdm_access_pj + self.l2_access_pj + self.dma_beat_pj)
+            + l2_refill_beats as f64 * self.dram_access_pj
     }
 
     /// Total dynamic energy for a counter snapshot, in picojoules.
@@ -128,9 +146,41 @@ impl EnergyModel {
         cluster_cycles: u64,
         dma_beats: u64,
     ) -> ClusterEnergyReport {
+        self.report_with_dma_pj(per_core, cluster_cycles, self.dma_energy_pj(dma_beats))
+    }
+
+    /// Energy/power report for a whole multi-cluster **system**:
+    /// `per_core` flattens every cluster's cores, `system_cycles` is the
+    /// cycles-to-last-cluster-done, and the DMA traffic is charged at
+    /// system rates ([`EnergyModel::system_dma_energy_pj`]: beats hit
+    /// the shared L2, refill beats hit the Dram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_core` is empty.
+    #[must_use]
+    pub fn system_report(
+        &self,
+        per_core: &[PerfCounters],
+        system_cycles: u64,
+        dma_beats: u64,
+        l2_refill_beats: u64,
+    ) -> ClusterEnergyReport {
+        self.report_with_dma_pj(
+            per_core,
+            system_cycles,
+            self.system_dma_energy_pj(dma_beats, l2_refill_beats),
+        )
+    }
+
+    fn report_with_dma_pj(
+        &self,
+        per_core: &[PerfCounters],
+        cluster_cycles: u64,
+        dma_pj: f64,
+    ) -> ClusterEnergyReport {
         assert!(!per_core.is_empty(), "a cluster has at least one core");
         let reports: Vec<EnergyReport> = per_core.iter().map(|c| self.report(c)).collect();
-        let dma_pj = self.dma_energy_pj(dma_beats);
         let dynamic_pj: f64 = per_core
             .iter()
             .map(|c| self.dynamic_energy_pj(c))
@@ -377,6 +427,24 @@ mod tests {
         assert!(slower.static_pj > r.static_pj);
         assert!(slower.gflops_per_w < r.gflops_per_w);
         assert!((r.speedup_over(&slower) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_dma_charges_l2_not_dram_per_beat() {
+        // A warm system beat is cheaper than a single-cluster Dram beat
+        // (on-die L2 vs the full background hop); cold misses claw the
+        // difference back through refill beats.
+        let m = EnergyModel::new();
+        assert!(m.system_dma_energy_pj(100, 0) < m.dma_energy_pj(100));
+        let with_refills = m.system_dma_energy_pj(100, 100);
+        assert!(
+            (with_refills - m.system_dma_energy_pj(100, 0) - 100.0 * m.dram_access_pj).abs() < 1e-9
+        );
+        // The report plumbs the system rate through.
+        let per_core = vec![sample_counters(); 2];
+        let sys = m.system_report(&per_core, 1_000, 500, 64);
+        let expect = m.system_dma_energy_pj(500, 64);
+        assert!((sys.dma_pj - expect).abs() < 1e-9);
     }
 
     #[test]

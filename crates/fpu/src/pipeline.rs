@@ -85,8 +85,10 @@ impl<T> Pipeline<T> {
 
     /// Whether a new op can be accepted this cycle.
     ///
-    /// True when stage 0 is empty, or will be vacated by this cycle's
-    /// `advance()` (i.e. the pipeline is not blocked at writeback).
+    /// True when stage 0 is empty or will be vacated by this cycle's
+    /// `advance()` — either the writeback slot is free (the whole
+    /// pipeline shifts) or a bubble somewhere ahead lets the train
+    /// behind it compress forward one stage.
     #[must_use]
     pub fn can_issue(&self) -> bool {
         if self.pending.is_some() {
@@ -95,14 +97,7 @@ impl<T> Pipeline<T> {
         if self.stages[0].is_none() {
             return true;
         }
-        self.will_shift()
-    }
-
-    /// Whether the pipeline will shift at the next `advance()`:
-    /// the writeback slot must be free (retired or empty) and, if the last
-    /// execute stage holds an op, it can then move into writeback.
-    fn will_shift(&self) -> bool {
-        self.writeback.is_none()
+        self.writeback.is_none() || self.stages.iter().any(Option::is_none)
     }
 
     /// Accepts an op; it occupies stage 0 from the next `advance()` on.
@@ -116,18 +111,33 @@ impl<T> Pipeline<T> {
         self.issued += 1;
     }
 
-    /// Ends the cycle: shifts the pipeline if not blocked and latches any
-    /// pending issue into stage 0.
+    /// Ends the cycle: every op with a free slot ahead moves one stage
+    /// (at most one — latency is per stage, bubbles never shortcut it),
+    /// and any pending issue latches into stage 0.
+    ///
+    /// A blocked writeback op holds only the stages *behind occupied
+    /// slots*: ops still compress forward into bubbles. This matters for
+    /// the chaining extension — the stage registers are the tail of a
+    /// chained register's logical FIFO, and a rigid all-or-nothing hold
+    /// would shrink that FIFO's usable capacity to the writeback slot
+    /// alone, deadlocking a push-only producer that runs ahead of its
+    /// consumer by a pipeline's worth of elements (a real wedge flushed
+    /// out by DMA-timing jitter in the tiled multi-cluster runs, pinned
+    /// by `sc-kernels`' backpressure tests).
     pub fn advance(&mut self) {
-        if self.will_shift() {
-            // Move last execute stage into writeback, shift the rest.
-            let depth = self.stages.len();
+        let depth = self.stages.len();
+        if self.writeback.is_none() {
             self.writeback = self.stages[depth - 1].take();
-            for i in (1..depth).rev() {
+        } else {
+            self.blocked_cycles += 1;
+        }
+        // Compress toward the first free slot: walking from the deep end,
+        // every empty stage pulls its predecessor, so the whole train
+        // behind a bubble advances one stage in one cycle.
+        for i in (1..depth).rev() {
+            if self.stages[i].is_none() {
                 self.stages[i] = self.stages[i - 1].take();
             }
-        } else if self.writeback.is_some() {
-            self.blocked_cycles += 1;
         }
         if let Some(op) = self.pending.take() {
             debug_assert!(self.stages[0].is_none(), "stage 0 must be free after shift");
@@ -398,6 +408,56 @@ mod tests {
         assert!(p.can_issue(), "retiring unblocks the shift");
         p.advance();
         assert_eq!(p.ready(), Some(&1));
+    }
+
+    #[test]
+    fn blocked_writeback_still_compresses_bubbles() {
+        // Regression: a blocked writeback once froze the *whole*
+        // pipeline, so ops could not slide into empty stages ahead of
+        // them and a chained push-only producer deadlocked against its
+        // own not-yet-issued consumer. Ops must keep advancing into
+        // bubbles (one stage per cycle) while the writeback op holds.
+        let mut p: Pipeline<u32> = Pipeline::new(3);
+        p.issue(0);
+        for _ in 0..4 {
+            p.advance();
+        }
+        assert_eq!(p.ready(), Some(&0), "op 0 reached writeback");
+        // Writeback blocked (not retired); issue op 1 — it must travel
+        // through the empty stages up to the last one.
+        p.issue(1);
+        p.advance(); // 1 → stage 0
+        assert!(p.can_issue(), "bubbles ahead: stage 0 will vacate");
+        p.advance(); // 1 → stage 1
+        p.advance(); // 1 → stage 2 (last execute stage)
+        assert_eq!(p.ready(), Some(&0), "writeback op still held");
+        assert_eq!(p.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        // One more op fits behind it; the pipe then has one bubble left.
+        p.issue(2);
+        p.advance();
+        p.advance();
+        assert!(p.can_issue(), "one bubble remains");
+        p.issue(3);
+        p.advance();
+        assert!(!p.can_issue(), "now truly full behind the block");
+        // Retiring drains in order, one per cycle.
+        assert_eq!(p.take_ready(), Some(0));
+        p.advance();
+        assert_eq!(p.take_ready(), Some(1));
+    }
+
+    #[test]
+    fn bubbles_never_shortcut_latency() {
+        // An op entering an empty pipeline still takes depth+1 advances
+        // to reach writeback, bubbles or not.
+        let mut p: Pipeline<u32> = Pipeline::new(3);
+        p.issue(9);
+        for _ in 0..3 {
+            p.advance();
+            assert_eq!(p.ready(), None, "must not skip execute stages");
+        }
+        p.advance();
+        assert_eq!(p.ready(), Some(&9));
     }
 
     #[test]

@@ -40,9 +40,25 @@ pub const PERF_REGION: u16 = 0x7C4;
 /// the number of barrier episodes completed before this one. On a
 /// single-core system the barrier releases immediately.
 pub const CLUSTER_BARRIER: u16 = 0x7C5;
+/// Custom: inter-cluster (system) barrier. Any write makes the hart wait
+/// (after its FP subsystem drains and its streams complete) until every
+/// active hart of every cluster in the system has also written it; the
+/// read value returned on release is the number of system-barrier
+/// episodes completed before this one. Outside a multi-cluster system
+/// the barrier degenerates to the cluster barrier (a lone cluster is the
+/// whole system) and on a single core it releases immediately.
+pub const SYSTEM_BARRIER: u16 = 0x7C6;
+/// Custom: this core's cluster ID within the system (read-only; 0
+/// outside a multi-cluster system). The cluster-level analogue of
+/// [`MHARTID`] — kernels partition grids across clusters with it the
+/// same way they partition across harts.
+pub const CLUSTER_ID: u16 = 0x7C7;
+/// Custom: number of clusters in the system (read-only; 1 outside a
+/// system).
+pub const SYSTEM_NUM_CLUSTERS: u16 = 0x7C8;
 /// Custom: number of cores in the cluster (read-only; 1 outside a
 /// cluster).
-pub const CLUSTER_NUM_CORES: u16 = 0x7C6;
+pub const CLUSTER_NUM_CORES: u16 = 0x7C9;
 /// DMA: source byte address on the background-memory (Dram) side.
 pub const DMA_SRC: u16 = 0x7D0;
 /// DMA: destination byte address on the TCDM side.

@@ -23,6 +23,7 @@ use crate::grid::Grid3;
 use crate::kernel::{verify_f64_exact, CheckFn, Kernel, SetupFn};
 use crate::partition::split_ranges;
 use crate::stencil::Stencil;
+use crate::system_kernel::{SystemCheckFn, SystemKernel, SystemSetupFn, TiledSystemKernel};
 use crate::tiling::{self, TileError, TiledClusterKernel};
 use crate::variant::Variant;
 
@@ -110,6 +111,27 @@ impl std::fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// How a slab program synchronises before halting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlabSync {
+    /// Halt directly (single hart, single cluster).
+    None,
+    /// Rendezvous with the cluster's other harts (CSR 0x7C5).
+    Cluster,
+    /// Rendezvous with every hart of every cluster (CSR 0x7C6).
+    System,
+}
+
+impl SlabSync {
+    fn emit(self, b: &mut ProgramBuilder) {
+        match self {
+            SlabSync::None => {}
+            SlabSync::Cluster => b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0),
+            SlabSync::System => b.csrrwi(IntReg::ZERO, csr::SYSTEM_BARRIER, 0),
+        }
+    }
+}
 
 /// Integer register allocation (fixed across variants).
 mod ir {
@@ -226,9 +248,14 @@ impl StencilKernel {
     #[must_use]
     pub fn build_cluster(&self, num_harts: u32) -> ClusterKernel {
         let slabs = split_ranges(self.grid.nz, num_harts, 1);
+        let sync = if num_harts > 1 {
+            SlabSync::Cluster
+        } else {
+            SlabSync::None
+        };
         let programs = slabs
             .iter()
-            .map(|&(z0, nzc)| self.emit_slab(z0, nzc, num_harts > 1))
+            .map(|&(z0, nzc)| self.emit_slab(z0, nzc, sync))
             .collect();
         let (setup, check) = self.data_fns();
         ClusterKernel::new(
@@ -246,16 +273,22 @@ impl StencilKernel {
     ///
     /// The whole padded input/output grids live in the background memory
     /// at the same addresses the unbounded-TCDM layout uses; the TCDM
-    /// holds ping-pong z-slab buffers (input slabs carry their two halo
-    /// planes). The tile size is the largest plane count whose
-    /// double-buffered footprint fits the cap. Results are bit-identical
-    /// to the unbounded run: every variant executes the same FMA
-    /// sequence per output point regardless of tiling.
+    /// holds ping-pong tile buffers (input tiles carry their halo
+    /// planes/rows). The planner prefers whole-plane z-slabs — the tile
+    /// size is the largest plane count whose double-buffered footprint
+    /// fits the cap — and when even a **single plane** exceeds the cap it
+    /// falls back to 2-D x/y sub-tiling: one-plane tiles of the widest
+    /// y-strip that fits, moved with the engine's 2-D strided
+    /// descriptors (a y-strip is gathered plane by plane on fetch and
+    /// its interior rows scattered back on write-out). Results are
+    /// bit-identical to the unbounded run either way: every variant
+    /// executes the same FMA sequence per output point regardless of
+    /// tiling.
     ///
     /// # Errors
     ///
-    /// [`TileError`] when even a one-plane tile cannot be double-buffered
-    /// within `capacity`.
+    /// [`TileError`] when even a one-plane, one-row tile cannot be
+    /// double-buffered within `capacity`.
     ///
     /// # Panics
     ///
@@ -268,6 +301,7 @@ impl StencilKernel {
         assert!(num_harts >= 1, "a cluster has at least one hart");
         let grid = self.grid;
         let pp = grid.plane_pitch();
+        let rp = grid.row_pitch();
         let coeff_base = self.layout.coeff_base;
         let bufs_base = 0x400u32;
         // The cap is hard: round DOWN to a whole TCDM interleave line so
@@ -275,79 +309,125 @@ impl StencilKernel {
         // allowed, and plan against that rounded size.
         let cap = capacity / tiling::TCDM_LINE_BYTES * tiling::TCDM_LINE_BYTES;
 
-        // Buffer layout for a given tile plane count: two input slabs
-        // (with halo planes), two output slabs, 64-byte aligned. An
-        // output buffer spans `nzc + 1` planes: the kernel writes padded
+        // Buffer layout for a given tile extent (nyc rows × nzc planes):
+        // two input tiles (with halo rows/planes), two output tiles,
+        // 64-byte aligned. A tile plane is `nyc + 2` rows; an output
+        // buffer spans `nzc + 1` tile planes: the kernel writes padded
         // planes 1..=nzc of the tile grid, and the last interior row of
         // plane `nzc` reaches into the address range of plane `nzc + 1`'s
         // slot minus the trailing halo rows — one full extra plane
         // covers it (the leading halo plane 0 is part of the span; the
-        // trailing halo plane is never addressed).
-        let plan_bufs = |nzc: u32| -> ([u32; 2], [u32; 2], u32) {
-            let in_bytes = pp * (nzc + 2);
-            let out_bytes = pp * (nzc + 1);
+        // trailing halo plane is never addressed). With `nyc == ny` this
+        // is exactly the whole-plane z-slab layout.
+        let plan_bufs = |nyc: u32, nzc: u32| -> ([u32; 2], [u32; 2], u32) {
+            let tpp = rp * (nyc + 2);
+            let in_bytes = tpp * (nzc + 2);
+            let out_bytes = tpp * (nzc + 1);
             let in0 = bufs_base;
             let in1 = tiling::align_up(in0 + in_bytes, 64);
             let out0 = tiling::align_up(in1 + in_bytes, 64);
             let out1 = tiling::align_up(out0 + out_bytes, 64);
             ([in0, in1], [out0, out1], out1 + out_bytes)
         };
-        let nzc = (1..=grid.nz)
+        // Prefer full-width z-slabs (largest plane count first); only
+        // when one whole plane cannot be double-buffered, sub-tile the
+        // plane along y (widest strip first).
+        let (nyc, nzc) = (1..=grid.nz)
             .rev()
-            .find(|&v| plan_bufs(v).2 <= cap)
+            .map(|z| (grid.ny, z))
+            .chain((1..grid.ny).rev().map(|y| (y, 1)))
+            .find(|&(y, z)| plan_bufs(y, z).2 <= cap)
             .ok_or(TileError {
-                needed: plan_bufs(1).2,
+                needed: plan_bufs(1, 1).2,
                 capacity,
             })?;
-        let (in_bufs, out_bufs, _) = plan_bufs(nzc);
+        let (in_bufs, out_bufs, _) = plan_bufs(nyc, nzc);
 
-        // Tile extents along z, and each tile's transfers.
+        // Tile extents along z (outer) and y (inner), and each tile's
+        // transfers.
         let mut tiles = Vec::new();
         let mut tile_kernels = Vec::new();
         let mut z0 = 0;
         while z0 < grid.nz {
             let nzc_t = nzc.min(grid.nz - z0);
-            let t = tiles.len();
-            let mut io = tiling::TileIo::default();
-            if t == 0 {
-                io.inputs.push(tiling::DmaXfer {
-                    dram_addr: self.layout.coeff_base,
-                    tcdm_addr: coeff_base,
-                    bytes: tiling::align_up(8 * self.stencil.len() as u32, 8),
-                    to_tcdm: true,
+            let mut y0 = 0;
+            while y0 < grid.ny {
+                let nyc_t = nyc.min(grid.ny - y0);
+                let t = tiles.len();
+                let tpp_t = rp * (nyc_t + 2);
+                let mut io = tiling::TileIo::default();
+                if t == 0 {
+                    io.inputs.push(tiling::DmaXfer::contiguous(
+                        self.layout.coeff_base,
+                        coeff_base,
+                        tiling::align_up(8 * self.stencil.len() as u32, 8),
+                        true,
+                    ));
+                }
+                if nyc_t == grid.ny {
+                    // Full-width slab: padded planes [z0, z0 + nzc_t + 2)
+                    // are contiguous in the row-major layout — one 1-D
+                    // fetch, one 1-D write-back of interior planes
+                    // [z0+1, z0+1+nzc_t) (their x/y halo bytes are zero
+                    // in both the tile buffer and the golden layout, so
+                    // whole planes move).
+                    io.inputs.push(tiling::DmaXfer::contiguous(
+                        self.layout.in_base + pp * z0,
+                        in_bufs[t % 2],
+                        pp * (nzc_t + 2),
+                        true,
+                    ));
+                    io.outputs.push(tiling::DmaXfer::contiguous(
+                        self.layout.out_base + pp * (z0 + 1),
+                        out_bufs[t % 2] + pp,
+                        pp * nzc_t,
+                        false,
+                    ));
+                } else {
+                    // y-strip: gather padded rows [y0, y0 + nyc_t + 2) of
+                    // each padded plane [z0, z0 + nzc_t + 2) — one
+                    // contiguous run of rows per plane, plane-strided on
+                    // the Dram side, packed on the tile side.
+                    io.inputs.push(tiling::DmaXfer {
+                        dram_addr: self.layout.in_base + pp * z0 + rp * y0,
+                        tcdm_addr: in_bufs[t % 2],
+                        row_bytes: tpp_t,
+                        dram_stride: pp,
+                        tcdm_stride: tpp_t,
+                        reps: nzc_t + 2,
+                        to_tcdm: true,
+                    });
+                    // Write back only the strip's *interior* rows
+                    // [y0+1, y0+1+nyc_t) of each written plane — the
+                    // strip's y-halo rows belong to the neighbouring
+                    // tiles' interiors in the full grid and must not be
+                    // clobbered. (Whole rows still move: the x-halo
+                    // bytes are zero on both sides.)
+                    io.outputs.push(tiling::DmaXfer {
+                        dram_addr: self.layout.out_base + pp * (z0 + 1) + rp * (y0 + 1),
+                        tcdm_addr: out_bufs[t % 2] + tpp_t + rp,
+                        row_bytes: rp * nyc_t,
+                        dram_stride: pp,
+                        tcdm_stride: tpp_t,
+                        reps: nzc_t,
+                        to_tcdm: false,
+                    });
+                }
+                tiles.push(io);
+                // The tile's compute program is this kernel re-targeted
+                // at a sub-grid of nyc_t × nzc_t in the tile buffers.
+                tile_kernels.push(StencilKernel {
+                    stencil: self.stencil.clone(),
+                    grid: Grid3::new(grid.nx, nyc_t, nzc_t),
+                    variant: self.variant,
+                    layout: Layout {
+                        in_base: in_bufs[t % 2],
+                        out_base: out_bufs[t % 2],
+                        coeff_base,
+                    },
                 });
+                y0 += nyc_t;
             }
-            // The input slab spans padded planes [z0, z0 + nzc_t + 2):
-            // interior planes plus both halo planes, contiguous in the
-            // row-major layout.
-            io.inputs.push(tiling::DmaXfer {
-                dram_addr: self.layout.in_base + pp * z0,
-                tcdm_addr: in_bufs[t % 2],
-                bytes: pp * (nzc_t + 2),
-                to_tcdm: true,
-            });
-            // The output slab writes back padded planes [z0+1, z0+1+nzc_t)
-            // — the x/y halo bytes of those planes are zero in both the
-            // tile buffer and the golden layout, so whole planes move.
-            io.outputs.push(tiling::DmaXfer {
-                dram_addr: self.layout.out_base + pp * (z0 + 1),
-                tcdm_addr: out_bufs[t % 2] + pp,
-                bytes: pp * nzc_t,
-                to_tcdm: false,
-            });
-            tiles.push(io);
-            // The tile's compute program is this kernel re-targeted at a
-            // sub-grid of nzc_t planes in the tile buffers.
-            tile_kernels.push(StencilKernel {
-                stencil: self.stencil.clone(),
-                grid: Grid3::new(grid.nx, grid.ny, nzc_t),
-                variant: self.variant,
-                layout: Layout {
-                    in_base: in_bufs[t % 2],
-                    out_base: out_bufs[t % 2],
-                    coeff_base,
-                },
-            });
             z0 += nzc_t;
         }
 
@@ -367,7 +447,7 @@ impl StencilKernel {
                         } else {
                             tiling::emit_tile_prologue(&mut b, &[], 0);
                         }
-                        tk.emit_slab_into(&mut b, sz0, snzc, true);
+                        tk.emit_slab_into(&mut b, sz0, snzc, SlabSync::Cluster);
                         b.build().expect("tiled stencil codegen is valid")
                     })
                     .collect::<Vec<_>>()
@@ -389,6 +469,161 @@ impl StencilKernel {
             setup,
             check,
         ))
+    }
+
+    /// Generates a [`SystemKernel`] with the grid's z-planes first
+    /// partitioned into contiguous slabs across `num_clusters` clusters,
+    /// then each slab across that cluster's `harts_per_cluster` harts —
+    /// the cluster-level analogue of [`StencilKernel::build_cluster`],
+    /// keyed off the cluster-id CSR position the system assigns. Every
+    /// hart rendezvouses on the **inter-cluster barrier** (CSR 0x7C6)
+    /// before halting. A 1-cluster system kernel uses programs identical
+    /// to [`StencilKernel::build_cluster`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn build_system(&self, num_clusters: u32, harts_per_cluster: u32) -> SystemKernel {
+        assert!(num_clusters >= 1, "a system has at least one cluster");
+        assert!(harts_per_cluster >= 1, "a cluster has at least one hart");
+        let slabs = split_ranges(self.grid.nz, num_clusters, 1);
+        let sync = if num_clusters > 1 {
+            SlabSync::System
+        } else if harts_per_cluster > 1 {
+            SlabSync::Cluster
+        } else {
+            SlabSync::None
+        };
+        let programs = slabs
+            .iter()
+            .map(|&(cz0, cnz)| {
+                split_ranges(cnz, harts_per_cluster, 1)
+                    .iter()
+                    .map(|&(hz0, hnz)| self.emit_slab(cz0 + hz0, hnz, sync))
+                    .collect()
+            })
+            .collect();
+        let (setup, check) = self.system_data_fns(slabs);
+        SystemKernel::new(
+            format!(
+                "{}/{} m{num_clusters}x{harts_per_cluster}",
+                self.stencil.name(),
+                self.variant
+            ),
+            programs,
+            self.flops(),
+            setup,
+            check,
+        )
+    }
+
+    /// Plans per-cluster double-buffered DMA tilings of this kernel for
+    /// a multi-cluster system: the grid's z-planes are partitioned into
+    /// contiguous slabs across `num_clusters` clusters, and each cluster
+    /// runs [`StencilKernel::build_tiled`]'s pipeline over its own slab
+    /// — all engines streaming from ONE shared background image through
+    /// the shared L2. Surplus clusters (more clusters than planes) idle.
+    ///
+    /// # Errors
+    ///
+    /// [`TileError`] when any cluster's slab cannot be double-buffered
+    /// within `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn build_system_tiled(
+        &self,
+        num_clusters: u32,
+        harts_per_cluster: u32,
+        capacity: u32,
+    ) -> Result<TiledSystemKernel, TileError> {
+        assert!(num_clusters >= 1, "a system has at least one cluster");
+        assert!(harts_per_cluster >= 1, "a cluster has at least one hart");
+        let grid = self.grid;
+        let pp = grid.plane_pitch();
+        let slabs = split_ranges(grid.nz, num_clusters, 1);
+        let mut stages = Vec::with_capacity(slabs.len());
+        let mut tcdm_cfg: Option<TcdmConfig> = None;
+        for &(cz0, cnz) in &slabs {
+            if cnz == 0 {
+                // A surplus cluster runs one trivial stage: every hart
+                // halts immediately (the tiled pipelines need no global
+                // rendezvous).
+                let idle = (0..harts_per_cluster)
+                    .map(|_| {
+                        let mut b = ProgramBuilder::new();
+                        b.ecall();
+                        b.build().expect("idle program is valid")
+                    })
+                    .collect();
+                stages.push(vec![idle]);
+                continue;
+            }
+            let sub = StencilKernel {
+                stencil: self.stencil.clone(),
+                grid: Grid3::new(grid.nx, grid.ny, cnz),
+                variant: self.variant,
+                layout: Layout {
+                    in_base: self.layout.in_base + pp * cz0,
+                    out_base: self.layout.out_base + pp * cz0,
+                    coeff_base: self.layout.coeff_base,
+                },
+            };
+            let tiled = sub.build_tiled(harts_per_cluster, capacity)?;
+            debug_assert!(
+                tcdm_cfg.is_none_or(|c| c == tiled.tcdm_config()),
+                "every cluster plans the same capacity-capped TCDM"
+            );
+            tcdm_cfg.get_or_insert(tiled.tcdm_config());
+            stages.push(tiled.stages());
+        }
+        let (setup, check) = self.dram_data_fns();
+        Ok(TiledSystemKernel::new(
+            format!(
+                "{}/{} m{num_clusters}x{harts_per_cluster} tiled",
+                self.stencil.name(),
+                self.variant
+            ),
+            tcdm_cfg.expect("at least one cluster owns planes"),
+            stages,
+            harts_per_cluster,
+            self.flops(),
+            setup,
+            check,
+        ))
+    }
+
+    /// The per-cluster data setup and slab verification closures for the
+    /// unbounded system path: every cluster's TCDM receives the whole
+    /// input image (the capacity cheat, scaled out), and each cluster's
+    /// result is checked only over the z-slab it owns.
+    fn system_data_fns(&self, slabs: Vec<(u32, u32)>) -> (SystemSetupFn, SystemCheckFn) {
+        let grid = self.grid;
+        let layout = self.layout;
+        let (input, golden, coeffs) = self.golden_data();
+        let setup = move |_cluster: u32, tcdm: &mut Tcdm| -> Result<(), MemError> {
+            tcdm.write_f64_slice(layout.coeff_base, &coeffs)?;
+            tcdm.write_f64_slice(layout.in_base, &input)?;
+            Ok(())
+        };
+        let check = move |cluster: u32, tcdm: &Tcdm| {
+            let (z0, nz) = slabs[cluster as usize];
+            for (idx, (x, y, z)) in grid.interior().enumerate() {
+                let zi = z - Grid3::HALO;
+                if zi < z0 || zi >= z0 + nz {
+                    continue;
+                }
+                let addr = grid.addr(layout.out_base, x, y, z);
+                verify_f64_exact(tcdm, addr, &golden[idx..=idx]).map_err(|mut e| {
+                    e.index = idx;
+                    e
+                })?;
+            }
+            Ok(())
+        };
+        (Box::new(setup), Box::new(check))
     }
 
     /// The kernel's problem data: deterministic input field, its golden
@@ -451,23 +686,24 @@ impl StencilKernel {
 
     /// Emits the whole-grid program.
     fn emit(&self) -> Program {
-        self.emit_slab(0, self.grid.nz, false)
+        self.emit_slab(0, self.grid.nz, SlabSync::None)
     }
 
     /// Emits the program for the z-plane slab `[z0, z0 + nzc)`.
-    fn emit_slab(&self, z0: u32, nzc: u32, barrier: bool) -> Program {
+    fn emit_slab(&self, z0: u32, nzc: u32, sync: SlabSync) -> Program {
         let mut b = ProgramBuilder::new();
-        self.emit_slab_into(&mut b, z0, nzc, barrier);
+        self.emit_slab_into(&mut b, z0, nzc, sync);
         b.build().expect("stencil codegen produces valid programs")
     }
 
     /// Emits the slab program for `[z0, z0 + nzc)` into an existing
     /// builder — the whole grid when `(0, nz)`. The tiled path prepends
-    /// a DMA prologue and data-ready barrier before calling this. With
-    /// `barrier`, the hart rendezvouses on the cluster barrier before
-    /// `ecall` (after its streams drain), so no hart halts while its
-    /// neighbours still stream results.
-    pub(crate) fn emit_slab_into(&self, b: &mut ProgramBuilder, z0: u32, nzc: u32, barrier: bool) {
+    /// a DMA prologue and data-ready barrier before calling this. With a
+    /// `sync` other than [`SlabSync::None`], the hart rendezvouses on
+    /// the corresponding barrier before `ecall` (after its streams
+    /// drain), so no hart halts while its neighbours still stream
+    /// results.
+    pub(crate) fn emit_slab_into(&self, b: &mut ProgramBuilder, z0: u32, nzc: u32, sync: SlabSync) {
         let grid = &self.grid;
         let v = self.variant;
         let u = v.unroll();
@@ -478,9 +714,7 @@ impl StencilKernel {
 
         // A hart with no planes only participates in the rendezvous.
         if nzc == 0 {
-            if barrier {
-                b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
-            }
+            sync.emit(b);
             b.ecall();
             return;
         }
@@ -605,9 +839,7 @@ impl StencilKernel {
             b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
         }
         b.csrrw(IntReg::ZERO, csr::SSR_ENABLE, IntReg::ZERO);
-        if barrier {
-            b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
-        }
+        sync.emit(b);
         b.ecall();
     }
 

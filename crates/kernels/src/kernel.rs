@@ -37,6 +37,8 @@ pub enum KernelError {
     Sim(SimError),
     /// A cluster simulation failed (hart-tagged).
     Cluster(sc_cluster::ClusterError),
+    /// A multi-cluster system simulation failed (cluster-tagged).
+    System(sc_system::SystemError),
     /// Data setup failed (layout outside the TCDM).
     Mem(MemError),
     /// The kernel ran but produced wrong results.
@@ -48,6 +50,7 @@ impl fmt::Display for KernelError {
         match self {
             KernelError::Sim(e) => write!(f, "simulation error: {e}"),
             KernelError::Cluster(e) => write!(f, "cluster simulation error: {e}"),
+            KernelError::System(e) => write!(f, "system simulation error: {e}"),
             KernelError::Mem(e) => write!(f, "data setup error: {e}"),
             KernelError::Verify(e) => write!(f, "verification error: {e}"),
         }
@@ -65,6 +68,12 @@ impl From<SimError> for KernelError {
 impl From<sc_cluster::ClusterError> for KernelError {
     fn from(e: sc_cluster::ClusterError) -> Self {
         KernelError::Cluster(e)
+    }
+}
+
+impl From<sc_system::SystemError> for KernelError {
+    fn from(e: sc_system::SystemError) -> Self {
+        KernelError::System(e)
     }
 }
 

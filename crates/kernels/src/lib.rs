@@ -34,6 +34,7 @@ mod kernel;
 mod partition;
 mod star;
 mod stencil;
+mod system_kernel;
 mod tiling;
 mod variant;
 mod vecop;
@@ -45,6 +46,9 @@ pub use kernel::{verify_f64_exact, CheckFn, Kernel, KernelError, KernelRun, Setu
 pub use partition::split_ranges;
 pub use star::{StarBuildError, StarStencilKernel, StarVariant};
 pub use stencil::Stencil;
+pub use system_kernel::{
+    SystemCheckFn, SystemKernel, SystemKernelRun, SystemSetupFn, TiledSystemKernel, TiledSystemRun,
+};
 pub use tiling::{
     DramCheckFn, DramSetupFn, TileError, TiledClusterKernel, TiledRun, TCDM_CAP_BYTES,
 };

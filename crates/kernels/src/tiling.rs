@@ -75,14 +75,38 @@ impl std::fmt::Display for TileError {
 impl std::error::Error for TileError {}
 
 /// One DMA transfer a tile program rings the doorbell for. Mirrors
-/// `sc_dma::Transfer`, but lives here so codegen does not depend on the
-/// engine crate.
+/// `sc_dma::Transfer` (including the 2-D strided form the engine
+/// supports, which the x/y sub-tiling path uses to gather/scatter
+/// y-strips plane by plane), but lives here so codegen does not depend
+/// on the engine crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct DmaXfer {
     pub dram_addr: u32,
     pub tcdm_addr: u32,
-    pub bytes: u32,
+    /// Bytes per row.
+    pub row_bytes: u32,
+    /// Byte distance between row starts on the Dram side.
+    pub dram_stride: u32,
+    /// Byte distance between row starts on the TCDM side.
+    pub tcdm_stride: u32,
+    /// Row count (1 = plain 1-D transfer).
+    pub reps: u32,
     pub to_tcdm: bool,
+}
+
+impl DmaXfer {
+    /// A plain 1-D contiguous transfer.
+    pub(crate) fn contiguous(dram_addr: u32, tcdm_addr: u32, bytes: u32, to_tcdm: bool) -> Self {
+        DmaXfer {
+            dram_addr,
+            tcdm_addr,
+            row_bytes: bytes,
+            dram_stride: bytes,
+            tcdm_stride: bytes,
+            reps: 1,
+            to_tcdm,
+        }
+    }
 }
 
 /// The transfers one tile consumes and produces.
@@ -152,10 +176,10 @@ pub(crate) fn emit_transfer(b: &mut ProgramBuilder, x: &DmaXfer) {
     for (addr, value) in [
         (csr::DMA_SRC, x.dram_addr),
         (csr::DMA_DST, x.tcdm_addr),
-        (csr::DMA_LEN, x.bytes),
-        (csr::DMA_SRC_STRIDE, x.bytes),
-        (csr::DMA_DST_STRIDE, x.bytes),
-        (csr::DMA_REPS, 1),
+        (csr::DMA_LEN, x.row_bytes),
+        (csr::DMA_SRC_STRIDE, x.dram_stride),
+        (csr::DMA_DST_STRIDE, x.tcdm_stride),
+        (csr::DMA_REPS, x.reps),
     ] {
         b.li(DT0, value as i32);
         b.csrrw(IntReg::ZERO, addr, DT0);
@@ -165,11 +189,22 @@ pub(crate) fn emit_transfer(b: &mut ProgramBuilder, x: &DmaXfer) {
 
 /// Emits a poll loop blocking until the engine's FIFO completion counter
 /// reaches `count`.
+///
+/// The counter is a *wrapping* u32, so the loop compares the **wrapping
+/// distance** `count - completed` as a signed quantity and spins while
+/// it is positive. A raw ordered compare (`blt completed, count`) breaks
+/// twice on long runs: once when the count crosses `0x8000_0000`
+/// (completed reads as a huge positive, the target as negative — the
+/// poll falls through *before* the transfer landed) and again right
+/// after the wrap (completed reads negative — the poll hangs). Distance
+/// polling is exact as long as fewer than 2³¹ transfers are in flight,
+/// which the double-buffered pipeline guarantees by construction.
 pub(crate) fn emit_wait_completed(b: &mut ProgramBuilder, count: u32) {
     b.li(DT1, count as i32);
     b.label("dma_wait");
     b.csrrs(DT2, csr::DMA_COMPLETED, IntReg::ZERO);
-    b.blt(DT2, DT1, "dma_wait");
+    b.sub(DT2, DT1, DT2);
+    b.blt(IntReg::ZERO, DT2, "dma_wait");
 }
 
 /// Emits hart 0's tile prologue (doorbells + completion wait) followed
@@ -308,6 +343,15 @@ impl TiledClusterKernel {
         self.tcdm
     }
 
+    /// The full stage sequence — every tile's program set followed by
+    /// the epilogue — in the form `sc_system::System` consumes as one
+    /// cluster's software tile loop.
+    pub(crate) fn stages(&self) -> Vec<Vec<Program>> {
+        let mut stages = self.tile_programs.clone();
+        stages.push(self.epilogue.clone());
+        stages
+    }
+
     /// Double-precision flops the whole problem performs.
     #[must_use]
     pub fn flops(&self) -> u64 {
@@ -382,12 +426,7 @@ mod tests {
     use super::*;
 
     fn xfer(tag: u32) -> DmaXfer {
-        DmaXfer {
-            dram_addr: tag * 0x100,
-            tcdm_addr: tag * 0x10,
-            bytes: 8,
-            to_tcdm: true,
-        }
+        DmaXfer::contiguous(tag * 0x100, tag * 0x10, 8, true)
     }
 
     #[test]
@@ -414,6 +453,45 @@ mod tests {
         // 3 outs.
         assert_eq!(s.epilogue.0, vec![xfer(22)]);
         assert_eq!(s.epilogue.1, 6);
+    }
+
+    #[test]
+    fn completion_poll_survives_counter_wrap() {
+        use sc_core::{Core, CoreConfig};
+        use sc_mem::Tcdm;
+        // The engine's completion counter sits just below the signed
+        // boundary; the program waits for a target just above it. The
+        // old raw `blt completed, target` read 0x7FFF_FFFF as a huge
+        // positive and the target as negative — falling through before
+        // the transfers landed. The wrapping-distance loop must keep
+        // spinning until the counter really reaches the target.
+        let completed = 0x7FFF_FFFFu32;
+        let target = completed.wrapping_add(2);
+        let mut b = ProgramBuilder::new();
+        emit_wait_completed(&mut b, target);
+        b.ecall();
+        let prog = b.build().unwrap();
+        let cfg = CoreConfig::new();
+        let mut tcdm = Tcdm::new(cfg.tcdm);
+        let mut core = Core::new(cfg, prog);
+        core.set_dma_status(2, completed);
+        for _ in 0..100 {
+            core.step(&mut tcdm).unwrap();
+        }
+        assert!(
+            !core.is_halted(),
+            "poll must keep waiting across the signed boundary"
+        );
+        // The engine completes both transfers (the mirror crosses
+        // 0x8000_0000): the distance closes and the poll falls through.
+        core.set_dma_status(0, target);
+        for _ in 0..100 {
+            if core.is_halted() {
+                break;
+            }
+            core.step(&mut tcdm).unwrap();
+        }
+        assert!(core.is_halted(), "poll must fall through at the target");
     }
 
     #[test]

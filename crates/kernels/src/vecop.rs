@@ -345,27 +345,23 @@ impl VecOpKernel {
             let t = tiles.len();
             let mut io = tiling::TileIo::default();
             if t == 0 {
-                io.inputs.push(tiling::DmaXfer {
-                    dram_addr: B_ADDR,
-                    tcdm_addr: B_ADDR,
-                    bytes: 8,
-                    to_tcdm: true,
-                });
+                io.inputs
+                    .push(tiling::DmaXfer::contiguous(B_ADDR, B_ADDR, 8, true));
             }
             for (dram_base, buf) in [(C_BASE, cbuf), (D_BASE, dbuf)] {
-                io.inputs.push(tiling::DmaXfer {
-                    dram_addr: dram_base + 8 * s,
-                    tcdm_addr: buf[t % 2],
-                    bytes: 8 * l,
-                    to_tcdm: true,
-                });
+                io.inputs.push(tiling::DmaXfer::contiguous(
+                    dram_base + 8 * s,
+                    buf[t % 2],
+                    8 * l,
+                    true,
+                ));
             }
-            io.outputs.push(tiling::DmaXfer {
-                dram_addr: A_BASE + 8 * s,
-                tcdm_addr: abuf[t % 2],
-                bytes: 8 * l,
-                to_tcdm: false,
-            });
+            io.outputs.push(tiling::DmaXfer::contiguous(
+                A_BASE + 8 * s,
+                abuf[t % 2],
+                8 * l,
+                false,
+            ));
             tiles.push(io);
             ranges.push((s, l));
             s += l;

@@ -1,0 +1,141 @@
+//! Property tests over the multi-cluster system layer:
+//!
+//! * any `System{clusters: 1}` configuration — unbounded or tiled
+//!   behind a pass-through L2 — is **cycle- and result-identical** to
+//!   the equivalent stand-alone `Cluster`,
+//! * multi-cluster runs are **bit-identical** in results to
+//!   single-cluster runs of the same problem (determinism under L2
+//!   arbitration), and deterministic across repeated runs.
+
+use proptest::prelude::*;
+use sc_core::CoreConfig;
+use sc_kernels::{Grid3, Stencil, StencilKernel, Variant};
+use sc_mem::{DramConfig, L2Config};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A 1-cluster unbounded system kernel must match the equivalent
+    /// cluster kernel cycle-for-cycle and counter-for-counter.
+    #[test]
+    fn one_cluster_system_is_cycle_identical_to_cluster(
+        xblk in 1u32..3,
+        ny in 1u32..4,
+        nz in 1u32..4,
+        variant_idx in 0usize..Variant::ALL.len(),
+        harts in 1u32..5,
+    ) {
+        let variant = Variant::ALL[variant_idx];
+        let gen = StencilKernel::new(Stencil::box3d1r(), Grid3::new(xblk * 8, ny, nz), variant)
+            .expect("valid combination");
+        let cfg = CoreConfig::new().with_chaining(variant.uses_chaining());
+
+        let cluster_run = gen
+            .build_cluster(harts)
+            .run(cfg, MAX_CYCLES)
+            .map_err(|e| TestCaseError::fail(format!("cluster: {e}")))?;
+        let system_run = gen
+            .build_system(1, harts)
+            .run(cfg, MAX_CYCLES)
+            .map_err(|e| TestCaseError::fail(format!("system: {e}")))?;
+
+        prop_assert_eq!(system_run.summary.cycles, cluster_run.summary.cycles);
+        let sys_cluster = &system_run.summary.per_cluster[0];
+        for (a, b) in cluster_run.summary.per_core.iter().zip(&sys_cluster.per_core) {
+            prop_assert_eq!(&a.counters, &b.counters);
+            prop_assert_eq!(&a.region, &b.region);
+        }
+        prop_assert_eq!(sys_cluster.barriers, cluster_run.summary.barriers);
+    }
+
+    /// A 1-cluster *tiled* system behind a pass-through L2 must match
+    /// the equivalent tiled cluster kernel cycle-for-cycle, DMA and
+    /// overlap metrics included.
+    #[test]
+    fn one_cluster_tiled_system_matches_tiled_cluster(
+        ny in 2u32..5,
+        nz in 2u32..5,
+        harts in 1u32..4,
+        cap_kib in 6u32..10,
+    ) {
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, ny, nz),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        let cap = cap_kib << 10;
+        let (Ok(tiled_cluster), Ok(tiled_system)) =
+            (gen.build_tiled(harts, cap), gen.build_system_tiled(1, harts, cap))
+        else {
+            // Too small a cap is a clean rejection on both paths.
+            prop_assert!(gen.build_tiled(harts, cap).is_err());
+            prop_assert!(gen.build_system_tiled(1, harts, cap).is_err());
+            return Ok(());
+        };
+        let cfg = CoreConfig::new();
+        let dram_cfg = DramConfig::new().with_latency(32);
+        let cluster_run = tiled_cluster
+            .run(cfg, dram_cfg, MAX_CYCLES)
+            .map_err(|e| TestCaseError::fail(format!("tiled cluster: {e}")))?;
+        let system_run = tiled_system
+            .run(cfg, L2Config::passthrough(dram_cfg), dram_cfg, MAX_CYCLES)
+            .map_err(|e| TestCaseError::fail(format!("tiled system: {e}")))?;
+
+        prop_assert_eq!(system_run.summary.cycles, cluster_run.summary.cycles);
+        let sys_cluster = &system_run.summary.per_cluster[0];
+        prop_assert_eq!(&sys_cluster.dma, &cluster_run.summary.dma);
+        for (a, b) in cluster_run.summary.per_core.iter().zip(&sys_cluster.per_core) {
+            prop_assert_eq!(&a.counters, &b.counters);
+        }
+    }
+
+    /// Multi-cluster runs (unbounded and tiled, cold L2) verify
+    /// bit-exactly against the same golden model the single-cluster
+    /// paths verify against — arbitration order can never change
+    /// results — and repeated runs are cycle-deterministic.
+    #[test]
+    fn multi_cluster_runs_are_bit_identical_and_deterministic(
+        ny in 2u32..4,
+        nz in 2u32..5,
+        clusters in 2u32..4,
+        harts in 1u32..3,
+    ) {
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, ny, nz),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        let cfg = CoreConfig::new();
+
+        // Unbounded: the per-cluster checks inside run() verify each
+        // slab bit-exactly against the shared golden model.
+        let a = gen
+            .build_system(clusters, harts)
+            .run(cfg, MAX_CYCLES)
+            .map_err(|e| TestCaseError::fail(format!("system: {e}")))?;
+        let b = gen
+            .build_system(clusters, harts)
+            .run(cfg, MAX_CYCLES)
+            .map_err(|e| TestCaseError::fail(format!("system rerun: {e}")))?;
+        prop_assert_eq!(a.summary.cycles, b.summary.cycles);
+        prop_assert_eq!(a.summary.aggregate.flops, gen.flops());
+
+        // Tiled through a cold shared L2: run() checks the Dram image
+        // bit-exactly against the same golden model.
+        if let Ok(tiled) = gen.build_system_tiled(clusters, harts, 8 << 10) {
+            let t1 = tiled
+                .run(cfg, L2Config::new(), DramConfig::new(), MAX_CYCLES)
+                .map_err(|e| TestCaseError::fail(format!("tiled system: {e}")))?;
+            let t2 = tiled
+                .run(cfg, L2Config::new(), DramConfig::new(), MAX_CYCLES)
+                .map_err(|e| TestCaseError::fail(format!("tiled rerun: {e}")))?;
+            prop_assert_eq!(t1.summary.cycles, t2.summary.cycles);
+            let l2 = t1.summary.l2.expect("shared memory attached");
+            prop_assert!(l2.accesses > 0);
+        }
+    }
+}

@@ -194,6 +194,34 @@ fn near_minimum_capacities_never_fault_and_respect_the_cap() {
 }
 
 #[test]
+fn oversized_planes_sub_tile_along_y() {
+    // One padded plane of this grid (18 × 18 rows × 8 B ≈ 2.6 KiB,
+    // double-buffered with halos ≈ 26 KiB) cannot be double-buffered in
+    // 16 KiB — the old planner rejected it with a TileError. The 2-D
+    // x/y sub-tiling must instead split the plane into y-strips, move
+    // them with the engine's strided descriptors, and still verify
+    // bit-exactly against the golden model.
+    let grid = Grid3::new(16, 16, 4);
+    for (variant, harts) in [(Variant::ChainingPlus, 1), (Variant::Base, 2)] {
+        let gen = StencilKernel::new(Stencil::box3d1r(), grid, variant).unwrap();
+        let tiled = gen
+            .build_tiled(harts, 16 << 10)
+            .expect("y-splitting makes the plan feasible");
+        assert!(
+            tiled.num_tiles() > grid.nz as usize,
+            "{}: expected y-strips within every plane, got {} tiles",
+            tiled.name(),
+            tiled.num_tiles()
+        );
+        assert!(tiled.tcdm_config().size <= 16 << 10);
+        let cfg = CoreConfig::new().with_chaining(variant.uses_chaining());
+        tiled
+            .run(cfg, dram_cfg(), MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{} x{harts}: {e}", variant));
+    }
+}
+
+#[test]
 fn impossible_capacity_is_rejected() {
     let gen = StencilKernel::new(
         Stencil::box3d1r(),

@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 mod dram;
+mod l2;
 mod stats;
 mod tcdm;
 
@@ -33,5 +34,6 @@ mod tcdm;
 mod proptests;
 
 pub use dram::{Dram, DramConfig};
+pub use l2::{L2Config, L2Request, L2Stats, L2};
 pub use stats::TcdmStats;
 pub use tcdm::{AccessKind, MemError, PortId, Request, Tcdm, TcdmConfig};

@@ -1,0 +1,523 @@
+//! # sc-system — multi-cluster scale-out over a shared L2
+//!
+//! A scaled-out many-cluster system: M [`sc_cluster::Cluster`]s (each N
+//! lock-step cores plus one DMA engine) stepped **cycle by cycle in
+//! lock-step** against a shared, banked [`sc_mem::L2`] with fair
+//! inter-cluster arbitration and a configurable L2↔Dram refill path.
+//! Intra-cluster contention stays where PR 2 put it — each cluster's own
+//! TCDM crossbar — while the new first-order effect, clusters' DMA beats
+//! genuinely contending for the memory level *above* the L1, lives here.
+//!
+//! ## Lock-step protocol
+//!
+//! Every system cycle:
+//!
+//! 1. each unfinished cluster runs its first half-cycle
+//!    ([`sc_cluster::Cluster::begin_step`]): core phases, doorbells, and
+//!    the DMA engine's cycle start — returning the background-memory
+//!    side of the engine's beat, if one is ready;
+//! 2. the shared L2 arbitrates all clusters' beats in **one** pass
+//!    ([`sc_mem::L2::arbitrate`]): at most one beat per bank, rotation
+//!    over clusters, cold lines stalled behind the single refill
+//!    channel;
+//! 3. each cluster finishes its cycle
+//!    ([`sc_cluster::Cluster::finish_step`]) with its L2 outcome — a
+//!    granted beat then contends on the cluster's own TCDM crossbar
+//!    exactly as before, moving data against the shared functional
+//!    store;
+//! 4. the inter-cluster barrier resolves: once every active hart of
+//!    every cluster has written CSR 0x7C6, all of them release in the
+//!    same cycle;
+//! 5. clusters whose cores all halted load their next program *stage*
+//!    (the software tile loop), so per-cluster tile pipelines run
+//!    independently without global synchronisation.
+//!
+//! A 1-cluster system behind a pass-through L2
+//! ([`sc_mem::L2Config::passthrough`]) performs exactly the same
+//! sequence as a stand-alone [`sc_cluster::Cluster`], cycle for cycle —
+//! pinned by this crate's tests and `sc-kernels`' system proptests.
+//!
+//! ```
+//! use sc_isa::{csr, IntReg, ProgramBuilder};
+//! use sc_system::{System, SystemConfig};
+//!
+//! // Every hart stores cluster*16 + hart to its own cluster's TCDM,
+//! // rendezvouses on the inter-cluster barrier, halts.
+//! let program = |cluster: u32, hart: u32| {
+//!     let mut b = ProgramBuilder::new();
+//!     b.li(IntReg::new(10), (cluster * 16 + hart) as i32);
+//!     b.slli(IntReg::new(11), IntReg::new(10), 2);
+//!     b.sw(IntReg::new(10), IntReg::new(11), 0x100);
+//!     b.csrrwi(IntReg::ZERO, csr::SYSTEM_BARRIER, 0);
+//!     b.ecall();
+//!     b.build().unwrap()
+//! };
+//! let cfg = SystemConfig::new(2, 2);
+//! let stages = (0..2)
+//!     .map(|c| vec![(0..2).map(|h| program(c, h)).collect()])
+//!     .collect();
+//! let mut system = System::new(cfg, stages);
+//! let summary = system.run(10_000)?;
+//! assert_eq!(summary.system_barriers, 1);
+//! for c in 0..2u32 {
+//!     for h in 0..2u32 {
+//!         let addr = 0x100 + (c * 16 + h) * 4;
+//!         assert_eq!(system.cluster(c as usize).tcdm().read_u32(addr)?, c * 16 + h);
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use sc_cluster::{Cluster, ClusterConfig, ClusterError, ClusterSummary};
+use sc_core::PerfCounters;
+use sc_isa::Program;
+use sc_mem::{Dram, L2Config, L2Request, L2Stats, L2};
+
+/// System geometry: how many clusters, their shared per-cluster shape,
+/// and the shared memory levels above them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Number of clusters stepped in lock-step.
+    pub num_clusters: u32,
+    /// Per-cluster configuration (cores, TCDM geometry).
+    pub cluster: ClusterConfig,
+    /// The shared L2 every cluster's DMA engine moves against.
+    pub l2: L2Config,
+}
+
+impl SystemConfig {
+    /// A system of `num_clusters` default-configured clusters of
+    /// `cores_per_cluster` cores each, over the default L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(num_clusters: u32, cores_per_cluster: u32) -> Self {
+        assert!(num_clusters >= 1, "a system has at least one cluster");
+        SystemConfig {
+            num_clusters,
+            cluster: ClusterConfig::new(cores_per_cluster),
+            l2: L2Config::new(),
+        }
+    }
+
+    /// Replaces the per-cluster configuration.
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Replaces the L2 configuration.
+    #[must_use]
+    pub fn with_l2(mut self, l2: L2Config) -> Self {
+        self.l2 = l2;
+        self
+    }
+}
+
+/// Any failure during system simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// A cluster's simulation failed.
+    Cluster {
+        /// The faulting cluster.
+        cluster: u32,
+        /// The underlying error.
+        source: ClusterError,
+    },
+    /// The cycle budget ran out before every cluster finished — also
+    /// covers inter-cluster barrier deadlocks.
+    MaxCyclesExceeded {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Cluster { cluster, source } => {
+                write!(f, "cluster {cluster}: {source}")
+            }
+            SystemError::MaxCyclesExceeded { max_cycles } => {
+                write!(
+                    f,
+                    "system exceeded {max_cycles} cycles before all clusters finished"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Cluster { source, .. } => Some(source),
+            SystemError::MaxCyclesExceeded { .. } => None,
+        }
+    }
+}
+
+/// Aggregated result of a completed system run.
+#[derive(Debug, Clone)]
+pub struct SystemSummary {
+    /// System cycles until the *last* cluster finished its last stage.
+    pub cycles: u64,
+    /// Each cluster's own summary (its `cycles` freeze when it
+    /// finishes; DMA/overlap metrics are per-cluster engines).
+    pub per_cluster: Vec<ClusterSummary>,
+    /// Element-wise sum of every core's whole-run counters across all
+    /// clusters, with `cycles` overwritten by the system cycle count.
+    pub aggregate: PerfCounters,
+    /// Cycle at which each cluster finished (halted with no stages
+    /// left).
+    pub cluster_done_at: Vec<u64>,
+    /// Inter-cluster barrier episodes completed by the whole system.
+    pub system_barriers: u64,
+    /// Shared-L2 activity (accesses, conflicts, refills), when a shared
+    /// memory is attached.
+    pub l2: Option<L2Stats>,
+    /// 64-bit beats the L2 refill channel moved from the Dram — the
+    /// expensive end of every cold miss, charged by `sc-energy`.
+    pub l2_refill_beats: u64,
+}
+
+impl SystemSummary {
+    /// Aggregate FPU utilisation: compute-issue cycles of all cores over
+    /// `total cores × system cycles`.
+    #[must_use]
+    pub fn system_utilization(&self) -> f64 {
+        let cores: u64 = self
+            .per_cluster
+            .iter()
+            .map(|c| c.per_core.len() as u64)
+            .sum();
+        let peak = self.cycles.saturating_mul(cores);
+        if peak == 0 {
+            0.0
+        } else {
+            self.aggregate.fpu_issue_cycles as f64 / peak as f64
+        }
+    }
+
+    /// Total flops over system cycles.
+    #[must_use]
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.aggregate.flops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total DMA beats moved by every cluster's engine.
+    #[must_use]
+    pub fn total_dma_beats(&self) -> u64 {
+        self.per_cluster
+            .iter()
+            .filter_map(|c| c.dma.as_ref())
+            .map(|d| d.stats.beats)
+            .sum()
+    }
+}
+
+/// The system: M lock-stepped clusters, optionally fed through a shared
+/// banked L2 from one background memory.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    clusters: Vec<Cluster>,
+    /// Remaining program stages per cluster (the software tile loop):
+    /// when a cluster's cores all halt, its next stage loads and the
+    /// cluster keeps running — clusters advance independently.
+    stages: Vec<VecDeque<Vec<Program>>>,
+    /// The shared memory levels, when attached: the L2 timing filter
+    /// and the single functional store behind it.
+    shared: Option<(L2, Dram)>,
+    cycles: u64,
+    cluster_done_at: Vec<Option<u64>>,
+    system_barriers: u64,
+    // Scratch reused across cycles.
+    l2_reqs: Vec<L2Request>,
+    l2_req_of: Vec<Option<usize>>,
+    stepped: Vec<usize>,
+}
+
+impl System {
+    /// Creates a system running `stages[c]` on cluster `c`: a non-empty
+    /// sequence of program sets (one program per core each), executed
+    /// back to back — the model of each cluster's software tile loop.
+    /// Single-stage clusters just run their one program set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stages.len() == cfg.num_clusters` and every
+    /// cluster has at least one stage of `cfg.cluster.num_cores`
+    /// programs.
+    #[must_use]
+    pub fn new(cfg: SystemConfig, stages: Vec<Vec<Vec<Program>>>) -> Self {
+        assert_eq!(
+            stages.len(),
+            cfg.num_clusters as usize,
+            "one stage list per cluster"
+        );
+        let mut clusters = Vec::with_capacity(stages.len());
+        let mut queues = Vec::with_capacity(stages.len());
+        for (c, cluster_stages) in stages.into_iter().enumerate() {
+            let mut q: VecDeque<Vec<Program>> = cluster_stages.into();
+            let first = q.pop_front().expect("every cluster has at least one stage");
+            let mut cluster = Cluster::new(cfg.cluster, first);
+            cluster.embed_in_system(c as u32, cfg.num_clusters);
+            clusters.push(cluster);
+            queues.push(q);
+        }
+        let n = clusters.len();
+        System {
+            cfg,
+            clusters,
+            stages: queues,
+            shared: None,
+            cycles: 0,
+            cluster_done_at: vec![None; n],
+            system_barriers: 0,
+            l2_reqs: Vec::new(),
+            l2_req_of: vec![None; n],
+            stepped: Vec::new(),
+        }
+    }
+
+    /// Attaches the shared memory: every cluster gets a DMA engine
+    /// moving against `dram` *through* the configured L2 — beats from
+    /// different clusters contend at the L2 banks, and cold lines refill
+    /// over the single L2↔Dram channel. Engines pay the L2's timing
+    /// ([`sc_mem::L2Config::engine_timing`]) per transfer/beat.
+    pub fn attach_dram(&mut self, dram: Dram) {
+        let timing = self.cfg.l2.engine_timing();
+        for cluster in &mut self.clusters {
+            cluster.attach_dma_shared(timing);
+        }
+        self.shared = Some((L2::new(self.cfg.l2, self.cfg.num_clusters), dram));
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// One cluster, by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn cluster(&self, cluster: usize) -> &Cluster {
+        &self.clusters[cluster]
+    }
+
+    /// Mutable cluster access (test setup: pre-load a cluster's TCDM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cluster_mut(&mut self, cluster: usize) -> &mut Cluster {
+        &mut self.clusters[cluster]
+    }
+
+    /// The shared background memory, when attached.
+    #[must_use]
+    pub fn dram(&self) -> Option<&Dram> {
+        self.shared.as_ref().map(|(_, d)| d)
+    }
+
+    /// Mutable shared background-memory access (stage inputs / read
+    /// back results).
+    pub fn dram_mut(&mut self) -> Option<&mut Dram> {
+        self.shared.as_mut().map(|(_, d)| d)
+    }
+
+    /// The shared L2, when attached (stats inspection).
+    #[must_use]
+    pub fn l2(&self) -> Option<&L2> {
+        self.shared.as_ref().map(|(l2, _)| l2)
+    }
+
+    /// System cycles simulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Whether a cluster has halted with no stages left.
+    fn cluster_finished(&self, c: usize) -> bool {
+        self.clusters[c].is_done() && self.stages[c].is_empty()
+    }
+
+    /// Whether every cluster has finished its last stage.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        (0..self.clusters.len()).all(|c| self.cluster_finished(c))
+    }
+
+    /// Executes one lock-step system cycle.
+    ///
+    /// # Errors
+    ///
+    /// The first cluster error, tagged with its cluster index.
+    pub fn step(&mut self) -> Result<(), SystemError> {
+        let tag = |cluster: usize| {
+            move |source| SystemError::Cluster {
+                cluster: cluster as u32,
+                source,
+            }
+        };
+
+        // Clusters that finished their last stage sit the cycle out
+        // entirely (their cycle counters freeze, like halted cores in a
+        // cluster).
+        let mut stepped = std::mem::take(&mut self.stepped);
+        stepped.clear();
+        stepped.extend((0..self.clusters.len()).filter(|&c| !self.cluster_finished(c)));
+        self.stepped = stepped;
+
+        // Half-cycle 1 on every running cluster, collecting the
+        // L2-side beats.
+        self.l2_reqs.clear();
+        self.l2_req_of.fill(None);
+        for i in 0..self.stepped.len() {
+            let c = self.stepped[i];
+            if let Some((addr, kind)) = self.clusters[c].begin_step().map_err(tag(c))? {
+                self.l2_req_of[c] = Some(self.l2_reqs.len());
+                self.l2_reqs.push(L2Request {
+                    cluster: c as u32,
+                    addr,
+                    kind,
+                });
+            }
+        }
+
+        // One shared-L2 arbitration pass over all clusters' beats. With
+        // no shared memory attached, beats can only come from privately
+        // attached engines (Cluster::attach_dma via cluster_mut): those
+        // move against their own Dram with nothing shared to arbitrate,
+        // so every beat proceeds (the empty grant vector below reads as
+        // all-granted).
+        let grants = match self.shared.as_mut() {
+            Some((l2, _)) => {
+                l2.begin_cycle();
+                l2.arbitrate(&self.l2_reqs)
+            }
+            None => Vec::new(),
+        };
+
+        // Half-cycle 2: each cluster resumes with its L2 outcome; a
+        // granted beat then contends on the cluster's own TCDM crossbar
+        // and moves data against the shared store.
+        for i in 0..self.stepped.len() {
+            let c = self.stepped[i];
+            let grant = match self.l2_req_of[c] {
+                Some(r) => grants.get(r).copied().unwrap_or(true),
+                None => true,
+            };
+            let dram = self.shared.as_mut().map(|(_, d)| d);
+            self.clusters[c].finish_step(grant, dram).map_err(tag(c))?;
+        }
+        if let Some((l2, _)) = self.shared.as_mut() {
+            l2.end_cycle();
+        }
+        self.cycles += 1;
+
+        // Stage advance + completion bookkeeping — BEFORE the barrier
+        // census: a cluster whose cores just halted with another stage
+        // queued still has work, so reloading it first makes its harts
+        // count as active in the rendezvous below. (Counting them as
+        // halted would release a sibling's barrier without them.)
+        for i in 0..self.stepped.len() {
+            let c = self.stepped[i];
+            if self.clusters[c].is_done() {
+                if let Some(next) = self.stages[c].pop_front() {
+                    self.clusters[c].load_programs(next);
+                } else if self.cluster_done_at[c].is_none() {
+                    self.cluster_done_at[c] = Some(self.cycles);
+                }
+            }
+        }
+
+        // Inter-cluster barrier rendezvous: release once every active
+        // hart of every cluster has arrived.
+        let (waiting, active) = self
+            .clusters
+            .iter()
+            .map(Cluster::system_barrier_census)
+            .fold((0, 0), |(w, a), (cw, ca)| (w + cw, a + ca));
+        if waiting > 0 && waiting == active {
+            for cluster in &mut self.clusters {
+                cluster.release_system_barrier();
+            }
+            self.system_barriers += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs until every cluster finishes its last stage, or the cycle
+    /// budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Cluster errors (tagged) or budget exhaustion — the latter also
+    /// covers inter-cluster barrier deadlocks.
+    pub fn run(&mut self, max_cycles: u64) -> Result<SystemSummary, SystemError> {
+        while !self.is_done() {
+            if self.cycles >= max_cycles {
+                return Err(SystemError::MaxCyclesExceeded { max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.summary())
+    }
+
+    /// The system summary as of now (meaningful once [`System::is_done`]).
+    #[must_use]
+    pub fn summary(&self) -> SystemSummary {
+        let per_cluster: Vec<ClusterSummary> = self.clusters.iter().map(Cluster::summary).collect();
+        let mut aggregate = PerfCounters::new();
+        for cs in &per_cluster {
+            for core in &cs.per_core {
+                aggregate.accumulate(&core.counters);
+            }
+        }
+        aggregate.cycles = self.cycles;
+        let l2 = self.shared.as_ref().map(|(l2, _)| l2.stats().clone());
+        let l2_refill_beats = self
+            .shared
+            .as_ref()
+            .map_or(0, |(l2, _)| l2.stats().refill_beats(l2.config()));
+        SystemSummary {
+            cycles: self.cycles,
+            per_cluster,
+            aggregate,
+            cluster_done_at: self
+                .cluster_done_at
+                .iter()
+                .map(|d| d.unwrap_or(self.cycles))
+                .collect(),
+            system_barriers: self.system_barriers,
+            l2,
+            l2_refill_beats,
+        }
+    }
+}

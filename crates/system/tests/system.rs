@@ -1,0 +1,264 @@
+//! System correctness pins:
+//!
+//! * a 1-cluster system behind a **pass-through L2** must match a
+//!   stand-alone `Cluster` cycle-for-cycle (and counter-for-counter),
+//!   DMA traffic included,
+//! * multi-cluster DMA traffic genuinely contends at the shared L2
+//!   (conflicts appear when banks shrink, refills serialise),
+//! * the inter-cluster barrier rendezvouses every hart of every
+//!   cluster, and deadlocks surface as budget errors.
+
+use sc_cluster::{Cluster, ClusterConfig};
+use sc_core::CoreConfig;
+use sc_isa::{csr, IntReg, Program, ProgramBuilder};
+use sc_mem::{Dram, DramConfig, L2Config};
+use sc_system::{System, SystemConfig, SystemError};
+
+/// A program that rings the DMA doorbell for a `bytes`-byte fetch from
+/// `dram_addr` to `tcdm_addr`, polls the completion counter, then halts.
+fn dma_fetch_program(dram_addr: u32, tcdm_addr: u32, bytes: u32, wait_count: u32) -> Program {
+    let t = IntReg::new(5);
+    let cnt = IntReg::new(6);
+    let tgt = IntReg::new(7);
+    let mut b = ProgramBuilder::new();
+    for (addr, value) in [
+        (csr::DMA_SRC, dram_addr),
+        (csr::DMA_DST, tcdm_addr),
+        (csr::DMA_LEN, bytes),
+        (csr::DMA_SRC_STRIDE, bytes),
+        (csr::DMA_DST_STRIDE, bytes),
+        (csr::DMA_REPS, 1),
+    ] {
+        b.li(t, value as i32);
+        b.csrrw(IntReg::ZERO, addr, t);
+    }
+    b.csrrwi(IntReg::ZERO, csr::DMA_START, 1);
+    b.li(tgt, wait_count as i32);
+    b.label("wait");
+    b.csrrs(cnt, csr::DMA_COMPLETED, IntReg::ZERO);
+    b.blt(cnt, tgt, "wait");
+    b.ecall();
+    b.build().unwrap()
+}
+
+fn idle_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.ecall();
+    b.build().unwrap()
+}
+
+#[test]
+fn one_cluster_passthrough_system_is_cycle_identical_to_cluster() {
+    // The tentpole invariant: System{clusters: 1} over a pass-through
+    // L2 performs exactly the same cycle sequence as PR 2's Cluster
+    // with a private Dram — DMA latency, beat timing and TCDM
+    // arbitration included.
+    let dram_cfg = DramConfig::new().with_latency(16);
+    let programs = vec![dma_fetch_program(0x1000, 0x200, 64, 1), idle_program()];
+
+    let stage = |dram: &mut Dram| {
+        for i in 0..8u32 {
+            dram.write_u64(0x1000 + 8 * i, u64::from(i) * 5 + 1)
+                .unwrap();
+        }
+    };
+
+    let ccfg = ClusterConfig::new(2).with_core(CoreConfig::new());
+    let mut cluster = Cluster::new(ccfg, programs.clone());
+    let mut dram = Dram::new(dram_cfg);
+    stage(&mut dram);
+    cluster.attach_dma(dram);
+    let cluster_summary = cluster.run(100_000).unwrap();
+
+    let scfg = SystemConfig::new(1, 2).with_l2(L2Config::passthrough(dram_cfg));
+    let mut system = System::new(scfg, vec![vec![programs]]);
+    let mut dram = Dram::new(dram_cfg);
+    stage(&mut dram);
+    system.attach_dram(dram);
+    let system_summary = system.run(100_000).unwrap();
+
+    assert_eq!(
+        cluster_summary.cycles, system_summary.cycles,
+        "pass-through system must be cycle-identical to the cluster"
+    );
+    let sys_cluster = &system_summary.per_cluster[0];
+    for (a, b) in cluster_summary.per_core.iter().zip(&sys_cluster.per_core) {
+        assert_eq!(a.counters, b.counters);
+    }
+    assert_eq!(cluster_summary.dma, sys_cluster.dma);
+    assert_eq!(cluster_summary.core_conflicts, sys_cluster.core_conflicts);
+    for i in 0..8u32 {
+        assert_eq!(
+            system.cluster(0).tcdm().read_u64(0x200 + 8 * i).unwrap(),
+            u64::from(i) * 5 + 1
+        );
+        assert_eq!(
+            cluster.tcdm().read_u64(0x200 + 8 * i).unwrap(),
+            u64::from(i) * 5 + 1
+        );
+    }
+    let l2 = system_summary.l2.unwrap();
+    assert_eq!(l2.accesses, 8, "one L2 access per beat");
+    assert_eq!(l2.conflicts, 0, "a lone cluster never conflicts");
+    assert_eq!(l2.refills, 0, "pass-through never refills");
+}
+
+#[test]
+fn clusters_contend_at_the_shared_l2() {
+    // Two clusters streaming simultaneously from the same L2 must slow
+    // each other down when the L2 narrows to one bank, and an L2 wide
+    // enough must let them overlap.
+    let run = |banks: u32| {
+        let l2 = L2Config::new()
+            .with_refill(false)
+            .with_banks(banks)
+            .with_latency(0);
+        let scfg = SystemConfig::new(2, 1).with_l2(l2);
+        let stages = (0..2u32)
+            .map(|c| vec![vec![dma_fetch_program(0x1000 + c * 0x800, 0x200, 512, 1)]])
+            .collect();
+        let mut system = System::new(scfg, stages);
+        let mut dram = Dram::new(DramConfig::new());
+        for i in 0..256u32 {
+            dram.write_u64(0x1000 + 8 * i, u64::from(i)).unwrap();
+        }
+        system.attach_dram(dram);
+        let summary = system.run(100_000).unwrap();
+        (summary.cycles, summary.l2.unwrap())
+    };
+    let (wide_cycles, wide_l2) = run(8);
+    let (narrow_cycles, narrow_l2) = run(1);
+    assert!(
+        narrow_l2.conflicts > wide_l2.conflicts,
+        "one bank must conflict more: {} vs {}",
+        narrow_l2.conflicts,
+        wide_l2.conflicts
+    );
+    assert!(
+        narrow_cycles > wide_cycles,
+        "conflicts must cost cycles: {narrow_cycles} vs {wide_cycles}"
+    );
+    // Fair arbitration: both clusters moved all 64 of their beats.
+    assert_eq!(narrow_l2.accesses_by_cluster, vec![64, 64]);
+}
+
+#[test]
+fn cold_l2_refills_charge_and_warm_reruns_speed_up() {
+    let l2 = L2Config::new().with_line_bytes(256);
+    let scfg = SystemConfig::new(1, 1).with_l2(l2);
+    // Two identical fetch stages: the first is cold, the second hits
+    // warm lines.
+    let prog = |wait| vec![dma_fetch_program(0x1000, 0x200, 256, wait)];
+    let mut system = System::new(scfg, vec![vec![prog(1), prog(2)]]);
+    let mut dram = Dram::new(DramConfig::new());
+    dram.write_u64(0x1000, 77).unwrap();
+    system.attach_dram(dram);
+    let summary = system.run(1_000_000).unwrap();
+    let l2 = summary.l2.unwrap();
+    assert_eq!(l2.refills, 1, "256 B fetch twice = one cold line");
+    assert_eq!(summary.l2_refill_beats, 32);
+    assert!(l2.refill_stalls > 0);
+    assert_eq!(system.cluster(0).tcdm().read_u64(0x200).unwrap(), 77);
+}
+
+#[test]
+fn system_barrier_rendezvous_and_deadlock() {
+    let waiter = {
+        let mut b = ProgramBuilder::new();
+        b.csrrwi(IntReg::ZERO, csr::SYSTEM_BARRIER, 0);
+        b.ecall();
+        b.build().unwrap()
+    };
+    // A hart that halts without arriving leaves the rendezvous (same
+    // convention as the cluster barrier): the remaining harts release.
+    let scfg = SystemConfig::new(2, 1);
+    let mut system = System::new(
+        scfg,
+        vec![vec![vec![waiter.clone()]], vec![vec![idle_program()]]],
+    );
+    let summary = system.run(1_000).unwrap();
+    assert_eq!(summary.system_barriers, 1);
+
+    // A hart that never arrives but keeps *running* deadlocks the
+    // rendezvous, surfacing as a budget error rather than a hang.
+    let spinner = {
+        let mut b = ProgramBuilder::new();
+        b.label("spin");
+        b.j("spin");
+        b.build().unwrap()
+    };
+    let mut system = System::new(
+        SystemConfig::new(2, 1),
+        vec![vec![vec![waiter]], vec![vec![spinner]]],
+    );
+    let err = system.run(1_000).unwrap_err();
+    assert!(matches!(err, SystemError::MaxCyclesExceeded { .. }));
+}
+
+#[test]
+fn barrier_waits_for_a_cluster_between_stages() {
+    // Regression: the rendezvous census once ran before the stage
+    // advance, so a cluster that had just halted stage N with stage N+1
+    // queued counted as inactive — a sibling's barrier released without
+    // it (and each hart's solo "rendezvous" double-counted episodes).
+    // Cluster 0 arrives at the barrier immediately; cluster 1 burns a
+    // stage of busy-work first and only reaches its barrier in stage 2.
+    let barrier_then_halt = {
+        let mut b = ProgramBuilder::new();
+        b.csrrwi(IntReg::ZERO, csr::SYSTEM_BARRIER, 0);
+        b.ecall();
+        b.build().unwrap()
+    };
+    let busy_work = {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (IntReg::new(10), IntReg::new(11));
+        b.li(i, 0);
+        b.li(n, 50);
+        b.label("loop");
+        b.addi(i, i, 1);
+        b.bne(i, n, "loop");
+        b.ecall();
+        b.build().unwrap()
+    };
+    let stages = vec![
+        vec![vec![barrier_then_halt.clone()]],
+        vec![vec![busy_work], vec![barrier_then_halt]],
+    ];
+    let mut system = System::new(SystemConfig::new(2, 1), stages);
+    let summary = system.run(10_000).unwrap();
+    assert_eq!(
+        summary.system_barriers, 1,
+        "one genuine rendezvous, not two solo releases"
+    );
+    for cluster in &summary.per_cluster {
+        assert_eq!(
+            cluster.system_barriers, 1,
+            "each cluster's hart completed exactly one episode"
+        );
+    }
+    // Cluster 0 must have waited for cluster 1's busy stage to finish.
+    assert!(
+        summary.cluster_done_at[0] > 50,
+        "cluster 0 released too early, at cycle {}",
+        summary.cluster_done_at[0]
+    );
+}
+
+#[test]
+fn stages_advance_independently_per_cluster() {
+    // Cluster 0 runs three stages, cluster 1 one stage: no global sync
+    // between stages, and the system ends when the laggard finishes.
+    let scfg = SystemConfig::new(2, 1);
+    let stages = vec![
+        vec![
+            vec![idle_program()],
+            vec![idle_program()],
+            vec![idle_program()],
+        ],
+        vec![vec![idle_program()]],
+    ];
+    let mut system = System::new(scfg, stages);
+    let summary = system.run(1_000).unwrap();
+    assert!(summary.cluster_done_at[0] >= summary.cluster_done_at[1]);
+    assert_eq!(summary.system_barriers, 0);
+}

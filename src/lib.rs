@@ -18,6 +18,7 @@
 //! | [`ssr`] | `sc-ssr` | stream semantic registers (4-D affine movers) |
 //! | [`core_model`] | `sc-core` | the steppable core + single-core simulator |
 //! | [`cluster`] | `sc-cluster` | N-core lock-step cluster over a shared TCDM |
+//! | [`system`] | `sc-system` | M-cluster lock-step system over a shared banked L2 |
 //! | [`energy`] | `sc-energy` | energy/power/area models, core and cluster |
 //! | [`kernels`] | `sc-kernels` | vecop + stencil workloads, five variants, cluster tiling |
 //! | [`benchkit`] | `sc-bench` | figure-regeneration + cluster-scaling harness |
@@ -50,6 +51,7 @@ pub use sc_isa as isa;
 pub use sc_kernels as kernels;
 pub use sc_mem as mem;
 pub use sc_ssr as ssr;
+pub use sc_system as system;
 
 /// The most commonly used types, importable with one line.
 pub mod prelude {
@@ -64,9 +66,10 @@ pub mod prelude {
     pub use sc_isa::{csr, FpReg, Instruction, IntReg, Program, ProgramBuilder};
     pub use sc_kernels::{
         ClusterKernel, ClusterKernelRun, Grid3, Kernel, KernelError, KernelRun, Stencil,
-        StencilKernel, TileError, TiledClusterKernel, TiledRun, Variant, VecOpKernel, VecOpVariant,
-        TCDM_CAP_BYTES,
+        StencilKernel, SystemKernel, SystemKernelRun, TileError, TiledClusterKernel, TiledRun,
+        TiledSystemKernel, TiledSystemRun, Variant, VecOpKernel, VecOpVariant, TCDM_CAP_BYTES,
     };
-    pub use sc_mem::{Dram, DramConfig, Tcdm, TcdmConfig};
+    pub use sc_mem::{Dram, DramConfig, L2Config, L2Stats, Tcdm, TcdmConfig, L2};
     pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};
+    pub use sc_system::{System, SystemConfig, SystemError, SystemSummary};
 }
