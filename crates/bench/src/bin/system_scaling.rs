@@ -30,7 +30,7 @@ use sc_bench::{json, parallel_sweep, Json};
 use sc_core::CoreConfig;
 use sc_energy::{ClusterEnergyReport, EnergyModel};
 use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, TCDM_CAP_BYTES};
-use sc_mem::{DramConfig, L2Config, L2Stats};
+use sc_mem::{DramConfig, L2Config};
 use sc_system::SystemSummary;
 
 const CLUSTERS: [u32; 3] = [1, 2, 4];
@@ -93,6 +93,7 @@ fn run_point(clusters: u32, cores: u32, chaining: bool, tiled: bool, grid: Grid3
         summary.cycles,
         summary.total_dma_beats(),
         summary.l2_refill_beats,
+        summary.l2_writeback_beats,
     );
     Point {
         clusters,
@@ -104,17 +105,6 @@ fn run_point(clusters: u32, cores: u32, chaining: bool, tiled: bool, grid: Grid3
         summary,
         energy,
     }
-}
-
-fn l2_json(l2: &L2Stats, refill_beats: u64) -> Json {
-    Json::obj()
-        .set("accesses", l2.accesses)
-        .set("conflicts", l2.conflicts)
-        .set("refills", l2.refills)
-        .set("refill_stalls", l2.refill_stalls)
-        .set("refill_beats", refill_beats)
-        .set("accesses_by_cluster", l2.accesses_by_cluster.clone())
-        .set("conflicts_by_cluster", l2.conflicts_by_cluster.clone())
 }
 
 fn point_json(p: &Point) -> Json {
@@ -144,7 +134,10 @@ fn point_json(p: &Point) -> Json {
         .set("gflops_per_w", p.energy.gflops_per_w)
         .set("dma_pj", p.energy.dma_pj);
     if let Some(l2) = &s.l2 {
-        j = j.set("l2", l2_json(l2, s.l2_refill_beats));
+        j = j.set(
+            "l2",
+            json::l2_stats_json(l2, s.l2_refill_beats, s.l2_writeback_beats),
+        );
     }
     if p.tiled {
         let dma_beats = s.total_dma_beats();
@@ -284,7 +277,7 @@ fn main() {
             .summary
             .l2
             .as_ref()
-            .map_or((0, 0), |l2| (l2.conflicts, l2.refills));
+            .map_or((0, 0), |l2| (l2.conflicts, l2.refills()));
         println!(
             "{:>9} {:>6} {:>10} {:>10} {:>10} {:>8.2}x {:>7.1}% {:>9} {:>11} {:>8}",
             p.clusters,

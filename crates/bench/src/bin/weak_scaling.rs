@@ -1,0 +1,262 @@
+//! Weak-scaling sweep: the grid grows with the cluster count.
+//!
+//! Where `system_scaling` holds the problem fixed (strong scaling), this
+//! sweep gives every cluster the same per-cluster z-slab — 1/2/4
+//! clusters on 8/16/32 planes — so ideal scaling is *constant* cycles
+//! and the reported *efficiency* `cycles(1 cluster) / cycles(m)` is 1.0
+//! when nothing shared saturates. Three memory regimes:
+//!
+//! * **unbounded** — per-cluster TCDMs hold everything, no shared level:
+//!   the compute-only reference, efficiency ≈ 1;
+//! * **tiled, 1 refill channel** — the PR 3 memory wall: every cluster's
+//!   compulsory misses serialise on one L2↔Dram channel, so efficiency
+//!   falls as clusters are added;
+//! * **tiled, 4 refill channels** — the finite L2's multi-channel
+//!   refill: miss traffic parallelises across channels and the
+//!   efficiency the single channel lost comes back.
+//!
+//! The validator asserts every efficiency lies in (0, 1.1] and the
+//! multi-channel tiled regime meets an efficiency **floor** at the
+//! widest point. `efficiency_*` ratios are pinned by the CI perf gate
+//! against `baselines/weak_scaling.json`.
+//!
+//! Run with `cargo run --release -p sc-bench --bin weak_scaling`.
+
+use sc_bench::{json, parallel_sweep, Json};
+use sc_core::CoreConfig;
+use sc_energy::EnergyModel;
+use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, TCDM_CAP_BYTES};
+use sc_mem::{DramConfig, L2Config};
+use sc_system::SystemSummary;
+
+const CLUSTERS: [u32; 3] = [1, 2, 4];
+const CORES: u32 = 4;
+const PLANES_PER_CLUSTER: u32 = 8;
+const MAX_CYCLES: u64 = 500_000_000;
+
+/// The asserted weak-scaling efficiency floor for the tiled multi-channel
+/// regime at the widest cluster count.
+const EFFICIENCY_FLOOR: f64 = 0.5;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    Unbounded,
+    Tiled { channels: u32 },
+}
+
+impl Regime {
+    fn label(self) -> String {
+        match self {
+            Regime::Unbounded => "unbounded".into(),
+            Regime::Tiled { channels } => format!("tiled_ch{channels}"),
+        }
+    }
+}
+
+struct Point {
+    clusters: u32,
+    chaining: bool,
+    regime: Regime,
+    summary: SystemSummary,
+}
+
+impl Point {
+    fn id(&self) -> String {
+        format!(
+            "{}/m{}/{}",
+            self.regime.label(),
+            self.clusters,
+            if self.chaining { "chaining" } else { "base" }
+        )
+    }
+}
+
+fn run_point(clusters: u32, chaining: bool, regime: Regime) -> Point {
+    let grid = Grid3::new(16, 16, PLANES_PER_CLUSTER * clusters);
+    let variant = if chaining {
+        Variant::ChainingPlus
+    } else {
+        Variant::Base
+    };
+    let cfg = CoreConfig::new().with_chaining(chaining);
+    let gen = StencilKernel::new(Stencil::box3d1r(), grid, variant).expect("valid combination");
+    let summary = match regime {
+        Regime::Unbounded => {
+            let sk = gen.build_system(clusters, CORES);
+            sk.run(cfg, MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{}: {e}", sk.name()))
+                .summary
+        }
+        Regime::Tiled { channels } => {
+            let tk = gen
+                .build_system_tiled(clusters, CORES, TCDM_CAP_BYTES)
+                .expect("slabs tile within 128 KiB");
+            let l2 = L2Config::new()
+                .with_refill_channels(channels)
+                .with_refill_latency(64)
+                .with_refill_cycles_per_beat(1);
+            tk.run(cfg, l2, DramConfig::new(), MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{}: {e}", tk.name()))
+                .summary
+        }
+    };
+    Point {
+        clusters,
+        chaining,
+        regime,
+        summary,
+    }
+}
+
+/// Weak-scaling efficiency of `p` against the 1-cluster run of the same
+/// regime/variant: 1.0 = perfect (constant cycles as the grid grows).
+fn efficiency(points: &[Point], p: &Point) -> f64 {
+    let base = points
+        .iter()
+        .find(|q| q.clusters == 1 && q.chaining == p.chaining && q.regime == p.regime)
+        .expect("1-cluster reference point");
+    base.summary.cycles as f64 / p.summary.cycles as f64
+}
+
+fn validate(points: &[Point]) {
+    for p in points {
+        let eff = efficiency(points, p);
+        assert!(
+            0.0 < eff && eff <= 1.1,
+            "{}: weak-scaling efficiency {eff:.3} outside (0, 1.1]",
+            p.id()
+        );
+    }
+    // The acceptance floor: with parallel refill channels, the widest
+    // tiled point keeps at least EFFICIENCY_FLOOR of the 1-cluster
+    // throughput per cluster.
+    let widest = *CLUSTERS.last().expect("cluster list is non-empty");
+    let best = points
+        .iter()
+        .filter(|p| {
+            p.clusters == widest && matches!(p.regime, Regime::Tiled { channels } if channels > 1)
+        })
+        .map(|p| efficiency(points, p))
+        .fold(0.0f64, f64::max);
+    assert!(
+        best > EFFICIENCY_FLOOR,
+        "multi-channel tiled weak scaling peaked at {best:.2} — below the {EFFICIENCY_FLOOR} floor"
+    );
+}
+
+fn point_json(points: &[Point], p: &Point) -> Json {
+    let s = &p.summary;
+    let mut j = Json::obj()
+        .set("id", p.id())
+        .set("clusters", p.clusters)
+        .set("cores", CORES)
+        .set("chaining", p.chaining)
+        .set("regime", p.regime.label())
+        .set("cycles_to_last_core_done", s.cycles)
+        .set("efficiency", efficiency(points, p))
+        .set("tcdm_conflicts", s.aggregate.tcdm_conflicts)
+        .set("flops", s.aggregate.flops)
+        .set("system_utilization", s.system_utilization());
+    if let Some(l2) = &s.l2 {
+        j = j.set(
+            "l2",
+            json::l2_stats_json(l2, s.l2_refill_beats, s.l2_writeback_beats),
+        );
+    }
+    j
+}
+
+fn main() {
+    println!(
+        "=== Weak scaling — box3d1r 16x16x{PLANES_PER_CLUSTER}z per cluster, {CORES} cores each ===",
+    );
+    println!("=== 1/2/4 clusters, unbounded vs 128K tiled with 1 or 4 refill channels ===\n");
+
+    let configs: Vec<(u32, bool, Regime)> = CLUSTERS
+        .iter()
+        .flat_map(|&m| {
+            [true, false].into_iter().flat_map(move |chaining| {
+                [
+                    Regime::Unbounded,
+                    Regime::Tiled { channels: 1 },
+                    Regime::Tiled { channels: 4 },
+                ]
+                .map(|regime| (m, chaining, regime))
+            })
+        })
+        .collect();
+    let (results, timing) = parallel_sweep(configs, |(m, chaining, regime)| {
+        run_point(m, chaining, regime)
+    });
+    validate(&results);
+
+    println!(
+        "{:>9} {:>10} {:>11} {:>11} {:>11} {:>9} {:>9}",
+        "clusters", "variant", "regime", "cycles", "efficiency", "refills", "mw"
+    );
+    for p in &results {
+        let (refills, power) = (p.summary.l2.as_ref().map_or(0, |l2| l2.refills()), {
+            let per_core: Vec<_> = p
+                .summary
+                .per_cluster
+                .iter()
+                .flat_map(|c| c.per_core.iter().map(|r| r.counters))
+                .collect();
+            EnergyModel::new()
+                .system_report(
+                    &per_core,
+                    p.summary.cycles,
+                    p.summary.total_dma_beats(),
+                    p.summary.l2_refill_beats,
+                    p.summary.l2_writeback_beats,
+                )
+                .power_mw
+        });
+        println!(
+            "{:>9} {:>10} {:>11} {:>11} {:>10.1}% {:>9} {:>9.1}",
+            p.clusters,
+            if p.chaining { "Chaining+" } else { "Base" },
+            p.regime.label(),
+            p.summary.cycles,
+            efficiency(&results, p) * 100.0,
+            refills,
+            power,
+        );
+    }
+    println!("\n{}", timing.report(results.len()));
+
+    let mut report = Json::obj()
+        .set("sweep", "weak_scaling")
+        .set("stencil", "box3d1r")
+        .set("planes_per_cluster", PLANES_PER_CLUSTER)
+        .set("cores_per_cluster", CORES)
+        .set("tcdm_cap_bytes", u64::from(TCDM_CAP_BYTES))
+        .set("wall_seconds", timing.wall.as_secs_f64());
+    // Per-config weak-scaling efficiencies at the multi-cluster points —
+    // pinned by the perf gate (efficiency_* keys).
+    for p in &results {
+        if p.clusters > 1 {
+            let key = format!(
+                "efficiency_m{}_{}_{}",
+                p.clusters,
+                p.regime.label(),
+                if p.chaining { "chaining" } else { "base" }
+            );
+            report = report.set(&key, efficiency(&results, p));
+        }
+    }
+    report = report.set(
+        "points",
+        Json::Arr(results.iter().map(|p| point_json(&results, p)).collect()),
+    );
+    match json::write_report("weak_scaling.json", &report) {
+        Ok(path) => println!("json report: {}", path.display()),
+        Err(e) => eprintln!("could not write json report: {e}"),
+    }
+
+    println!();
+    println!("Perfect weak scaling is flat cycles: each cluster brings its own");
+    println!("cores, TCDM and DMA engine, so the only thing that can bend the");
+    println!("curve is the shared L2 — and the single refill channel does,");
+    println!("until parallel channels (or warm lines) restore the efficiency.");
+}

@@ -41,10 +41,26 @@ pub const CONFLICTS_ABS_TOL: f64 = 50.0;
 pub const SPEEDUP_REL_TOL: f64 = 0.05;
 
 /// The point-level metrics a generated baseline pins, with their
-/// (relative, absolute) tolerances.
-const POINT_METRICS: [(&str, f64, f64); 2] = [
+/// (relative, absolute) tolerances. The flat `l2_*` keys are emitted by
+/// the L2 sweeps (`l2_ablation`), so capacity-pressure traffic —
+/// evictions and write-back beats — is pinned alongside cycles.
+const POINT_METRICS: [(&str, f64, f64); 4] = [
     ("cycles_to_last_core_done", CYCLES_REL_TOL, 0.0),
     ("tcdm_conflicts", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
+    ("l2_evictions", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
+    ("l2_writeback_beats", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
+];
+
+/// The cache-stats metrics every `"l2"` stats object must carry since
+/// the L2 became a finite cache. A sweep whose points still serialize
+/// the pre-cache stats shape is stale instrumentation: `perf_gate
+/// check`/`baseline` refuse it instead of silently gating less.
+const L2_CACHE_METRICS: [&str; 5] = [
+    "hits",
+    "misses",
+    "evictions",
+    "writeback_beats",
+    "mshr_merges",
 ];
 
 /// Outcome of a gate run.
@@ -93,6 +109,20 @@ pub fn check_wellformed(report: &Json) -> Result<(), String> {
             };
             if !fields.iter().any(|(_, v)| v.as_f64().is_some()) {
                 return Err(format!("points[{i}] has no numeric metric"));
+            }
+            // A point carrying L2 stats must carry the *cache* stats
+            // (hits/misses/evictions/write-backs/MSHR merges): their
+            // absence means the sweep predates the finite-L2 model and
+            // would gate blindly over capacity effects.
+            if let Some(l2) = p.get("l2") {
+                for key in L2_CACHE_METRICS {
+                    if l2.get(key).and_then(Json::as_f64).is_none() {
+                        return Err(format!(
+                            "points[{i}] has l2 stats without the cache metric `{key}` \
+                             (stale pre-finite-L2 instrumentation?)"
+                        ));
+                    }
+                }
             }
             // Physically impossible metrics are malformed, not merely
             // drifted: a compute–transfer overlap fraction above 1
@@ -241,7 +271,7 @@ pub fn baseline_from_report(report_name: &str, report: &Json) -> Result<Json, St
     }
     if let Json::Obj(entries) = report {
         for (key, value) in entries {
-            if key.starts_with("speedup_") {
+            if key.starts_with("speedup_") || key.starts_with("efficiency_") {
                 if let Some(v) = value.as_f64() {
                     metrics.push(
                         Json::obj()
@@ -352,6 +382,75 @@ mod tests {
         let pointless = Json::parse(r#"{"points":[{"id":"a","other":1}]}"#).unwrap();
         let err = baseline_from_report("r.json", &pointless).unwrap_err();
         assert!(err.contains("none of the gated metrics"));
+    }
+
+    #[test]
+    fn l2_points_without_cache_stats_are_refused() {
+        // The finite-L2 rule: a point carrying an `l2` object must carry
+        // the cache metrics, or `check` and `baseline` both refuse.
+        let stale = Json::parse(
+            r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
+                "l2":{"accesses":100,"conflicts":3,"refills":7}}]}"#,
+        )
+        .unwrap();
+        let err = check_wellformed(&stale).unwrap_err();
+        assert!(err.contains("cache metric"), "{err}");
+        assert!(baseline_from_report("r.json", &stale).is_err());
+
+        let fresh = Json::parse(
+            r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
+                "l2":{"accesses":100,"conflicts":3,"refills":7,"hits":80,
+                      "misses":20,"evictions":5,"writeback_beats":160,
+                      "mshr_merges":2}}]}"#,
+        )
+        .unwrap();
+        assert!(check_wellformed(&fresh).is_ok());
+        assert!(baseline_from_report("r.json", &fresh).is_ok());
+        // Points without any l2 object (single-cluster sweeps) are
+        // untouched by the rule.
+        assert!(check_wellformed(&fake_report(10)).is_ok());
+    }
+
+    #[test]
+    fn baselines_pin_flat_l2_traffic_and_efficiency_ratios() {
+        let report = Json::parse(
+            r#"{"sweep":"l2_ablation","efficiency_m4":0.82,
+                "points":[{"id":"cap16K/w8","cycles_to_last_core_done":5000,
+                           "l2_evictions":40,"l2_writeback_beats":1280}]}"#,
+        )
+        .unwrap();
+        let baseline = baseline_from_report("l2_ablation.json", &report).unwrap();
+        let pinned: Vec<&str> = baseline
+            .get("metrics")
+            .and_then(Json::items)
+            .unwrap()
+            .iter()
+            .filter_map(|m| m.get("metric").and_then(Json::as_str))
+            .collect();
+        for want in [
+            "cycles_to_last_core_done",
+            "l2_evictions",
+            "l2_writeback_beats",
+            "efficiency_m4",
+        ] {
+            assert!(pinned.contains(&want), "{want} not pinned: {pinned:?}");
+        }
+        // And the pinned eviction count gates drift like any metric.
+        let mut drifted = report.clone();
+        if let Json::Obj(entries) = &mut drifted {
+            if let Some((_, Json::Arr(points))) = entries.iter_mut().find(|(k, _)| k == "points") {
+                if let Json::Obj(fields) = &mut points[0] {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "l2_writeback_beats" {
+                            *v = Json::UInt(2000);
+                        }
+                    }
+                }
+            }
+        }
+        let outcome = diff(&baseline, &drifted).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("l2_writeback_beats"));
     }
 
     #[test]

@@ -9,6 +9,31 @@
 
 use std::fmt::Write as _;
 
+use sc_mem::L2Stats;
+
+/// Serializes shared-L2 statistics the way every system sweep reports
+/// them — bank arbitration plus the cache core's hit/miss/eviction/MSHR
+/// counters. `perf_gate check` refuses reports whose `l2` objects lack
+/// the cache metrics, so sweeps must use (or match) this shape.
+#[must_use]
+pub fn l2_stats_json(l2: &L2Stats, refill_beats: u64, writeback_beats: u64) -> Json {
+    Json::obj()
+        .set("accesses", l2.accesses)
+        .set("conflicts", l2.conflicts)
+        .set("refills", l2.refills())
+        .set("refill_stalls", l2.refill_stalls())
+        .set("refill_beats", refill_beats)
+        .set("hits", l2.cache.read_hits)
+        .set("misses", l2.cache.read_misses)
+        .set("evictions", l2.cache.evictions)
+        .set("writeback_beats", writeback_beats)
+        .set("mshr_merges", l2.cache.mshr_merges)
+        .set("mshr_full_stalls", l2.cache.mshr_full_stalls)
+        .set("mshr_peak", l2.cache.mshr_peak)
+        .set("accesses_by_cluster", l2.accesses_by_cluster.clone())
+        .set("conflicts_by_cluster", l2.conflicts_by_cluster.clone())
+}
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

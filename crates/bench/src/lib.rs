@@ -19,6 +19,8 @@
 //! | `ablation_banks` | TCDM bank-count sensitivity of the Fig. 3 sweep |
 //! | `cluster_scaling` | multi-core scaling: 1/2/4/8 cores × chaining on/off |
 //! | `system_scaling` | multi-cluster scaling: 1/2/4 clusters × 1/4/8 cores over a shared L2 |
+//! | `l2_ablation` | finite-L2 sweep: capacity × ways × refill channels × chaining |
+//! | `weak_scaling` | weak scaling: the grid grows with the cluster count, 1/4 refill channels |
 //!
 //! Sweep binaries fan their config points out over host threads
 //! ([`parallel_sweep`]) and serialize machine-readable results to

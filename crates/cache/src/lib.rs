@@ -1,0 +1,834 @@
+//! # sc-cache — a cycle-stepped set-associative cache timing model
+//!
+//! The capacity/eviction/refill core behind the shared L2 of a
+//! multi-cluster system. Like the rest of the memory hierarchy, the
+//! cache is a **timing filter, not a data store**: one functional image
+//! lives in the background memory, and this model decides *when* a beat
+//! may touch it — and what traffic the decision costs on the far side.
+//!
+//! ## What is modelled
+//!
+//! * **Finite, set-associative capacity** — `capacity_bytes` split into
+//!   `capacity / (line_bytes × ways)` sets with true per-set LRU
+//!   replacement. `capacity_bytes == 0` selects the *infinite* residency
+//!   mode: lines accumulate forever and nothing is ever evicted — the
+//!   exact cold-miss-only behaviour earlier revisions of the L2 had.
+//! * **Write-allocate without fetch** — a granted write installs its
+//!   line immediately (DMA write-back streams write whole lines, so
+//!   there is nothing to fetch) and, with `write_back` on, marks it
+//!   dirty. Evicting a dirty line enqueues a **write-back job** whose
+//!   beats occupy a channel like a refill's do; evicting a clean line is
+//!   silent.
+//! * **An MSHR file** — every in-flight line refill occupies one MSHR;
+//!   same-line misses from other requesters merge into the existing
+//!   entry instead of refetching ([`CacheStats::mshr_merges`]). When all
+//!   `mshrs` are occupied, further misses to *new* lines stall without
+//!   allocating ([`CacheStats::mshr_full_stalls`]) and retry once a
+//!   refill retires. `mshrs == 0` means an unbounded file.
+//! * **K parallel channels** — refill and write-back jobs drain from one
+//!   FIFO over `channels` independent channels to the background memory;
+//!   each job occupies its channel for `refill_latency + line_beats ×
+//!   refill_cycles_per_beat` cycles. With one channel, lines serialise
+//!   exactly as the single-refill-channel L2 always did.
+//!
+//! ## Step protocol
+//!
+//! The owner drives one cycle as [`Cache::begin_cycle`] (idle channels
+//! pick up queued jobs) → any number of [`Cache::probe_read`] /
+//! [`Cache::commit_read`] / [`Cache::commit_write`] calls for the
+//! cycle's beats → [`Cache::end_cycle`] (busy channels advance; a
+//! finished refill installs its line). A read beat may only be committed
+//! after its probe returned [`Probe::Ready`] in the same cycle; writes
+//! never stall and need no probe.
+//!
+//! ```
+//! use sc_cache::{Cache, CacheConfig, Probe};
+//!
+//! let mut cache = Cache::new(CacheConfig::new().with_line_bytes(64));
+//! // A cold read stalls while the line refills…
+//! cache.begin_cycle();
+//! assert_eq!(cache.probe_read(0x100, 0), Probe::MissPending);
+//! cache.end_cycle();
+//! while !cache.is_present(0x100) {
+//!     cache.begin_cycle();
+//!     cache.end_cycle();
+//! }
+//! // …then the whole line serves hits.
+//! cache.begin_cycle();
+//! assert_eq!(cache.probe_read(0x108, 0), Probe::Ready);
+//! cache.commit_read(0x108, 0);
+//! cache.end_cycle();
+//! assert_eq!(cache.stats().refills, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Geometry, policies and refill timing of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total data capacity in bytes; **0 = infinite** (pure residency
+    /// tracking, no eviction). When finite, must be a multiple of
+    /// `line_bytes × ways`.
+    pub capacity_bytes: u32,
+    /// Associativity (lines per set, ≥ 1). Ignored in infinite mode.
+    pub ways: u32,
+    /// Line size in bytes (power of two, ≥ 8).
+    pub line_bytes: u32,
+    /// MSHR file size: in-flight line refills that may be outstanding at
+    /// once; **0 = unbounded**.
+    pub mshrs: u32,
+    /// Parallel refill/write-back channels to the background memory (≥ 1).
+    pub channels: u32,
+    /// Cycles before the first beat of a refill (or write-back) moves.
+    pub refill_latency: u32,
+    /// Cycles per 64-bit beat on a channel (≥ 1).
+    pub refill_cycles_per_beat: u32,
+    /// Whether dirty lines are tracked and written back on eviction.
+    pub write_back: bool,
+}
+
+impl CacheConfig {
+    /// Defaults matching the residency-only L2 of earlier revisions:
+    /// infinite capacity, one channel, unbounded MSHRs, no write-back —
+    /// 256 B lines refilled over a Dram-like channel.
+    #[must_use]
+    pub fn new() -> Self {
+        CacheConfig {
+            capacity_bytes: 0,
+            ways: 8,
+            line_bytes: 256,
+            mshrs: 0,
+            channels: 1,
+            refill_latency: 64,
+            refill_cycles_per_beat: 1,
+            write_back: false,
+        }
+    }
+
+    /// Sets the capacity (0 = infinite). The multiple-of-`line_bytes ×
+    /// ways` constraint is checked when the cache is instantiated, once
+    /// the whole geometry is known.
+    #[must_use]
+    pub fn with_capacity_bytes(mut self, capacity_bytes: u32) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Sets the associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    #[must_use]
+    pub fn with_ways(mut self, ways: u32) -> Self {
+        assert!(ways >= 1, "a set holds at least one line");
+        self.ways = ways;
+        self
+    }
+
+    /// Sets the line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two ≥ 8.
+    #[must_use]
+    pub fn with_line_bytes(mut self, line_bytes: u32) -> Self {
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= 8,
+            "line size must be a power of two of at least 8 bytes"
+        );
+        self.line_bytes = line_bytes;
+        self
+    }
+
+    /// Sets the MSHR file size (0 = unbounded).
+    #[must_use]
+    pub fn with_mshrs(mut self, mshrs: u32) -> Self {
+        self.mshrs = mshrs;
+        self
+    }
+
+    /// Sets the channel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        assert!(channels >= 1, "the cache has at least one channel");
+        self.channels = channels;
+        self
+    }
+
+    /// Sets the per-job startup latency on a channel.
+    #[must_use]
+    pub fn with_refill_latency(mut self, refill_latency: u32) -> Self {
+        self.refill_latency = refill_latency;
+        self
+    }
+
+    /// Sets the per-beat channel occupancy (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refill_cycles_per_beat` is zero.
+    #[must_use]
+    pub fn with_refill_cycles_per_beat(mut self, refill_cycles_per_beat: u32) -> Self {
+        assert!(
+            refill_cycles_per_beat >= 1,
+            "channel bandwidth is at most one beat/cycle"
+        );
+        self.refill_cycles_per_beat = refill_cycles_per_beat;
+        self
+    }
+
+    /// Enables/disables dirty tracking and write-back eviction traffic.
+    #[must_use]
+    pub fn with_write_back(mut self, write_back: bool) -> Self {
+        self.write_back = write_back;
+        self
+    }
+
+    /// Whether capacity is unbounded (residency mode).
+    #[must_use]
+    pub fn is_infinite(&self) -> bool {
+        self.capacity_bytes == 0
+    }
+
+    /// Number of sets (0 in infinite mode).
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        if self.is_infinite() {
+            0
+        } else {
+            self.capacity_bytes / (self.line_bytes * self.ways)
+        }
+    }
+
+    /// 64-bit beats per line.
+    #[must_use]
+    pub fn line_beats(&self) -> u32 {
+        self.line_bytes / 8
+    }
+
+    /// Cycles one refill or write-back job occupies its channel.
+    #[must_use]
+    pub fn channel_cycles(&self) -> u32 {
+        self.refill_latency + self.line_beats() * self.refill_cycles_per_beat
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.line_bytes.is_power_of_two() && self.line_bytes >= 8,
+            "line size must be a power of two of at least 8 bytes"
+        );
+        assert!(self.ways >= 1, "a set holds at least one line");
+        assert!(self.channels >= 1, "the cache has at least one channel");
+        assert!(
+            self.refill_cycles_per_beat >= 1,
+            "channel bandwidth is at most one beat/cycle"
+        );
+        if !self.is_infinite() {
+            assert!(
+                self.capacity_bytes
+                    .is_multiple_of(self.line_bytes * self.ways)
+                    && self.sets() >= 1,
+                "capacity must be a positive multiple of line_bytes x ways \
+                 (got {} B for {} B lines x {} ways)",
+                self.capacity_bytes,
+                self.line_bytes,
+                self.ways
+            );
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a read beat found at the cache this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The line is present: the beat may proceed (commit it if it wins
+    /// whatever downstream arbitration the owner runs).
+    Ready,
+    /// The line is missing; a refill is in flight or was just enqueued.
+    /// The beat retries next cycle.
+    MissPending,
+    /// The line is missing and every MSHR is occupied: the miss could
+    /// not even be accepted. The beat retries next cycle.
+    MshrFull,
+}
+
+/// Cumulative cache activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Committed read beats whose line was present and never missed on
+    /// the way (`read_hits + read_misses` equals the committed read
+    /// beats, always).
+    pub read_hits: u64,
+    /// Committed read beats that had stalled on a miss before being
+    /// serviced.
+    pub read_misses: u64,
+    /// Committed write beats (writes allocate without fetch and never
+    /// stall).
+    pub write_beats: u64,
+    /// Cycles read beats spent stalled on a missing line (one per beat
+    /// per cycle).
+    pub stall_cycles: u64,
+    /// MSHRs allocated (distinct line-miss episodes that started a
+    /// refill).
+    pub mshr_allocations: u64,
+    /// Same-line misses merged into an already-pending refill instead of
+    /// fetching again (one per additional distinct requester).
+    pub mshr_merges: u64,
+    /// Cycles a miss to a *new* line found the MSHR file full.
+    pub mshr_full_stalls: u64,
+    /// Highest number of simultaneously outstanding line refills.
+    pub mshr_peak: u64,
+    /// Lines fetched from the background memory (counted at completion).
+    pub refills: u64,
+    /// Lines evicted to make room (clean + dirty).
+    pub evictions: u64,
+    /// Evicted lines that were dirty — each enqueues one write-back job
+    /// (this is the write-back *traffic* count; jobs still queued when a
+    /// run ends are included).
+    pub dirty_evictions: u64,
+    /// Write-back jobs that finished draining over a channel.
+    pub writebacks_completed: u64,
+}
+
+impl CacheStats {
+    /// 64-bit beats moved over the channels for refills.
+    #[must_use]
+    pub fn refill_beats(&self, cfg: &CacheConfig) -> u64 {
+        self.refills * u64::from(cfg.line_beats())
+    }
+
+    /// 64-bit beats of write-back traffic dirty evictions generated.
+    #[must_use]
+    pub fn writeback_beats(&self, cfg: &CacheConfig) -> u64 {
+        self.dirty_evictions * u64::from(cfg.line_beats())
+    }
+}
+
+/// A queued channel job: fetch a line, or drain a dirty evictee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Job {
+    Refill(u32),
+    WriteBack(u32),
+}
+
+/// One resident line of a finite set (LRU order lives in the set's Vec:
+/// index 0 is least recently used, the back is most recently used).
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: u32,
+    dirty: bool,
+}
+
+/// The cycle-stepped cache: sets/residency, MSHRs and channels.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    stats: CacheStats,
+    /// Infinite mode: every line ever fetched or written.
+    resident: HashSet<u32>,
+    /// Finite mode: per-set LRU-ordered ways.
+    sets: Vec<Vec<Way>>,
+    /// Lines with an allocated MSHR (refill queued or in flight).
+    pending_refills: HashSet<u32>,
+    /// Requesters owed a miss classification per line: populated when a
+    /// read stalls, consumed when that requester's beat finally commits
+    /// (so `read_misses` counts serviced missed beats, not stall
+    /// cycles).
+    owed: HashMap<u32, Vec<u32>>,
+    /// Refill/write-back jobs not yet on a channel, FIFO.
+    queue: VecDeque<Job>,
+    /// The channels: `Some((job, cycles remaining))` when busy.
+    channels: Vec<Option<(Job, u32)>>,
+}
+
+impl Cache {
+    /// Creates an empty (fully cold) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see the field docs).
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = if cfg.is_infinite() {
+            Vec::new()
+        } else {
+            vec![Vec::with_capacity(cfg.ways as usize); cfg.sets() as usize]
+        };
+        Cache {
+            stats: CacheStats::default(),
+            resident: HashSet::new(),
+            sets,
+            pending_refills: HashSet::new(),
+            owed: HashMap::new(),
+            queue: VecDeque::new(),
+            channels: vec![None; cfg.channels as usize],
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Activity counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn line_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.line_bytes
+    }
+
+    fn set_of(&self, line: u32) -> usize {
+        (line % self.cfg.sets()) as usize
+    }
+
+    fn is_line_present(&self, line: u32) -> bool {
+        if self.cfg.is_infinite() {
+            self.resident.contains(&line)
+        } else {
+            self.sets[self.set_of(line)].iter().any(|w| w.line == line)
+        }
+    }
+
+    /// Whether the line holding `addr` is present (servable this cycle).
+    #[must_use]
+    pub fn is_present(&self, addr: u32) -> bool {
+        self.is_line_present(self.line_of(addr))
+    }
+
+    /// Currently outstanding line refills (MSHR occupancy).
+    #[must_use]
+    pub fn mshr_occupancy(&self) -> u32 {
+        self.pending_refills.len() as u32
+    }
+
+    /// Whether any channel is busy or any job is still queued.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty() || self.channels.iter().any(Option::is_some)
+    }
+
+    /// Cycle start: idle channels pick up queued jobs in FIFO order.
+    pub fn begin_cycle(&mut self) {
+        for ch in &mut self.channels {
+            if ch.is_none() {
+                if let Some(job) = self.queue.pop_front() {
+                    *ch = Some((job, self.cfg.channel_cycles()));
+                }
+            }
+        }
+    }
+
+    /// Looks up a read beat: [`Probe::Ready`] when its line is present,
+    /// otherwise the beat stalls this cycle and the miss is recorded —
+    /// allocating an MSHR and enqueueing a refill for a new line,
+    /// merging into the pending refill for an already-missing one, or
+    /// bouncing off a full MSHR file.
+    pub fn probe_read(&mut self, addr: u32, requester: u32) -> Probe {
+        let line = self.line_of(addr);
+        if self.is_line_present(line) {
+            return Probe::Ready;
+        }
+        self.stats.stall_cycles += 1;
+        let outcome = if self.pending_refills.contains(&line) {
+            Probe::MissPending
+        } else if self.cfg.mshrs != 0 && self.pending_refills.len() as u32 >= self.cfg.mshrs {
+            self.stats.mshr_full_stalls += 1;
+            Probe::MshrFull
+        } else {
+            self.pending_refills.insert(line);
+            self.queue.push_back(Job::Refill(line));
+            self.stats.mshr_allocations += 1;
+            self.stats.mshr_peak = self.stats.mshr_peak.max(self.pending_refills.len() as u64);
+            Probe::MissPending
+        };
+        let waiters = self.owed.entry(line).or_default();
+        if !waiters.contains(&requester) {
+            if !waiters.is_empty() {
+                self.stats.mshr_merges += 1;
+            }
+            waiters.push(requester);
+        }
+        outcome
+    }
+
+    /// Commits a granted read beat, classifying it as a hit or a
+    /// serviced miss (the beat had stalled earlier) and refreshing LRU.
+    /// Returns whether it had missed.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the beat's line is not present — commit only
+    /// after a same-cycle [`Probe::Ready`].
+    pub fn commit_read(&mut self, addr: u32, requester: u32) -> bool {
+        let line = self.line_of(addr);
+        debug_assert!(
+            self.is_line_present(line),
+            "committed a read beat whose line is absent"
+        );
+        let missed = match self.owed.get_mut(&line) {
+            Some(waiters) => match waiters.iter().position(|&r| r == requester) {
+                Some(pos) => {
+                    waiters.swap_remove(pos);
+                    if waiters.is_empty() {
+                        self.owed.remove(&line);
+                    }
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        };
+        if missed {
+            self.stats.read_misses += 1;
+        } else {
+            self.stats.read_hits += 1;
+        }
+        self.touch(line);
+        missed
+    }
+
+    /// Commits a granted write beat: the line is installed without a
+    /// fetch (and marked dirty under `write_back`), evicting a victim if
+    /// its set is full. Writes never stall.
+    pub fn commit_write(&mut self, addr: u32) {
+        let line = self.line_of(addr);
+        self.stats.write_beats += 1;
+        self.install(line, self.cfg.write_back);
+    }
+
+    /// Cycle end: busy channels advance one cycle; a finished refill
+    /// installs its line (servable from next cycle) and frees its MSHR,
+    /// a finished write-back just releases the channel.
+    pub fn end_cycle(&mut self) {
+        for i in 0..self.channels.len() {
+            let Some((job, wait)) = self.channels[i].as_mut() else {
+                continue;
+            };
+            *wait -= 1;
+            if *wait > 0 {
+                continue;
+            }
+            let job = *job;
+            self.channels[i] = None;
+            match job {
+                Job::Refill(line) => {
+                    self.pending_refills.remove(&line);
+                    self.stats.refills += 1;
+                    self.install(line, false);
+                }
+                Job::WriteBack(_) => {
+                    self.stats.writebacks_completed += 1;
+                }
+            }
+        }
+    }
+
+    /// Moves a present line to MRU (finite mode; no-op otherwise).
+    fn touch(&mut self, line: u32) {
+        if self.cfg.is_infinite() {
+            return;
+        }
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            let w = set.remove(pos);
+            set.push(w);
+        }
+    }
+
+    /// Installs (or refreshes) a line, evicting the set's LRU victim if
+    /// needed. A dirty victim enqueues a write-back job.
+    fn install(&mut self, line: u32, dirty: bool) {
+        if self.cfg.is_infinite() {
+            self.resident.insert(line);
+            return;
+        }
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            let mut w = set.remove(pos);
+            w.dirty |= dirty;
+            set.push(w);
+            return;
+        }
+        if set.len() as u32 == self.cfg.ways {
+            let victim = set.remove(0);
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.dirty_evictions += 1;
+                self.queue.push_back(Job::WriteBack(victim.line));
+            }
+        }
+        set.push(Way { line, dirty });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steps idle cycles (no beats) until nothing is queued or in
+    /// flight; returns the cycles taken.
+    fn drain(cache: &mut Cache) -> u32 {
+        let mut cycles = 0;
+        while cache.is_busy() {
+            cache.begin_cycle();
+            cache.end_cycle();
+            cycles += 1;
+            assert!(cycles < 100_000, "channels never drained");
+        }
+        cycles
+    }
+
+    /// Reads `addr` to completion: probes each cycle until Ready, then
+    /// commits. Returns the stall cycles spent.
+    fn read_through(cache: &mut Cache, addr: u32, requester: u32) -> u32 {
+        let mut stalls = 0;
+        loop {
+            cache.begin_cycle();
+            let p = cache.probe_read(addr, requester);
+            if p == Probe::Ready {
+                cache.commit_read(addr, requester);
+                cache.end_cycle();
+                return stalls;
+            }
+            cache.end_cycle();
+            stalls += 1;
+            assert!(stalls < 100_000, "read never completed");
+        }
+    }
+
+    fn finite(capacity: u32, ways: u32) -> CacheConfig {
+        CacheConfig::new()
+            .with_line_bytes(64)
+            .with_capacity_bytes(capacity)
+            .with_ways(ways)
+            .with_write_back(true)
+            .with_refill_latency(4)
+    }
+
+    #[test]
+    fn cold_read_stalls_one_refill_then_line_hits() {
+        let cfg = CacheConfig::new()
+            .with_line_bytes(64)
+            .with_refill_latency(8);
+        let per_job = cfg.channel_cycles();
+        let mut cache = Cache::new(cfg);
+        // First denial enqueues; the channel starts next begin_cycle.
+        assert_eq!(read_through(&mut cache, 0x100, 0), per_job + 1);
+        assert_eq!(cache.stats().refills, 1);
+        assert_eq!(cache.stats().read_misses, 1);
+        // A neighbouring beat on the same line is warm.
+        assert_eq!(read_through(&mut cache, 0x108, 0), 0);
+        assert_eq!(cache.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn writes_install_without_fetch_and_serve_reads() {
+        let mut cache = Cache::new(finite(1024, 2));
+        cache.begin_cycle();
+        cache.commit_write(0x200);
+        cache.end_cycle();
+        assert!(cache.is_present(0x200));
+        assert_eq!(read_through(&mut cache, 0x208, 0), 0, "written line hits");
+        assert_eq!(cache.stats().refills, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_way() {
+        // 2 sets x 2 ways of 64 B lines; lines 0, 2, 4 map to set 0.
+        let mut cache = Cache::new(finite(256, 2));
+        assert_eq!(cache.config().sets(), 2);
+        read_through(&mut cache, 0, 0);
+        read_through(&mut cache, 2 * 64, 0);
+        // Touch line 0 so line 2 is LRU, then bring in line 4.
+        read_through(&mut cache, 0, 0);
+        read_through(&mut cache, 4 * 64, 0);
+        assert!(cache.is_present(0), "recently used line survives");
+        assert!(!cache.is_present(2 * 64), "LRU way evicted");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().dirty_evictions, 0, "clean eviction is silent");
+    }
+
+    #[test]
+    fn dirty_eviction_generates_writeback_traffic_on_the_channel() {
+        // One set of 1 way: every new line evicts the previous one.
+        let cfg = finite(64, 1);
+        let mut cache = Cache::new(cfg);
+        cache.begin_cycle();
+        cache.commit_write(0);
+        cache.end_cycle();
+        // Fetch a different line into the same (only) set: the dirty
+        // victim must be written back.
+        read_through(&mut cache, 64, 0);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().dirty_evictions, 1);
+        assert_eq!(
+            cache.stats().writeback_beats(cache.config()),
+            u64::from(cfg.line_beats())
+        );
+        // The write-back job drains over the channel.
+        drain(&mut cache);
+        assert_eq!(cache.stats().writebacks_completed, 1);
+    }
+
+    #[test]
+    fn writeback_disabled_never_queues_traffic() {
+        let cfg = finite(64, 1).with_write_back(false);
+        let mut cache = Cache::new(cfg);
+        cache.begin_cycle();
+        cache.commit_write(0);
+        cache.end_cycle();
+        read_through(&mut cache, 64, 0);
+        read_through(&mut cache, 128, 0);
+        assert!(cache.stats().evictions >= 2);
+        assert_eq!(cache.stats().dirty_evictions, 0);
+        assert_eq!(cache.stats().writeback_beats(cache.config()), 0);
+    }
+
+    #[test]
+    fn same_line_misses_merge_into_one_mshr() {
+        let mut cache = Cache::new(CacheConfig::new().with_line_bytes(64));
+        let mut stalls = (0, 0);
+        loop {
+            cache.begin_cycle();
+            let p0 = cache.probe_read(0x40, 0);
+            let p1 = cache.probe_read(0x48, 1);
+            if p0 == Probe::Ready && p1 == Probe::Ready {
+                cache.commit_read(0x40, 0);
+                cache.commit_read(0x48, 1);
+                cache.end_cycle();
+                break;
+            }
+            stalls = (
+                stalls.0 + u32::from(p0 != Probe::Ready),
+                stalls.1 + u32::from(p1 != Probe::Ready),
+            );
+            cache.end_cycle();
+        }
+        assert_eq!(cache.stats().mshr_allocations, 1, "one refill for the line");
+        assert_eq!(cache.stats().mshr_merges, 1, "the second requester merged");
+        assert_eq!(cache.stats().refills, 1);
+        assert_eq!(
+            cache.stats().read_misses,
+            2,
+            "both beats were serviced misses"
+        );
+        assert_eq!(stalls.0, stalls.1, "both waited out the same refill");
+    }
+
+    #[test]
+    fn full_mshr_file_rejects_new_lines_until_a_refill_retires() {
+        let cfg = CacheConfig::new().with_line_bytes(64).with_mshrs(1);
+        let mut cache = Cache::new(cfg);
+        cache.begin_cycle();
+        assert_eq!(cache.probe_read(0, 0), Probe::MissPending);
+        assert_eq!(
+            cache.probe_read(8 * 64, 1),
+            Probe::MshrFull,
+            "second distinct line bounces off the single MSHR"
+        );
+        // Same-line merging is not blocked by a full file.
+        assert_eq!(cache.probe_read(8, 1), Probe::MissPending);
+        cache.end_cycle();
+        assert!(cache.stats().mshr_full_stalls >= 1);
+        assert_eq!(cache.stats().mshr_peak, 1);
+        // Once the first refill retires, the second line allocates.
+        drain(&mut cache);
+        cache.begin_cycle();
+        assert_eq!(cache.probe_read(8 * 64, 1), Probe::MissPending);
+        cache.end_cycle();
+        assert_eq!(cache.stats().mshr_allocations, 2);
+    }
+
+    #[test]
+    fn parallel_channels_overlap_refills() {
+        let serial_cfg = CacheConfig::new()
+            .with_line_bytes(64)
+            .with_refill_latency(16);
+        let run = |channels: u32| {
+            let mut cache = Cache::new(serial_cfg.with_channels(channels));
+            let (mut done0, mut done1) = (false, false);
+            let mut cycles = 0;
+            while !(done0 && done1) {
+                cache.begin_cycle();
+                if !done0 && cache.probe_read(0, 0) == Probe::Ready {
+                    cache.commit_read(0, 0);
+                    done0 = true;
+                }
+                if !done1 && cache.probe_read(0x1000, 1) == Probe::Ready {
+                    cache.commit_read(0x1000, 1);
+                    done1 = true;
+                }
+                cache.end_cycle();
+                cycles += 1;
+                assert!(cycles < 100_000);
+            }
+            cycles
+        };
+        let per_job = serial_cfg.channel_cycles();
+        let one = run(1);
+        let two = run(2);
+        assert!(one > 2 * per_job, "one channel serialises the two lines");
+        assert!(two < one, "a second channel overlaps them ({two} vs {one})");
+    }
+
+    #[test]
+    fn hits_plus_misses_account_every_committed_read() {
+        let mut cache = Cache::new(finite(512, 2));
+        let mut committed = 0u64;
+        for round in 0..4u32 {
+            for i in 0..16u32 {
+                read_through(&mut cache, (i * 64 + round) / 8 * 8, 0);
+                committed += 1;
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.read_hits + s.read_misses, committed);
+        assert!(s.evictions > 0, "16 lines thrash a 512 B cache");
+    }
+
+    #[test]
+    fn infinite_mode_never_evicts() {
+        let mut cache = Cache::new(CacheConfig::new().with_line_bytes(64));
+        for i in 0..64u32 {
+            read_through(&mut cache, i * 64, 0);
+        }
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().refills, 64);
+        for i in 0..64u32 {
+            assert!(cache.is_present(i * 64), "line {i} stays resident forever");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of line_bytes x ways")]
+    fn misaligned_capacity_is_rejected() {
+        let _ = Cache::new(
+            CacheConfig::new()
+                .with_line_bytes(64)
+                .with_ways(3)
+                .with_capacity_bytes(1000),
+        );
+    }
+}

@@ -68,7 +68,7 @@ use std::fmt;
 use sc_core::{Core, CoreConfig, DmaCommand, PerfCounters, RunSummary, SimError};
 use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
-use sc_mem::{AccessKind, Dram, DramConfig, PortId, Request, Tcdm};
+use sc_mem::{AccessKind, Dram, DramConfig, L2Outcome, PortId, Request, Tcdm};
 
 /// Cluster geometry: how many cores share the TCDM, and their per-core
 /// configuration.
@@ -508,7 +508,7 @@ impl Cluster {
     /// The first core error, tagged with its hart ID.
     pub fn step(&mut self) -> Result<(), ClusterError> {
         self.begin_step()?;
-        self.finish_step(true, None)
+        self.finish_step(L2Outcome::Granted, None)
     }
 
     /// First half of a cluster cycle: core phases 1–2 (writeback, issue,
@@ -574,13 +574,15 @@ impl Cluster {
     }
 
     /// Second half of a cluster cycle: the TCDM crossbar pass (the DMA
-    /// beat participates only when `dma_mem_grant` allows it), grant
+    /// beat participates only when `dma_mem` granted it), grant
     /// application, core/engine cycle end, and barrier rendezvous.
     ///
-    /// `dma_mem_grant` is the shared-memory-side arbitration outcome for
-    /// the beat [`Cluster::begin_step`] returned (`true` when there was
-    /// none, or on the single-cluster path). `ext_mem` supplies the
-    /// externally owned functional store for engines attached with
+    /// `dma_mem` is the shared-memory-side arbitration outcome for the
+    /// beat [`Cluster::begin_step`] returned
+    /// ([`sc_mem::L2Outcome::Granted`] when there was none, or on the
+    /// single-cluster path); a denial's kind decides whether the engine
+    /// books a bank-conflict or a miss/refill wait. `ext_mem` supplies
+    /// the externally owned functional store for engines attached with
     /// [`Cluster::attach_dma_shared`]; pass `None` when the engine owns
     /// its Dram.
     ///
@@ -593,7 +595,7 @@ impl Cluster {
     /// Panics if a shared-memory engine moves a beat without `ext_mem`.
     pub fn finish_step(
         &mut self,
-        dma_mem_grant: bool,
+        dma_mem: L2Outcome,
         mut ext_mem: Option<&mut Dram>,
     ) -> Result<(), ClusterError> {
         let tag = |hart: usize| {
@@ -618,13 +620,13 @@ impl Cluster {
         let mut dma_req = false;
         if let Some(dma) = &mut self.dma {
             if dma.beat_ready {
-                if dma_mem_grant {
+                if dma_mem.granted() {
                     if let Some(req) = dma.engine.request() {
                         self.requests.push(req);
                         dma_req = true;
                     }
                 } else {
-                    dma.engine.note_l2_denied();
+                    dma.engine.note_l2_denied(dma_mem.refill_related());
                 }
             }
         }

@@ -193,6 +193,13 @@ pub struct DmaStats {
     /// or an L2 line still refilling from Dram. Zero when the engine
     /// moves against a private `Dram` (the single-cluster path).
     pub l2_wait_cycles: u64,
+    /// The subset of [`DmaStats::l2_wait_cycles`] spent waiting for a
+    /// *missing line* (an L2 refill in flight, or a full MSHR file)
+    /// rather than losing bank arbitration — the engine-side view of
+    /// miss-under-miss behaviour: while one engine sits out these
+    /// cycles, other engines' misses to different lines keep their own
+    /// MSHRs and refill channels busy.
+    pub l2_miss_wait_cycles: u64,
 }
 
 impl DmaStats {
@@ -381,10 +388,15 @@ impl DmaEngine {
     }
 
     /// Records that this cycle's ready beat was stalled on the
-    /// background-memory side (shared-L2 bank conflict or refill); the
-    /// beat retries next cycle, exactly like a TCDM denial.
-    pub fn note_l2_denied(&mut self) {
+    /// background-memory side; the beat retries next cycle, exactly like
+    /// a TCDM denial. `miss` distinguishes waiting out a missing line
+    /// (refill in flight / MSHR file full) from losing shared-L2 bank
+    /// arbitration.
+    pub fn note_l2_denied(&mut self, miss: bool) {
         self.stats.l2_wait_cycles += 1;
+        if miss {
+            self.stats.l2_miss_wait_cycles += 1;
+        }
     }
 
     /// Applies this cycle's arbitration outcome for the request returned

@@ -86,12 +86,18 @@ impl EnergyModel {
 
     /// Energy of a multi-cluster system's DMA traffic: every beat pays
     /// one TCDM access, one **L2** access and the engine overhead, and
-    /// every 64-bit beat the L2's refill channel moved from the
-    /// background memory pays one Dram access on top.
+    /// every 64-bit beat the L2's refill channels moved from the
+    /// background memory — or wrote back to it when a finite L2 evicted
+    /// a dirty line — pays one Dram access on top.
     #[must_use]
-    pub fn system_dma_energy_pj(&self, beats: u64, l2_refill_beats: u64) -> f64 {
+    pub fn system_dma_energy_pj(
+        &self,
+        beats: u64,
+        l2_refill_beats: u64,
+        l2_writeback_beats: u64,
+    ) -> f64 {
         beats as f64 * (self.tcdm_access_pj + self.l2_access_pj + self.dma_beat_pj)
-            + l2_refill_beats as f64 * self.dram_access_pj
+            + (l2_refill_beats + l2_writeback_beats) as f64 * self.dram_access_pj
     }
 
     /// Total dynamic energy for a counter snapshot, in picojoules.
@@ -153,7 +159,7 @@ impl EnergyModel {
     /// `per_core` flattens every cluster's cores, `system_cycles` is the
     /// cycles-to-last-cluster-done, and the DMA traffic is charged at
     /// system rates ([`EnergyModel::system_dma_energy_pj`]: beats hit
-    /// the shared L2, refill beats hit the Dram).
+    /// the shared L2; refill and write-back beats hit the Dram).
     ///
     /// # Panics
     ///
@@ -165,11 +171,12 @@ impl EnergyModel {
         system_cycles: u64,
         dma_beats: u64,
         l2_refill_beats: u64,
+        l2_writeback_beats: u64,
     ) -> ClusterEnergyReport {
         self.report_with_dma_pj(
             per_core,
             system_cycles,
-            self.system_dma_energy_pj(dma_beats, l2_refill_beats),
+            self.system_dma_energy_pj(dma_beats, l2_refill_beats, l2_writeback_beats),
         )
     }
 
@@ -433,17 +440,25 @@ mod tests {
     fn system_dma_charges_l2_not_dram_per_beat() {
         // A warm system beat is cheaper than a single-cluster Dram beat
         // (on-die L2 vs the full background hop); cold misses claw the
-        // difference back through refill beats.
+        // difference back through refill beats, and a finite L2's dirty
+        // evictions through write-back beats charged at the same Dram
+        // rate.
         let m = EnergyModel::new();
-        assert!(m.system_dma_energy_pj(100, 0) < m.dma_energy_pj(100));
-        let with_refills = m.system_dma_energy_pj(100, 100);
+        assert!(m.system_dma_energy_pj(100, 0, 0) < m.dma_energy_pj(100));
+        let with_refills = m.system_dma_energy_pj(100, 100, 0);
         assert!(
-            (with_refills - m.system_dma_energy_pj(100, 0) - 100.0 * m.dram_access_pj).abs() < 1e-9
+            (with_refills - m.system_dma_energy_pj(100, 0, 0) - 100.0 * m.dram_access_pj).abs()
+                < 1e-9
+        );
+        assert!(
+            (m.system_dma_energy_pj(100, 100, 32) - with_refills - 32.0 * m.dram_access_pj).abs()
+                < 1e-9,
+            "write-back beats pay the Dram hop too"
         );
         // The report plumbs the system rate through.
         let per_core = vec![sample_counters(); 2];
-        let sys = m.system_report(&per_core, 1_000, 500, 64);
-        let expect = m.system_dma_energy_pj(500, 64);
+        let sys = m.system_report(&per_core, 1_000, 500, 64, 16);
+        let expect = m.system_dma_energy_pj(500, 64, 16);
         assert!((sys.dma_pj - expect).abs() < 1e-9);
     }
 

@@ -431,6 +431,7 @@ impl StencilKernel {
             z0 += nzc_t;
         }
 
+        let working_set = tiling::WorkingSet::from_tiles(&tiles);
         let sched = tiling::schedule(&tiles);
         let tile_programs = tile_kernels
             .iter()
@@ -466,6 +467,7 @@ impl StencilKernel {
             tile_programs,
             epilogue,
             self.flops(),
+            working_set,
             setup,
             check,
         ))
@@ -546,6 +548,7 @@ impl StencilKernel {
         let slabs = split_ranges(grid.nz, num_clusters, 1);
         let mut stages = Vec::with_capacity(slabs.len());
         let mut tcdm_cfg: Option<TcdmConfig> = None;
+        let mut working_set = tiling::WorkingSet::default();
         for &(cz0, cnz) in &slabs {
             if cnz == 0 {
                 // A surplus cluster runs one trivial stage: every hart
@@ -577,6 +580,7 @@ impl StencilKernel {
                 "every cluster plans the same capacity-capped TCDM"
             );
             tcdm_cfg.get_or_insert(tiled.tcdm_config());
+            working_set.merge(tiled.working_set());
             stages.push(tiled.stages());
         }
         let (setup, check) = self.dram_data_fns();
@@ -590,6 +594,7 @@ impl StencilKernel {
             stages,
             harts_per_cluster,
             self.flops(),
+            working_set,
             setup,
             check,
         ))

@@ -26,7 +26,7 @@ use sc_mem::{Dram, DramConfig, L2Config, MemError, Tcdm, TcdmConfig};
 use sc_system::{System, SystemConfig, SystemSummary};
 
 use crate::kernel::{KernelError, VerifyError};
-use crate::tiling::{DramCheckFn, DramSetupFn};
+use crate::tiling::{DramCheckFn, DramSetupFn, WorkingSet};
 
 /// Writes one cluster's share of a system kernel's input data into that
 /// cluster's TCDM (the unbounded regime replicates the input).
@@ -176,6 +176,7 @@ pub struct TiledSystemKernel {
     stages: Vec<Vec<Vec<Program>>>,
     harts_per_cluster: u32,
     flops: u64,
+    working_set: WorkingSet,
     setup: DramSetupFn,
     check: DramCheckFn,
 }
@@ -187,12 +188,14 @@ impl TiledSystemKernel {
     ///
     /// Panics if `stages` is empty or any cluster has no stages.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         name: String,
         tcdm: TcdmConfig,
         stages: Vec<Vec<Vec<Program>>>,
         harts_per_cluster: u32,
         flops: u64,
+        working_set: WorkingSet,
         setup: DramSetupFn,
         check: DramCheckFn,
     ) -> Self {
@@ -207,6 +210,7 @@ impl TiledSystemKernel {
             stages,
             harts_per_cluster,
             flops,
+            working_set,
             setup,
             check,
         }
@@ -240,6 +244,15 @@ impl TiledSystemKernel {
     #[must_use]
     pub fn tcdm_config(&self) -> TcdmConfig {
         self.tcdm
+    }
+
+    /// The combined background-memory working set of every cluster's
+    /// plan (footprints union — the shared coefficient table counts
+    /// once; traffic adds up). Size the shared L2 against it to
+    /// deliberately over- or under-fit.
+    #[must_use]
+    pub fn working_set(&self) -> &WorkingSet {
+        &self.working_set
     }
 
     /// Double-precision flops the whole problem performs.

@@ -116,6 +116,137 @@ pub(crate) struct TileIo {
     pub outputs: Vec<DmaXfer>,
 }
 
+/// The background-memory working set a tiled plan touches — what the
+/// planner knows *statically* about the traffic it scheduled, so sweeps
+/// can size an L2 to deliberately over- or under-fit it.
+///
+/// Distinguish the two quantities it reports:
+///
+/// * **footprint** — the union of distinct Dram bytes the plan ever
+///   touches. An L2 at least this big (plus associativity slack) can
+///   hold the whole problem after the compulsory misses.
+/// * **traffic** — the bytes the DMA engines actually move, counting
+///   revisits (halo planes are fetched by both neighbouring tiles). An
+///   L2 smaller than the reuse distance turns those revisits into
+///   capacity misses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkingSet {
+    /// Distinct Dram byte ranges touched, merged and sorted (half-open
+    /// `[start, end)` intervals).
+    intervals: Vec<(u32, u32)>,
+    /// Total bytes fetched into the TCDMs (revisits counted).
+    pub input_bytes: u64,
+    /// Total bytes written back out of the TCDMs.
+    pub output_bytes: u64,
+    /// The largest single tile's transfer bytes (inputs + outputs) — the
+    /// per-tile resident set.
+    pub max_tile_bytes: u32,
+    /// Compute tiles in the plan.
+    pub tiles: usize,
+}
+
+impl WorkingSet {
+    /// Collects the working set of a tile sequence.
+    pub(crate) fn from_tiles(tiles: &[TileIo]) -> Self {
+        let mut ws = WorkingSet {
+            tiles: tiles.len(),
+            ..Self::default()
+        };
+        let mut raw = Vec::new();
+        for tile in tiles {
+            let mut tile_bytes = 0u32;
+            for (xfers, moved) in [
+                (&tile.inputs, &mut ws.input_bytes),
+                (&tile.outputs, &mut ws.output_bytes),
+            ] {
+                for x in xfers {
+                    for rep in 0..x.reps {
+                        let start = x.dram_addr + rep * x.dram_stride;
+                        raw.push((start, start + x.row_bytes));
+                    }
+                    let bytes = u64::from(x.row_bytes) * u64::from(x.reps);
+                    *moved += bytes;
+                    tile_bytes += x.row_bytes * x.reps;
+                }
+            }
+            ws.max_tile_bytes = ws.max_tile_bytes.max(tile_bytes);
+        }
+        ws.intervals = merge_intervals(raw);
+        ws
+    }
+
+    /// Folds another plan's working set into this one (distinct ranges
+    /// shared between the plans — e.g. the coefficient table every
+    /// cluster fetches — are counted once in the footprint, but their
+    /// traffic adds up).
+    pub fn merge(&mut self, other: &WorkingSet) {
+        let mut raw = std::mem::take(&mut self.intervals);
+        raw.extend(other.intervals.iter().copied());
+        self.intervals = merge_intervals(raw);
+        self.input_bytes += other.input_bytes;
+        self.output_bytes += other.output_bytes;
+        self.max_tile_bytes = self.max_tile_bytes.max(other.max_tile_bytes);
+        self.tiles += other.tiles;
+    }
+
+    /// Distinct Dram bytes the plan touches.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.intervals.iter().map(|&(s, e)| u64::from(e - s)).sum()
+    }
+
+    /// Total bytes the engines move (input + output traffic, revisits
+    /// counted).
+    #[must_use]
+    pub fn traffic_bytes(&self) -> u64 {
+        self.input_bytes + self.output_bytes
+    }
+
+    /// Distinct cache lines of `line_bytes` the footprint spans — the
+    /// number of compulsory refills a cold cache of unbounded capacity
+    /// would pay (write-allocated output lines excluded from *refills*
+    /// but still occupying capacity, hence counted here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    #[must_use]
+    pub fn l2_lines(&self, line_bytes: u32) -> u64 {
+        assert!(line_bytes > 0, "a cache line holds at least one byte");
+        merge_intervals(
+            self.intervals
+                .iter()
+                .map(|&(s, e)| (s / line_bytes, (e - 1) / line_bytes + 1))
+                .collect(),
+        )
+        .iter()
+        .map(|&(s, e)| u64::from(e - s))
+        .sum()
+    }
+
+    /// Whether the whole footprint fits a cache of `capacity_bytes`
+    /// (ignoring associativity conflicts — a fully warm upper bound).
+    #[must_use]
+    pub fn fits_in(&self, capacity_bytes: u32) -> bool {
+        self.footprint_bytes() <= u64::from(capacity_bytes)
+    }
+}
+
+/// Sorts and merges half-open intervals (overlapping or adjacent ones
+/// coalesce).
+fn merge_intervals(mut raw: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    raw.retain(|&(s, e)| e > s);
+    raw.sort_unstable();
+    let mut merged: Vec<(u32, u32)> = Vec::with_capacity(raw.len());
+    for (s, e) in raw {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
 /// The static software-pipeline schedule: which transfers hart 0
 /// enqueues at the head of each tile program, and the FIFO completion
 /// count it must observe before the tile's compute may touch its input
@@ -281,6 +412,7 @@ pub struct TiledClusterKernel {
     tile_programs: Vec<Vec<Program>>,
     epilogue: Vec<Program>,
     flops: u64,
+    working_set: WorkingSet,
     setup: DramSetupFn,
     check: DramCheckFn,
 }
@@ -293,12 +425,14 @@ impl TiledClusterKernel {
     ///
     /// Panics if no tiles were produced or hart counts are inconsistent.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         name: String,
         tcdm: TcdmConfig,
         tile_programs: Vec<Vec<Program>>,
         epilogue: Vec<Program>,
         flops: u64,
+        working_set: WorkingSet,
         setup: DramSetupFn,
         check: DramCheckFn,
     ) -> Self {
@@ -314,6 +448,7 @@ impl TiledClusterKernel {
             tile_programs,
             epilogue,
             flops,
+            working_set,
             setup,
             check,
         }
@@ -341,6 +476,13 @@ impl TiledClusterKernel {
     #[must_use]
     pub fn tcdm_config(&self) -> TcdmConfig {
         self.tcdm
+    }
+
+    /// The plan's background-memory working set (footprint vs traffic) —
+    /// size an L2 against it to deliberately over- or under-fit.
+    #[must_use]
+    pub fn working_set(&self) -> &WorkingSet {
+        &self.working_set
     }
 
     /// The full stage sequence — every tile's program set followed by
@@ -492,6 +634,41 @@ mod tests {
             core.step(&mut tcdm).unwrap();
         }
         assert!(core.is_halted(), "poll must fall through at the target");
+    }
+
+    #[test]
+    fn working_set_reports_footprint_and_traffic() {
+        use crate::{Grid3, Stencil, StencilKernel, Variant};
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, 4, 6),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        let tk = gen.build_tiled(2, 8 << 10).expect("tiles fit 8 KiB");
+        let ws = tk.working_set();
+        assert_eq!(ws.tiles, tk.num_tiles());
+        assert!(tk.num_tiles() > 1, "the plan must actually tile");
+        // Halo planes are fetched by both neighbouring tiles: moved
+        // bytes strictly exceed the distinct footprint.
+        assert!(ws.traffic_bytes() > ws.footprint_bytes());
+        // Footprint = padded input + written output planes + coeffs.
+        let g = Grid3::new(8, 4, 6);
+        let (rp, sy) = (8 * g.sx(), g.sy());
+        let pp = u64::from(rp * sy);
+        let expect = pp * u64::from(g.sz()) + pp * u64::from(g.nz) + 27 * 8;
+        assert_eq!(ws.footprint_bytes(), expect);
+        assert!(ws.fits_in(TCDM_CAP_BYTES) && !ws.fits_in(1024));
+        // Line count covers the footprint at line granularity.
+        assert!(ws.l2_lines(256) * 256 >= ws.footprint_bytes());
+        assert!(ws.l2_lines(256) <= ws.footprint_bytes() / 256 + 3);
+
+        // A 2-cluster system plan covers the same arrays: identical
+        // footprint (the shared coefficient fetch counts once), more
+        // traffic (the slab-boundary halo planes move twice more).
+        let sys = gen.build_system_tiled(2, 1, 8 << 10).expect("slabs fit");
+        assert_eq!(sys.working_set().footprint_bytes(), ws.footprint_bytes());
+        assert!(sys.working_set().traffic_bytes() > ws.traffic_bytes());
     }
 
     #[test]

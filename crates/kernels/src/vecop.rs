@@ -367,6 +367,7 @@ impl VecOpKernel {
             s += l;
         }
 
+        let working_set = tiling::WorkingSet::from_tiles(&tiles);
         let sched = tiling::schedule(&tiles);
         let tile_programs = ranges
             .iter()
@@ -404,6 +405,7 @@ impl VecOpKernel {
             tile_programs,
             epilogue,
             u64::from(2 * self.n),
+            working_set,
             setup,
             check,
         ))

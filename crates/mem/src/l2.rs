@@ -4,10 +4,11 @@
 //! A scaled-out system places an interconnect level above the per-cluster
 //! L1 scratchpads: every cluster's DMA engine moves its beats against one
 //! **banked L2**, and the L2 itself refills from the background memory
-//! ([`crate::Dram`]) over a single channel. Sustained chaining throughput
-//! is ultimately bounded here — once several clusters stream tiles
-//! concurrently, their beats contend for L2 banks and the refill channel
-//! serialises cold misses.
+//! ([`crate::Dram`]). Sustained chaining throughput is ultimately bounded
+//! here — once several clusters stream tiles concurrently, their beats
+//! contend for L2 banks, cold misses queue behind the refill channels,
+//! and (with a finite capacity) evicted dirty lines generate write-back
+//! traffic of their own.
 //!
 //! ## What is modelled
 //!
@@ -17,17 +18,21 @@
 //!
 //! * arbitrates at most one beat per bank across the clusters' engines,
 //!   with round-robin rotation over clusters so no engine starves,
-//! * tracks **line residency** (when [`L2Config::refill`] is on): a
-//!   *read* beat to a line not yet resident stalls and enqueues a
-//!   refill; a single refill channel fetches one line at a time from
-//!   the Dram with its own latency/bandwidth. Writes are no-allocate —
-//!   they pass straight through (and make their line servable), so
-//!   write-back streams to fresh output lines never occupy the refill
-//!   channel.
+//! * consults its cache core ([`sc_cache::Cache`], when
+//!   [`L2Config::refill`] is on): a *read* beat to a line not present
+//!   stalls — allocating an MSHR and queueing a refill for a new line,
+//!   merging into the pending refill for an already-missing one, or
+//!   bouncing off a full MSHR file — while `refill_channels` parallel
+//!   channels fetch lines from the Dram. Writes allocate without a fetch
+//!   (DMA write-back streams write whole lines) and, with
+//!   [`L2Config::write_back`] on, mark their line dirty; a dirty line
+//!   evicted by LRU replacement enqueues a **write-back job** that
+//!   contends for the same channels the refills use.
 //!
-//! Capacity misses and write-back eviction are not modelled — the L2 is
-//! sized to hold a sweep's working set, so the interesting effects are
-//! cold-miss serialisation and inter-cluster bank pressure. The
+//! [`L2Config::capacity_bytes`]` == 0` keeps the capacity infinite: no
+//! line is ever evicted, exactly the cold-miss-only residency model of
+//! earlier revisions (an infinite-capacity / 1-channel / no-write-back
+//! L2 is cycle-identical to it, pinned by tests and proptests). The
 //! *per-beat* timing the engines pay (startup latency, beats-per-cycle)
 //! comes from [`L2Config::engine_timing`], mirroring how the
 //! single-cluster path derives it from [`crate::DramConfig`].
@@ -39,7 +44,7 @@
 //! cycle-identical to the same cluster moving directly against that
 //! `Dram` (pinned by `sc-system`'s equivalence tests).
 
-use std::collections::{HashSet, VecDeque};
+use sc_cache::{Cache, CacheConfig, CacheStats, Probe};
 
 use crate::dram::DramConfig;
 use crate::tcdm::AccessKind;
@@ -58,21 +63,37 @@ pub struct L2Config {
     pub latency: u32,
     /// Cycles each 64-bit beat occupies an L2 bank (≥ 1).
     pub cycles_per_beat: u32,
-    /// Whether line residency is tracked (cold misses refill from the
-    /// background memory). Off = pass-through: every line is warm.
+    /// Whether the cache core is active (capacity, misses, refills from
+    /// the background memory). Off = pass-through: every line is warm.
     pub refill: bool,
-    /// Refill line size in bytes (power of two, multiple of 8).
+    /// Cache line size in bytes (power of two, multiple of 8).
     pub line_bytes: u32,
+    /// Data capacity in bytes; **0 = infinite** (residency-only, no
+    /// eviction — the historical behaviour). When finite, must be a
+    /// multiple of `line_bytes × ways`.
+    pub capacity_bytes: u32,
+    /// Associativity of a finite L2 (lines per set, ≥ 1).
+    pub ways: u32,
+    /// MSHR file size: line refills that may be outstanding at once;
+    /// **0 = unbounded**.
+    pub mshrs: u32,
+    /// Parallel refill/write-back channels to the Dram (≥ 1).
+    pub refill_channels: u32,
+    /// Whether evicted dirty lines generate write-back traffic on the
+    /// channels (finite capacities only — an infinite L2 never evicts).
+    pub write_back: bool,
     /// Cycles before the first beat of a line refill arrives from Dram.
     pub refill_latency: u32,
-    /// Cycles per 64-bit beat on the refill channel (≥ 1).
+    /// Cycles per 64-bit beat on a refill/write-back channel (≥ 1).
     pub refill_cycles_per_beat: u32,
 }
 
 impl L2Config {
     /// Defaults sized like a multi-cluster interconnect hop: closer and
     /// wider than the Dram (8 cycles startup, 8 banks), refilling 256 B
-    /// lines from a Dram-like channel.
+    /// lines from a Dram-like channel — with **infinite** capacity, one
+    /// channel and no write-back, i.e. the residency-only L2 earlier
+    /// revisions modelled.
     #[must_use]
     pub fn new() -> Self {
         L2Config {
@@ -82,6 +103,11 @@ impl L2Config {
             cycles_per_beat: 1,
             refill: true,
             line_bytes: 256,
+            capacity_bytes: 0,
+            ways: 8,
+            mshrs: 0,
+            refill_channels: 1,
+            write_back: false,
             refill_latency: 64,
             refill_cycles_per_beat: 1,
         }
@@ -113,6 +139,21 @@ impl L2Config {
         self
     }
 
+    /// Sets the bank word width (the interleaving granule).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bank_width` is a power of two ≥ 8.
+    #[must_use]
+    pub fn with_bank_width(mut self, bank_width: u32) -> Self {
+        assert!(
+            bank_width.is_power_of_two() && bank_width >= 8,
+            "bank width must be a power of two of at least 8 bytes"
+        );
+        self.bank_width = bank_width;
+        self
+    }
+
     /// Sets the per-transfer startup latency.
     #[must_use]
     pub fn with_latency(mut self, latency: u32) -> Self {
@@ -132,14 +173,14 @@ impl L2Config {
         self
     }
 
-    /// Enables/disables residency tracking (cold-miss refills).
+    /// Enables/disables the cache core (miss/refill modelling).
     #[must_use]
     pub fn with_refill(mut self, refill: bool) -> Self {
         self.refill = refill;
         self
     }
 
-    /// Sets the refill line size.
+    /// Sets the cache line size.
     ///
     /// # Panics
     ///
@@ -154,6 +195,75 @@ impl L2Config {
         self
     }
 
+    /// Sets the capacity (0 = infinite). A finite capacity must be a
+    /// multiple of `line_bytes × ways`, checked when the L2 is
+    /// instantiated (once the whole geometry is known).
+    #[must_use]
+    pub fn with_capacity_bytes(mut self, capacity_bytes: u32) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Sets the associativity of a finite L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    #[must_use]
+    pub fn with_ways(mut self, ways: u32) -> Self {
+        assert!(ways >= 1, "a set holds at least one line");
+        self.ways = ways;
+        self
+    }
+
+    /// Sets the MSHR file size (0 = unbounded).
+    #[must_use]
+    pub fn with_mshrs(mut self, mshrs: u32) -> Self {
+        self.mshrs = mshrs;
+        self
+    }
+
+    /// Sets the number of parallel refill/write-back channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refill_channels` is zero.
+    #[must_use]
+    pub fn with_refill_channels(mut self, refill_channels: u32) -> Self {
+        assert!(refill_channels >= 1, "the L2 has at least one channel");
+        self.refill_channels = refill_channels;
+        self
+    }
+
+    /// Enables/disables write-back traffic for evicted dirty lines.
+    #[must_use]
+    pub fn with_write_back(mut self, write_back: bool) -> Self {
+        self.write_back = write_back;
+        self
+    }
+
+    /// Sets the refill-channel startup latency.
+    #[must_use]
+    pub fn with_refill_latency(mut self, refill_latency: u32) -> Self {
+        self.refill_latency = refill_latency;
+        self
+    }
+
+    /// Sets the per-beat refill-channel occupancy (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refill_cycles_per_beat` is zero.
+    #[must_use]
+    pub fn with_refill_cycles_per_beat(mut self, refill_cycles_per_beat: u32) -> Self {
+        assert!(
+            refill_cycles_per_beat >= 1,
+            "refill bandwidth is at most one beat/cycle"
+        );
+        self.refill_cycles_per_beat = refill_cycles_per_beat;
+        self
+    }
+
     /// The timing the DMA engines pay per transfer/beat at this L2 —
     /// the drop-in replacement for a private Dram's `DramConfig`.
     #[must_use]
@@ -163,13 +273,27 @@ impl L2Config {
             .with_cycles_per_beat(self.cycles_per_beat)
     }
 
+    /// The cache-core configuration this L2 instantiates.
+    #[must_use]
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig::new()
+            .with_line_bytes(self.line_bytes)
+            .with_capacity_bytes(self.capacity_bytes)
+            .with_ways(self.ways)
+            .with_mshrs(self.mshrs)
+            .with_channels(self.refill_channels)
+            .with_refill_latency(self.refill_latency)
+            .with_refill_cycles_per_beat(self.refill_cycles_per_beat)
+            .with_write_back(self.write_back)
+    }
+
     /// 64-bit beats per refill line.
     #[must_use]
     pub fn line_beats(&self) -> u32 {
         self.line_bytes / 8
     }
 
-    /// Cycles one line refill occupies the channel.
+    /// Cycles one line refill (or write-back) occupies its channel.
     #[must_use]
     pub fn refill_cycles(&self) -> u32 {
         self.refill_latency + self.line_beats() * self.refill_cycles_per_beat
@@ -193,42 +317,85 @@ pub struct L2Request {
     pub kind: AccessKind,
 }
 
-/// Cumulative L2 activity, broken down per requesting cluster.
+/// Per-request outcome of one [`L2::arbitrate`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Outcome {
+    /// The beat won its bank (and, for reads, its line was present): it
+    /// proceeds this cycle.
+    Granted,
+    /// The beat lost same-cycle bank arbitration to another cluster; it
+    /// retries next cycle.
+    BankConflict,
+    /// A read beat's line is missing; its refill is in flight or queued.
+    MissWait,
+    /// A read beat's line is missing and the MSHR file is full: the miss
+    /// could not even be accepted this cycle.
+    MshrFull,
+}
+
+impl L2Outcome {
+    /// Whether the beat proceeds this cycle.
+    #[must_use]
+    pub fn granted(self) -> bool {
+        matches!(self, L2Outcome::Granted)
+    }
+
+    /// Whether the denial is miss/refill-related (as opposed to losing
+    /// bank arbitration).
+    #[must_use]
+    pub fn refill_related(self) -> bool {
+        matches!(self, L2Outcome::MissWait | L2Outcome::MshrFull)
+    }
+}
+
+/// Cumulative L2 activity: the bank-arbitration side (per requesting
+/// cluster) plus the cache core's hit/miss/eviction/MSHR counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct L2Stats {
     /// Beats granted an L2 bank.
     pub accesses: u64,
     /// Beats denied by same-cycle bank contention from another cluster.
     pub conflicts: u64,
-    /// Beats stalled because their line was still refilling (or queued
-    /// to refill) from the background memory.
-    pub refill_stalls: u64,
-    /// Lines refilled from the background memory.
-    pub refills: u64,
     /// Granted beats per cluster.
     pub accesses_by_cluster: Vec<u64>,
     /// Bank-conflict denials per cluster.
     pub conflicts_by_cluster: Vec<u64>,
+    /// The cache core's counters (hits, misses, refills, evictions,
+    /// write-backs, MSHR activity).
+    pub cache: CacheStats,
 }
 
 impl L2Stats {
-    fn new(num_clusters: u32) -> Self {
-        L2Stats {
-            accesses_by_cluster: vec![0; num_clusters as usize],
-            conflicts_by_cluster: vec![0; num_clusters as usize],
-            ..Self::default()
-        }
+    /// Cycles beats spent stalled because their line was still missing
+    /// (refilling, queued, or bounced off a full MSHR file).
+    #[must_use]
+    pub fn refill_stalls(&self) -> u64 {
+        self.cache.stall_cycles
     }
 
-    /// 64-bit beats moved over the refill channel (one Dram access each
+    /// Lines refilled from the background memory.
+    #[must_use]
+    pub fn refills(&self) -> u64 {
+        self.cache.refills
+    }
+
+    /// 64-bit beats moved over the refill channels (one Dram access each
     /// — the unit `sc-energy` charges).
     #[must_use]
     pub fn refill_beats(&self, cfg: &L2Config) -> u64 {
-        self.refills * u64::from(cfg.line_beats())
+        self.cache.refills * u64::from(cfg.line_beats())
+    }
+
+    /// 64-bit beats of write-back traffic dirty evictions generated (one
+    /// Dram access each).
+    #[must_use]
+    pub fn writeback_beats(&self, cfg: &L2Config) -> u64 {
+        self.cache.dirty_evictions * u64::from(cfg.line_beats())
     }
 }
 
-/// The cycle-stepped shared L2: bank arbiter + residency/refill state.
+/// The cycle-stepped shared L2: bank arbiter over a [`sc_cache::Cache`]
+/// core.
 ///
 /// Step protocol per system cycle: [`L2::begin_cycle`] →
 /// [`L2::arbitrate`] (once, with every cluster's beat) →
@@ -236,15 +403,12 @@ impl L2Stats {
 #[derive(Debug)]
 pub struct L2 {
     cfg: L2Config,
-    stats: L2Stats,
-    /// Lines already fetched from the background memory.
-    resident: HashSet<u32>,
-    /// Lines queued for refill but not yet started, FIFO.
-    refill_queue: VecDeque<u32>,
-    /// Lines in the queue or in flight (dedup for the queue).
-    refill_pending: HashSet<u32>,
-    /// The in-flight refill: (line, cycles remaining).
-    refilling: Option<(u32, u32)>,
+    /// The capacity/miss/refill core (used only when `cfg.refill`).
+    cache: Cache,
+    accesses: u64,
+    conflicts: u64,
+    accesses_by_cluster: Vec<u64>,
+    conflicts_by_cluster: Vec<u64>,
     /// Round-robin rotation over clusters.
     rr_next: u32,
     /// Scratch: banks taken this cycle.
@@ -257,14 +421,19 @@ pub struct L2 {
 impl L2 {
     /// Creates an empty (fully cold) L2 arbitrating `num_clusters`
     /// engine ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid cache geometry (a finite capacity that is
+    /// not a multiple of `line_bytes × ways`).
     #[must_use]
     pub fn new(cfg: L2Config, num_clusters: u32) -> Self {
         L2 {
-            stats: L2Stats::new(num_clusters),
-            resident: HashSet::new(),
-            refill_queue: VecDeque::new(),
-            refill_pending: HashSet::new(),
-            refilling: None,
+            cache: Cache::new(cfg.cache_config()),
+            accesses: 0,
+            conflicts: 0,
+            accesses_by_cluster: vec![0; num_clusters as usize],
+            conflicts_by_cluster: vec![0; num_clusters as usize],
             rr_next: 0,
             bank_taken: vec![false; cfg.banks as usize],
             order: Vec::new(),
@@ -278,10 +447,23 @@ impl L2 {
         &self.cfg
     }
 
-    /// Activity counters accumulated so far.
+    /// Activity counters accumulated so far (assembled from the bank
+    /// arbiter and the cache core).
     #[must_use]
-    pub fn stats(&self) -> &L2Stats {
-        &self.stats
+    pub fn stats(&self) -> L2Stats {
+        L2Stats {
+            accesses: self.accesses,
+            conflicts: self.conflicts,
+            accesses_by_cluster: self.accesses_by_cluster.clone(),
+            conflicts_by_cluster: self.conflicts_by_cluster.clone(),
+            cache: *self.cache.stats(),
+        }
+    }
+
+    /// The cache core (config/occupancy inspection).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
     }
 
     /// The bank serving a byte address.
@@ -290,46 +472,29 @@ impl L2 {
         (addr / self.cfg.bank_width) % self.cfg.banks
     }
 
-    fn line_of(&self, addr: u32) -> u32 {
-        addr / self.cfg.line_bytes
-    }
-
-    /// Whether the line holding `addr` is resident (always true with
-    /// refill tracking off).
+    /// Whether the line holding `addr` is present (always true with the
+    /// cache core off).
     #[must_use]
     pub fn is_resident(&self, addr: u32) -> bool {
-        !self.cfg.refill || self.resident.contains(&self.line_of(addr))
+        !self.cfg.refill || self.cache.is_present(addr)
     }
 
-    /// Whether a beat must wait for its line: only **reads** of cold
-    /// lines do. Writes are no-allocate — the beat passes through to the
-    /// functional store and marks the line resident (a subsequent read
-    /// of data this system just produced is a hit, not a refill), so
-    /// write-back traffic to never-read output lines neither stalls
-    /// behind the refill channel nor charges Dram refill energy.
-    fn needs_refill(&self, req: &L2Request) -> bool {
-        req.kind == AccessKind::Read && !self.is_resident(req.addr)
-    }
-
-    /// Cycle start: pick up the next queued line refill if the channel
-    /// is idle.
+    /// Cycle start: idle refill/write-back channels pick up queued jobs.
     pub fn begin_cycle(&mut self) {
-        if self.refilling.is_none() {
-            if let Some(line) = self.refill_queue.pop_front() {
-                self.refilling = Some((line, self.cfg.refill_cycles()));
-            }
+        if self.cfg.refill {
+            self.cache.begin_cycle();
         }
     }
 
     /// Arbitrates one cycle of beats — at most one request per cluster,
     /// at most one grant per bank, rotation over clusters. Reads of
-    /// non-resident lines are denied and queued for refill; writes pass
-    /// through (no-allocate). Returns grant flags index-aligned with
-    /// `requests`.
-    pub fn arbitrate(&mut self, requests: &[L2Request]) -> Vec<bool> {
-        let mut grants = vec![false; requests.len()];
+    /// missing lines stall behind the cache core's MSHRs/channels;
+    /// writes allocate without a fetch and never stall. Returns per-beat
+    /// outcomes index-aligned with `requests`.
+    pub fn arbitrate(&mut self, requests: &[L2Request]) -> Vec<L2Outcome> {
+        let mut outcomes = vec![L2Outcome::BankConflict; requests.len()];
         if requests.is_empty() {
-            return grants;
+            return outcomes;
         }
         self.bank_taken.fill(false);
         // True round-robin over the *configured* cluster ids: priority
@@ -338,7 +503,7 @@ impl L2 {
         // the split between the ones actually contending (a free-running
         // counter would hand an absent id's turn to the next id above
         // it, starving lower-numbered clusters of their share).
-        let n = self.stats.accesses_by_cluster.len().max(1) as u32;
+        let n = self.accesses_by_cluster.len().max(1) as u32;
         debug_assert!(
             requests.iter().all(|r| r.cluster < n),
             "request from cluster outside the configured id range"
@@ -352,28 +517,39 @@ impl L2 {
         for &i in &order {
             let req = &requests[i];
             let c = req.cluster as usize;
-            if self.needs_refill(req) {
-                let line = self.line_of(req.addr);
-                if self.refill_pending.insert(line) {
-                    self.refill_queue.push_back(line);
+            if self.cfg.refill && req.kind == AccessKind::Read {
+                match self.cache.probe_read(req.addr, req.cluster) {
+                    Probe::Ready => {}
+                    Probe::MissPending => {
+                        outcomes[i] = L2Outcome::MissWait;
+                        continue;
+                    }
+                    Probe::MshrFull => {
+                        outcomes[i] = L2Outcome::MshrFull;
+                        continue;
+                    }
                 }
-                self.stats.refill_stalls += 1;
-                continue;
             }
             let bank = self.bank_of(req.addr) as usize;
             if self.bank_taken[bank] {
-                self.stats.conflicts += 1;
-                self.stats.conflicts_by_cluster[c] += 1;
+                self.conflicts += 1;
+                self.conflicts_by_cluster[c] += 1;
             } else {
                 self.bank_taken[bank] = true;
-                grants[i] = true;
-                self.stats.accesses += 1;
-                self.stats.accesses_by_cluster[c] += 1;
+                outcomes[i] = L2Outcome::Granted;
+                self.accesses += 1;
+                self.accesses_by_cluster[c] += 1;
                 first_winner.get_or_insert(req.cluster);
-                if self.cfg.refill && req.kind == AccessKind::Write {
-                    // No-allocate in the timing sense, but the written
-                    // data is now the L2's to serve: later reads hit.
-                    self.resident.insert(self.line_of(req.addr));
+                if self.cfg.refill {
+                    match req.kind {
+                        AccessKind::Read => {
+                            let _ = self.cache.commit_read(req.addr, req.cluster);
+                        }
+                        // Allocate-without-fetch in the timing sense,
+                        // and the written data is now the L2's to
+                        // serve: later reads hit.
+                        AccessKind::Write => self.cache.commit_write(req.addr),
+                    }
                 }
             }
         }
@@ -382,20 +558,15 @@ impl L2 {
             Some(cluster) => (cluster + 1) % n,
             None => (self.rr_next + 1) % n,
         };
-        grants
+        outcomes
     }
 
-    /// Cycle end: the refill channel advances; a finished line becomes
-    /// resident (its stalled beats may be granted from next cycle).
+    /// Cycle end: the refill/write-back channels advance; a finished
+    /// line becomes present (its stalled beats may be granted from next
+    /// cycle).
     pub fn end_cycle(&mut self) {
-        if let Some((line, wait)) = self.refilling.as_mut() {
-            *wait -= 1;
-            if *wait == 0 {
-                self.resident.insert(*line);
-                self.refill_pending.remove(line);
-                self.stats.refills += 1;
-                self.refilling = None;
-            }
+        if self.cfg.refill {
+            self.cache.end_cycle();
         }
     }
 }
@@ -409,6 +580,14 @@ mod tests {
             cluster,
             addr,
             kind: AccessKind::Read,
+        }
+    }
+
+    fn wr(cluster: u32, addr: u32) -> L2Request {
+        L2Request {
+            cluster,
+            addr,
+            kind: AccessKind::Write,
         }
     }
 
@@ -429,11 +608,14 @@ mod tests {
         for i in 0..100u32 {
             l2.begin_cycle();
             let g = l2.arbitrate(&[req(0, i * 8)]);
-            assert!(g[0], "pass-through must never deny a lone cluster");
+            assert!(
+                g[0].granted(),
+                "pass-through must never deny a lone cluster"
+            );
             l2.end_cycle();
         }
         assert_eq!(l2.stats().accesses, 100);
-        assert_eq!(l2.stats().refills, 0);
+        assert_eq!(l2.stats().refills(), 0);
     }
 
     #[test]
@@ -449,21 +631,24 @@ mod tests {
             l2.begin_cycle();
             let g = l2.arbitrate(&[req(0, 0x100)]);
             l2.end_cycle();
-            if g[0] {
+            if g[0].granted() {
                 break;
             }
+            assert_eq!(g[0], L2Outcome::MissWait);
             stalled += 1;
             assert!(stalled < 10_000, "refill never completed");
         }
         // The beat waits out exactly one line refill (first denial
         // enqueues it; the channel starts next begin_cycle).
         assert_eq!(stalled, refill_cycles as u64 + 1);
-        assert_eq!(l2.stats().refills, 1);
-        assert_eq!(l2.stats().refill_stalls, stalled);
+        assert_eq!(l2.stats().refills(), 1);
+        assert_eq!(l2.stats().refill_stalls(), stalled);
+        assert_eq!(l2.stats().cache.read_misses, 1);
         // The neighbouring beat on the same line is now warm.
         l2.begin_cycle();
-        assert!(l2.arbitrate(&[req(0, 0x108)])[0]);
+        assert!(l2.arbitrate(&[req(0, 0x108)])[0].granted());
         l2.end_cycle();
+        assert_eq!(l2.stats().cache.read_hits, 1);
     }
 
     #[test]
@@ -476,9 +661,9 @@ mod tests {
         for _ in 0..100 {
             l2.begin_cycle();
             let g = l2.arbitrate(&[req(0, 0x0), req(1, 0x20)]);
-            assert_eq!(g.iter().filter(|g| **g).count(), 1);
+            assert_eq!(g.iter().filter(|g| g.granted()).count(), 1);
             for (w, granted) in wins.iter_mut().zip(&g) {
-                *w += u32::from(*granted);
+                *w += u32::from(granted.granted());
             }
             l2.end_cycle();
         }
@@ -489,27 +674,23 @@ mod tests {
 
     #[test]
     fn writes_bypass_the_refill_channel_and_warm_their_line() {
-        // Write-no-allocate: a cold-line write proceeds immediately
+        // Allocate-without-fetch: a cold-line write proceeds immediately
         // (never stalls on the refill channel), and a later read of the
         // just-written line hits.
         let mut l2 = L2::new(L2Config::new().with_line_bytes(64), 1);
         l2.begin_cycle();
-        let g = l2.arbitrate(&[L2Request {
-            cluster: 0,
-            addr: 0x200,
-            kind: AccessKind::Write,
-        }]);
-        assert!(g[0], "cold write must not wait for a refill");
+        let g = l2.arbitrate(&[wr(0, 0x200)]);
+        assert!(g[0].granted(), "cold write must not wait for a refill");
         l2.end_cycle();
-        assert_eq!(l2.stats().refills, 0);
-        assert_eq!(l2.stats().refill_stalls, 0);
+        assert_eq!(l2.stats().refills(), 0);
+        assert_eq!(l2.stats().refill_stalls(), 0);
         l2.begin_cycle();
         assert!(
-            l2.arbitrate(&[req(0, 0x208)])[0],
+            l2.arbitrate(&[req(0, 0x208)])[0].granted(),
             "reading back freshly written data is a hit"
         );
         l2.end_cycle();
-        assert_eq!(l2.stats().refills, 0);
+        assert_eq!(l2.stats().refills(), 0);
     }
 
     #[test]
@@ -524,9 +705,9 @@ mod tests {
         for _ in 0..100 {
             l2.begin_cycle();
             let g = l2.arbitrate(&[req(0, 0x0), req(2, 0x20)]);
-            assert_eq!(g.iter().filter(|g| **g).count(), 1);
-            wins[0] += u32::from(g[0]);
-            wins[1] += u32::from(g[1]);
+            assert_eq!(g.iter().filter(|g| g.granted()).count(), 1);
+            wins[0] += u32::from(g[0].granted());
+            wins[1] += u32::from(g[1].granted());
             l2.end_cycle();
         }
         assert_eq!(wins, [50, 50], "idle cluster 1 must not skew the split");
@@ -538,13 +719,13 @@ mod tests {
         warm(&mut l2, &[0x0, 0x8]);
         l2.begin_cycle();
         let g = l2.arbitrate(&[req(0, 0x0), req(1, 0x8)]);
-        assert_eq!(g, vec![true, true]);
+        assert_eq!(g, vec![L2Outcome::Granted, L2Outcome::Granted]);
         l2.end_cycle();
         assert_eq!(l2.stats().conflicts, 0);
     }
 
     #[test]
-    fn refill_channel_serialises_lines() {
+    fn single_refill_channel_serialises_lines() {
         let cfg = L2Config::new().with_line_bytes(64);
         let per_line = cfg.refill_cycles();
         let mut l2 = L2::new(cfg, 2);
@@ -555,17 +736,98 @@ mod tests {
         while !(got0 && got1) {
             l2.begin_cycle();
             let g = l2.arbitrate(&[req(0, 0x0), req(1, 0x1000)]);
-            got0 |= g[0];
-            got1 |= g[1];
+            got0 |= g[0].granted();
+            got1 |= g[1].granted();
             l2.end_cycle();
             cycles += 1;
             assert!(cycles < 10_000, "refills never completed");
         }
         assert!(cycles > 2 * per_line, "two lines cannot overlap refills");
-        assert_eq!(l2.stats().refills, 2);
+        assert_eq!(l2.stats().refills(), 2);
         assert_eq!(
             l2.stats().refill_beats(l2.config()),
             2 * u64::from(l2.config().line_beats())
         );
+    }
+
+    #[test]
+    fn parallel_refill_channels_overlap_lines() {
+        let run = |channels: u32| {
+            let cfg = L2Config::new()
+                .with_line_bytes(64)
+                .with_refill_channels(channels);
+            let mut l2 = L2::new(cfg, 2);
+            let mut cycles = 0u32;
+            let (mut got0, mut got1) = (false, false);
+            while !(got0 && got1) {
+                l2.begin_cycle();
+                let g = l2.arbitrate(&[req(0, 0x0), req(1, 0x1000)]);
+                got0 |= g[0].granted();
+                got1 |= g[1].granted();
+                l2.end_cycle();
+                cycles += 1;
+                assert!(cycles < 10_000, "refills never completed");
+            }
+            cycles
+        };
+        assert!(
+            run(2) < run(1),
+            "a second channel must overlap the two lines' refills"
+        );
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_and_writes_back_dirty_lines() {
+        // 2 KiB, 2-way, 64 B lines = 16 sets; stream writes over 64
+        // lines, then re-read the start: early lines were dirty-evicted,
+        // so write-back traffic appears and the re-read misses again.
+        let cfg = L2Config::new()
+            .with_line_bytes(64)
+            .with_capacity_bytes(2 << 10)
+            .with_ways(2)
+            .with_write_back(true);
+        let mut l2 = L2::new(cfg, 1);
+        for i in 0..64u32 {
+            l2.begin_cycle();
+            assert!(l2.arbitrate(&[wr(0, i * 64)])[0].granted());
+            l2.end_cycle();
+        }
+        let stats = l2.stats();
+        assert_eq!(stats.cache.write_beats, 64);
+        assert_eq!(stats.cache.evictions, 32, "64 lines through 32 slots");
+        assert_eq!(stats.cache.dirty_evictions, 32, "every victim was dirty");
+        assert_eq!(
+            stats.writeback_beats(l2.config()),
+            32 * u64::from(l2.config().line_beats())
+        );
+        assert!(
+            !l2.is_resident(0),
+            "the first written line was evicted by capacity pressure"
+        );
+        // An infinite L2 driven identically never evicts.
+        let mut inf = L2::new(L2Config::new().with_line_bytes(64), 1);
+        for i in 0..64u32 {
+            inf.begin_cycle();
+            assert!(inf.arbitrate(&[wr(0, i * 64)])[0].granted());
+            inf.end_cycle();
+        }
+        assert_eq!(inf.stats().cache.evictions, 0);
+        assert!(inf.is_resident(0));
+    }
+
+    #[test]
+    fn mshr_file_limits_outstanding_misses() {
+        let cfg = L2Config::new()
+            .with_line_bytes(64)
+            .with_banks(8)
+            .with_mshrs(1);
+        let mut l2 = L2::new(cfg, 2);
+        l2.begin_cycle();
+        let g = l2.arbitrate(&[req(0, 0x0), req(1, 0x1000)]);
+        assert_eq!(g[0], L2Outcome::MissWait, "first miss allocates the MSHR");
+        assert_eq!(g[1], L2Outcome::MshrFull, "second distinct line bounces");
+        l2.end_cycle();
+        assert!(l2.stats().cache.mshr_full_stalls >= 1);
+        assert_eq!(l2.stats().cache.mshr_peak, 1);
     }
 }

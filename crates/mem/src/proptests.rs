@@ -1,8 +1,9 @@
-//! Property tests for the TCDM arbitration invariants.
+//! Property tests for the TCDM arbitration invariants and the L2's
+//! cache-stats invariants.
 
 use proptest::prelude::*;
 
-use crate::{AccessKind, PortId, Request, Tcdm, TcdmConfig};
+use crate::{AccessKind, L2Config, L2Outcome, L2Request, PortId, Request, Tcdm, TcdmConfig, L2};
 
 fn request() -> impl Strategy<Value = Request> {
     (0u8..8, 0u32..512, any::<bool>()).prop_map(|(p, word, w)| Request {
@@ -69,4 +70,306 @@ proptest! {
         tcdm.write_u64(addr_word * 8, value).unwrap();
         prop_assert_eq!(tcdm.read_u64(addr_word * 8).unwrap(), value);
     }
+}
+
+/// One cluster's beat per cycle at most — the shape the system actually
+/// drives the L2 with (each cluster's DMA engine issues at most one
+/// beat; duplicates from the generator are dropped).
+fn l2_batch(clusters: u32) -> impl Strategy<Value = Vec<L2Request>> {
+    proptest::collection::vec(
+        (0u32..clusters, 0u32..64, any::<bool>()),
+        0..(clusters as usize + 1),
+    )
+    .prop_map(|reqs| {
+        let mut seen = [false; 8];
+        let mut batch = Vec::new();
+        for (c, word, write) in reqs {
+            if std::mem::replace(&mut seen[c as usize], true) {
+                continue;
+            }
+            batch.push(L2Request {
+                cluster: c,
+                addr: word * 8,
+                kind: if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            });
+        }
+        batch
+    })
+}
+
+fn finite_l2_config() -> impl Strategy<Value = L2Config> {
+    (
+        prop_oneof![Just(0u32), Just(4), Just(8), Just(16)],
+        1u32..5,
+        prop_oneof![Just(0u32), Just(1), Just(2), Just(4)],
+        1u32..5,
+        any::<bool>(),
+    )
+        .prop_map(|(sets, ways, mshrs, channels, write_back)| {
+            L2Config::new()
+                .with_line_bytes(64)
+                .with_banks(4)
+                .with_refill_latency(3)
+                .with_capacity_bytes(sets * 64 * ways)
+                .with_ways(ways)
+                .with_mshrs(mshrs)
+                .with_refill_channels(channels)
+                .with_write_back(write_back)
+        })
+}
+
+/// Drives `batches` through an L2, returning externally counted
+/// (granted reads, granted writes).
+fn drive(l2: &mut L2, batches: &[Vec<L2Request>]) -> (u64, u64) {
+    let (mut reads, mut writes) = (0u64, 0u64);
+    for batch in batches {
+        l2.begin_cycle();
+        let outcomes = l2.arbitrate(batch);
+        for (req, outcome) in batch.iter().zip(&outcomes) {
+            if outcome.granted() {
+                match req.kind {
+                    AccessKind::Read => reads += 1,
+                    AccessKind::Write => writes += 1,
+                }
+            }
+        }
+        l2.end_cycle();
+    }
+    (reads, writes)
+}
+
+proptest! {
+    /// The L2's cache-stats invariants hold under arbitrary beat
+    /// sequences and arbitrary finite/infinite geometries:
+    ///
+    /// * every granted read beat is classified exactly once — hits +
+    ///   misses == granted read beats,
+    /// * write-back traffic appears only from dirty evictions (never
+    ///   with write-back off, never without an eviction),
+    /// * MSHR merges never exceed the stall cycles that could have
+    ///   produced them, the file never exceeds its configured size, and
+    ///   refills never outnumber MSHR allocations.
+    #[test]
+    fn l2_stats_invariants(
+        cfg in finite_l2_config(),
+        batches in proptest::collection::vec(l2_batch(3), 1..120),
+    ) {
+        let mut l2 = L2::new(cfg, 3);
+        let (reads, writes) = drive(&mut l2, &batches);
+        let s = l2.stats();
+        let c = &s.cache;
+        prop_assert_eq!(c.read_hits + c.read_misses, reads,
+            "every granted read beat is a hit or a serviced miss");
+        prop_assert_eq!(c.write_beats, writes);
+        prop_assert_eq!(s.accesses, reads + writes);
+        if !cfg.write_back || c.evictions == 0 {
+            prop_assert_eq!(c.dirty_evictions, 0);
+            prop_assert_eq!(s.writeback_beats(&cfg), 0);
+        }
+        prop_assert_eq!(s.writeback_beats(&cfg),
+            c.dirty_evictions * u64::from(cfg.line_beats()));
+        prop_assert!(c.mshr_merges <= c.stall_cycles,
+            "a merge only happens on a stalled beat");
+        prop_assert!(c.refills <= c.mshr_allocations,
+            "every refilled line was allocated an MSHR");
+        if cfg.mshrs > 0 {
+            prop_assert!(c.mshr_peak <= u64::from(cfg.mshrs));
+        } else {
+            prop_assert_eq!(c.mshr_full_stalls, 0);
+        }
+        if cfg.capacity_bytes == 0 {
+            prop_assert_eq!(c.evictions, 0, "an infinite L2 never evicts");
+        }
+    }
+
+    /// With no write beats at all, no line can ever become dirty: zero
+    /// write-back traffic regardless of capacity pressure.
+    #[test]
+    fn l2_without_writes_never_writes_back(
+        cfg in finite_l2_config(),
+        batches in proptest::collection::vec(l2_batch(3), 1..100),
+    ) {
+        let reads_only: Vec<Vec<L2Request>> = batches
+            .into_iter()
+            .map(|b| {
+                b.into_iter()
+                    .map(|mut r| {
+                        r.kind = AccessKind::Read;
+                        r
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut l2 = L2::new(cfg.with_write_back(true), 3);
+        drive(&mut l2, &reads_only);
+        let s = l2.stats();
+        prop_assert_eq!(s.cache.dirty_evictions, 0);
+        prop_assert_eq!(s.writeback_beats(&cfg), 0);
+    }
+
+    /// A single requester can never merge: merging is cross-requester
+    /// same-line coalescing, and one engine's retries of its own beat
+    /// must not be double-counted.
+    #[test]
+    fn l2_single_cluster_never_merges(
+        cfg in finite_l2_config(),
+        batches in proptest::collection::vec(l2_batch(1), 1..100),
+    ) {
+        let mut l2 = L2::new(cfg, 1);
+        drive(&mut l2, &batches);
+        prop_assert_eq!(l2.stats().cache.mshr_merges, 0);
+    }
+
+    /// The tentpole equivalence pin: an infinite-capacity, 1-channel,
+    /// no-write-back L2 behaves **cycle-identically** to the historical
+    /// residency model (HashSet of lines + single FIFO refill channel),
+    /// grant for grant and refill for refill, under arbitrary beat
+    /// sequences.
+    #[test]
+    fn infinite_one_channel_l2_matches_residency_reference(
+        batches in proptest::collection::vec(l2_batch(3), 1..150),
+    ) {
+        let cfg = L2Config::new().with_line_bytes(64).with_banks(4).with_refill_latency(3);
+        prop_assert_eq!(cfg.capacity_bytes, 0, "default stays the PR 3 point");
+        prop_assert_eq!(cfg.refill_channels, 1);
+        prop_assert!(!cfg.write_back);
+        let mut l2 = L2::new(cfg, 3);
+        let mut reference = ResidencyL2::new(cfg, 3);
+        for (cycle, batch) in batches.iter().enumerate() {
+            l2.begin_cycle();
+            reference.begin_cycle();
+            let got: Vec<bool> = l2.arbitrate(batch).iter().map(|o| o.granted()).collect();
+            let want = reference.arbitrate(batch);
+            prop_assert_eq!(&got, &want, "grant divergence at cycle {}", cycle);
+            l2.end_cycle();
+            reference.end_cycle();
+            prop_assert_eq!(l2.stats().refills(), reference.refills,
+                "refill-count divergence at cycle {}", cycle);
+        }
+        prop_assert_eq!(l2.stats().refill_stalls(), reference.refill_stalls);
+        prop_assert_eq!(l2.stats().accesses, reference.accesses);
+        prop_assert_eq!(l2.stats().conflicts, reference.conflicts);
+    }
+}
+
+/// The PR 3 residency L2, verbatim: a `HashSet` of resident lines, a
+/// FIFO refill queue and a single refill channel. Kept as the reference
+/// the rewritten (cache-core) L2 must match at the
+/// infinite/1-channel/no-write-back configuration point.
+struct ResidencyL2 {
+    cfg: L2Config,
+    resident: std::collections::HashSet<u32>,
+    refill_queue: std::collections::VecDeque<u32>,
+    refill_pending: std::collections::HashSet<u32>,
+    refilling: Option<(u32, u32)>,
+    rr_next: u32,
+    num_clusters: u32,
+    accesses: u64,
+    conflicts: u64,
+    refill_stalls: u64,
+    refills: u64,
+}
+
+impl ResidencyL2 {
+    fn new(cfg: L2Config, num_clusters: u32) -> Self {
+        ResidencyL2 {
+            cfg,
+            resident: Default::default(),
+            refill_queue: Default::default(),
+            refill_pending: Default::default(),
+            refilling: None,
+            rr_next: 0,
+            num_clusters,
+            accesses: 0,
+            conflicts: 0,
+            refill_stalls: 0,
+            refills: 0,
+        }
+    }
+
+    fn line_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.line_bytes
+    }
+
+    fn begin_cycle(&mut self) {
+        if self.refilling.is_none() {
+            if let Some(line) = self.refill_queue.pop_front() {
+                self.refilling = Some((line, self.cfg.refill_cycles()));
+            }
+        }
+    }
+
+    fn arbitrate(&mut self, requests: &[L2Request]) -> Vec<bool> {
+        let mut grants = vec![false; requests.len()];
+        if requests.is_empty() {
+            return grants;
+        }
+        let mut bank_taken = vec![false; self.cfg.banks as usize];
+        let n = self.num_clusters.max(1);
+        let rr = self.rr_next % n;
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].cluster + n - rr) % n);
+        let mut first_winner = None;
+        for &i in &order {
+            let req = &requests[i];
+            if req.kind == AccessKind::Read && !self.resident.contains(&self.line_of(req.addr)) {
+                let line = self.line_of(req.addr);
+                if self.refill_pending.insert(line) {
+                    self.refill_queue.push_back(line);
+                }
+                self.refill_stalls += 1;
+                continue;
+            }
+            let bank = ((req.addr / self.cfg.bank_width) % self.cfg.banks) as usize;
+            if bank_taken[bank] {
+                self.conflicts += 1;
+            } else {
+                bank_taken[bank] = true;
+                grants[i] = true;
+                self.accesses += 1;
+                first_winner.get_or_insert(req.cluster);
+                if req.kind == AccessKind::Write {
+                    self.resident.insert(self.line_of(req.addr));
+                }
+            }
+        }
+        self.rr_next = match first_winner {
+            Some(cluster) => (cluster + 1) % n,
+            None => (self.rr_next + 1) % n,
+        };
+        grants
+    }
+
+    fn end_cycle(&mut self) {
+        if let Some((line, wait)) = self.refilling.as_mut() {
+            *wait -= 1;
+            if *wait == 0 {
+                self.resident.insert(*line);
+                self.refill_pending.remove(line);
+                self.refills += 1;
+                self.refilling = None;
+            }
+        }
+    }
+}
+
+/// Keep the outcome enum honest about what "granted" means — the system
+/// maps every non-granted outcome to a retried beat.
+#[test]
+fn l2_outcome_classification() {
+    assert!(L2Outcome::Granted.granted());
+    for denied in [
+        L2Outcome::BankConflict,
+        L2Outcome::MissWait,
+        L2Outcome::MshrFull,
+    ] {
+        assert!(!denied.granted());
+    }
+    assert!(L2Outcome::MissWait.refill_related());
+    assert!(L2Outcome::MshrFull.refill_related());
+    assert!(!L2Outcome::BankConflict.refill_related());
 }

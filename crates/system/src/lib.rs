@@ -18,8 +18,8 @@
 //!    side of the engine's beat, if one is ready;
 //! 2. the shared L2 arbitrates all clusters' beats in **one** pass
 //!    ([`sc_mem::L2::arbitrate`]): at most one beat per bank, rotation
-//!    over clusters, cold lines stalled behind the single refill
-//!    channel;
+//!    over clusters, missing lines stalled behind the cache core's
+//!    MSHRs and refill/write-back channels;
 //! 3. each cluster finishes its cycle
 //!    ([`sc_cluster::Cluster::finish_step`]) with its L2 outcome — a
 //!    granted beat then contends on the cluster's own TCDM crossbar
@@ -77,7 +77,7 @@ use std::fmt;
 use sc_cluster::{Cluster, ClusterConfig, ClusterError, ClusterSummary};
 use sc_core::PerfCounters;
 use sc_isa::Program;
-use sc_mem::{Dram, L2Config, L2Request, L2Stats, L2};
+use sc_mem::{Dram, L2Config, L2Outcome, L2Request, L2Stats, L2};
 
 /// System geometry: how many clusters, their shared per-cluster shape,
 /// and the shared memory levels above them.
@@ -182,12 +182,16 @@ pub struct SystemSummary {
     pub cluster_done_at: Vec<u64>,
     /// Inter-cluster barrier episodes completed by the whole system.
     pub system_barriers: u64,
-    /// Shared-L2 activity (accesses, conflicts, refills), when a shared
-    /// memory is attached.
+    /// Shared-L2 activity (accesses, conflicts, cache hits/misses,
+    /// evictions, MSHR activity), when a shared memory is attached.
     pub l2: Option<L2Stats>,
-    /// 64-bit beats the L2 refill channel moved from the Dram — the
+    /// 64-bit beats the L2 refill channels moved from the Dram — the
     /// expensive end of every cold miss, charged by `sc-energy`.
     pub l2_refill_beats: u64,
+    /// 64-bit beats of write-back traffic the L2's dirty evictions
+    /// generated towards the Dram (0 unless the L2 has a finite
+    /// capacity with write-back on), also charged by `sc-energy`.
+    pub l2_writeback_beats: u64,
 }
 
 impl SystemSummary {
@@ -296,9 +300,10 @@ impl System {
 
     /// Attaches the shared memory: every cluster gets a DMA engine
     /// moving against `dram` *through* the configured L2 — beats from
-    /// different clusters contend at the L2 banks, and cold lines refill
-    /// over the single L2↔Dram channel. Engines pay the L2's timing
-    /// ([`sc_mem::L2Config::engine_timing`]) per transfer/beat.
+    /// different clusters contend at the L2 banks, missing lines refill
+    /// over the L2↔Dram channels (where write-back traffic from a
+    /// finite L2's dirty evictions contends too). Engines pay the L2's
+    /// timing ([`sc_mem::L2Config::engine_timing`]) per transfer/beat.
     pub fn attach_dram(&mut self, dram: Dram) {
         let timing = self.cfg.l2.engine_timing();
         for cluster in &mut self.clusters {
@@ -416,7 +421,7 @@ impl System {
         // move against their own Dram with nothing shared to arbitrate,
         // so every beat proceeds (the empty grant vector below reads as
         // all-granted).
-        let grants = match self.shared.as_mut() {
+        let outcomes = match self.shared.as_mut() {
             Some((l2, _)) => {
                 l2.begin_cycle();
                 l2.arbitrate(&self.l2_reqs)
@@ -429,12 +434,14 @@ impl System {
         // and moves data against the shared store.
         for i in 0..self.stepped.len() {
             let c = self.stepped[i];
-            let grant = match self.l2_req_of[c] {
-                Some(r) => grants.get(r).copied().unwrap_or(true),
-                None => true,
+            let outcome = match self.l2_req_of[c] {
+                Some(r) => outcomes.get(r).copied().unwrap_or(L2Outcome::Granted),
+                None => L2Outcome::Granted,
             };
             let dram = self.shared.as_mut().map(|(_, d)| d);
-            self.clusters[c].finish_step(grant, dram).map_err(tag(c))?;
+            self.clusters[c]
+                .finish_step(outcome, dram)
+                .map_err(tag(c))?;
         }
         if let Some((l2, _)) = self.shared.as_mut() {
             l2.end_cycle();
@@ -501,11 +508,15 @@ impl System {
             }
         }
         aggregate.cycles = self.cycles;
-        let l2 = self.shared.as_ref().map(|(l2, _)| l2.stats().clone());
-        let l2_refill_beats = self
-            .shared
-            .as_ref()
-            .map_or(0, |(l2, _)| l2.stats().refill_beats(l2.config()));
+        let l2 = self.shared.as_ref().map(|(l2, _)| l2.stats());
+        let (l2_refill_beats, l2_writeback_beats) =
+            self.shared
+                .as_ref()
+                .zip(l2.as_ref())
+                .map_or((0, 0), |((shared_l2, _), stats)| {
+                    let cfg = shared_l2.config();
+                    (stats.refill_beats(cfg), stats.writeback_beats(cfg))
+                });
         SystemSummary {
             cycles: self.cycles,
             per_cluster,
@@ -518,6 +529,7 @@ impl System {
             system_barriers: self.system_barriers,
             l2,
             l2_refill_beats,
+            l2_writeback_beats,
         }
     }
 }

@@ -1,11 +1,14 @@
 //! The paper's headline experiment in miniature: run the register-limited
 //! `box3d1r` stencil in all five code variants and compare runtime, FPU
-//! utilisation, memory traffic and energy efficiency.
+//! utilisation, memory traffic and energy efficiency — then push the best
+//! variant through the full memory hierarchy (tiled clusters behind a
+//! *finite* shared L2) and read the cache statistics back.
 //!
 //! Run with `cargo run --release --example stencil_sweep`.
 //! For the full Fig. 3 (both stencils, paper-style summary) use
 //! `cargo run --release -p sc-bench --bin fig3`.
 
+use scalar_chaining::mem::{DramConfig, L2Config};
 use scalar_chaining::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,5 +61,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (base_cycles as f64 / chp.measured().cycles as f64 - 1.0) * 100.0
         );
     }
+
+    // Part two: the same stencil through the full memory hierarchy — two
+    // tiled clusters double-buffering their slabs behind a *finite*
+    // shared L2 whose capacity deliberately under-fits the working set,
+    // so capacity evictions and dirty write-backs appear.
+    let big = Grid3::new(16, 16, 16);
+    let gen = StencilKernel::new(Stencil::box3d1r(), big, Variant::ChainingPlus)?;
+    let tiled = gen.build_system_tiled(2, 2, TCDM_CAP_BYTES)?;
+    let ws = tiled.working_set();
+    println!();
+    println!(
+        "Tiled m2x2 run of a {}×{}×{} grid — working set: {} B distinct",
+        big.nx,
+        big.ny,
+        big.nz,
+        ws.footprint_bytes()
+    );
+    println!(
+        "footprint ({} lines of 256 B), {} B moved (halo revisits included).",
+        ws.l2_lines(256),
+        ws.traffic_bytes()
+    );
+    // A quarter of the footprint, rounded to whole sets of 4 × 256 B.
+    let capacity = (ws.footprint_bytes() as u32 / 4) / 1024 * 1024;
+    let l2 = L2Config::new()
+        .with_capacity_bytes(capacity)
+        .with_ways(4)
+        .with_mshrs(8)
+        .with_refill_channels(2)
+        .with_write_back(true);
+    let run = tiled.run(CoreConfig::new(), l2, DramConfig::new(), 100_000_000)?;
+    let s = run.summary;
+    let l2_stats = s.l2.as_ref().expect("shared L2 attached");
+    let c = &l2_stats.cache;
+    println!(
+        "Under a {capacity} B / 4-way / 2-channel write-back L2: {} cycles,",
+        s.cycles
+    );
+    println!(
+        " * cache: {} hits, {} serviced misses, {} refilled lines,",
+        c.read_hits, c.read_misses, c.refills
+    );
+    println!(
+        " * capacity: {} evictions ({} dirty) -> {} write-back beats to Dram,",
+        c.evictions, c.dirty_evictions, s.l2_writeback_beats
+    );
+    println!(
+        " * MSHRs: {} allocations, {} same-line merges, peak occupancy {}.",
+        c.mshr_allocations, c.mshr_merges, c.mshr_peak
+    );
+    println!("Sweep these knobs with `cargo run --release -p sc-bench --bin l2_ablation`.");
     Ok(())
 }

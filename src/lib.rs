@@ -12,7 +12,8 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`isa`] | `sc-isa` | registers, instructions, encoder/decoder, assembler |
-//! | [`mem`] | `sc-mem` | banked TCDM with per-cycle arbitration + `Dram` background memory |
+//! | [`cache`] | `sc-cache` | set-associative cache core: LRU, write-back, MSHRs, multi-channel refill |
+//! | [`mem`] | `sc-mem` | banked TCDM + finite shared `L2` + `Dram` background memory |
 //! | [`dma`] | `sc-dma` | per-cluster DMA engine (1D/2D strided Dram ↔ TCDM) |
 //! | [`fpu`] | `sc-fpu` | pipelined FPU with hold-on-backpressure |
 //! | [`ssr`] | `sc-ssr` | stream semantic registers (4-D affine movers) |
@@ -42,6 +43,7 @@
 
 #[doc(inline)]
 pub use sc_bench as benchkit;
+pub use sc_cache as cache;
 pub use sc_cluster as cluster;
 pub use sc_core as core_model;
 pub use sc_dma as dma;
@@ -67,9 +69,13 @@ pub mod prelude {
     pub use sc_kernels::{
         ClusterKernel, ClusterKernelRun, Grid3, Kernel, KernelError, KernelRun, Stencil,
         StencilKernel, SystemKernel, SystemKernelRun, TileError, TiledClusterKernel, TiledRun,
-        TiledSystemKernel, TiledSystemRun, Variant, VecOpKernel, VecOpVariant, TCDM_CAP_BYTES,
+        TiledSystemKernel, TiledSystemRun, Variant, VecOpKernel, VecOpVariant, WorkingSet,
+        TCDM_CAP_BYTES,
     };
-    pub use sc_mem::{Dram, DramConfig, L2Config, L2Stats, Tcdm, TcdmConfig, L2};
+    pub use sc_mem::{
+        CacheConfig, CacheStats, Dram, DramConfig, L2Config, L2Outcome, L2Stats, Tcdm, TcdmConfig,
+        L2,
+    };
     pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};
     pub use sc_system::{System, SystemConfig, SystemError, SystemSummary};
 }
