@@ -57,11 +57,6 @@ impl Point {
     }
 }
 
-fn align_up(v: u64, granule: u32) -> u32 {
-    let g = u64::from(granule);
-    (v.div_ceil(g) * g) as u32
-}
-
 fn l2_config(capacity: u32, ways: u32, channels: u32) -> L2Config {
     L2Config::new()
         .with_capacity_bytes(capacity)
@@ -126,7 +121,12 @@ fn point_json(p: &Point) -> Json {
         .set("l2_writeback_beats", s.l2_writeback_beats)
         .set(
             "l2",
-            json::l2_stats_json(l2, s.l2_refill_beats, s.l2_writeback_beats),
+            json::l2_stats_json(
+                l2,
+                s.l2_refill_beats,
+                s.l2_writeback_beats,
+                s.l2_prefetch_beats,
+            ),
         )
 }
 
@@ -203,8 +203,8 @@ fn main() {
         .working_set()
         .clone();
     let footprint = ws.footprint_bytes();
-    let over = align_up(footprint * 2, CAP_GRANULE);
-    let under = align_up(footprint / 4, CAP_GRANULE);
+    let over = ws.overfit_capacity(CAP_GRANULE);
+    let under = ws.underfit_capacity(CAP_GRANULE);
     println!(
         "=== L2 ablation — box3d1r {}x{}x{}, m{CLUSTERS}x{CORES} tiled ===",
         grid.nx, grid.ny, grid.nz

@@ -136,7 +136,12 @@ fn point_json(p: &Point) -> Json {
     if let Some(l2) = &s.l2 {
         j = j.set(
             "l2",
-            json::l2_stats_json(l2, s.l2_refill_beats, s.l2_writeback_beats),
+            json::l2_stats_json(
+                l2,
+                s.l2_refill_beats,
+                s.l2_writeback_beats,
+                s.l2_prefetch_beats,
+            ),
         );
     }
     if p.tiled {

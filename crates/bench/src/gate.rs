@@ -42,25 +42,37 @@ pub const SPEEDUP_REL_TOL: f64 = 0.05;
 
 /// The point-level metrics a generated baseline pins, with their
 /// (relative, absolute) tolerances. The flat `l2_*` keys are emitted by
-/// the L2 sweeps (`l2_ablation`), so capacity-pressure traffic —
-/// evictions and write-back beats — is pinned alongside cycles.
-const POINT_METRICS: [(&str, f64, f64); 4] = [
+/// the L2 sweeps (`l2_ablation`, `prefetch_ablation`), so
+/// capacity-pressure traffic — evictions and write-back beats — and the
+/// prefetcher's issue/accuracy counts are pinned alongside cycles.
+const POINT_METRICS: [(&str, f64, f64); 6] = [
     ("cycles_to_last_core_done", CYCLES_REL_TOL, 0.0),
     ("tcdm_conflicts", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
     ("l2_evictions", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
     ("l2_writeback_beats", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
+    ("l2_prefetches_issued", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
+    ("l2_prefetch_hits", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
 ];
 
 /// The cache-stats metrics every `"l2"` stats object must carry since
-/// the L2 became a finite cache. A sweep whose points still serialize
-/// the pre-cache stats shape is stale instrumentation: `perf_gate
-/// check`/`baseline` refuse it instead of silently gating less.
-const L2_CACHE_METRICS: [&str; 5] = [
+/// the L2 became a finite cache — including, since the L2 learned to
+/// prefetch, the prefetch accuracy breakdown (a disabled prefetcher
+/// reports zeros; *absent* counters mean stale instrumentation that
+/// would gate blindly over prefetch effects). `perf_gate
+/// check`/`baseline` refuse such reports instead of silently gating
+/// less.
+const L2_CACHE_METRICS: [&str; 11] = [
     "hits",
     "misses",
     "evictions",
     "writeback_beats",
     "mshr_merges",
+    "prefetch_hints",
+    "prefetches_issued",
+    "prefetch_hits",
+    "prefetch_covered_misses",
+    "prefetch_evicted_unused",
+    "prefetch_beats",
 ];
 
 /// Outcome of a gate run.
@@ -397,11 +409,27 @@ mod tests {
         assert!(err.contains("cache metric"), "{err}");
         assert!(baseline_from_report("r.json", &stale).is_err());
 
-        let fresh = Json::parse(
+        // The pre-prefetch shape (cache metrics, no prefetch counters)
+        // is refused too: the prefetcher's accuracy breakdown is part of
+        // the required stats since the L2 learned to prefetch.
+        let pre_prefetch = Json::parse(
             r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
                 "l2":{"accesses":100,"conflicts":3,"refills":7,"hits":80,
                       "misses":20,"evictions":5,"writeback_beats":160,
                       "mshr_merges":2}}]}"#,
+        )
+        .unwrap();
+        let err = check_wellformed(&pre_prefetch).unwrap_err();
+        assert!(err.contains("prefetch"), "{err}");
+        assert!(baseline_from_report("r.json", &pre_prefetch).is_err());
+
+        let fresh = Json::parse(
+            r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
+                "l2":{"accesses":100,"conflicts":3,"refills":7,"hits":80,
+                      "misses":20,"evictions":5,"writeback_beats":160,
+                      "mshr_merges":2,"prefetch_hints":0,"prefetches_issued":0,
+                      "prefetch_hits":0,"prefetch_covered_misses":0,
+                      "prefetch_evicted_unused":0,"prefetch_beats":0}}]}"#,
         )
         .unwrap();
         assert!(check_wellformed(&fresh).is_ok());
@@ -409,6 +437,52 @@ mod tests {
         // Points without any l2 object (single-cluster sweeps) are
         // untouched by the rule.
         assert!(check_wellformed(&fake_report(10)).is_ok());
+    }
+
+    #[test]
+    fn baselines_pin_flat_prefetch_metrics() {
+        // A prefetch_ablation-style point pins its issue/accuracy counts
+        // like any traffic metric, and drift gates.
+        let report = Json::parse(
+            r#"{"sweep":"prefetch_ablation","speedup_prefetch_ch1_underfit_chaining":1.31,
+                "points":[{"id":"m1/under/ch1/chaining/d4D32",
+                           "cycles_to_last_core_done":140000,
+                           "l2_prefetches_issued":535,"l2_prefetch_hits":533}]}"#,
+        )
+        .unwrap();
+        let baseline = baseline_from_report("prefetch_ablation.json", &report).unwrap();
+        let pinned: Vec<&str> = baseline
+            .get("metrics")
+            .and_then(Json::items)
+            .unwrap()
+            .iter()
+            .filter_map(|m| m.get("metric").and_then(Json::as_str))
+            .collect();
+        for want in [
+            "l2_prefetches_issued",
+            "l2_prefetch_hits",
+            "speedup_prefetch_ch1_underfit_chaining",
+        ] {
+            assert!(pinned.contains(&want), "{want} not pinned: {pinned:?}");
+        }
+        let mut drifted = report.clone();
+        if let Json::Obj(entries) = &mut drifted {
+            if let Some((_, Json::Arr(points))) = entries.iter_mut().find(|(k, _)| k == "points") {
+                if let Json::Obj(fields) = &mut points[0] {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "l2_prefetch_hits" {
+                            *v = Json::UInt(0);
+                        }
+                    }
+                }
+            }
+        }
+        let outcome = diff(&baseline, &drifted).unwrap();
+        assert!(!outcome.passed(), "losing all prefetch hits must gate");
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("l2_prefetch_hits")));
     }
 
     #[test]

@@ -12,11 +12,17 @@ use std::fmt::Write as _;
 use sc_mem::L2Stats;
 
 /// Serializes shared-L2 statistics the way every system sweep reports
-/// them — bank arbitration plus the cache core's hit/miss/eviction/MSHR
-/// counters. `perf_gate check` refuses reports whose `l2` objects lack
-/// the cache metrics, so sweeps must use (or match) this shape.
+/// them — bank arbitration, the cache core's hit/miss/eviction/MSHR
+/// counters, and the prefetch engine's accuracy breakdown. `perf_gate
+/// check` refuses reports whose `l2` objects lack the cache *or
+/// prefetch* metrics, so sweeps must use (or match) this shape.
 #[must_use]
-pub fn l2_stats_json(l2: &L2Stats, refill_beats: u64, writeback_beats: u64) -> Json {
+pub fn l2_stats_json(
+    l2: &L2Stats,
+    refill_beats: u64,
+    writeback_beats: u64,
+    prefetch_beats: u64,
+) -> Json {
     Json::obj()
         .set("accesses", l2.accesses)
         .set("conflicts", l2.conflicts)
@@ -30,6 +36,15 @@ pub fn l2_stats_json(l2: &L2Stats, refill_beats: u64, writeback_beats: u64) -> J
         .set("mshr_merges", l2.cache.mshr_merges)
         .set("mshr_full_stalls", l2.cache.mshr_full_stalls)
         .set("mshr_peak", l2.cache.mshr_peak)
+        .set("prefetch_hints", l2.cache.prefetch_hints)
+        .set("prefetches_issued", l2.cache.prefetches_issued)
+        .set("prefetch_hits", l2.cache.prefetch_hits)
+        .set(
+            "prefetch_covered_misses",
+            l2.cache.demand_misses_covered_by_prefetch,
+        )
+        .set("prefetch_evicted_unused", l2.cache.prefetch_evicted_unused)
+        .set("prefetch_beats", prefetch_beats)
         .set("accesses_by_cluster", l2.accesses_by_cluster.clone())
         .set("conflicts_by_cluster", l2.conflicts_by_cluster.clone())
 }

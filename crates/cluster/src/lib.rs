@@ -68,7 +68,7 @@ use std::fmt;
 use sc_core::{Core, CoreConfig, DmaCommand, PerfCounters, RunSummary, SimError};
 use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
-use sc_mem::{AccessKind, Dram, DramConfig, L2Outcome, PortId, Request, Tcdm};
+use sc_mem::{AccessKind, Dram, DramConfig, L2Outcome, PortId, PrefetchHint, Request, Tcdm};
 
 /// Cluster geometry: how many cores share the TCDM, and their per-core
 /// configuration.
@@ -296,6 +296,11 @@ pub struct Cluster {
     /// whole system and resolves it locally.
     system_managed: bool,
     dma: Option<DmaAttachment>,
+    /// Stride hints the engine published this cycle (doorbells rung at
+    /// this [`Cluster::begin_step`]); the system collects them between
+    /// the two half-cycles and feeds the shared L2's prefetcher. On the
+    /// single-cluster path they are simply dropped each cycle.
+    prefetch_hints: Vec<PrefetchHint>,
     // Scratch reused across cycles to keep the hot loop allocation-free.
     requests: Vec<Request>,
     active: Vec<usize>,
@@ -333,6 +338,7 @@ impl Cluster {
             system_barriers: 0,
             system_managed: false,
             dma: None,
+            prefetch_hints: Vec::new(),
             requests: Vec::new(),
             active: Vec::new(),
             ranges: Vec::new(),
@@ -569,8 +575,21 @@ impl Cluster {
             dma.busy_this_cycle = dma.engine.is_busy();
             beat = dma.engine.dram_request();
             dma.beat_ready = beat.is_some();
+            // This cycle's DMA_START hints replace last cycle's (which
+            // the system either forwarded to the L2 or let lapse).
+            self.prefetch_hints.clear();
+            self.prefetch_hints
+                .append(&mut dma.engine.take_prefetch_hints());
         }
         Ok(beat)
+    }
+
+    /// The stride hints this cycle's doorbells published (valid between
+    /// [`Cluster::begin_step`] and [`Cluster::finish_step`]): a system
+    /// owner forwards them to the shared L2's prefetcher, rewriting each
+    /// hint's `requester` to this cluster's id.
+    pub fn take_prefetch_hints(&mut self) -> Vec<PrefetchHint> {
+        std::mem::take(&mut self.prefetch_hints)
     }
 
     /// Second half of a cluster cycle: the TCDM crossbar pass (the DMA

@@ -46,11 +46,16 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use sc_mem::{AccessKind, Dram, DramConfig, MemError, PortId, Request, Tcdm};
+use sc_mem::{AccessKind, Dram, DramConfig, MemError, PortId, PrefetchHint, Request, Tcdm};
 
 /// Beat width in bytes: the engine moves 64-bit words, matching the TCDM
 /// bank width.
 pub const BEAT_BYTES: u32 = 8;
+
+/// Undrained stride hints the engine keeps at most (oldest dropped):
+/// in-tree owners drain every cycle, so the bound only protects
+/// stand-alone engine users who never attach a prefetching L2.
+pub const HINT_BUFFER: usize = 64;
 
 /// A 1D/2D strided transfer descriptor.
 ///
@@ -200,6 +205,12 @@ pub struct DmaStats {
     /// cycles, other engines' misses to different lines keep their own
     /// MSHRs and refill channels busy.
     pub l2_miss_wait_cycles: u64,
+    /// Stride hints derived from accepted Dram→TCDM descriptors at
+    /// `DMA_START` — the engine knows its whole future read footprint
+    /// the moment the doorbell rings, and publishes it so a prefetching
+    /// shared L2 can start pulling the lines before the first beat
+    /// arrives ([`DmaEngine::take_prefetch_hints`]).
+    pub prefetch_hints: u64,
 }
 
 impl DmaStats {
@@ -248,6 +259,11 @@ pub struct DmaEngine {
     /// Whether a beat moved this cycle (so the end-of-cycle wait
     /// decrement does not count the beat's own cycle as a stall).
     moved_this_cycle: bool,
+    /// Stride hints published at `DMA_START` and not yet collected by
+    /// the owner (the cluster drains this every cycle; hints describe
+    /// Dram→TCDM read footprints only — writes allocate in the L2
+    /// without a fetch, so prefetching them would be pure waste).
+    hints: Vec<PrefetchHint>,
 }
 
 impl DmaEngine {
@@ -261,6 +277,7 @@ impl DmaEngine {
             stats: DmaStats::default(),
             completed: 0,
             moved_this_cycle: false,
+            hints: Vec::new(),
         }
     }
 
@@ -272,15 +289,47 @@ impl DmaEngine {
 
     /// Accepts a transfer descriptor into the FIFO.
     ///
+    /// A Dram→TCDM descriptor also publishes its read footprint as a
+    /// stride hint ([`DmaEngine::take_prefetch_hints`]). The hint buffer
+    /// is bounded ([`HINT_BUFFER`], oldest dropped): an owner that never
+    /// drains it — a stand-alone engine with no prefetching memory level
+    /// behind it — just loses stale hints, never memory.
+    ///
     /// # Errors
     ///
     /// Rejects empty or beat-misaligned descriptors; the queue is
     /// unbounded (descriptor storage is not the modelled resource).
     pub fn enqueue(&mut self, t: Transfer) -> Result<(), DmaError> {
         t.validate()?;
+        // DMA_START is the one moment the whole future access pattern is
+        // known: publish the Dram-side read footprint as a stride hint a
+        // prefetching L2 can act on descriptors ahead of the beats.
+        if t.to_tcdm {
+            if self.hints.len() >= HINT_BUFFER {
+                self.hints.remove(0);
+            }
+            self.hints.push(PrefetchHint {
+                addr: t.dram_addr,
+                row_bytes: t.row_bytes,
+                stride: t.dram_stride,
+                reps: t.reps,
+                // The owner rewrites the requester to its arbitration
+                // port (the engine itself does not know its cluster id).
+                requester: 0,
+            });
+            self.stats.prefetch_hints += 1;
+        }
         self.queue.push_back(t);
         self.stats.transfers_enqueued += 1;
         Ok(())
+    }
+
+    /// Collects the stride hints published since the last call — the
+    /// owner forwards them (requester rewritten to the cluster's id) to
+    /// the shared L2's prefetcher, or simply drops them when no
+    /// prefetching memory level exists (the single-cluster path).
+    pub fn take_prefetch_hints(&mut self) -> Vec<PrefetchHint> {
+        std::mem::take(&mut self.hints)
     }
 
     /// Transfers not yet completed (queued + in flight) — the value the
@@ -651,6 +700,50 @@ mod tests {
             "after the run the wrapping distance reports completion"
         );
         assert_eq!(dma.stats().transfers_completed, 3);
+    }
+
+    #[test]
+    fn dma_start_publishes_stride_hints_for_reads_only() {
+        let mut dma = DmaEngine::new(PortId(0));
+        dma.enqueue(Transfer {
+            dram_addr: 0x800,
+            tcdm_addr: 0x100,
+            row_bytes: 16,
+            dram_stride: 64,
+            tcdm_stride: 16,
+            reps: 3,
+            to_tcdm: true,
+        })
+        .unwrap();
+        // A TCDM→Dram write-back publishes nothing: its lines allocate
+        // in the L2 without a fetch.
+        dma.enqueue(Transfer::contiguous(0x0, 0x0, 32, false))
+            .unwrap();
+        let hints = dma.take_prefetch_hints();
+        assert_eq!(hints.len(), 1, "one hint per read descriptor");
+        assert_eq!(
+            (
+                hints[0].addr,
+                hints[0].row_bytes,
+                hints[0].stride,
+                hints[0].reps
+            ),
+            (0x800, 16, 64, 3),
+            "the hint mirrors the descriptor's Dram-side footprint"
+        );
+        assert_eq!(dma.stats().prefetch_hints, 1);
+        assert!(dma.take_prefetch_hints().is_empty(), "hints drain once");
+        // Rejected descriptors publish nothing.
+        assert!(dma.enqueue(Transfer::contiguous(4, 0, 8, true)).is_err());
+        assert!(dma.take_prefetch_hints().is_empty());
+        // An owner that never drains loses old hints, never memory.
+        for i in 0..(HINT_BUFFER as u32 + 16) {
+            dma.enqueue(Transfer::contiguous(i * 8, 0, 8, true))
+                .unwrap();
+        }
+        let hints = dma.take_prefetch_hints();
+        assert_eq!(hints.len(), HINT_BUFFER, "hint buffer stays bounded");
+        assert_eq!(hints[0].addr, 16 * 8, "oldest hints dropped first");
     }
 
     #[test]

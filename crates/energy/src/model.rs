@@ -89,6 +89,13 @@ impl EnergyModel {
     /// every 64-bit beat the L2's refill channels moved from the
     /// background memory — or wrote back to it when a finite L2 evicted
     /// a dirty line — pays one Dram access on top.
+    ///
+    /// `l2_refill_beats` is the *total* channel traffic, prefetch
+    /// included: a prefetch-issued line fetch moves the same beats over
+    /// the same channel as a demand refill, so it is charged identically
+    /// (`SystemSummary::l2_refill_beats` already contains
+    /// `l2_prefetch_beats` — pass the total, never add the prefetch
+    /// split on top, or pollution would be double-charged).
     #[must_use]
     pub fn system_dma_energy_pj(
         &self,
@@ -460,6 +467,26 @@ mod tests {
         let sys = m.system_report(&per_core, 1_000, 500, 64, 16);
         let expect = m.system_dma_energy_pj(500, 64, 16);
         assert!((sys.dma_pj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_beats_are_charged_exactly_like_demand_refill_beats() {
+        // The prefetcher moves lines over the same refill channels as
+        // demand misses, so a run that fetched 100 lines costs the same
+        // Dram energy whether the prefetcher or the misses pulled them:
+        // the charge depends only on the *total* refill beats. (The
+        // prefetch split is attribution inside that total, not an extra
+        // term — and pure pollution still costs real energy, which is
+        // why `prefetch_evicted_unused` matters.)
+        let m = EnergyModel::new();
+        let baseline = m.system_dma_energy_pj(500, 3200, 16);
+        // 10 prefetched lines of 32 beats enter the refill total and are
+        // billed at the Dram rate — wasted prefetches cost real energy.
+        let with_prefetch_traffic = m.system_dma_energy_pj(500, 3200 + 320, 16);
+        assert!(
+            (with_prefetch_traffic - baseline - 320.0 * m.dram_access_pj).abs() < 1e-9,
+            "each prefetched line's beats pay the full Dram rate"
+        );
     }
 
     #[test]

@@ -230,6 +230,39 @@ impl WorkingSet {
     pub fn fits_in(&self, capacity_bytes: u32) -> bool {
         self.footprint_bytes() <= u64::from(capacity_bytes)
     }
+
+    /// An **over-fit** L2 capacity for this plan: twice the distinct
+    /// footprint, rounded up to `granule` (use `line_bytes × ways` so
+    /// every swept associativity divides into whole sets). After the
+    /// compulsory misses such an L2 holds the whole problem — the
+    /// capacity-pressure-free end of an ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule` is zero.
+    #[must_use]
+    pub fn overfit_capacity(&self, granule: u32) -> u32 {
+        Self::align_capacity(self.footprint_bytes() * 2, granule)
+    }
+
+    /// An **under-fit** L2 capacity: a quarter of the distinct
+    /// footprint, rounded up to `granule` — small enough that tile
+    /// revisits become capacity misses (and, with write-back on, dirty
+    /// write-back traffic), the regime the L2 sweeps stress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule` is zero.
+    #[must_use]
+    pub fn underfit_capacity(&self, granule: u32) -> u32 {
+        Self::align_capacity(self.footprint_bytes() / 4, granule)
+    }
+
+    fn align_capacity(bytes: u64, granule: u32) -> u32 {
+        assert!(granule > 0, "capacity granule must be positive");
+        let g = u64::from(granule);
+        (bytes.div_ceil(g) * g) as u32
+    }
 }
 
 /// Sorts and merges half-open intervals (overlapping or adjacent ones

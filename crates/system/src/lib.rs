@@ -192,6 +192,13 @@ pub struct SystemSummary {
     /// generated towards the Dram (0 unless the L2 has a finite
     /// capacity with write-back on), also charged by `sc-energy`.
     pub l2_writeback_beats: u64,
+    /// The subset of [`SystemSummary::l2_refill_beats`] moved by
+    /// *prefetch-issued* refills (descriptor-driven L2 prefetching; 0
+    /// with [`sc_mem::L2Config::prefetch`] off). Already included in the
+    /// refill total — `sc-energy` charges a prefetch beat exactly like a
+    /// demand refill beat, so this field is the attribution split, not
+    /// an extra charge.
+    pub l2_prefetch_beats: u64,
 }
 
 impl SystemSummary {
@@ -400,7 +407,10 @@ impl System {
         self.stepped = stepped;
 
         // Half-cycle 1 on every running cluster, collecting the
-        // L2-side beats.
+        // L2-side beats — and the stride hints rung doorbells published
+        // (DMA_START), which reach the shared L2's prefetcher *before*
+        // this cycle's arbitration so prefetching can start while the
+        // engine still pays its startup latency.
         self.l2_reqs.clear();
         self.l2_req_of.fill(None);
         for i in 0..self.stepped.len() {
@@ -412,6 +422,12 @@ impl System {
                     addr,
                     kind,
                 });
+            }
+            if let Some((l2, _)) = self.shared.as_mut() {
+                for mut hint in self.clusters[c].take_prefetch_hints() {
+                    hint.requester = c as u32;
+                    l2.prefetch_hint(hint);
+                }
             }
         }
 
@@ -509,14 +525,18 @@ impl System {
         }
         aggregate.cycles = self.cycles;
         let l2 = self.shared.as_ref().map(|(l2, _)| l2.stats());
-        let (l2_refill_beats, l2_writeback_beats) =
-            self.shared
-                .as_ref()
-                .zip(l2.as_ref())
-                .map_or((0, 0), |((shared_l2, _), stats)| {
-                    let cfg = shared_l2.config();
-                    (stats.refill_beats(cfg), stats.writeback_beats(cfg))
-                });
+        let (l2_refill_beats, l2_writeback_beats, l2_prefetch_beats) = self
+            .shared
+            .as_ref()
+            .zip(l2.as_ref())
+            .map_or((0, 0, 0), |((shared_l2, _), stats)| {
+                let cfg = shared_l2.config();
+                (
+                    stats.refill_beats(cfg),
+                    stats.writeback_beats(cfg),
+                    stats.prefetch_beats(cfg),
+                )
+            });
         SystemSummary {
             cycles: self.cycles,
             per_cluster,
@@ -530,6 +550,7 @@ impl System {
             l2,
             l2_refill_beats,
             l2_writeback_beats,
+            l2_prefetch_beats,
         }
     }
 }

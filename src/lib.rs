@@ -73,8 +73,8 @@ pub mod prelude {
         TCDM_CAP_BYTES,
     };
     pub use sc_mem::{
-        CacheConfig, CacheStats, Dram, DramConfig, L2Config, L2Outcome, L2Stats, Tcdm, TcdmConfig,
-        L2,
+        CacheConfig, CacheStats, Dram, DramConfig, L2Config, L2Outcome, L2Stats, PrefetchHint,
+        PrefetchMode, Tcdm, TcdmConfig, L2,
     };
     pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};
     pub use sc_system::{System, SystemConfig, SystemError, SystemSummary};
