@@ -19,12 +19,16 @@
 //! `l2_evictions` / `l2_writeback_beats` traffic counts.
 //!
 //! Run with `cargo run --release -p sc-bench --bin l2_ablation`.
+//! Pass `--trace <path>` to additionally re-run the most contended
+//! point — under-fit, single refill channel, chaining — with a trace
+//! subscription and write its Perfetto timeline JSON to `<path>`.
 
 use sc_bench::{json, parallel_sweep, Json};
 use sc_core::CoreConfig;
 use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, WorkingSet, TCDM_CAP_BYTES};
 use sc_mem::{DramConfig, L2Config};
 use sc_system::SystemSummary;
+use sc_trace::{TraceConfig, TraceSession};
 
 const CLUSTERS: u32 = 2;
 const CORES: u32 = 2;
@@ -193,7 +197,59 @@ fn validate(points: &[Point]) {
     }
 }
 
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--trace" => Some(path.into()),
+        [flag] if flag == "--trace" => {
+            eprintln!("--trace needs a path argument");
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("unknown arguments {other:?} (only --trace <path> is accepted)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Re-runs the most contended under-fit point with a trace subscription
+/// and writes the Perfetto timeline to `path`. The traced run must be
+/// results-identical to the sweep's own run of the same point.
+fn write_trace(grid: Grid3, capacity: u32, sweep_cycles: u64, path: &std::path::Path) {
+    let gen = StencilKernel::new(Stencil::box3d1r(), grid, Variant::ChainingPlus)
+        .expect("valid combination");
+    let tk = gen
+        .build_system_tiled(CLUSTERS, CORES, TCDM_CAP_BYTES)
+        .expect("slabs tile within 128 KiB");
+    let session = TraceSession::new(TraceConfig::new().with_sample_every(1024));
+    let run = tk
+        .run_traced(
+            CoreConfig::new().with_chaining(true),
+            l2_config(capacity, WAYS[1], CHANNELS[0]),
+            DramConfig::new(),
+            MAX_CYCLES,
+            session.tracer(),
+        )
+        .unwrap_or_else(|e| panic!("traced point: {e}"));
+    assert_eq!(
+        run.summary.cycles, sweep_cycles,
+        "the traced re-run must be cycle-identical to the sweep's run"
+    );
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
+    std::fs::write(path, session.perfetto_json()).expect("write trace");
+    println!(
+        "perfetto trace ({} events): {}",
+        session.events_buffered(),
+        path.display()
+    );
+}
+
 fn main() {
+    let trace = trace_path();
     let grid = Grid3::new(16, 16, 16);
     // Plan once to size the sweep off the working-set report.
     let ws: WorkingSet = StencilKernel::new(Stencil::box3d1r(), grid, Variant::ChainingPlus)
@@ -314,6 +370,16 @@ fn main() {
     match json::write_report("l2_ablation.json", &report) {
         Ok(path) => println!("json report: {}", path.display()),
         Err(e) => eprintln!("could not write json report: {e}"),
+    }
+
+    if let Some(path) = trace {
+        let sweep_cycles = results
+            .iter()
+            .find(|p| !p.overfit && p.ways == WAYS[1] && p.channels == CHANNELS[0] && p.chaining)
+            .expect("swept point present")
+            .summary
+            .cycles;
+        write_trace(grid, under, sweep_cycles, &path);
     }
 
     println!();

@@ -28,6 +28,8 @@
 //! Entries with a `"point"` select the report's `points[]` element with
 //! that `"id"`; entries without one read a top-level report key.
 
+use sc_mem::L2MetricSet;
+
 use crate::json::Json;
 
 /// Default relative tolerance for cycle-count metrics.
@@ -54,26 +56,16 @@ const POINT_METRICS: [(&str, f64, f64); 6] = [
     ("l2_prefetch_hits", CONFLICTS_REL_TOL, CONFLICTS_ABS_TOL),
 ];
 
-/// The cache-stats metrics every `"l2"` stats object must carry since
-/// the L2 became a finite cache — including, since the L2 learned to
-/// prefetch, the prefetch accuracy breakdown (a disabled prefetcher
-/// reports zeros; *absent* counters mean stale instrumentation that
-/// would gate blindly over prefetch effects). `perf_gate
-/// check`/`baseline` refuse such reports instead of silently gating
-/// less.
-const L2_CACHE_METRICS: [&str; 11] = [
-    "hits",
-    "misses",
-    "evictions",
-    "writeback_beats",
-    "mshr_merges",
-    "prefetch_hints",
-    "prefetches_issued",
-    "prefetch_hits",
-    "prefetch_covered_misses",
-    "prefetch_evicted_unused",
-    "prefetch_beats",
-];
+/// The metrics every `"l2"` stats object must carry, derived from
+/// [`L2MetricSet`]'s visit order — the same source `l2_stats_json`
+/// serializes from and the trace sampler snapshots, so the gate's
+/// required-metric list can never drift from the instrumentation.
+/// Absent counters mean stale instrumentation that would gate blindly
+/// over cache or prefetch effects; `perf_gate check`/`baseline` refuse
+/// such reports instead of silently gating less.
+fn l2_required_metrics() -> Vec<&'static str> {
+    L2MetricSet::metric_names()
+}
 
 /// Outcome of a gate run.
 #[derive(Debug, Clone, Default)]
@@ -115,6 +107,7 @@ pub fn check_wellformed(report: &Json) -> Result<(), String> {
         if items.is_empty() {
             return Err("`points` is empty".into());
         }
+        let l2_required = l2_required_metrics();
         for (i, p) in items.iter().enumerate() {
             let Json::Obj(fields) = p else {
                 return Err(format!("points[{i}] is not an object"));
@@ -127,7 +120,7 @@ pub fn check_wellformed(report: &Json) -> Result<(), String> {
             // absence means the sweep predates the finite-L2 model and
             // would gate blindly over capacity effects.
             if let Some(l2) = p.get("l2") {
-                for key in L2_CACHE_METRICS {
+                for &key in &l2_required {
                     if l2.get(key).and_then(Json::as_f64).is_none() {
                         return Err(format!(
                             "points[{i}] has l2 stats without the cache metric `{key}` \
@@ -414,9 +407,10 @@ mod tests {
         // the required stats since the L2 learned to prefetch.
         let pre_prefetch = Json::parse(
             r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
-                "l2":{"accesses":100,"conflicts":3,"refills":7,"hits":80,
-                      "misses":20,"evictions":5,"writeback_beats":160,
-                      "mshr_merges":2}}]}"#,
+                "l2":{"accesses":100,"conflicts":3,"refills":7,"refill_stalls":1,
+                      "refill_beats":112,"hits":80,"misses":20,"evictions":5,
+                      "writeback_beats":160,"mshr_merges":2,"mshr_full_stalls":0,
+                      "mshr_peak":3}}]}"#,
         )
         .unwrap();
         let err = check_wellformed(&pre_prefetch).unwrap_err();
@@ -425,9 +419,10 @@ mod tests {
 
         let fresh = Json::parse(
             r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
-                "l2":{"accesses":100,"conflicts":3,"refills":7,"hits":80,
-                      "misses":20,"evictions":5,"writeback_beats":160,
-                      "mshr_merges":2,"prefetch_hints":0,"prefetches_issued":0,
+                "l2":{"accesses":100,"conflicts":3,"refills":7,"refill_stalls":1,
+                      "refill_beats":112,"hits":80,"misses":20,"evictions":5,
+                      "writeback_beats":160,"mshr_merges":2,"mshr_full_stalls":0,
+                      "mshr_peak":3,"prefetch_hints":0,"prefetches_issued":0,
                       "prefetch_hits":0,"prefetch_covered_misses":0,
                       "prefetch_evicted_unused":0,"prefetch_beats":0}}]}"#,
         )

@@ -9,13 +9,15 @@
 
 use std::fmt::Write as _;
 
-use sc_mem::L2Stats;
+use sc_mem::{L2MetricSet, L2Stats};
+use sc_trace::MetricSource;
 
 /// Serializes shared-L2 statistics the way every system sweep reports
 /// them — bank arbitration, the cache core's hit/miss/eviction/MSHR
-/// counters, and the prefetch engine's accuracy breakdown. `perf_gate
-/// check` refuses reports whose `l2` objects lack the cache *or
-/// prefetch* metrics, so sweeps must use (or match) this shape.
+/// counters, and the prefetch engine's accuracy breakdown. The scalar
+/// keys come straight from [`L2MetricSet`]'s visit order, so this shape,
+/// the sampled metric series and `perf_gate check`'s required-metric
+/// list can never drift apart; the per-cluster arrays follow.
 #[must_use]
 pub fn l2_stats_json(
     l2: &L2Stats,
@@ -23,29 +25,12 @@ pub fn l2_stats_json(
     writeback_beats: u64,
     prefetch_beats: u64,
 ) -> Json {
-    Json::obj()
-        .set("accesses", l2.accesses)
-        .set("conflicts", l2.conflicts)
-        .set("refills", l2.refills())
-        .set("refill_stalls", l2.refill_stalls())
-        .set("refill_beats", refill_beats)
-        .set("hits", l2.cache.read_hits)
-        .set("misses", l2.cache.read_misses)
-        .set("evictions", l2.cache.evictions)
-        .set("writeback_beats", writeback_beats)
-        .set("mshr_merges", l2.cache.mshr_merges)
-        .set("mshr_full_stalls", l2.cache.mshr_full_stalls)
-        .set("mshr_peak", l2.cache.mshr_peak)
-        .set("prefetch_hints", l2.cache.prefetch_hints)
-        .set("prefetches_issued", l2.cache.prefetches_issued)
-        .set("prefetch_hits", l2.cache.prefetch_hits)
-        .set(
-            "prefetch_covered_misses",
-            l2.cache.demand_misses_covered_by_prefetch,
-        )
-        .set("prefetch_evicted_unused", l2.cache.prefetch_evicted_unused)
-        .set("prefetch_beats", prefetch_beats)
-        .set("accesses_by_cluster", l2.accesses_by_cluster.clone())
+    let set = L2MetricSet::from_parts(l2.clone(), refill_beats, writeback_beats, prefetch_beats);
+    let mut obj = Json::obj();
+    set.visit_metrics(&mut |name, value| {
+        obj = std::mem::replace(&mut obj, Json::Null).set(name, value);
+    });
+    obj.set("accesses_by_cluster", l2.accesses_by_cluster.clone())
         .set("conflicts_by_cluster", l2.conflicts_by_cluster.clone())
 }
 

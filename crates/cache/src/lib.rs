@@ -81,6 +81,8 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use sc_trace::{MetricSource, Tracer, Track};
+
 /// How the prefetcher turns a hint into a line sequence.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum PrefetchMode {
@@ -506,6 +508,36 @@ impl CacheStats {
     }
 }
 
+impl MetricSource for CacheStats {
+    fn source_name(&self) -> &'static str {
+        "cache"
+    }
+
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&'static str, u64)) {
+        visit("read_hits", self.read_hits);
+        visit("read_misses", self.read_misses);
+        visit("write_beats", self.write_beats);
+        visit("stall_cycles", self.stall_cycles);
+        visit("mshr_allocations", self.mshr_allocations);
+        visit("mshr_merges", self.mshr_merges);
+        visit("mshr_full_stalls", self.mshr_full_stalls);
+        visit("mshr_peak", self.mshr_peak);
+        visit("refills", self.refills);
+        visit("evictions", self.evictions);
+        visit("dirty_evictions", self.dirty_evictions);
+        visit("writebacks_completed", self.writebacks_completed);
+        visit("prefetch_hints", self.prefetch_hints);
+        visit("prefetches_issued", self.prefetches_issued);
+        visit("prefetch_refills", self.prefetch_refills);
+        visit("prefetch_hits", self.prefetch_hits);
+        visit(
+            "demand_misses_covered_by_prefetch",
+            self.demand_misses_covered_by_prefetch,
+        );
+        visit("prefetch_evicted_unused", self.prefetch_evicted_unused);
+    }
+}
+
 /// A queued channel job: fetch a line, or drain a dirty evictee.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Job {
@@ -720,6 +752,11 @@ pub struct Cache {
     /// channel), plus its membership set for cheap dedup.
     prefetch_queue: VecDeque<u32>,
     prefetch_queued: HashSet<u32>,
+    /// Observability bus handle (off by default — a `None` check per
+    /// emit site) and the base timeline track: counters and prefetch
+    /// instants on the track itself, channel `i` on `tid + 1 + i`.
+    tracer: Tracer,
+    track: Track,
 }
 
 impl Cache {
@@ -747,8 +784,28 @@ impl Cache {
             streams: VecDeque::new(),
             prefetch_queue: VecDeque::new(),
             prefetch_queued: HashSet::new(),
+            tracer: Tracer::off(),
+            track: Track::new(0, 0),
             cfg,
         }
+    }
+
+    /// Subscribes this cache to an observability bus. Channel activity
+    /// renders on `track.tid + 1 + channel`; MSHR/prefetch counters and
+    /// prefetch-lifecycle instants on `track` itself.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        self.track = track;
+        if tracer.is_on() {
+            tracer.name_thread(track, "cache");
+            for i in 0..self.channels.len() {
+                tracer.name_thread(self.channel_track(i), &format!("channel{i}"));
+            }
+        }
+        self.tracer = tracer;
+    }
+
+    fn channel_track(&self, channel: usize) -> Track {
+        Track::new(self.track.pid, self.track.tid + 1 + channel as u32)
     }
 
     /// The configuration.
@@ -824,6 +881,7 @@ impl Cache {
             self.cfg.prefetch_distance + self.cfg.prefetch_degree,
         ));
         self.stats.prefetch_hints += 1;
+        self.tracer.instant(self.track, "prefetch-stream-open");
     }
 
     /// Cycle start: streams feed the bounded prefetch-request queue,
@@ -835,15 +893,34 @@ impl Cache {
         for i in 0..self.channels.len() {
             if self.channels[i].is_none() {
                 if let Some(job) = self.queue.pop_front() {
+                    let label = match job {
+                        Job::Refill(_) => "refill",
+                        Job::WriteBack(_) => "write-back",
+                    };
+                    self.tracer.begin(self.channel_track(i), label);
                     self.channels[i] = Some((job, self.cfg.channel_cycles()));
                 } else if let Some(line) = self.pop_prefetch_request() {
                     self.pending_refills.insert(line, Origin::Prefetch);
                     self.stats.prefetches_issued += 1;
                     self.stats.mshr_peak =
                         self.stats.mshr_peak.max(self.pending_refills.len() as u64);
+                    self.tracer.instant(self.track, "prefetch-issue");
+                    self.tracer.begin(self.channel_track(i), "prefetch");
                     self.channels[i] = Some((Job::Refill(line), self.cfg.channel_cycles()));
                 }
             }
+        }
+        if self.tracer.is_on() {
+            self.tracer.counter(
+                self.track,
+                "mshr-occupancy",
+                u64::from(self.mshr_occupancy()),
+            );
+            self.tracer.counter(
+                self.track,
+                "prefetch-backlog",
+                self.prefetch_queue.len() as u64,
+            );
         }
     }
 
@@ -923,6 +1000,7 @@ impl Cache {
                 // the existing MSHR and waits out the remainder.
                 *origin = Origin::Covered;
                 self.stats.demand_misses_covered_by_prefetch += 1;
+                self.tracer.instant(self.track, "prefetch-covered");
             }
             Probe::MissPending
         } else if self.cfg.mshrs != 0 && self.pending_refills.len() as u32 >= self.cfg.mshrs {
@@ -1006,6 +1084,7 @@ impl Cache {
             }
             let job = *job;
             self.channels[i] = None;
+            self.tracer.end(self.channel_track(i));
             match job {
                 Job::Refill(line) => {
                     let origin = self.pending_refills.remove(&line).unwrap_or(Origin::Demand);
@@ -1030,6 +1109,7 @@ impl Cache {
             if let Some(flag) = self.resident.get_mut(&line) {
                 if std::mem::replace(flag, false) {
                     self.stats.prefetch_hits += 1;
+                    self.tracer.instant(self.track, "prefetch-hit");
                 }
             }
             return;
@@ -1040,6 +1120,7 @@ impl Cache {
             let mut w = set.remove(pos);
             if std::mem::replace(&mut w.prefetched, false) {
                 self.stats.prefetch_hits += 1;
+                self.tracer.instant(self.track, "prefetch-hit");
             }
             set.push(w);
         }
@@ -1086,6 +1167,7 @@ impl Cache {
             self.stats.evictions += 1;
             if victim.prefetched {
                 self.stats.prefetch_evicted_unused += 1;
+                self.tracer.instant(self.track, "prefetch-evicted-unused");
             }
             if victim.dirty {
                 self.stats.dirty_evictions += 1;

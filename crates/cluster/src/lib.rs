@@ -69,6 +69,14 @@ use sc_core::{Core, CoreConfig, DmaCommand, PerfCounters, RunSummary, SimError};
 use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
 use sc_mem::{AccessKind, Dram, DramConfig, L2Outcome, PortId, PrefetchHint, Request, Tcdm};
+use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
+
+/// Thread id the DMA engine's trace track uses within a cluster's
+/// process (hart tracks occupy the low ids).
+pub const DMA_TRACK_TID: u32 = 100;
+
+/// Thread id the shared TCDM's sampled metrics use.
+pub const TCDM_TRACK_TID: u32 = 98;
 
 /// Cluster geometry: how many cores share the TCDM, and their per-core
 /// configuration.
@@ -134,6 +142,11 @@ pub enum ClusterError {
         /// The underlying error.
         source: DmaError,
     },
+    /// The watchdog ([`Cluster::set_watchdog`]) saw no architectural
+    /// progress for its limit while harts were unfinished: a hang,
+    /// converted into a diagnostic naming each blocked resource instead
+    /// of spinning until the cycle budget runs out.
+    Hang(HangReport),
 }
 
 impl fmt::Display for ClusterError {
@@ -151,6 +164,7 @@ impl fmt::Display for ClusterError {
                 source,
             } => write!(f, "hart {hart}: {source}"),
             ClusterError::Dma { hart: None, source } => write!(f, "dma engine: {source}"),
+            ClusterError::Hang(report) => write!(f, "{report}"),
         }
     }
 }
@@ -161,6 +175,7 @@ impl std::error::Error for ClusterError {
             ClusterError::Core { source, .. } => Some(source),
             ClusterError::MaxCyclesExceeded { .. } => None,
             ClusterError::Dma { source, .. } => Some(source),
+            ClusterError::Hang(_) => None,
         }
     }
 }
@@ -305,6 +320,10 @@ pub struct Cluster {
     requests: Vec<Request>,
     active: Vec<usize>,
     ranges: Vec<(usize, usize, usize)>,
+    tracer: Tracer,
+    /// Perfetto process id this cluster's tracks live under.
+    pid: u32,
+    watchdog: Option<Watchdog>,
 }
 
 impl Cluster {
@@ -342,7 +361,96 @@ impl Cluster {
             requests: Vec::new(),
             active: Vec::new(),
             ranges: Vec::new(),
+            tracer: Tracer::off(),
+            pid: 0,
+            watchdog: None,
         }
+    }
+
+    /// Subscribes the cluster to a trace sink: every core becomes one
+    /// thread track under process `pid` (tid = hart id), the DMA engine
+    /// rides [`DMA_TRACK_TID`], and the shared TCDM's counters are
+    /// sampled on [`TCDM_TRACK_TID`]. Attaching a DMA engine later
+    /// inherits the subscription.
+    pub fn set_tracer(&mut self, tracer: Tracer, pid: u32) {
+        if tracer.is_on() {
+            let cid = self.cores[0].cluster_id();
+            tracer.name_process(pid, &format!("cluster{cid}"));
+            tracer.name_thread(Track::new(pid, TCDM_TRACK_TID), "tcdm");
+        }
+        for (h, core) in self.cores.iter_mut().enumerate() {
+            core.set_tracer(tracer.clone(), Track::new(pid, h as u32));
+        }
+        if let Some(dma) = &mut self.dma {
+            dma.engine
+                .set_tracer(tracer.clone(), Track::new(pid, DMA_TRACK_TID));
+        }
+        self.tracer = tracer;
+        self.pid = pid;
+    }
+
+    /// Arms the hang watchdog: if no architectural state retires
+    /// anywhere in the cluster for `limit` consecutive cycles while
+    /// harts are unfinished, the run aborts with
+    /// [`ClusterError::Hang`] naming each blocked resource. Disarmed by
+    /// default. Long legitimate waits (a DMA burst no core polls, an
+    /// uneven barrier) retire *something* every few cycles, so limits in
+    /// the thousands are safe for real programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn set_watchdog(&mut self, limit: u64) {
+        self.watchdog = Some(Watchdog::new(limit));
+    }
+
+    /// The sum the watchdog samples: strictly grows whenever any hart
+    /// retires an instruction, a stream moves an element, a barrier
+    /// completes, or the DMA engine moves a beat. A system owner sums
+    /// these across clusters for its own global watchdog.
+    #[must_use]
+    pub fn progress_signature(&self) -> u64 {
+        let cores: u64 = self.cores.iter().map(Core::progress_signature).sum();
+        let dma = self.dma.as_ref().map_or(0, |d| {
+            d.engine.stats().beats + d.engine.stats().transfers_completed
+        });
+        cores + dma
+    }
+
+    /// Appends the hang-diagnosis view of every cluster resource to
+    /// `out`, paths prefixed with `path` (e.g. `cluster0`).
+    pub fn diagnose(&self, path: &str, out: &mut Vec<ResourceState>) {
+        for (h, core) in self.cores.iter().enumerate() {
+            if !core.is_halted() {
+                core.diagnose(&format!("{path}.hart{h}"), out);
+            }
+        }
+        if let Some(dma) = &self.dma {
+            if !dma.engine.is_idle() {
+                out.push(ResourceState::info(
+                    format!("{path}.dma"),
+                    format!(
+                        "{} transfer(s) outstanding, engine {}",
+                        dma.engine.outstanding(),
+                        if dma.engine.is_busy() { "busy" } else { "idle" }
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Watchdog check, run once per completed cycle. Returns the hang
+    /// report if the cluster froze.
+    fn check_watchdog(&mut self) -> Option<HangReport> {
+        if self.watchdog.is_none() || self.cores.iter().all(Core::is_halted) {
+            return None;
+        }
+        let sig = self.progress_signature();
+        let cycle = self.cycles;
+        let stuck_for = self.watchdog.as_mut()?.observe(cycle, sig)?;
+        let mut resources = Vec::new();
+        self.diagnose("cluster", &mut resources);
+        Some(HangReport::new(cycle, stuck_for, resources))
     }
 
     /// Attaches a DMA engine moving data between `dram` and the shared
@@ -378,8 +486,12 @@ impl Cluster {
     fn attach_dma_inner(&mut self, dram: Option<Dram>, timing: DramConfig) {
         let port = self.cfg.num_cores * u32::from(self.cfg.ports_per_core());
         assert!(port < 256, "DMA port overflows the 8-bit port namespace");
+        let mut engine = DmaEngine::new(PortId(port as u8));
+        if self.tracer.is_on() {
+            engine.set_tracer(self.tracer.clone(), Track::new(self.pid, DMA_TRACK_TID));
+        }
         self.dma = Some(DmaAttachment {
-            engine: DmaEngine::new(PortId(port as u8)),
+            engine,
             dram,
             timing,
             busy_cycles: 0,
@@ -534,6 +646,11 @@ impl Cluster {
                 source,
             }
         };
+
+        // All of this cycle's events carry the cycle number as their
+        // timestamp (the system sets the same value when it owns the
+        // clock — the clusters advance in lock-step with it).
+        self.tracer.set_cycle(self.cycles);
 
         // Cores already halted at cycle start sit the cycle out entirely
         // (their counters freeze at their own completion).
@@ -708,6 +825,18 @@ impl Cluster {
             dma.busy_this_cycle = false;
             dma.beat_ready = false;
         }
+        if self.tracer.wants_sample(self.cycles) {
+            for (h, core) in self.cores.iter().enumerate() {
+                self.tracer
+                    .sample(Track::new(self.pid, h as u32), core.counters());
+            }
+            self.tracer
+                .sample(Track::new(self.pid, TCDM_TRACK_TID), self.tcdm.stats());
+            if let Some(dma) = &self.dma {
+                self.tracer
+                    .sample(Track::new(self.pid, DMA_TRACK_TID), dma.engine.stats());
+            }
+        }
         self.cycles += 1;
 
         // Barrier rendezvous: release once every active hart has arrived.
@@ -733,6 +862,9 @@ impl Cluster {
             if self.cores[h].is_halted() && self.core_done_at[h].is_none() {
                 self.core_done_at[h] = Some(self.cycles);
             }
+        }
+        if let Some(report) = self.check_watchdog() {
+            return Err(ClusterError::Hang(report));
         }
         Ok(())
     }

@@ -1,0 +1,123 @@
+//! The hang watchdog against a real, historical deadlock.
+//!
+//! The chained-FIFO writeback jam: under sustained backpressure a
+//! producer's completion is *held* in the FPU's final stage waiting to
+//! push into a full chained register, while the consumer that would pop
+//! that register stalls on the packed unit — a circular wait the
+//! issue-stage drain (`CoreConfig::chained_fifo_shift`, the synchronous
+//! FIFO shift) resolves. With the drain disabled the same program wedges
+//! silently; the watchdog must convert that into a [`ClusterError::Hang`]
+//! whose report names the held chained-FIFO writeback as the blocked
+//! resource, instead of a bare max-cycles timeout.
+
+use sc_cluster::{Cluster, ClusterConfig, ClusterError};
+use sc_core::CoreConfig;
+use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
+use sc_mem::TcdmConfig;
+
+fn t(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+fn cfg() -> CoreConfig {
+    CoreConfig::new().with_tcdm(TcdmConfig::new().with_size(64 << 10).with_banks(8))
+}
+
+/// A producer/consumer burst through chained `f3`: five back-to-back
+/// chained-dest adds — exactly enough to pack the 3-stage addmul pipe
+/// plus its held writeback back to the issue slot — then five multiplies
+/// popping `f3` while the unit is full. The first multiply is the drain
+/// case: with the synchronous shift it issues by retiring the held
+/// producer into the register it pops; without it, circular wait.
+/// (One more producer would overflow the rigid FIFO's total capacity and
+/// wedge even *with* the drain — that would be a software bug, not the
+/// hardware hazard this fixture pins.)
+fn chained_burst_program(reps: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(t(10), 0x400);
+    b.fld(f(1), t(10), 0);
+    b.fld(f(2), t(10), 8);
+    b.fld(f(4), t(10), 16);
+    b.li(t(5), f(3).chain_mask_bit() as i32);
+    b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, t(5));
+    for _ in 0..reps {
+        for _ in 0..5 {
+            b.fadd_d(f(3), f(1), f(2));
+        }
+        // Distinct destinations keep the consumers issuing back-to-back
+        // (a WAW stall would serialize them and change the jam's shape).
+        for i in 0..5u8 {
+            b.fmul_d(f(5 + i % 4), f(3), f(4));
+        }
+    }
+    b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
+    b.fsd(f(5), t(10), 32);
+    b.ecall();
+    b.build().unwrap()
+}
+
+fn run_burst(core_cfg: CoreConfig, watchdog: Option<u64>) -> (Cluster, Result<(), ClusterError>) {
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(1).with_core(core_cfg),
+        vec![chained_burst_program(16)],
+    );
+    if let Some(limit) = watchdog {
+        cluster.set_watchdog(limit);
+    }
+    cluster.tcdm_mut().write_f64(0x400, 2.0).unwrap();
+    cluster.tcdm_mut().write_f64(0x408, 3.0).unwrap();
+    cluster.tcdm_mut().write_f64(0x410, 10.0).unwrap();
+    let outcome = cluster.run(200_000).map(|_| ());
+    (cluster, outcome)
+}
+
+#[test]
+fn burst_program_completes_with_the_fifo_shift() {
+    let (cluster, outcome) = run_burst(cfg(), Some(5_000));
+    outcome.expect("the drain resolves the jam; the watchdog stays quiet");
+    // (2 + 3) * 10, from the last iteration's final multiply.
+    assert_eq!(cluster.tcdm().read_f64(0x420).unwrap(), 50.0);
+}
+
+#[test]
+fn watchdog_names_the_wedged_chained_fifo() {
+    // Same program, drain disabled: silent wedge -> named diagnosis.
+    let (_, outcome) = run_burst(cfg().with_chained_fifo_shift(false), Some(5_000));
+    let err = outcome.expect_err("the writeback jam must wedge without the drain");
+    let ClusterError::Hang(report) = err else {
+        panic!("expected the watchdog to fire, got: {err}");
+    };
+    assert!(
+        report.mentions("chained"),
+        "report must name the held chained-FIFO writeback:\n{report}"
+    );
+    assert!(
+        report.mentions("hart0"),
+        "report must locate the wedged hart:\n{report}"
+    );
+    assert!(
+        report.stuck_for >= 5_000,
+        "stuck_for {} below the watchdog limit",
+        report.stuck_for
+    );
+    // The rendered report is what lands in a panic message or a log —
+    // it must carry the blocked resources, not just a cycle number.
+    let rendered = format!("{report}");
+    assert!(rendered.contains("BLOCKED"), "{rendered}");
+}
+
+#[test]
+fn without_a_watchdog_the_wedge_only_times_out() {
+    // The pre-watchdog behaviour the fixture documents: the same hang
+    // burns the whole cycle budget and reports nothing useful.
+    let (_, outcome) = run_burst(cfg().with_chained_fifo_shift(false), None);
+    let err = outcome.expect_err("still wedged");
+    assert!(
+        !matches!(err, ClusterError::Hang(_)),
+        "no watchdog was armed, got: {err}"
+    );
+}

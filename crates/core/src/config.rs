@@ -44,6 +44,13 @@ pub struct CoreConfig {
     /// Capture a full per-cycle issue trace (costs memory; used by the
     /// Fig. 1 experiment and debugging).
     pub trace: bool,
+    /// Whether the chained-FIFO writeback drain shifts entries in the
+    /// same cycle a chained consumer pops (the hardware behaviour).
+    /// Disabling it re-introduces a writeback deadlock — a held FPU
+    /// result waiting on FIFO space that only its own consumer can
+    /// free — and exists solely so watchdog tests can exercise hang
+    /// diagnosis on a real historical bug.
+    pub chained_fifo_shift: bool,
 }
 
 impl CoreConfig {
@@ -61,7 +68,17 @@ impl CoreConfig {
             strict: true,
             branch_taken_penalty: 1,
             trace: false,
+            chained_fifo_shift: true,
         }
+    }
+
+    /// Enables/disables the same-cycle chained-FIFO drain shift (see
+    /// [`CoreConfig::chained_fifo_shift`]). Only watchdog tests should
+    /// turn this off.
+    #[must_use]
+    pub fn with_chained_fifo_shift(mut self, enabled: bool) -> Self {
+        self.chained_fifo_shift = enabled;
+        self
     }
 
     /// Enables/disables the chaining extension hardware.

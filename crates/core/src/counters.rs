@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sc_trace::MetricSource;
+
 /// Why the FP issue slot was empty in a given cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StallCause {
@@ -49,6 +51,23 @@ impl StallCause {
             .iter()
             .position(|c| *c == self)
             .expect("cause listed in ALL")
+    }
+
+    /// Metric-series name for sampled exports (`stall_` + snake label).
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            StallCause::NoInstruction => "stall_no_inst",
+            StallCause::RawHazard => "stall_raw",
+            StallCause::WawHazard => "stall_waw",
+            StallCause::ChainEmpty => "stall_chain_empty",
+            StallCause::ChainFull => "stall_chain_full",
+            StallCause::SsrStarve => "stall_ssr_starve",
+            StallCause::SsrFull => "stall_ssr_full",
+            StallCause::UnitBusy => "stall_unit_busy",
+            StallCause::LsuBusy => "stall_lsu_busy",
+            StallCause::Sync => "stall_sync",
+        }
     }
 
     /// Short label for reports.
@@ -231,6 +250,32 @@ impl PerfCounters {
         }
         s.push('\n');
         s
+    }
+}
+
+impl MetricSource for PerfCounters {
+    fn source_name(&self) -> &'static str {
+        "core"
+    }
+
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&'static str, u64)) {
+        visit("cycles", self.cycles);
+        visit("int_retired", self.int_retired);
+        visit("fp_issued", self.fp_issued);
+        visit("fpu_issue_cycles", self.fpu_issue_cycles);
+        visit("flops", self.flops);
+        visit("fp_mem_ops", self.fp_mem_ops);
+        visit("int_mem_ops", self.int_mem_ops);
+        visit("ssr_elements", self.ssr_elements);
+        visit("tcdm_accesses", self.tcdm_accesses);
+        visit("tcdm_conflicts", self.tcdm_conflicts);
+        visit("fp_rf_reads", self.fp_rf_reads);
+        visit("fp_rf_writes", self.fp_rf_writes);
+        visit("fetches", self.fetches);
+        visit("frep_replays", self.frep_replays);
+        for c in StallCause::ALL {
+            visit(c.metric_name(), self.stalls_of(c));
+        }
     }
 }
 

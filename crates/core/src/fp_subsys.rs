@@ -19,6 +19,7 @@ use sc_fpu::{evaluate, FpuOp, FpuOutput, IterativeUnit, OpClass, Pipeline};
 use sc_isa::{FmaOp, FpBinOp, FpFormat, FpReg, Instruction, IntReg};
 use sc_mem::{AccessKind, PortId, Request, Tcdm};
 use sc_ssr::SsrUnit;
+use sc_trace::ResourceState;
 
 use crate::chain::ChainUnit;
 use crate::config::CoreConfig;
@@ -308,6 +309,9 @@ impl FpSubsystem {
     /// moment backpressure packs the pipeline. Returns the unit class to
     /// drain during issue.
     fn chained_drain_target(&self, inst: &Instruction, popped: &[FpReg]) -> Option<OpClass> {
+        if !self.cfg.chained_fifo_shift {
+            return None;
+        }
         if !self.wb_port_free
             || matches!(
                 inst,
@@ -696,6 +700,84 @@ impl FpSubsystem {
     #[must_use]
     pub fn pending_counts(&self) -> &[u32; 32] {
         &self.pending
+    }
+
+    /// Appends this subsystem's hang-diagnosis view to `out`, one entry
+    /// per stateful resource, paths prefixed with `path`. A resource is
+    /// flagged blocked when it holds work that cannot move on its own —
+    /// most importantly a completed result parked in a unit's writeback
+    /// slot whose chained destination FIFO is full, the signature of a
+    /// writeback deadlock.
+    pub fn diagnose(&self, path: &str, out: &mut Vec<ResourceState>) {
+        let units: [(&str, Option<&WbOp>); 4] = [
+            ("addmul", self.addmul.ready()),
+            ("noncomp", self.noncomp.ready()),
+            ("conv", self.conv.ready()),
+            ("divsqrt", self.divsqrt.ready()),
+        ];
+        for (unit, slot) in units {
+            let Some(op) = slot else { continue };
+            match op.dest {
+                WbDest::Chained(reg) if !self.chain.can_push(reg) => {
+                    out.push(ResourceState::blocked(
+                        format!("{path}.fp.{unit}"),
+                        format!(
+                            "held writeback into chained FIFO {reg} \
+                             (valid bit set, consumer stalled)"
+                        ),
+                    ));
+                }
+                WbDest::Stream(i) if !self.ssr.mover(i).can_push() => {
+                    out.push(ResourceState::blocked(
+                        format!("{path}.fp.{unit}"),
+                        format!("held writeback into write stream ft{i} (FIFO full)"),
+                    ));
+                }
+                _ => out.push(ResourceState::info(
+                    format!("{path}.fp.{unit}"),
+                    "completed result awaiting the writeback port",
+                )),
+            }
+        }
+        for reg in FpReg::all() {
+            if self.chain.is_chained(reg) && self.chain.is_valid(reg) {
+                out.push(ResourceState::info(
+                    format!("{path}.fp.chain.{reg}"),
+                    "holds an unconsumed chained value",
+                ));
+            }
+        }
+        if self.lsu != FpLsu::Idle {
+            out.push(ResourceState::info(
+                format!("{path}.fp.lsu"),
+                match self.lsu {
+                    FpLsu::StorePending { .. } => "store awaiting TCDM grant",
+                    FpLsu::LoadPending { .. } => "load awaiting TCDM grant",
+                    FpLsu::LoadLanded { .. } => "load landed, awaiting writeback",
+                    FpLsu::Idle => unreachable!(),
+                },
+            ));
+        }
+        if !self.seq.is_drained() {
+            out.push(ResourceState::info(
+                format!("{path}.fp.sequencer"),
+                "offloaded instructions pending",
+            ));
+        }
+        for m in self.ssr.movers() {
+            if m.fifo_len() > 0 || m.is_active() {
+                out.push(ResourceState::info(
+                    format!("{path}.fp.ssr.ft{}", m.index()),
+                    format!("stream FIFO {}/{}", m.fifo_len(), m.fifo_capacity()),
+                ));
+            }
+        }
+        if let Some(cause) = self.blocked_reason {
+            out.push(ResourceState::info(
+                format!("{path}.fp.writeback"),
+                format!("blocked: {}", cause.label()),
+            ));
+        }
     }
 }
 

@@ -55,6 +55,7 @@
 use sc_isa::{csr, CsrFile, CsrOp, CsrSrc, FpReg, Instruction, IntReg, LoadOp, Program, StoreOp};
 use sc_mem::{AccessKind, PortId, Request, Tcdm};
 use sc_ssr::CfgAddr;
+use sc_trace::{ResourceState, Tracer, Track};
 
 use crate::config::CoreConfig;
 use crate::counters::PerfCounters;
@@ -210,6 +211,8 @@ pub struct Core {
     dma_rung: u32,
     dma_outstanding: u32,
     dma_completed: u32,
+    tracer: Tracer,
+    track: Track,
 }
 
 impl Core {
@@ -270,7 +273,21 @@ impl Core {
             dma_rung: 0,
             dma_outstanding: 0,
             dma_completed: 0,
+            tracer: Tracer::off(),
+            track: Track::new(0, 0),
         }
+    }
+
+    /// Subscribes the core to a trace sink. Each cycle becomes one state
+    /// sample on `track` — `fp-issue`, a stall-cause label, `int`,
+    /// `barrier`, … — which the sink coalesces into occupancy spans;
+    /// chained-FIFO occupancy becomes a counter series.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        if tracer.is_on() {
+            tracer.name_thread(track, &format!("hart{}", self.hart_id));
+        }
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// This core's hart ID.
@@ -398,6 +415,54 @@ impl Core {
         self.system_barriers_completed
     }
 
+    /// A short label for the integer pipeline's current state (hang
+    /// diagnostics).
+    #[must_use]
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            IntState::Running => "running",
+            IntState::Bubble(_) => "bubble",
+            IntState::LoadWait { .. } => "load-wait",
+            IntState::StoreWait { .. } => "store-wait",
+            IntState::BarrierWait { .. } => "barrier-wait",
+            IntState::SystemBarrierWait { .. } => "sys-barrier-wait",
+            IntState::Halting => "halting",
+            IntState::Halted => "halted",
+        }
+    }
+
+    /// A monotone progress signature: grows whenever architectural state
+    /// retires anywhere in the hart. Watchdogs compare successive
+    /// values — a frozen signature while harts are unfinished is a hang.
+    #[must_use]
+    pub fn progress_signature(&self) -> u64 {
+        self.counters.int_retired
+            + self.counters.fp_issued
+            + self.counters.ssr_elements
+            + u64::from(self.barriers_completed)
+            + u64::from(self.system_barriers_completed)
+    }
+
+    /// Appends this hart's hang-diagnosis view to `out` under `path`:
+    /// the integer pipeline's wait state, then every stateful
+    /// FP-subsystem resource (held writebacks, chained FIFOs, streams).
+    pub fn diagnose(&self, path: &str, out: &mut Vec<ResourceState>) {
+        let parked = matches!(
+            self.state,
+            IntState::LoadWait { .. }
+                | IntState::StoreWait { .. }
+                | IntState::BarrierWait { .. }
+                | IntState::SystemBarrierWait { .. }
+        );
+        let p = format!("{path}.int");
+        out.push(if parked {
+            ResourceState::blocked(p, self.state_label())
+        } else {
+            ResourceState::info(p, self.state_label())
+        });
+        self.fp.diagnose(path, out);
+    }
+
     /// Releases a core parked on the barrier: the barrier-CSR write
     /// retires, its destination register receiving the number of barrier
     /// episodes completed before this one. No-op if the core is not
@@ -412,6 +477,7 @@ impl Core {
             self.counters.int_retired += 1;
             self.counters.fetches += 1;
             self.state = IntState::Running;
+            self.tracer.instant(self.track, "barrier-release");
         }
     }
 
@@ -430,6 +496,7 @@ impl Core {
             self.counters.int_retired += 1;
             self.counters.fetches += 1;
             self.state = IntState::Running;
+            self.tracer.instant(self.track, "sys-barrier-release");
         }
     }
 
@@ -527,6 +594,32 @@ impl Core {
 
         // Phase 2b: integer execute.
         let int_slot = self.int_step()?;
+
+        if self.tracer.is_on() {
+            let label = match fp_outcome {
+                IssueOutcome::Issued(_) => "fp-issue",
+                IssueOutcome::Stalled(c) => c.label(),
+                IssueOutcome::Idle => match self.state {
+                    IntState::BarrierWait { .. } => "barrier",
+                    IntState::SystemBarrierWait { .. } => "sys-barrier",
+                    IntState::LoadWait { .. } | IntState::StoreWait { .. } => "mem-wait",
+                    IntState::Halting | IntState::Halted => "idle",
+                    IntState::Running | IntState::Bubble(_) => {
+                        if int_slot.is_some() {
+                            "int"
+                        } else {
+                            "idle"
+                        }
+                    }
+                },
+            };
+            self.tracer.state(self.track, label);
+            self.tracer.counter(
+                self.track,
+                "chain-valid",
+                u64::from(self.fp.chain().valid_bits().count_ones()),
+            );
+        }
 
         if self.cfg.trace {
             self.trace_int_slot = int_slot;

@@ -47,6 +47,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use sc_mem::{AccessKind, Dram, DramConfig, MemError, PortId, PrefetchHint, Request, Tcdm};
+use sc_trace::{MetricSource, Tracer, Track};
 
 /// Beat width in bytes: the engine moves 64-bit words, matching the TCDM
 /// bank width.
@@ -221,6 +222,25 @@ impl DmaStats {
     }
 }
 
+impl MetricSource for DmaStats {
+    fn source_name(&self) -> &'static str {
+        "dma"
+    }
+
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&'static str, u64)) {
+        visit("transfers_enqueued", self.transfers_enqueued);
+        visit("transfers_completed", self.transfers_completed);
+        visit("beats", self.beats);
+        visit("bytes_to_tcdm", self.bytes_to_tcdm);
+        visit("bytes_from_tcdm", self.bytes_from_tcdm);
+        visit("tcdm_conflicts", self.tcdm_conflicts);
+        visit("dram_wait_cycles", self.dram_wait_cycles);
+        visit("l2_wait_cycles", self.l2_wait_cycles);
+        visit("l2_miss_wait_cycles", self.l2_miss_wait_cycles);
+        visit("prefetch_hints", self.prefetch_hints);
+    }
+}
+
 /// Progress through the active transfer.
 #[derive(Debug, Clone, Copy)]
 struct Active {
@@ -264,6 +284,8 @@ pub struct DmaEngine {
     /// Dram→TCDM read footprints only — writes allocate in the L2
     /// without a fetch, so prefetching them would be pure waste).
     hints: Vec<PrefetchHint>,
+    tracer: Tracer,
+    track: Track,
 }
 
 impl DmaEngine {
@@ -278,6 +300,8 @@ impl DmaEngine {
             completed: 0,
             moved_this_cycle: false,
             hints: Vec::new(),
+            tracer: Tracer::off(),
+            track: Track::new(0, 0),
         }
     }
 
@@ -285,6 +309,17 @@ impl DmaEngine {
     #[must_use]
     pub fn port(&self) -> PortId {
         self.port
+    }
+
+    /// Subscribes the engine to a trace sink. Burst lifetimes become
+    /// spans on `track`, doorbells become instants, and the queue depth
+    /// becomes a counter series.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        if tracer.is_on() {
+            tracer.name_thread(track, "dma");
+        }
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Accepts a transfer descriptor into the FIFO.
@@ -321,6 +356,9 @@ impl DmaEngine {
         }
         self.queue.push_back(t);
         self.stats.transfers_enqueued += 1;
+        self.tracer.instant(self.track, "doorbell");
+        self.tracer
+            .counter(self.track, "dma-queue", self.queue.len() as u64);
         Ok(())
     }
 
@@ -385,6 +423,16 @@ impl DmaEngine {
     pub fn begin_cycle(&mut self, timing: DramConfig) {
         if self.active.is_none() {
             if let Some(t) = self.queue.pop_front() {
+                self.tracer.begin(
+                    self.track,
+                    if t.to_tcdm {
+                        "burst-to-tcdm"
+                    } else {
+                        "burst-from-tcdm"
+                    },
+                );
+                self.tracer
+                    .counter(self.track, "dma-queue", self.queue.len() as u64);
                 self.active = Some(Active {
                     t,
                     row: 0,
@@ -495,6 +543,7 @@ impl DmaEngine {
             self.active = None;
             self.completed = self.completed.wrapping_add(1);
             self.stats.transfers_completed += 1;
+            self.tracer.end(self.track);
         } else {
             // Bandwidth throttle: a beat occupies the channel for
             // `cycles_per_beat` cycles including its own, so the next

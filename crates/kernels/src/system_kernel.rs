@@ -24,6 +24,7 @@ use sc_core::{CoreConfig, PerfCounters};
 use sc_isa::Program;
 use sc_mem::{Dram, DramConfig, L2Config, MemError, Tcdm, TcdmConfig};
 use sc_system::{System, SystemConfig, SystemSummary};
+use sc_trace::Tracer;
 
 use crate::kernel::{KernelError, VerifyError};
 use crate::tiling::{DramCheckFn, DramSetupFn, WorkingSet};
@@ -279,6 +280,24 @@ impl TiledSystemKernel {
         dram_cfg: DramConfig,
         max_cycles: u64,
     ) -> Result<TiledSystemRun, KernelError> {
+        self.run_traced(cfg, l2_cfg, dram_cfg, max_cycles, Tracer::off())
+    }
+
+    /// [`TiledSystemKernel::run`] with a trace subscription: every hart,
+    /// DMA engine, TCDM and the shared L2 emit onto `tracer` for the
+    /// whole run. Passing [`Tracer::off`] is exactly `run`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledSystemKernel::run`].
+    pub fn run_traced(
+        &self,
+        cfg: CoreConfig,
+        l2_cfg: L2Config,
+        dram_cfg: DramConfig,
+        max_cycles: u64,
+        tracer: Tracer,
+    ) -> Result<TiledSystemRun, KernelError> {
         let core_cfg = CoreConfig {
             tcdm: self.tcdm,
             ..cfg
@@ -290,6 +309,7 @@ impl TiledSystemKernel {
         let mut dram = Dram::new(dram_cfg);
         (self.setup)(&mut dram)?;
         system.attach_dram(dram);
+        system.set_tracer(tracer);
         let summary = system.run(max_cycles)?;
         debug_assert!(
             (0..self.num_clusters())

@@ -1,0 +1,89 @@
+//! The tracer-as-observer guarantee, differentially: a subscribed
+//! [`sc_trace::TraceSession`] must never change a run — cycle counts,
+//! per-core counters, DMA traffic, L2 stats and the verified store image
+//! must be identical with tracing on and off. The traced run's store
+//! image is checked bit-exactly against the same golden model inside
+//! `run_traced`, so a pass here means tracing changed *nothing* the
+//! architecture can observe.
+
+use proptest::prelude::*;
+use sc_core::CoreConfig;
+use sc_kernels::{Grid3, Stencil, StencilKernel, Variant};
+use sc_mem::{DramConfig, L2Config};
+use sc_trace::{TraceConfig, TraceSession};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tiled multi-cluster runs — the path that threads the tracer
+    /// through cores, DMA engines, TCDMs and the shared L2 — are
+    /// invariant under trace subscription, across grid shapes, hart and
+    /// cluster counts, L2 pressure and sampling cadence.
+    #[test]
+    fn subscribed_tracer_never_changes_results(
+        ny in 2u32..5,
+        nz in 2u32..5,
+        harts in 1u32..4,
+        clusters in 1u32..3,
+        underfit in any::<bool>(),
+        sample_idx in 0usize..3,
+    ) {
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, ny, nz),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        let cap = 8u32 << 10;
+        let Ok(tk) = gen.build_system_tiled(clusters, harts, cap) else {
+            return Ok(()); // too small a TCDM cap for this shape
+        };
+        let ws = tk.working_set().clone();
+        let l2 = L2Config::new()
+            .with_capacity_bytes(if underfit {
+                ws.underfit_capacity(256 * 4)
+            } else {
+                ws.overfit_capacity(256 * 4)
+            })
+            .with_ways(4)
+            .with_mshrs(8)
+            .with_refill_channels(2)
+            .with_write_back(true);
+        let cfg = CoreConfig::new();
+        let dram = DramConfig::new().with_latency(32);
+
+        let off = tk
+            .run(cfg, l2, dram, MAX_CYCLES)
+            .map_err(|e| TestCaseError::fail(format!("untraced: {e}")))?;
+        let session = TraceSession::new(
+            TraceConfig::new().with_sample_every([64u64, 256, 1024][sample_idx]),
+        );
+        let on = tk
+            .run_traced(cfg, l2, dram, MAX_CYCLES, session.tracer())
+            .map_err(|e| TestCaseError::fail(format!("traced: {e}")))?;
+
+        prop_assert_eq!(on.summary.cycles, off.summary.cycles);
+        prop_assert_eq!(on.summary.l2_refill_beats, off.summary.l2_refill_beats);
+        prop_assert_eq!(on.summary.l2_writeback_beats, off.summary.l2_writeback_beats);
+        for (a, b) in off
+            .summary
+            .per_cluster
+            .iter()
+            .zip(&on.summary.per_cluster)
+        {
+            for (ca, cb) in a.per_core.iter().zip(&b.per_core) {
+                prop_assert_eq!(&ca.counters, &cb.counters);
+                prop_assert_eq!(&ca.region, &cb.region);
+            }
+            prop_assert_eq!(&a.dma, &b.dma);
+        }
+        match (&off.summary.l2, &on.summary.l2) {
+            (Some(a), Some(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+        }
+        // And the subscription actually observed the run.
+        prop_assert!(session.events_buffered() > 0);
+    }
+}

@@ -55,6 +55,7 @@
 //! `Dram` (pinned by `sc-system`'s equivalence tests).
 
 use sc_cache::{Cache, CacheConfig, CacheStats, PrefetchHint, PrefetchMode, Probe};
+use sc_trace::{MetricSource, Tracer, Track};
 
 use crate::dram::DramConfig;
 use crate::tcdm::AccessKind;
@@ -493,6 +494,101 @@ impl L2Stats {
     pub fn prefetch_beats(&self, cfg: &L2Config) -> u64 {
         self.cache.prefetch_refills * u64::from(cfg.line_beats())
     }
+
+    /// Bundles these stats with their derived beat counts into the
+    /// [`MetricSource`] every consumer (sampling, report serialization,
+    /// gate discovery) iterates.
+    #[must_use]
+    pub fn metric_set(&self, cfg: &L2Config) -> L2MetricSet {
+        L2MetricSet::from_parts(
+            self.clone(),
+            self.refill_beats(cfg),
+            self.writeback_beats(cfg),
+            self.prefetch_beats(cfg),
+        )
+    }
+}
+
+/// The L2's full scalar metric list — bank arbitration, the cache
+/// core's counters and the per-beat traffic the config derives — as one
+/// [`MetricSource`]. The visit order and names **are** the serialized
+/// `l2` report schema: `sc-bench`'s `l2_stats_json` writes exactly these
+/// pairs and `perf_gate` derives its required-metric list from them, so
+/// a counter added here is automatically reported, sampled and gated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct L2MetricSet {
+    /// The raw stats.
+    pub stats: L2Stats,
+    /// 64-bit beats moved over the refill channels.
+    pub refill_beats: u64,
+    /// 64-bit beats of dirty-eviction write-back traffic.
+    pub writeback_beats: u64,
+    /// Refill beats moved for prefetch-issued fetches.
+    pub prefetch_beats: u64,
+}
+
+impl L2MetricSet {
+    /// Assembles the set from stats plus externally derived beat counts
+    /// (`l2_stats_json`'s historical signature).
+    #[must_use]
+    pub fn from_parts(
+        stats: L2Stats,
+        refill_beats: u64,
+        writeback_beats: u64,
+        prefetch_beats: u64,
+    ) -> Self {
+        L2MetricSet {
+            stats,
+            refill_beats,
+            writeback_beats,
+            prefetch_beats,
+        }
+    }
+
+    /// The metric names in visit order (schema discovery without an
+    /// instance's values).
+    #[must_use]
+    pub fn metric_names() -> Vec<&'static str> {
+        let mut names = Vec::new();
+        L2MetricSet::default().visit_metrics(&mut |name, _| names.push(name));
+        names
+    }
+}
+
+impl MetricSource for L2MetricSet {
+    fn source_name(&self) -> &'static str {
+        "l2"
+    }
+
+    // The names deliberately keep the historical `l2_stats_json` keys
+    // (e.g. `hits` for the cache core's `read_hits`): checked-in
+    // baselines and report-diff tooling pin this schema.
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&'static str, u64)) {
+        visit("accesses", self.stats.accesses);
+        visit("conflicts", self.stats.conflicts);
+        visit("refills", self.stats.refills());
+        visit("refill_stalls", self.stats.refill_stalls());
+        visit("refill_beats", self.refill_beats);
+        visit("hits", self.stats.cache.read_hits);
+        visit("misses", self.stats.cache.read_misses);
+        visit("evictions", self.stats.cache.evictions);
+        visit("writeback_beats", self.writeback_beats);
+        visit("mshr_merges", self.stats.cache.mshr_merges);
+        visit("mshr_full_stalls", self.stats.cache.mshr_full_stalls);
+        visit("mshr_peak", self.stats.cache.mshr_peak);
+        visit("prefetch_hints", self.stats.cache.prefetch_hints);
+        visit("prefetches_issued", self.stats.cache.prefetches_issued);
+        visit("prefetch_hits", self.stats.cache.prefetch_hits);
+        visit(
+            "prefetch_covered_misses",
+            self.stats.cache.demand_misses_covered_by_prefetch,
+        );
+        visit(
+            "prefetch_evicted_unused",
+            self.stats.cache.prefetch_evicted_unused,
+        );
+        visit("prefetch_beats", self.prefetch_beats);
+    }
 }
 
 /// The cycle-stepped shared L2: bank arbiter over a [`sc_cache::Cache`]
@@ -565,6 +661,15 @@ impl L2 {
     #[must_use]
     pub fn cache(&self) -> &Cache {
         &self.cache
+    }
+
+    /// Subscribes the L2 (its cache core's channels, counters and
+    /// prefetch lifecycle) to an observability bus, rooted at `track`.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        if tracer.is_on() {
+            tracer.name_process(track.pid, "l2");
+        }
+        self.cache.set_tracer(tracer, track);
     }
 
     /// The bank serving a byte address.

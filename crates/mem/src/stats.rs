@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use sc_trace::MetricSource;
+
 use crate::tcdm::{AccessKind, PortId};
 
 /// Per-port and per-bank access counters.
@@ -118,6 +120,18 @@ impl TcdmStats {
             conflicts += self.conflicts_of(PortId(p));
         }
         (accesses, conflicts)
+    }
+}
+
+impl MetricSource for TcdmStats {
+    fn source_name(&self) -> &'static str {
+        "tcdm"
+    }
+
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&'static str, u64)) {
+        visit("reads", self.reads());
+        visit("writes", self.writes());
+        visit("conflicts", self.conflicts());
     }
 }
 

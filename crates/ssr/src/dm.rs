@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use sc_mem::{AccessKind, MemError, PortId, Request, Tcdm};
+use sc_trace::MetricSource;
 
 use crate::addrgen::{AddrGen, AffinePattern};
 use crate::indirect::IndirectConfig;
@@ -88,6 +89,19 @@ pub struct DmStats {
     pub denied_requests: u64,
 }
 
+impl MetricSource for DmStats {
+    fn source_name(&self) -> &'static str {
+        "ssr"
+    }
+
+    fn visit_metrics(&self, visit: &mut dyn FnMut(&'static str, u64)) {
+        visit("elements", self.elements);
+        visit("starve_cycles", self.starve_cycles);
+        visit("full_cycles", self.full_cycles);
+        visit("denied_requests", self.denied_requests);
+    }
+}
+
 /// One stream data mover.
 #[derive(Debug, Clone)]
 pub struct DataMover {
@@ -161,6 +175,18 @@ impl DataMover {
     #[must_use]
     pub fn stats(&self) -> DmStats {
         self.stats
+    }
+
+    /// Entries currently buffered in the stream FIFO (hang diagnostics).
+    #[must_use]
+    pub fn fifo_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// The FIFO's configured capacity.
+    #[must_use]
+    pub fn fifo_capacity(&self) -> usize {
+        self.fifo_capacity
     }
 
     /// Whether a stream is armed and not yet finished.

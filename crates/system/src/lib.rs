@@ -78,6 +78,12 @@ use sc_cluster::{Cluster, ClusterConfig, ClusterError, ClusterSummary};
 use sc_core::PerfCounters;
 use sc_isa::Program;
 use sc_mem::{Dram, L2Config, L2Outcome, L2Request, L2Stats, L2};
+use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
+
+/// Track the shared L2 traces on: process 0 ("l2"), thread 0; the L2's
+/// refill/write-back channels occupy the following thread ids. Cluster
+/// `c`'s tracks live under process `c + 1`.
+pub const L2_TRACK: Track = Track::new(0, 0);
 
 /// System geometry: how many clusters, their shared per-cluster shape,
 /// and the shared memory levels above them.
@@ -139,6 +145,11 @@ pub enum SystemError {
         /// The budget that was exceeded.
         max_cycles: u64,
     },
+    /// The watchdog ([`System::set_watchdog`]) saw no architectural
+    /// progress anywhere in the system for its limit while clusters
+    /// were unfinished: a hang, converted into a diagnostic naming each
+    /// blocked resource instead of spinning until the budget runs out.
+    Hang(HangReport),
 }
 
 impl fmt::Display for SystemError {
@@ -153,6 +164,7 @@ impl fmt::Display for SystemError {
                     "system exceeded {max_cycles} cycles before all clusters finished"
                 )
             }
+            SystemError::Hang(report) => write!(f, "{report}"),
         }
     }
 }
@@ -162,6 +174,7 @@ impl std::error::Error for SystemError {
         match self {
             SystemError::Cluster { source, .. } => Some(source),
             SystemError::MaxCyclesExceeded { .. } => None,
+            SystemError::Hang(_) => None,
         }
     }
 }
@@ -260,6 +273,8 @@ pub struct System {
     l2_reqs: Vec<L2Request>,
     l2_req_of: Vec<Option<usize>>,
     stepped: Vec<usize>,
+    tracer: Tracer,
+    watchdog: Option<Watchdog>,
 }
 
 impl System {
@@ -302,7 +317,75 @@ impl System {
             l2_reqs: Vec::new(),
             l2_req_of: vec![None; n],
             stepped: Vec::new(),
+            tracer: Tracer::off(),
+            watchdog: None,
         }
+    }
+
+    /// Subscribes the whole system to a trace sink: cluster `c`'s harts,
+    /// DMA engine and TCDM become tracks under process `c + 1`, while
+    /// the shared L2's refill/write-back channels and sampled metrics
+    /// live under process 0 ([`L2_TRACK`]). Attaching the shared memory
+    /// later ([`System::attach_dram`]) inherits the subscription.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (c, cluster) in self.clusters.iter_mut().enumerate() {
+            cluster.set_tracer(tracer.clone(), c as u32 + 1);
+        }
+        if let Some((l2, _)) = self.shared.as_mut() {
+            l2.set_tracer(tracer.clone(), L2_TRACK);
+        }
+        self.tracer = tracer;
+    }
+
+    /// Arms the hang watchdog: if no architectural state retires
+    /// anywhere in the system for `limit` consecutive cycles while
+    /// clusters are unfinished, the run aborts with
+    /// [`SystemError::Hang`] naming each blocked resource. The watchdog
+    /// watches *global* progress — a single cluster legitimately parked
+    /// on an uneven inter-cluster barrier never fires it as long as some
+    /// other cluster keeps retiring. Disarmed by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn set_watchdog(&mut self, limit: u64) {
+        self.watchdog = Some(Watchdog::new(limit));
+    }
+
+    /// Appends the hang-diagnosis view of every system resource to
+    /// `out`: each unfinished cluster's harts and engine, then the
+    /// shared L2's miss-handling state.
+    pub fn diagnose(&self, out: &mut Vec<ResourceState>) {
+        for (c, cluster) in self.clusters.iter().enumerate() {
+            if !self.cluster_finished(c) {
+                cluster.diagnose(&format!("cluster{c}"), out);
+            }
+        }
+        if let Some((l2, _)) = self.shared.as_ref() {
+            let cache = l2.cache();
+            if cache.is_busy() {
+                out.push(ResourceState::info(
+                    "l2",
+                    format!(
+                        "{} MSHR(s) in flight, {} prefetch(es) queued",
+                        cache.mshr_occupancy(),
+                        cache.prefetch_backlog()
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn check_watchdog(&mut self) -> Option<HangReport> {
+        if self.watchdog.is_none() || self.is_done() {
+            return None;
+        }
+        let sig: u64 = self.clusters.iter().map(Cluster::progress_signature).sum();
+        let cycle = self.cycles;
+        let stuck_for = self.watchdog.as_mut()?.observe(cycle, sig)?;
+        let mut resources = Vec::new();
+        self.diagnose(&mut resources);
+        Some(HangReport::new(cycle, stuck_for, resources))
     }
 
     /// Attaches the shared memory: every cluster gets a DMA engine
@@ -316,7 +399,11 @@ impl System {
         for cluster in &mut self.clusters {
             cluster.attach_dma_shared(timing);
         }
-        self.shared = Some((L2::new(self.cfg.l2, self.cfg.num_clusters), dram));
+        let mut l2 = L2::new(self.cfg.l2, self.cfg.num_clusters);
+        if self.tracer.is_on() {
+            l2.set_tracer(self.tracer.clone(), L2_TRACK);
+        }
+        self.shared = Some((l2, dram));
     }
 
     /// The system configuration.
@@ -398,6 +485,10 @@ impl System {
             }
         };
 
+        // All of this cycle's events carry the cycle number (the
+        // clusters re-set the same value in their begin_step).
+        self.tracer.set_cycle(self.cycles);
+
         // Clusters that finished their last stage sit the cycle out
         // entirely (their cycle counters freeze, like halted cores in a
         // cluster).
@@ -462,6 +553,12 @@ impl System {
         if let Some((l2, _)) = self.shared.as_mut() {
             l2.end_cycle();
         }
+        if self.tracer.wants_sample(self.cycles) {
+            if let Some((l2, _)) = self.shared.as_ref() {
+                let metrics = l2.stats().metric_set(l2.config());
+                self.tracer.sample(L2_TRACK, &metrics);
+            }
+        }
         self.cycles += 1;
 
         // Stage advance + completion bookkeeping — BEFORE the barrier
@@ -492,6 +589,9 @@ impl System {
                 cluster.release_system_barrier();
             }
             self.system_barriers += 1;
+        }
+        if let Some(report) = self.check_watchdog() {
+            return Err(SystemError::Hang(report));
         }
         Ok(())
     }

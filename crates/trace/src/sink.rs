@@ -1,0 +1,429 @@
+//! The buffering sink and its exporters.
+//!
+//! [`MemorySink`] coalesces the event stream as it arrives — state
+//! labels into closed spans, unchanged counter values dropped — so a
+//! long run buffers transitions, not cycles. [`TraceSession`] owns the
+//! sink, hands out [`Tracer`] handles, and renders the buffer as
+//! Chrome/Perfetto trace-event JSON (`{"traceEvents": [...]}` with
+//! `ph: "M"/"X"/"i"/"C"` entries, `ts` = cycle number) or as a CSV
+//! metric time-series.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::{TraceConfig, TraceEvent, TraceSink, Tracer, Track};
+
+/// A closed (or state-coalesced) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Span {
+    track: Track,
+    name: String,
+    start: u64,
+    end: u64,
+}
+
+/// One interval-sampled metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SampleRow {
+    cycle: u64,
+    track: Track,
+    source: String,
+    name: String,
+    value: u64,
+}
+
+/// The buffering [`TraceSink`]: coalesces on arrival, exports on demand.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    cycle: u64,
+    /// Per-track current state label and its start cycle.
+    state_open: BTreeMap<Track, (String, u64)>,
+    /// Per-track stack of open explicit spans.
+    spans_open: BTreeMap<Track, Vec<(String, u64)>>,
+    spans: Vec<Span>,
+    instants: Vec<(Track, String, u64)>,
+    /// `(track, name, cycle, value)` — only changes are kept.
+    counters: Vec<(Track, String, u64, u64)>,
+    counter_last: BTreeMap<(Track, String), u64>,
+    process_names: BTreeMap<u32, String>,
+    thread_names: BTreeMap<Track, String>,
+    samples: Vec<SampleRow>,
+}
+
+impl MemorySink {
+    /// An empty sink at cycle 0.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Closes every open state span and explicit span at the current
+    /// cycle + 1 (so an activity in flight at the end of the run is
+    /// still visible). Idempotent.
+    fn flush(&mut self) {
+        let end = self.cycle + 1;
+        let open = std::mem::take(&mut self.state_open);
+        for (track, (label, start)) in open {
+            self.spans.push(Span {
+                track,
+                name: label,
+                start,
+                end: end.max(start + 1),
+            });
+        }
+        let open = std::mem::take(&mut self.spans_open);
+        for (track, stack) in open {
+            for (name, start) in stack.into_iter().rev() {
+                self.spans.push(Span {
+                    track,
+                    name,
+                    start,
+                    end: end.max(start + 1),
+                });
+            }
+        }
+    }
+
+    /// Events buffered so far (spans + instants + counter changes) —
+    /// a cheap size probe for overhead tests.
+    #[must_use]
+    pub fn events_buffered(&self) -> usize {
+        self.spans.len() + self.instants.len() + self.counters.len()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn set_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+
+    fn record(&mut self, event: TraceEvent<'_>) {
+        match event {
+            TraceEvent::State { track, label } => {
+                if let Some((open, _)) = self.state_open.get(&track) {
+                    if open == label {
+                        return;
+                    }
+                    let (name, start) = self.state_open.remove(&track).expect("present");
+                    self.spans.push(Span {
+                        track,
+                        name,
+                        start,
+                        end: self.cycle.max(start + 1),
+                    });
+                }
+                if label != "idle" {
+                    self.state_open
+                        .insert(track, (label.to_string(), self.cycle));
+                }
+            }
+            TraceEvent::SpanBegin { track, name } => {
+                self.spans_open
+                    .entry(track)
+                    .or_default()
+                    .push((name.to_string(), self.cycle));
+            }
+            TraceEvent::SpanEnd { track } => {
+                if let Some((name, start)) = self.spans_open.entry(track).or_default().pop() {
+                    self.spans.push(Span {
+                        track,
+                        name,
+                        start,
+                        end: self.cycle.max(start + 1),
+                    });
+                }
+            }
+            TraceEvent::Instant { track, name } => {
+                self.instants.push((track, name.to_string(), self.cycle));
+            }
+            TraceEvent::Counter { track, name, value } => {
+                let key = (track, name.to_string());
+                if self.counter_last.get(&key) == Some(&value) {
+                    return;
+                }
+                self.counter_last.insert(key, value);
+                self.counters
+                    .push((track, name.to_string(), self.cycle, value));
+            }
+            TraceEvent::NameProcess { pid, name } => {
+                self.process_names.insert(pid, name.to_string());
+            }
+            TraceEvent::NameThread { track, name } => {
+                self.thread_names.insert(track, name.to_string());
+            }
+            TraceEvent::Sample {
+                track,
+                source,
+                name,
+                value,
+            } => {
+                self.samples.push(SampleRow {
+                    cycle: self.cycle,
+                    track,
+                    source: source.to_string(),
+                    name: name.to_string(),
+                    value,
+                });
+            }
+        }
+    }
+}
+
+/// Owns a [`MemorySink`], hands out subscribed [`Tracer`] handles, and
+/// exports the collected timeline/time-series.
+pub struct TraceSession {
+    sink: Arc<Mutex<MemorySink>>,
+    cfg: TraceConfig,
+}
+
+impl TraceSession {
+    /// A fresh session with the given knobs.
+    #[must_use]
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceSession {
+            sink: Arc::new(Mutex::new(MemorySink::new())),
+            cfg,
+        }
+    }
+
+    /// A [`Tracer`] handle feeding this session's sink.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        Tracer::to_sink(self.sink.clone(), self.cfg.sample_every)
+    }
+
+    /// Events buffered so far (see [`MemorySink::events_buffered`]).
+    #[must_use]
+    pub fn events_buffered(&self) -> usize {
+        self.sink
+            .lock()
+            .expect("trace sink poisoned")
+            .events_buffered()
+    }
+
+    /// Renders the timeline as Chrome/Perfetto trace-event JSON
+    /// (`ts`/`dur` are simulated cycles). Closes any still-open spans
+    /// first, so call it after the run.
+    #[must_use]
+    pub fn perfetto_json(&self) -> String {
+        let mut sink = self.sink.lock().expect("trace sink poisoned");
+        sink.flush();
+        // Metadata first, then timed events sorted by start cycle
+        // (stable, so same-cycle events keep emission order).
+        let mut meta = Vec::new();
+        for (pid, name) in &sink.process_names {
+            meta.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ));
+        }
+        for (track, name) in &sink.thread_names {
+            meta.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.pid,
+                track.tid,
+                escape(name)
+            ));
+        }
+        let mut timed: Vec<(u64, String)> = Vec::new();
+        for s in &sink.spans {
+            timed.push((
+                s.start,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{},\"tid\":{}}}",
+                    escape(&s.name),
+                    s.start,
+                    s.end - s.start,
+                    s.track.pid,
+                    s.track.tid
+                ),
+            ));
+        }
+        for (track, name, cycle) in &sink.instants {
+            timed.push((
+                *cycle,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{cycle},\"s\":\"t\",\
+                     \"pid\":{},\"tid\":{}}}",
+                    escape(name),
+                    track.pid,
+                    track.tid
+                ),
+            ));
+        }
+        for (track, name, cycle, value) in &sink.counters {
+            timed.push((
+                *cycle,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{cycle},\
+                     \"pid\":{},\"tid\":{},\"args\":{{\"value\":{value}}}}}",
+                    escape(name),
+                    track.pid,
+                    track.tid
+                ),
+            ));
+        }
+        timed.sort_by_key(|(ts, _)| *ts);
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for entry in meta.iter().chain(timed.iter().map(|(_, e)| e)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(entry);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders the sampled metric time-series as CSV
+    /// (`cycle,pid,tid,source,metric,value` rows in sample order).
+    #[must_use]
+    pub fn samples_csv(&self) -> String {
+        let sink = self.sink.lock().expect("trace sink poisoned");
+        let mut out = String::from("cycle,pid,tid,source,metric,value\n");
+        for r in &sink.samples {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                r.cycle, r.track.pid, r.track.tid, r.source, r.name, r.value
+            );
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSession")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Minimal JSON string escaping (the names we emit are plain ASCII, but
+/// stay correct for anything).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricSource;
+
+    struct Fake;
+    impl MetricSource for Fake {
+        fn source_name(&self) -> &'static str {
+            "fake"
+        }
+        fn visit_metrics(&self, visit: &mut dyn FnMut(&'static str, u64)) {
+            visit("a", 1);
+            visit("b", 2);
+        }
+    }
+
+    #[test]
+    fn states_coalesce_into_spans_and_idle_closes() {
+        let session = TraceSession::new(TraceConfig::new());
+        let t = session.tracer();
+        let row = Track::new(1, 0);
+        for cycle in 0..10u64 {
+            t.set_cycle(cycle);
+            let label = if cycle < 4 {
+                "busy"
+            } else if cycle < 6 {
+                "idle"
+            } else {
+                "raw"
+            };
+            t.state(row, label);
+        }
+        let json = session.perfetto_json();
+        // One "busy" span of 4 cycles, one "raw" span; no "idle" span.
+        assert!(json.contains("\"name\":\"busy\",\"ph\":\"X\",\"ts\":0,\"dur\":4"));
+        assert!(json.contains("\"name\":\"raw\",\"ph\":\"X\",\"ts\":6"));
+        assert!(!json.contains("\"name\":\"idle\""));
+    }
+
+    #[test]
+    fn counters_dedup_unchanged_values() {
+        let session = TraceSession::new(TraceConfig::new());
+        let t = session.tracer();
+        let row = Track::new(0, 0);
+        for cycle in 0..100u64 {
+            t.set_cycle(cycle);
+            t.counter(row, "depth", if cycle < 50 { 3 } else { 4 });
+        }
+        assert_eq!(session.events_buffered(), 2, "one event per change");
+    }
+
+    #[test]
+    fn explicit_spans_nest_and_flush() {
+        let session = TraceSession::new(TraceConfig::new());
+        let t = session.tracer();
+        let row = Track::new(0, 7);
+        t.set_cycle(10);
+        t.begin(row, "burst");
+        t.set_cycle(25);
+        t.end(row);
+        t.set_cycle(30);
+        t.begin(row, "open-at-exit");
+        let json = session.perfetto_json();
+        assert!(json.contains("\"name\":\"burst\",\"ph\":\"X\",\"ts\":10,\"dur\":15"));
+        assert!(json.contains("\"name\":\"open-at-exit\""));
+    }
+
+    #[test]
+    fn metadata_names_render_first() {
+        let session = TraceSession::new(TraceConfig::new());
+        let t = session.tracer();
+        t.name_process(1, "cluster0");
+        t.name_thread(Track::new(1, 0), "core0");
+        t.instant(Track::new(1, 0), "mark");
+        let json = session.perfetto_json();
+        let meta_at = json.find("process_name").expect("metadata present");
+        let mark_at = json.find("\"mark\"").expect("instant present");
+        assert!(meta_at < mark_at);
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn samples_export_as_csv_rows() {
+        let session = TraceSession::new(TraceConfig::new().with_sample_every(10));
+        let t = session.tracer();
+        t.set_cycle(10);
+        t.sample(Track::new(2, 1), &Fake);
+        let csv = session.samples_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("cycle,pid,tid,source,metric,value"));
+        assert_eq!(lines.next(), Some("10,2,1,fake,a,1"));
+        assert_eq!(lines.next(), Some("10,2,1,fake,b,2"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+    }
+}

@@ -5,6 +5,10 @@
 //! *finite* shared L2) and read the cache statistics back.
 //!
 //! Run with `cargo run --release --example stencil_sweep`.
+//! Add `--trace <path>` to record the tiled part of the run as a
+//! Chrome/Perfetto timeline (open the file at <https://ui.perfetto.dev>):
+//! per-hart issue/stall states, DMA bursts, L2 refill and write-back
+//! channel occupancy.
 //! For the full Fig. 3 (both stencils, paper-style summary) use
 //! `cargo run --release -p sc-bench --bin fig3`.
 
@@ -12,6 +16,12 @@ use scalar_chaining::mem::{DramConfig, L2Config};
 use scalar_chaining::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--trace" => Some(std::path::PathBuf::from(path)),
+        _ => return Err("usage: stencil_sweep [--trace <path>]".into()),
+    };
     let grid = Grid3::new(16, 8, 4);
     let model = EnergyModel::new();
     println!(
@@ -91,7 +101,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_mshrs(8)
         .with_refill_channels(2)
         .with_write_back(true);
-    let run = tiled.run(CoreConfig::new(), l2, DramConfig::new(), 100_000_000)?;
+    let session = TraceSession::new(TraceConfig::new());
+    let tracer = if trace_path.is_some() {
+        session.tracer()
+    } else {
+        Tracer::off()
+    };
+    let run = tiled.run_traced(
+        CoreConfig::new(),
+        l2,
+        DramConfig::new(),
+        100_000_000,
+        tracer,
+    )?;
     let s = run.summary;
     let l2_stats = s.l2.as_ref().expect("shared L2 attached");
     let c = &l2_stats.cache;
@@ -112,5 +134,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.mshr_allocations, c.mshr_merges, c.mshr_peak
     );
     println!("Sweep these knobs with `cargo run --release -p sc-bench --bin l2_ablation`.");
+    if let Some(path) = trace_path {
+        std::fs::write(&path, session.perfetto_json())?;
+        println!(
+            "Perfetto timeline ({} events) written to {} — open it at ui.perfetto.dev.",
+            session.events_buffered(),
+            path.display()
+        );
+    }
     Ok(())
 }

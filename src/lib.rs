@@ -20,6 +20,7 @@
 //! | [`core_model`] | `sc-core` | the steppable core + single-core simulator |
 //! | [`cluster`] | `sc-cluster` | N-core lock-step cluster over a shared TCDM |
 //! | [`system`] | `sc-system` | M-cluster lock-step system over a shared banked L2 |
+//! | [`trace`] | `sc-trace` | zero-cost event/metrics bus: Perfetto timelines, sampling, watchdog |
 //! | [`energy`] | `sc-energy` | energy/power/area models, core and cluster |
 //! | [`kernels`] | `sc-kernels` | vecop + stencil workloads, five variants, cluster tiling |
 //! | [`benchkit`] | `sc-bench` | figure-regeneration + cluster-scaling harness |
@@ -54,6 +55,7 @@ pub use sc_kernels as kernels;
 pub use sc_mem as mem;
 pub use sc_ssr as ssr;
 pub use sc_system as system;
+pub use sc_trace as trace;
 
 /// The most commonly used types, importable with one line.
 pub mod prelude {
@@ -78,4 +80,5 @@ pub mod prelude {
     };
     pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};
     pub use sc_system::{System, SystemConfig, SystemError, SystemSummary};
+    pub use sc_trace::{HangReport, MetricSource, TraceConfig, TraceSession, Tracer, Watchdog};
 }
