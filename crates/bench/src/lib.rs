@@ -21,6 +21,9 @@
 //! | `system_scaling` | multi-cluster scaling: 1/2/4 clusters × 1/4/8 cores over a shared L2 |
 //! | `l2_ablation` | finite-L2 sweep: capacity × ways × refill channels × chaining |
 //! | `weak_scaling` | weak scaling: the grid grows with the cluster count, 1/4 refill channels |
+//! | `prefetch_ablation` | descriptor-driven L2 prefetch: degree × distance × channels |
+//! | `sched_identity` | event scheduler ≡ dense stepping on every baseline sweep point |
+//! | `host_speed` | host wall-clock: dense vs event-driven clock advancement |
 //!
 //! Sweep binaries fan their config points out over host threads
 //! ([`parallel_sweep`]) and serialize machine-readable results to

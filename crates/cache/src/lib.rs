@@ -856,6 +856,18 @@ impl Cache {
         !self.queue.is_empty() || self.channels.iter().any(Option::is_some)
     }
 
+    /// Whether stepping the cache is a provable no-op: no demand job
+    /// queued, no channel draining, no open prefetch stream and no
+    /// queued prefetch request. Stricter than `!`[`Cache::is_busy`] —
+    /// an event-driven owner needs the prefetcher fully drained too
+    /// before fast-forwarding an idle window, because `begin_cycle`
+    /// walks streams and issues queued prefetches even with no demand
+    /// traffic.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        !self.is_busy() && self.streams.is_empty() && self.prefetch_queue.is_empty()
+    }
+
     /// Prefetch requests waiting for an MSHR and a channel (test/debug
     /// inspection).
     #[must_use]

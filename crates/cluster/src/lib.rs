@@ -36,6 +36,21 @@
 //! which some hart never reaches a barrier the others wait on is a
 //! software bug and surfaces as [`ClusterError::MaxCyclesExceeded`].
 //!
+//! ## Event-driven scheduling
+//!
+//! [`Cluster::run`] under [`sc_core::SchedMode::Event`] (selected with
+//! [`ClusterBuilder::sched_mode`]) fast-forwards windows in which every
+//! component reports a future wake ([`Cluster::next_wake`]): cores
+//! parked on barrier/DMA-wait CSRs or halted, the DMA engine idle or
+//! mid-countdown with a known deadline. Skipped windows perform exactly
+//! the bookkeeping the dense cycles would have (cycle counters, engine
+//! countdown, DMA busy time) and nothing else, so the event path is
+//! cycle-count- and stats-identical to dense stepping — pinned by the
+//! checked-in baseline sweeps and `sc-kernels`' differential proptest.
+//! Construction is most convenient through the fluent [`ClusterBuilder`],
+//! which applies tracer/DMA/embedding wiring in the right order at build
+//! time.
+//!
 //! ```
 //! use sc_cluster::{Cluster, ClusterConfig};
 //! use sc_isa::{csr, IntReg, ProgramBuilder};
@@ -65,7 +80,10 @@
 
 use std::fmt;
 
-use sc_core::{Core, CoreConfig, DmaCommand, PerfCounters, RunSummary, SimError};
+use sc_core::{
+    Component, Core, CoreConfig, DmaCommand, PerfCounters, RunSummary, SchedMode, Scheduler,
+    SimError, Wake,
+};
 use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
 use sc_mem::{AccessKind, Dram, DramConfig, L2Outcome, PortId, PrefetchHint, Request, Tcdm};
@@ -208,7 +226,7 @@ pub struct ClusterSummary {
     /// system when embedded.
     pub system_barriers: u64,
     /// DMA activity and compute–transfer overlap, when an engine is
-    /// attached ([`Cluster::attach_dma`]).
+    /// attached ([`ClusterBuilder::dma`]).
     pub dma: Option<DmaSummary>,
 }
 
@@ -276,7 +294,7 @@ struct DmaAttachment {
     engine: DmaEngine,
     /// The private background memory — `None` when the cluster moves
     /// against an externally owned store (shared L2/Dram in a system);
-    /// [`Cluster::finish_step`] then receives the store per cycle.
+    /// [`Cluster::end_cycle`] then receives the store per cycle.
     dram: Option<Dram>,
     /// The per-transfer/per-beat timing the engine pays (the private
     /// Dram's config, or the system L2's engine-side timing).
@@ -287,8 +305,8 @@ struct DmaAttachment {
     /// whether any core issued compute this cycle.
     prev_fpu_issue: u64,
     /// Whether the engine had a transfer in flight at this cycle's start
-    /// (set by [`Cluster::begin_step`], consumed by
-    /// [`Cluster::finish_step`]).
+    /// (set by [`Cluster::begin_cycle`], consumed by
+    /// [`Cluster::end_cycle`]).
     busy_this_cycle: bool,
     /// Whether the engine had an issuable beat this cycle (so an
     /// external denial is attributed to the right cycle).
@@ -312,7 +330,7 @@ pub struct Cluster {
     system_managed: bool,
     dma: Option<DmaAttachment>,
     /// Stride hints the engine published this cycle (doorbells rung at
-    /// this [`Cluster::begin_step`]); the system collects them between
+    /// this [`Cluster::begin_cycle`]); the system collects them between
     /// the two half-cycles and feeds the shared L2's prefetcher. On the
     /// single-cluster path they are simply dropped each cycle.
     prefetch_hints: Vec<PrefetchHint>,
@@ -324,6 +342,7 @@ pub struct Cluster {
     /// Perfetto process id this cluster's tracks live under.
     pid: u32,
     watchdog: Option<Watchdog>,
+    sched: Scheduler,
 }
 
 impl Cluster {
@@ -364,7 +383,22 @@ impl Cluster {
             tracer: Tracer::off(),
             pid: 0,
             watchdog: None,
+            sched: Scheduler::default(),
         }
+    }
+
+    /// Selects how [`Cluster::run`] advances the clock: dense lock-step
+    /// (the default) or event-driven fast-forwarding of provably idle
+    /// windows. The two modes are cycle-count- and stats-identical;
+    /// event mode is purely a host-speed optimisation.
+    pub fn set_sched_mode(&mut self, mode: SchedMode) {
+        self.sched = Scheduler::new(mode);
+    }
+
+    /// The scheduling mode [`Cluster::run`] uses.
+    #[must_use]
+    pub fn sched_mode(&self) -> SchedMode {
+        self.sched.mode()
     }
 
     /// Subscribes the cluster to a trace sink: every core becomes one
@@ -402,6 +436,16 @@ impl Cluster {
     /// Panics if `limit` is zero.
     pub fn set_watchdog(&mut self, limit: u64) {
         self.watchdog = Some(Watchdog::new(limit));
+    }
+
+    /// Whether a hang watchdog is armed. A system owner embedding this
+    /// cluster must not fast-forward past a cluster-local watchdog's
+    /// observation cadence, so it degrades to dense stepping while one
+    /// is armed (the cluster's own run loop instead caps each skip at
+    /// the watchdog's deadline).
+    #[must_use]
+    pub fn watchdog_armed(&self) -> bool {
+        self.watchdog.is_some()
     }
 
     /// The sum the watchdog samples: strictly grows whenever any hart
@@ -465,6 +509,7 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the engine's port would overflow the 8-bit port space.
+    #[deprecated(note = "construct the cluster with `ClusterBuilder::dma` instead")]
     pub fn attach_dma(&mut self, dram: Dram) {
         let timing = dram.config();
         self.attach_dma_inner(Some(dram), timing);
@@ -474,11 +519,12 @@ impl Cluster {
     /// *externally* — the multi-cluster system's shared L2/Dram. The
     /// engine pays `timing` per transfer/beat (the L2 hop,
     /// [`sc_mem::L2Config::engine_timing`]); the owner passes the shared
-    /// functional store into every [`Cluster::finish_step`] call.
+    /// functional store into every [`Cluster::end_cycle`] call.
     ///
     /// # Panics
     ///
     /// Panics if the engine's port would overflow the 8-bit port space.
+    #[deprecated(note = "construct the cluster with `ClusterBuilder::shared_dma` instead")]
     pub fn attach_dma_shared(&mut self, timing: DramConfig) {
         self.attach_dma_inner(None, timing);
     }
@@ -607,7 +653,12 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if `cluster_id >= num_clusters`.
+    #[deprecated(note = "construct the cluster with `ClusterBuilder::embedded` instead")]
     pub fn embed_in_system(&mut self, cluster_id: u32, num_clusters: u32) {
+        self.embed_inner(cluster_id, num_clusters);
+    }
+
+    fn embed_inner(&mut self, cluster_id: u32, num_clusters: u32) {
         for core in &mut self.cores {
             core.set_cluster_pos(cluster_id, num_clusters);
         }
@@ -616,8 +667,8 @@ impl Cluster {
 
     /// Executes one lock-step cluster cycle.
     ///
-    /// Exactly [`Cluster::begin_step`] followed by
-    /// [`Cluster::finish_step`] with the DMA beat unconditionally
+    /// Exactly [`Cluster::begin_cycle`] followed by
+    /// [`Cluster::end_cycle`] with the DMA beat unconditionally
     /// granted on the memory side — the single-cluster path has no
     /// shared L2 to lose arbitration at.
     ///
@@ -625,8 +676,8 @@ impl Cluster {
     ///
     /// The first core error, tagged with its hart ID.
     pub fn step(&mut self) -> Result<(), ClusterError> {
-        self.begin_step()?;
-        self.finish_step(L2Outcome::Granted, None)
+        self.begin_cycle()?;
+        self.end_cycle(L2Outcome::Granted, None)
     }
 
     /// First half of a cluster cycle: core phases 1–2 (writeback, issue,
@@ -634,12 +685,14 @@ impl Cluster {
     /// engine's own cycle start. Returns the background-memory side of
     /// the engine's beat, if one is ready this cycle — a multi-cluster
     /// system arbitrates these across clusters at the shared L2, then
-    /// resumes each cluster with [`Cluster::finish_step`].
+    /// resumes each cluster with [`Cluster::end_cycle`]. The name
+    /// matches the `begin_cycle`/`arbitrate`/`end_cycle` convention the
+    /// memory-side components (`sc-mem`, `sc-cache`) already use.
     ///
     /// # Errors
     ///
     /// The first core error, tagged with its hart ID.
-    pub fn begin_step(&mut self) -> Result<Option<(u32, AccessKind)>, ClusterError> {
+    pub fn begin_cycle(&mut self) -> Result<Option<(u32, AccessKind)>, ClusterError> {
         let tag = |hart: usize| {
             move |source| ClusterError::Core {
                 hart: hart as u32,
@@ -701,8 +754,18 @@ impl Cluster {
         Ok(beat)
     }
 
+    /// Deprecated name of [`Cluster::begin_cycle`].
+    ///
+    /// # Errors
+    ///
+    /// The first core error, tagged with its hart ID.
+    #[deprecated(note = "renamed to `begin_cycle` (unified phase naming)")]
+    pub fn begin_step(&mut self) -> Result<Option<(u32, AccessKind)>, ClusterError> {
+        self.begin_cycle()
+    }
+
     /// The stride hints this cycle's doorbells published (valid between
-    /// [`Cluster::begin_step`] and [`Cluster::finish_step`]): a system
+    /// [`Cluster::begin_cycle`] and [`Cluster::end_cycle`]): a system
     /// owner forwards them to the shared L2's prefetcher, rewriting each
     /// hint's `requester` to this cluster's id.
     pub fn take_prefetch_hints(&mut self) -> Vec<PrefetchHint> {
@@ -714,12 +777,12 @@ impl Cluster {
     /// application, core/engine cycle end, and barrier rendezvous.
     ///
     /// `dma_mem` is the shared-memory-side arbitration outcome for the
-    /// beat [`Cluster::begin_step`] returned
+    /// beat [`Cluster::begin_cycle`] returned
     /// ([`sc_mem::L2Outcome::Granted`] when there was none, or on the
     /// single-cluster path); a denial's kind decides whether the engine
     /// books a bank-conflict or a miss/refill wait. `ext_mem` supplies
-    /// the externally owned functional store for engines attached with
-    /// [`Cluster::attach_dma_shared`]; pass `None` when the engine owns
+    /// the externally owned functional store for engines built with
+    /// [`ClusterBuilder::shared_dma`]; pass `None` when the engine owns
     /// its Dram.
     ///
     /// # Errors
@@ -729,7 +792,7 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if a shared-memory engine moves a beat without `ext_mem`.
-    pub fn finish_step(
+    pub fn end_cycle(
         &mut self,
         dma_mem: L2Outcome,
         mut ext_mem: Option<&mut Dram>,
@@ -857,6 +920,20 @@ impl Cluster {
                 self.release_system_barrier();
             }
         }
+        // Blocking DMA waits: release every hart whose target the
+        // engine's wrapping completion counter has reached (transfers
+        // complete in the crossbar phase above, so a hart resumes the
+        // cycle after its transfer lands).
+        if let Some(dma) = &self.dma {
+            let completed = dma.engine.completed();
+            for core in &mut self.cores {
+                if let Some(target) = core.dma_wait_target() {
+                    if (completed.wrapping_sub(target) as i32) >= 0 {
+                        core.release_dma_wait(completed);
+                    }
+                }
+            }
+        }
 
         for &h in &self.active {
             if self.cores[h].is_halted() && self.core_done_at[h].is_none() {
@@ -867,6 +944,20 @@ impl Cluster {
             return Err(ClusterError::Hang(report));
         }
         Ok(())
+    }
+
+    /// Deprecated name of [`Cluster::end_cycle`].
+    ///
+    /// # Errors
+    ///
+    /// Core errors (hart-tagged) or DMA beat faults.
+    #[deprecated(note = "renamed to `end_cycle` (unified phase naming)")]
+    pub fn finish_step(
+        &mut self,
+        dma_mem: L2Outcome,
+        ext_mem: Option<&mut Dram>,
+    ) -> Result<(), ClusterError> {
+        self.end_cycle(dma_mem, ext_mem)
     }
 
     /// How many of this cluster's harts are parked on the inter-cluster
@@ -895,7 +986,61 @@ impl Cluster {
         self.system_barriers += 1;
     }
 
+    /// The earliest future cycle at which stepping this cluster could do
+    /// anything a skip cannot reproduce in closed form. Merges every
+    /// core's wake ([`sc_core::Core::wake`]) with the DMA engine's: an
+    /// idle engine sleeps, an engine mid-countdown wakes when its wait
+    /// elapses, anything else (a queued transfer waiting to start, a
+    /// beat ready to arbitrate) needs dense stepping. A subscribed
+    /// tracer pins the cluster to dense stepping — per-cycle timeline
+    /// events cannot be fast-forwarded.
+    #[must_use]
+    pub fn next_wake(&self) -> Wake {
+        if self.tracer.is_on() {
+            return Wake::EveryCycle;
+        }
+        let cores = Wake::earliest(self.cores.iter().map(Core::wake));
+        let dma = self.dma.as_ref().map_or(Wake::Idle, |d| {
+            match d.engine.stalled_for() {
+                // No transfer in flight: an empty queue means the
+                // engine's cycle is a total no-op; a non-empty queue
+                // pops at the next cycle start.
+                None if d.engine.is_idle() => Wake::Idle,
+                None | Some(0) => Wake::EveryCycle,
+                Some(wait) => Wake::At(self.cycles + u64::from(wait)),
+            }
+        });
+        cores.merge(dma)
+    }
+
+    /// Bulk-applies `cycles` idle cycles: exactly the bookkeeping that
+    /// many dense steps would have performed while every component was
+    /// in a skippable state — cycle counters advance (non-halted cores
+    /// and the cluster clock), the DMA engine's countdown and busy time
+    /// progress, and nothing else changes. Callers must only skip up to
+    /// the window [`Cluster::next_wake`] allows.
+    pub fn skip_idle(&mut self, cycles: u64) {
+        for core in &mut self.cores {
+            if !core.is_halted() {
+                core.skip_cycles(cycles);
+            }
+        }
+        if let Some(dma) = &mut self.dma {
+            if dma.engine.is_busy() {
+                dma.busy_cycles += cycles;
+                dma.engine.skip(cycles);
+            }
+        }
+        self.cycles += cycles;
+    }
+
     /// Runs until every core halts or the cycle budget is exhausted.
+    ///
+    /// Under [`SchedMode::Event`] the loop fast-forwards windows where
+    /// [`Cluster::next_wake`] is in the future, capping each skip at the
+    /// cycle budget and (when armed) the watchdog's next deadline so
+    /// [`ClusterError::MaxCyclesExceeded`] and [`ClusterError::Hang`]
+    /// fire at the identical cycle the dense loop reports.
     ///
     /// # Errors
     ///
@@ -904,6 +1049,22 @@ impl Cluster {
     /// rendezvous the others never reach).
     pub fn run(&mut self, max_cycles: u64) -> Result<ClusterSummary, ClusterError> {
         while !self.is_done() {
+            if self.sched.mode() == SchedMode::Event {
+                let caps = self
+                    .watchdog
+                    .as_ref()
+                    .map(|w| w.skip_cap(self.cycles))
+                    .into_iter()
+                    .chain(std::iter::once(max_cycles));
+                let skip = self.sched.plan(self.cycles, self.next_wake(), caps);
+                if skip > 0 {
+                    self.skip_idle(skip);
+                    if let Some(report) = self.check_watchdog() {
+                        return Err(ClusterError::Hang(report));
+                    }
+                    continue;
+                }
+            }
             if self.cycles >= max_cycles {
                 return Err(ClusterError::MaxCyclesExceeded { max_cycles });
             }
@@ -962,6 +1123,163 @@ impl Cluster {
             }),
             per_core,
         }
+    }
+}
+
+impl Component for Cluster {
+    fn now(&self) -> u64 {
+        self.cycles
+    }
+
+    fn next_wake(&self) -> Wake {
+        Cluster::next_wake(self)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.skip_idle(cycles);
+    }
+}
+
+/// How a [`ClusterBuilder`] sources the DMA engine's background memory.
+#[derive(Debug)]
+enum DmaSource {
+    /// The cluster owns its Dram (stand-alone path).
+    Private(Dram),
+    /// The store is owned externally (a system's shared L2/Dram); the
+    /// engine pays this timing per transfer/beat.
+    Shared(DramConfig),
+}
+
+/// Fluent construction of a [`Cluster`], replacing the order-sensitive
+/// `attach_dma`/`attach_dma_shared`/`embed_in_system`/`set_tracer`
+/// call sequence: options accumulate in any order and
+/// [`ClusterBuilder::build`] applies them in the one order that wires
+/// everything correctly (embedding before tracer naming, tracer before
+/// engine attachment so the engine inherits the subscription).
+///
+/// ```
+/// use sc_cluster::ClusterBuilder;
+/// use sc_cluster::ClusterConfig;
+/// use sc_isa::ProgramBuilder;
+/// use sc_mem::{Dram, DramConfig};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.ecall();
+/// let cluster = ClusterBuilder::new(ClusterConfig::new(1), vec![b.build()?])
+///     .dma(Dram::new(DramConfig::new()))
+///     .watchdog(10_000)
+///     .build();
+/// assert!(cluster.dma_engine().is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+    programs: Vec<Program>,
+    dma: Option<DmaSource>,
+    embedded: Option<(u32, u32)>,
+    watchdog: Option<u64>,
+    sched: SchedMode,
+    tracer: Option<(Tracer, u32)>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for a cluster running one program per core.
+    #[must_use]
+    pub fn new(cfg: ClusterConfig, programs: Vec<Program>) -> Self {
+        ClusterBuilder {
+            cfg,
+            programs,
+            dma: None,
+            embedded: None,
+            watchdog: None,
+            sched: SchedMode::Dense,
+            tracer: None,
+        }
+    }
+
+    /// Attaches a DMA engine with its own private background memory
+    /// (the stand-alone cluster path).
+    #[must_use]
+    pub fn dma(mut self, dram: Dram) -> Self {
+        self.dma = Some(DmaSource::Private(dram));
+        self
+    }
+
+    /// Attaches a DMA engine moving against an externally owned store
+    /// (a system's shared L2/Dram), paying `timing` per transfer/beat.
+    #[must_use]
+    pub fn shared_dma(mut self, timing: DramConfig) -> Self {
+        self.dma = Some(DmaSource::Shared(timing));
+        self
+    }
+
+    /// Marks the cluster as cluster `cluster_id` of a
+    /// `num_clusters`-cluster system (cluster-position CSRs; the system
+    /// owns the inter-cluster barrier rendezvous).
+    #[must_use]
+    pub fn embedded(mut self, cluster_id: u32, num_clusters: u32) -> Self {
+        self.embedded = Some((cluster_id, num_clusters));
+        self
+    }
+
+    /// Arms the hang watchdog with `limit` progress-free cycles.
+    #[must_use]
+    pub fn watchdog(mut self, limit: u64) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    /// Selects dense or event-driven clock advancement for
+    /// [`Cluster::run`].
+    #[must_use]
+    pub fn sched_mode(mut self, mode: SchedMode) -> Self {
+        self.sched = mode;
+        self
+    }
+
+    /// Subscribes the cluster (cores, TCDM, DMA engine) to a trace
+    /// sink under Perfetto process `pid`.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer, pid: u32) -> Self {
+        self.tracer = Some((tracer, pid));
+        self
+    }
+
+    /// Builds the cluster, applying the accumulated options in wiring
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration: a program count that does not
+    /// match the core count, a DMA port overflowing the 8-bit port
+    /// space, a zero watchdog limit, or `cluster_id >= num_clusters`.
+    #[must_use]
+    pub fn build(self) -> Cluster {
+        let mut cluster = Cluster::new(self.cfg, self.programs);
+        if let Some((cluster_id, num_clusters)) = self.embedded {
+            assert!(
+                cluster_id < num_clusters,
+                "cluster id {cluster_id} outside the {num_clusters}-cluster system"
+            );
+            cluster.embed_inner(cluster_id, num_clusters);
+        }
+        if let Some((tracer, pid)) = self.tracer {
+            cluster.set_tracer(tracer, pid);
+        }
+        match self.dma {
+            Some(DmaSource::Private(dram)) => {
+                let timing = dram.config();
+                cluster.attach_dma_inner(Some(dram), timing);
+            }
+            Some(DmaSource::Shared(timing)) => cluster.attach_dma_inner(None, timing),
+            None => {}
+        }
+        if let Some(limit) = self.watchdog {
+            cluster.set_watchdog(limit);
+        }
+        cluster.set_sched_mode(self.sched);
+        cluster
     }
 }
 

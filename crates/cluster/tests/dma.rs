@@ -8,7 +8,7 @@
 //! * an attached-but-idle engine leaves the cluster bit-identical to
 //!   one without an engine.
 
-use sc_cluster::{Cluster, ClusterConfig};
+use sc_cluster::{Cluster, ClusterBuilder, ClusterConfig};
 use sc_core::CoreConfig;
 use sc_isa::{csr, IntReg, ProgramBuilder};
 use sc_mem::{Dram, DramConfig, TcdmConfig};
@@ -57,13 +57,14 @@ fn doorbell_transfer_poll_read() {
     b.ecall();
     let program = b.build().unwrap();
 
-    let mut cluster = Cluster::new(ClusterConfig::new(1).with_core(cfg()), vec![program]);
     let mut dram = Dram::new(DramConfig::new().with_latency(16));
     for i in 0..4u32 {
         dram.write_u64(0x10_0000 + 8 * i, u64::from(0xC0DE + i))
             .unwrap();
     }
-    cluster.attach_dma(dram);
+    let mut cluster = ClusterBuilder::new(ClusterConfig::new(1).with_core(cfg()), vec![program])
+        .dma(dram)
+        .build();
 
     let summary = cluster.run(100_000).unwrap();
     assert_eq!(cluster.core(0).int_reg(IntReg::new(10)), 0xC0DE);
@@ -97,11 +98,12 @@ fn invalid_descriptor_is_a_hart_tagged_error() {
     // Misaligned length: 12 bytes.
     ring_doorbell(&mut b, 0x1000, 0x100, 12, true);
     b.ecall();
-    let mut cluster = Cluster::new(
+    let mut cluster = ClusterBuilder::new(
         ClusterConfig::new(1).with_core(cfg()),
         vec![b.build().unwrap()],
-    );
-    cluster.attach_dma(Dram::new(DramConfig::new()));
+    )
+    .dma(Dram::new(DramConfig::new()))
+    .build();
     let err = cluster.run(10_000).unwrap_err();
     let msg = err.to_string();
     assert!(
@@ -131,8 +133,9 @@ fn idle_engine_is_cycle_invisible() {
     };
     let ccfg = ClusterConfig::new(2).with_core(cfg());
     let mut plain = Cluster::new(ccfg, programs());
-    let mut with_dma = Cluster::new(ccfg, programs());
-    with_dma.attach_dma(Dram::new(DramConfig::new()));
+    let mut with_dma = ClusterBuilder::new(ccfg, programs())
+        .dma(Dram::new(DramConfig::new()))
+        .build();
 
     let a = plain.run(10_000).unwrap();
     let b = with_dma.run(10_000).unwrap();

@@ -10,10 +10,11 @@
 //! whose report names the held chained-FIFO writeback as the blocked
 //! resource, instead of a bare max-cycles timeout.
 
-use sc_cluster::{Cluster, ClusterConfig, ClusterError};
-use sc_core::CoreConfig;
+use sc_cluster::{Cluster, ClusterBuilder, ClusterConfig, ClusterError};
+use sc_core::{CoreConfig, SchedMode};
 use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
-use sc_mem::TcdmConfig;
+use sc_mem::{Dram, DramConfig, TcdmConfig};
+use sc_trace::HangReport;
 
 fn t(i: u8) -> IntReg {
     IntReg::new(i)
@@ -108,6 +109,87 @@ fn watchdog_names_the_wedged_chained_fifo() {
     // it must carry the blocked resources, not just a cycle number.
     let rendered = format!("{report}");
     assert!(rendered.contains("BLOCKED"), "{rendered}");
+}
+
+/// The wedge fixture under an explicit scheduling mode, via the builder.
+fn run_burst_scheduled(
+    core_cfg: CoreConfig,
+    watchdog: u64,
+    mode: SchedMode,
+) -> Result<(), ClusterError> {
+    let mut cluster = ClusterBuilder::new(
+        ClusterConfig::new(1).with_core(core_cfg),
+        vec![chained_burst_program(16)],
+    )
+    .watchdog(watchdog)
+    .sched_mode(mode)
+    .build();
+    cluster.tcdm_mut().write_f64(0x400, 2.0).unwrap();
+    cluster.tcdm_mut().write_f64(0x408, 3.0).unwrap();
+    cluster.tcdm_mut().write_f64(0x410, 10.0).unwrap();
+    cluster.run(200_000).map(|_| ())
+}
+
+fn expect_hang(outcome: Result<(), ClusterError>) -> HangReport {
+    match outcome.expect_err("the writeback jam must wedge without the drain") {
+        ClusterError::Hang(report) => report,
+        err => panic!("expected the watchdog to fire, got: {err}"),
+    }
+}
+
+#[test]
+fn event_mode_fires_the_watchdog_at_the_dense_cycle() {
+    // The event scheduler may only skip windows the watchdog would have
+    // slept through: on the fifo-wedge fixture (all harts stalled but
+    // *not* parked — the jam is an FPU-structural stall, so every core
+    // still reports an every-cycle wake) the report must be
+    // bit-identical to the dense one.
+    let dense = expect_hang(run_burst_scheduled(
+        cfg().with_chained_fifo_shift(false),
+        5_000,
+        SchedMode::Dense,
+    ));
+    let event = expect_hang(run_burst_scheduled(
+        cfg().with_chained_fifo_shift(false),
+        5_000,
+        SchedMode::Event,
+    ));
+    assert_eq!(
+        dense.cycle, event.cycle,
+        "watchdog must fire at the same cycle"
+    );
+    assert_eq!(dense.stuck_for, event.stuck_for);
+}
+
+#[test]
+fn skipped_idle_windows_count_toward_the_watchdog_span() {
+    // A hart parks on DMA_WAIT for a completion count the engine will
+    // never deliver (no doorbell ever rings): in event mode the whole
+    // wait is one idle window the scheduler fast-forwards, but the
+    // watchdog must still observe the full progress-free span and fire
+    // at exactly the dense cycle — the skip is capped at the firing
+    // point, not flown past it.
+    let parked_forever = || {
+        let mut b = ProgramBuilder::new();
+        b.li(t(6), 1);
+        b.csrrw(t(7), csr::DMA_WAIT, t(6));
+        b.ecall();
+        vec![b.build().unwrap()]
+    };
+    let run = |mode: SchedMode| {
+        let mut cluster =
+            ClusterBuilder::new(ClusterConfig::new(1).with_core(cfg()), parked_forever())
+                .dma(Dram::new(DramConfig::new()))
+                .watchdog(1_000)
+                .sched_mode(mode)
+                .build();
+        expect_hang(cluster.run(200_000).map(|_| ()))
+    };
+    let dense = run(SchedMode::Dense);
+    let event = run(SchedMode::Event);
+    assert_eq!(dense.cycle, event.cycle, "same firing cycle across modes");
+    assert_eq!(dense.stuck_for, event.stuck_for);
+    assert!(dense.stuck_for >= 1_000);
 }
 
 #[test]

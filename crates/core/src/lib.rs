@@ -45,6 +45,7 @@ mod config;
 mod counters;
 mod error;
 mod fp_subsys;
+mod sched;
 mod sequencer;
 mod sim;
 mod trace;
@@ -54,6 +55,7 @@ pub use config::CoreConfig;
 pub use counters::{PerfCounters, StallCause};
 pub use error::SimError;
 pub use fp_subsys::{FpSubsystem, IntWriteback, IssueOutcome};
+pub use sched::{Component, SchedMode, Scheduler, Wake};
 pub use sequencer::{OffloadedFp, SeqError, SeqItem, Sequencer};
 pub use sim::{Core, DmaCommand, RunSummary, Simulator};
 pub use trace::{FpSlot, IssueTrace, TraceCycle};

@@ -61,6 +61,7 @@ use crate::config::CoreConfig;
 use crate::counters::PerfCounters;
 use crate::error::SimError;
 use crate::fp_subsys::{FpSubsystem, IssueOutcome};
+use crate::sched::Wake;
 use crate::sequencer::{OffloadedFp, SeqItem};
 use crate::trace::{FpSlot, IssueTrace, TraceCycle};
 
@@ -113,6 +114,13 @@ enum IntState {
     /// externally once every active hart in the whole system arrived.
     SystemBarrierWait {
         rd: IntReg,
+    },
+    /// Parked on the blocking DMA-completion CSR (`DMA_WAIT`); released
+    /// externally once the engine's wrapping completion counter reaches
+    /// `target`.
+    DmaWait {
+        rd: IntReg,
+        target: u32,
     },
     /// `ecall` executed; waiting for quiescence.
     Halting,
@@ -426,9 +434,45 @@ impl Core {
             IntState::StoreWait { .. } => "store-wait",
             IntState::BarrierWait { .. } => "barrier-wait",
             IntState::SystemBarrierWait { .. } => "sys-barrier-wait",
+            IntState::DmaWait { .. } => "dma-wait",
             IntState::Halting => "halting",
             IntState::Halted => "halted",
         }
+    }
+
+    /// The earliest future cycle at which stepping this core could do
+    /// anything beyond incrementing its cycle counter. A halted core
+    /// never acts again; a core parked on a barrier or the blocking
+    /// DMA-wait CSR is drained by construction (parking requires FP
+    /// quiescence) and acts only when externally released; everything
+    /// else — including a tracing core, whose per-cycle trace entries
+    /// the owner cannot reproduce in closed form — needs dense stepping.
+    #[must_use]
+    pub fn wake(&self) -> Wake {
+        match self.state {
+            IntState::Halted => Wake::Idle,
+            _ if self.cfg.trace => Wake::EveryCycle,
+            IntState::BarrierWait { .. }
+            | IntState::SystemBarrierWait { .. }
+            | IntState::DmaWait { .. } => Wake::Idle,
+            _ => Wake::EveryCycle,
+        }
+    }
+
+    /// Bulk-applies `cycles` idle cycles to a parked core: exactly the
+    /// bookkeeping that many dense steps would have performed. A parked
+    /// hart is drained (parking requires FP quiescence), so a dense
+    /// cycle mutates nothing but the cycle counter.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the core actually reported an idle wake.
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        debug_assert!(
+            matches!(self.wake(), Wake::Idle) && !self.is_halted(),
+            "skip_cycles on a core that needs dense stepping"
+        );
+        self.counters.cycles += cycles;
     }
 
     /// A monotone progress signature: grows whenever architectural state
@@ -453,6 +497,7 @@ impl Core {
                 | IntState::StoreWait { .. }
                 | IntState::BarrierWait { .. }
                 | IntState::SystemBarrierWait { .. }
+                | IntState::DmaWait { .. }
         );
         let p = format!("{path}.int");
         out.push(if parked {
@@ -497,6 +542,37 @@ impl Core {
             self.counters.fetches += 1;
             self.state = IntState::Running;
             self.tracer.instant(self.track, "sys-barrier-release");
+        }
+    }
+
+    /// Whether the core is parked on the blocking DMA-wait CSR, and if
+    /// so, the completion count it waits for. The owner compares the
+    /// live engine counter with wrapping distance
+    /// (`(completed - target) as i32 >= 0`) and releases via
+    /// [`Core::release_dma_wait`].
+    #[must_use]
+    pub fn dma_wait_target(&self) -> Option<u32> {
+        match self.state {
+            IntState::DmaWait { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Releases a core parked on the blocking DMA-wait CSR: the write
+    /// retires, its destination register receiving `completed` — the
+    /// live completion count that satisfied the wait. No-op if the core
+    /// is not waiting. Called by the cluster once the engine's counter
+    /// reaches the target (or by [`Simulator`], immediately — a lone
+    /// core's doorbell is inert, so there is nothing to wait for).
+    pub fn release_dma_wait(&mut self, completed: u32) {
+        if let IntState::DmaWait { rd, .. } = self.state {
+            self.dma_completed = completed;
+            self.write_reg(rd, completed);
+            self.pc = self.pc.wrapping_add(4);
+            self.counters.int_retired += 1;
+            self.counters.fetches += 1;
+            self.state = IntState::Running;
+            self.tracer.instant(self.track, "dma-wait-release");
         }
     }
 
@@ -602,6 +678,7 @@ impl Core {
                 IssueOutcome::Idle => match self.state {
                     IntState::BarrierWait { .. } => "barrier",
                     IntState::SystemBarrierWait { .. } => "sys-barrier",
+                    IntState::DmaWait { .. } => "dma-wait",
                     IntState::LoadWait { .. } | IntState::StoreWait { .. } => "mem-wait",
                     IntState::Halting | IntState::Halted => "idle",
                     IntState::Running | IntState::Bubble(_) => {
@@ -775,10 +852,11 @@ impl Core {
             IntState::LoadWait { .. }
             | IntState::StoreWait { .. }
             | IntState::BarrierWait { .. }
-            | IntState::SystemBarrierWait { .. } => {
-                // Loads/stores resolve in the memory phase; barrier waits
-                // resolve externally via `release_barrier` /
-                // `release_system_barrier`.
+            | IntState::SystemBarrierWait { .. }
+            | IntState::DmaWait { .. } => {
+                // Loads/stores resolve in the memory phase; barrier and
+                // DMA waits resolve externally via `release_barrier` /
+                // `release_system_barrier` / `release_dma_wait`.
                 return Ok(None);
             }
             IntState::Halting => {
@@ -1086,6 +1164,40 @@ impl Core {
             csr::DMA_STATUS => {
                 self.write_reg(rd, self.dma_outstanding);
             }
+            csr::DMA_WAIT => {
+                // Pure reads return the mirrored completion count, like
+                // DMA_COMPLETED. A write parks the hart until the
+                // engine's wrapping counter reaches the target — unless
+                // the mirror already satisfies it, in which case the
+                // write retires immediately (the rendezvous everyone
+                // already reached).
+                let pure_read = matches!(op, CsrOp::ReadSet | CsrOp::ReadClear)
+                    && match src {
+                        CsrSrc::Reg(r) => r.is_zero(),
+                        CsrSrc::Imm(i) => i == 0,
+                    };
+                if pure_read {
+                    self.write_reg(rd, self.dma_completed);
+                } else {
+                    let target = op.apply(self.dma_completed, operand);
+                    if (self.dma_completed.wrapping_sub(target) as i32) >= 0 {
+                        self.write_reg(rd, self.dma_completed);
+                    } else {
+                        // Like the barrier CSRs, parking waits for FP
+                        // quiescence first — a parked hart must be
+                        // inert so idle windows can be fast-forwarded.
+                        if !self.fp.is_drained() || !self.fp.ssr().all_done() {
+                            self.counters
+                                .record_stall(crate::counters::StallCause::Sync);
+                            return Ok(None);
+                        }
+                        // Park without retiring; `release_dma_wait`
+                        // retires.
+                        self.state = IntState::DmaWait { rd, target };
+                        return Ok(None);
+                    }
+                }
+            }
             csr::DMA_COMPLETED => {
                 self.write_reg(rd, self.dma_completed);
             }
@@ -1328,6 +1440,13 @@ impl Simulator {
         }
         if self.core.in_system_barrier() {
             self.core.release_system_barrier();
+        }
+        // A lone core's DMA doorbell is inert (no engine will ever
+        // complete anything): the blocking wait resolves trivially with
+        // the mirrored count.
+        if self.core.dma_wait_target().is_some() {
+            let completed = self.core.dma_completed;
+            self.core.release_dma_wait(completed);
         }
         Ok(())
     }

@@ -553,6 +553,41 @@ impl DmaEngine {
         Ok(())
     }
 
+    /// Cycles the in-flight transfer still owes the background memory
+    /// before its next beat can move: `Some(wait)` when a transfer is
+    /// active (0 = a beat is issuable right now), `None` when no
+    /// transfer is in flight. Valid between cycles (after
+    /// [`DmaEngine::end_cycle`]); an event-driven owner uses a positive
+    /// value as the engine's next wake distance, because every cycle of
+    /// the countdown is a closed-form no-op ([`DmaEngine::skip`]).
+    #[must_use]
+    pub fn stalled_for(&self) -> Option<u32> {
+        self.active.as_ref().map(|a| a.wait)
+    }
+
+    /// Bulk-applies `cycles` countdown cycles to the in-flight transfer:
+    /// exactly what that many dense `begin_cycle`/`end_cycle` pairs
+    /// would have done while `wait > 0` — the wait shrinks and every
+    /// cycle books as a background-memory stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no in-flight transfer or the window
+    /// reaches past the countdown ([`DmaEngine::stalled_for`]).
+    pub fn skip(&mut self, cycles: u64) {
+        let a = self
+            .active
+            .as_mut()
+            .expect("skip on an engine with no transfer in flight");
+        assert!(
+            u64::from(a.wait) >= cycles,
+            "skip window {cycles} overshoots the engine's {}-cycle countdown",
+            a.wait
+        );
+        a.wait -= cycles as u32;
+        self.stats.dram_wait_cycles += cycles;
+    }
+
     /// Cycle end: background-memory wait cycles elapse.
     pub fn end_cycle(&mut self) {
         if let Some(a) = self.active.as_mut() {

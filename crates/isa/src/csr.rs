@@ -91,6 +91,21 @@ pub const DMA_STATUS: u16 = 0x7D7;
 /// loops use to wait for *their* input tile while later transfers
 /// stream in the background.
 pub const DMA_COMPLETED: u16 = 0x7D8;
+/// DMA: blocking completion wait. Writing a target count parks the hart
+/// (after its FP subsystem drains and its streams finish, like the
+/// barrier CSRs) until the engine's wrapping completion counter reaches
+/// the target — the wrap-safe condition is
+/// `(completed - target) as i32 >= 0` — then the write retires with the
+/// live completed count as its read value. Unlike polling
+/// [`DMA_COMPLETED`] in a branch loop, a parked hart retires nothing
+/// while it waits, which lets an event-driven scheduler fast-forward
+/// the wait. A pure read (csrrs/csrrc with a zero operand) returns the
+/// completed count without parking. On the single-core `Simulator` the
+/// doorbell is inert and the wait releases immediately (like the
+/// barrier CSRs); in a cluster without an attached engine it never
+/// resolves — a software bug, caught by the watchdog or the cycle
+/// budget, exactly like an unreachable barrier.
+pub const DMA_WAIT: u16 = 0x7D9;
 /// FP accrued exception flags (fcsr subset).
 pub const FFLAGS: u16 = 0x001;
 /// FP dynamic rounding mode (fcsr subset).

@@ -24,7 +24,7 @@ use crate::kernel::{verify_f64_exact, CheckFn, Kernel, SetupFn};
 use crate::partition::split_ranges;
 use crate::stencil::Stencil;
 use crate::system_kernel::{SystemCheckFn, SystemKernel, SystemSetupFn, TiledSystemKernel};
-use crate::tiling::{self, TileError, TiledClusterKernel};
+use crate::tiling::{self, TileError, TiledClusterKernel, WaitStyle};
 use crate::variant::Variant;
 
 /// Memory placement of the kernel's arrays.
@@ -298,6 +298,28 @@ impl StencilKernel {
         num_harts: u32,
         capacity: u32,
     ) -> Result<TiledClusterKernel, TileError> {
+        self.build_tiled_with(num_harts, capacity, WaitStyle::Poll)
+    }
+
+    /// [`StencilKernel::build_tiled`] with an explicit DMA completion
+    /// [`WaitStyle`]. [`WaitStyle::Poll`] is exactly `build_tiled`;
+    /// [`WaitStyle::Park`] makes the waiting hart retire nothing, which
+    /// exposes idle windows to the event-driven scheduler. Results are
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// See [`StencilKernel::build_tiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_harts` is zero.
+    pub fn build_tiled_with(
+        &self,
+        num_harts: u32,
+        capacity: u32,
+        wait: WaitStyle,
+    ) -> Result<TiledClusterKernel, TileError> {
         assert!(num_harts >= 1, "a cluster has at least one hart");
         let grid = self.grid;
         let pp = grid.plane_pitch();
@@ -436,7 +458,7 @@ impl StencilKernel {
         let tile_programs = tile_kernels
             .iter()
             .zip(&sched.per_tile)
-            .map(|(tk, (enq, wait))| {
+            .map(|(tk, (enq, wait_n))| {
                 let slabs = split_ranges(tk.grid.nz, num_harts, 1);
                 slabs
                     .iter()
@@ -444,9 +466,9 @@ impl StencilKernel {
                     .map(|(h, &(sz0, snzc))| {
                         let mut b = ProgramBuilder::new();
                         if h == 0 {
-                            tiling::emit_tile_prologue(&mut b, enq, *wait);
+                            tiling::emit_tile_prologue(&mut b, enq, *wait_n, wait);
                         } else {
-                            tiling::emit_tile_prologue(&mut b, &[], 0);
+                            tiling::emit_tile_prologue(&mut b, &[], 0, wait);
                         }
                         tk.emit_slab_into(&mut b, sz0, snzc, SlabSync::Cluster);
                         b.build().expect("tiled stencil codegen is valid")
@@ -454,7 +476,8 @@ impl StencilKernel {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let epilogue = tiling::epilogue_programs(num_harts, &sched.epilogue.0, sched.epilogue.1);
+        let epilogue =
+            tiling::epilogue_programs(num_harts, &sched.epilogue.0, sched.epilogue.1, wait);
 
         let (setup, check) = self.dram_data_fns();
         Ok(TiledClusterKernel::new(
@@ -541,6 +564,27 @@ impl StencilKernel {
         harts_per_cluster: u32,
         capacity: u32,
     ) -> Result<TiledSystemKernel, TileError> {
+        self.build_system_tiled_with(num_clusters, harts_per_cluster, capacity, WaitStyle::Poll)
+    }
+
+    /// [`StencilKernel::build_system_tiled`] with an explicit DMA
+    /// completion [`WaitStyle`] for every cluster's tile pipeline (see
+    /// [`StencilKernel::build_tiled_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`StencilKernel::build_system_tiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn build_system_tiled_with(
+        &self,
+        num_clusters: u32,
+        harts_per_cluster: u32,
+        capacity: u32,
+        wait: WaitStyle,
+    ) -> Result<TiledSystemKernel, TileError> {
         assert!(num_clusters >= 1, "a system has at least one cluster");
         assert!(harts_per_cluster >= 1, "a cluster has at least one hart");
         let grid = self.grid;
@@ -574,7 +618,7 @@ impl StencilKernel {
                     coeff_base: self.layout.coeff_base,
                 },
             };
-            let tiled = sub.build_tiled(harts_per_cluster, capacity)?;
+            let tiled = sub.build_tiled_with(harts_per_cluster, capacity, wait)?;
             debug_assert!(
                 tcdm_cfg.is_none_or(|c| c == tiled.tcdm_config()),
                 "every cluster plans the same capacity-capped TCDM"

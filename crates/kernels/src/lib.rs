@@ -50,7 +50,8 @@ pub use system_kernel::{
     SystemCheckFn, SystemKernel, SystemKernelRun, SystemSetupFn, TiledSystemKernel, TiledSystemRun,
 };
 pub use tiling::{
-    DramCheckFn, DramSetupFn, TileError, TiledClusterKernel, TiledRun, WorkingSet, TCDM_CAP_BYTES,
+    DramCheckFn, DramSetupFn, TileError, TiledClusterKernel, TiledRun, WaitStyle, WorkingSet,
+    TCDM_CAP_BYTES,
 };
 pub use variant::Variant;
 pub use vecop::{VecOpKernel, VecOpVariant};

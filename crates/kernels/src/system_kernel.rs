@@ -20,10 +20,10 @@
 //! proptests).
 
 use sc_cluster::ClusterConfig;
-use sc_core::{CoreConfig, PerfCounters};
+use sc_core::{CoreConfig, PerfCounters, SchedMode};
 use sc_isa::Program;
 use sc_mem::{Dram, DramConfig, L2Config, MemError, Tcdm, TcdmConfig};
-use sc_system::{System, SystemConfig, SystemSummary};
+use sc_system::{SystemBuilder, SystemConfig, SystemSummary};
 use sc_trace::Tracer;
 
 use crate::kernel::{KernelError, VerifyError};
@@ -107,10 +107,27 @@ impl SystemKernel {
     /// System simulation errors, setup errors and verification
     /// mismatches are all reported as [`KernelError`].
     pub fn run(&self, cfg: CoreConfig, max_cycles: u64) -> Result<SystemKernelRun, KernelError> {
+        self.run_scheduled(cfg, max_cycles, SchedMode::Dense)
+    }
+
+    /// [`SystemKernel::run`] under an explicit clock-advancement mode.
+    /// `SchedMode::Dense` is exactly `run`; `SchedMode::Event` must be
+    /// cycle- and stats-identical (pinned by the scheduler differential
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`SystemKernel::run`].
+    pub fn run_scheduled(
+        &self,
+        cfg: CoreConfig,
+        max_cycles: u64,
+        mode: SchedMode,
+    ) -> Result<SystemKernelRun, KernelError> {
         let scfg = SystemConfig::new(self.num_clusters() as u32, self.harts_per_cluster() as u32)
             .with_cluster(ClusterConfig::new(self.harts_per_cluster() as u32).with_core(cfg));
         let stages = self.programs.iter().map(|p| vec![p.clone()]).collect();
-        let mut system = System::new(scfg, stages);
+        let mut system = SystemBuilder::new(scfg, stages).sched_mode(mode).build();
         for c in 0..self.num_clusters() {
             (self.setup)(c as u32, system.cluster_mut(c).tcdm_mut())?;
         }
@@ -280,7 +297,14 @@ impl TiledSystemKernel {
         dram_cfg: DramConfig,
         max_cycles: u64,
     ) -> Result<TiledSystemRun, KernelError> {
-        self.run_traced(cfg, l2_cfg, dram_cfg, max_cycles, Tracer::off())
+        self.run_inner(
+            cfg,
+            l2_cfg,
+            dram_cfg,
+            max_cycles,
+            Tracer::off(),
+            SchedMode::Dense,
+        )
     }
 
     /// [`TiledSystemKernel::run`] with a trace subscription: every hart,
@@ -298,6 +322,37 @@ impl TiledSystemKernel {
         max_cycles: u64,
         tracer: Tracer,
     ) -> Result<TiledSystemRun, KernelError> {
+        self.run_inner(cfg, l2_cfg, dram_cfg, max_cycles, tracer, SchedMode::Dense)
+    }
+
+    /// [`TiledSystemKernel::run`] under an explicit clock-advancement
+    /// mode. `SchedMode::Dense` is exactly `run`; `SchedMode::Event`
+    /// must be cycle- and stats-identical (pinned by the scheduler
+    /// differential tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledSystemKernel::run`].
+    pub fn run_scheduled(
+        &self,
+        cfg: CoreConfig,
+        l2_cfg: L2Config,
+        dram_cfg: DramConfig,
+        max_cycles: u64,
+        mode: SchedMode,
+    ) -> Result<TiledSystemRun, KernelError> {
+        self.run_inner(cfg, l2_cfg, dram_cfg, max_cycles, Tracer::off(), mode)
+    }
+
+    fn run_inner(
+        &self,
+        cfg: CoreConfig,
+        l2_cfg: L2Config,
+        dram_cfg: DramConfig,
+        max_cycles: u64,
+        tracer: Tracer,
+        mode: SchedMode,
+    ) -> Result<TiledSystemRun, KernelError> {
         let core_cfg = CoreConfig {
             tcdm: self.tcdm,
             ..cfg
@@ -305,11 +360,13 @@ impl TiledSystemKernel {
         let scfg = SystemConfig::new(self.num_clusters() as u32, self.harts_per_cluster)
             .with_cluster(ClusterConfig::new(self.harts_per_cluster).with_core(core_cfg))
             .with_l2(l2_cfg);
-        let mut system = System::new(scfg, self.stages.clone());
         let mut dram = Dram::new(dram_cfg);
         (self.setup)(&mut dram)?;
-        system.attach_dram(dram);
-        system.set_tracer(tracer);
+        let mut system = SystemBuilder::new(scfg, self.stages.clone())
+            .dram(dram)
+            .tracer(tracer)
+            .sched_mode(mode)
+            .build();
         let summary = system.run(max_cycles)?;
         debug_assert!(
             (0..self.num_clusters())

@@ -32,8 +32,8 @@
 //! halted cores with all architectural state and counters intact and
 //! charges no re-dispatch cycles.
 
-use sc_cluster::{Cluster, ClusterConfig, ClusterSummary};
-use sc_core::CoreConfig;
+use sc_cluster::{ClusterBuilder, ClusterConfig, ClusterSummary};
+use sc_core::{CoreConfig, SchedMode};
 use sc_isa::{csr, IntReg, Program, ProgramBuilder};
 use sc_mem::{Dram, DramConfig, MemError, TcdmConfig};
 
@@ -326,6 +326,29 @@ pub(crate) fn schedule(tiles: &[TileIo]) -> TileSchedule {
     }
 }
 
+/// How tile programs wait for DMA completions — the codegen choice
+/// between the classic busy-poll loop and the blocking [`csr::DMA_WAIT`]
+/// CSR.
+///
+/// Both styles synchronise on the same wrap-safe condition
+/// (`completed - target >= 0` as a signed distance) and produce
+/// bit-identical kernel results; they differ in what the waiting hart
+/// *does*: a polling hart retires a three-instruction loop every few
+/// cycles, a parked hart retires nothing. Parked waits therefore leave
+/// idle windows an event-driven scheduler ([`sc_core::SchedMode::Event`])
+/// can fast-forward, and are the style the host-speed benchmarks use;
+/// polling is the default and matches the checked-in baselines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WaitStyle {
+    /// Spin on [`csr::DMA_COMPLETED`] in a branch loop (the Snitch
+    /// idiom; the hart stays busy while it waits).
+    #[default]
+    Poll,
+    /// Park on [`csr::DMA_WAIT`] (the hart retires nothing until the
+    /// engine reaches the target count).
+    Park,
+}
+
 /// Integer scratch registers used by the DMA prologue; clobbered freely
 /// because every kernel program re-initialises its own registers after
 /// the data-ready barrier.
@@ -371,6 +394,21 @@ pub(crate) fn emit_wait_completed(b: &mut ProgramBuilder, count: u32) {
     b.blt(IntReg::ZERO, DT2, "dma_wait");
 }
 
+/// Emits a completion wait in the given style: the poll loop of
+/// [`emit_wait_completed`], or a single blocking [`csr::DMA_WAIT`] write
+/// that parks the hart until the engine's wrapping counter reaches
+/// `count` (same wrap-safe signed-distance condition, evaluated by the
+/// cluster instead of by retired compare instructions).
+pub(crate) fn emit_wait_styled(b: &mut ProgramBuilder, count: u32, style: WaitStyle) {
+    match style {
+        WaitStyle::Poll => emit_wait_completed(b, count),
+        WaitStyle::Park => {
+            b.li(DT1, count as i32);
+            b.csrrw(DT2, csr::DMA_WAIT, DT1);
+        }
+    }
+}
+
 /// Emits hart 0's tile prologue (doorbells + completion wait) followed
 /// by the data-ready barrier every hart executes. Call with an empty
 /// transfer list and `wait == 0` for harts other than 0 — they only
@@ -379,12 +417,13 @@ pub(crate) fn emit_tile_prologue(
     b: &mut ProgramBuilder,
     transfers: &[DmaXfer],
     wait_completed: u32,
+    style: WaitStyle,
 ) {
     for x in transfers {
         emit_transfer(b, x);
     }
     if wait_completed > 0 {
-        emit_wait_completed(b, wait_completed);
+        emit_wait_styled(b, wait_completed, style);
     }
     b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
 }
@@ -396,6 +435,7 @@ pub(crate) fn epilogue_programs(
     num_harts: u32,
     transfers: &[DmaXfer],
     wait_completed: u32,
+    style: WaitStyle,
 ) -> Vec<Program> {
     (0..num_harts)
         .map(|h| {
@@ -404,7 +444,7 @@ pub(crate) fn epilogue_programs(
                 for x in transfers {
                     emit_transfer(&mut b, x);
                 }
-                emit_wait_completed(&mut b, wait_completed);
+                emit_wait_styled(&mut b, wait_completed, style);
             }
             b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
             b.ecall();
@@ -547,15 +587,35 @@ impl TiledClusterKernel {
         dram_cfg: DramConfig,
         max_cycles: u64,
     ) -> Result<TiledRun, KernelError> {
+        self.run_scheduled(cfg, dram_cfg, max_cycles, SchedMode::Dense)
+    }
+
+    /// [`TiledClusterKernel::run`] with an explicit scheduling mode —
+    /// [`SchedMode::Event`] fast-forwards idle windows (DMA countdowns,
+    /// parked waits) at bit-identical cycle counts and stats.
+    ///
+    /// # Errors
+    ///
+    /// Cluster/DMA simulation errors, setup errors and verification
+    /// mismatches are all reported as [`KernelError`].
+    pub fn run_scheduled(
+        &self,
+        cfg: CoreConfig,
+        dram_cfg: DramConfig,
+        max_cycles: u64,
+        mode: SchedMode,
+    ) -> Result<TiledRun, KernelError> {
         let core_cfg = CoreConfig {
             tcdm: self.tcdm,
             ..cfg
         };
         let ccfg = ClusterConfig::new(self.num_harts() as u32).with_core(core_cfg);
-        let mut cluster = Cluster::new(ccfg, self.tile_programs[0].clone());
         let mut dram = Dram::new(dram_cfg);
         (self.setup)(&mut dram)?;
-        cluster.attach_dma(dram);
+        let mut cluster = ClusterBuilder::new(ccfg, self.tile_programs[0].clone())
+            .dma(dram)
+            .sched_mode(mode)
+            .build();
         cluster.run(max_cycles)?;
         for programs in &self.tile_programs[1..] {
             cluster.load_programs(programs.clone());

@@ -307,6 +307,27 @@ impl VecOpKernel {
         num_harts: u32,
         capacity: u32,
     ) -> Result<TiledClusterKernel, TileError> {
+        self.build_tiled_with(num_harts, capacity, tiling::WaitStyle::Poll)
+    }
+
+    /// [`VecOpKernel::build_tiled`] with an explicit DMA completion
+    /// [`crate::WaitStyle`] (see
+    /// [`crate::StencilKernel::build_tiled_with`]). Results are
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// See [`VecOpKernel::build_tiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_harts` is zero.
+    pub fn build_tiled_with(
+        &self,
+        num_harts: u32,
+        capacity: u32,
+        wait: tiling::WaitStyle,
+    ) -> Result<TiledClusterKernel, TileError> {
         assert!(num_harts >= 1, "a cluster has at least one hart");
         let bufs_base = 0x140u32; // past the scalar at B_ADDR
                                   // The cap is hard: round DOWN to a whole TCDM interleave line
@@ -373,7 +394,7 @@ impl VecOpKernel {
             .iter()
             .zip(&sched.per_tile)
             .enumerate()
-            .map(|(t, (&(_, l), (enq, wait)))| {
+            .map(|(t, (&(_, l), (enq, wait_n)))| {
                 let bases = VecBases {
                     b: B_ADDR,
                     c: cbuf[t % 2],
@@ -386,9 +407,9 @@ impl VecOpKernel {
                     .map(|(h, &(hs, hl))| {
                         let mut b = ProgramBuilder::new();
                         if h == 0 {
-                            tiling::emit_tile_prologue(&mut b, enq, *wait);
+                            tiling::emit_tile_prologue(&mut b, enq, *wait_n, wait);
                         } else {
-                            tiling::emit_tile_prologue(&mut b, &[], 0);
+                            tiling::emit_tile_prologue(&mut b, &[], 0, wait);
                         }
                         self.emit_range_into(&mut b, bases, hs, hl, true);
                         b.build().expect("tiled vecop codegen is valid")
@@ -396,7 +417,8 @@ impl VecOpKernel {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let epilogue = tiling::epilogue_programs(num_harts, &sched.epilogue.0, sched.epilogue.1);
+        let epilogue =
+            tiling::epilogue_programs(num_harts, &sched.epilogue.0, sched.epilogue.1, wait);
 
         let (setup, check) = self.dram_data_fns();
         Ok(TiledClusterKernel::new(

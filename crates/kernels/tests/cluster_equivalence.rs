@@ -105,9 +105,10 @@ fn one_core_cluster_with_idle_dma_matches_simulator() {
         let legacy = sim.run(max_cycles).expect("legacy run");
 
         let ccfg = sc_cluster::ClusterConfig::new(1).with_core(cfg);
-        let mut cluster = sc_cluster::Cluster::new(ccfg, vec![kernel.program().clone()]);
+        let mut cluster = sc_cluster::ClusterBuilder::new(ccfg, vec![kernel.program().clone()])
+            .dma(sc_mem::Dram::new(sc_mem::DramConfig::new()))
+            .build();
         kernel.apply_setup(cluster.tcdm_mut()).expect("setup fits");
-        cluster.attach_dma(sc_mem::Dram::new(sc_mem::DramConfig::new()));
         let with_dma = cluster.run(max_cycles).expect("dma-idle run");
         kernel.verify(cluster.tcdm()).expect("result verifies");
 

@@ -1,0 +1,177 @@
+//! The event-driven scheduler's correctness pin: `SchedMode::Event` is
+//! an **observable no-op** relative to `SchedMode::Dense`. Over random
+//! kernels (shapes × hart counts × capacity pressure × DMA latency ×
+//! wait styles), every cycle-visible quantity — cluster cycles, every
+//! core's `PerfCounters` and measured region, `DmaStats`, overlap
+//! metrics, barrier counts, TCDM conflicts and shared-L2 statistics —
+//! must be bit-identical between the two modes. The event path may only
+//! skip clock ranges where stepping would provably change nothing; any
+//! divergence here means it skipped a cycle that mattered.
+
+use proptest::prelude::*;
+use sc_core::{CoreConfig, SchedMode};
+use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, WaitStyle};
+use sc_mem::{DramConfig, L2Config};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+/// Compares every cycle-visible field of two cluster summaries.
+fn assert_cluster_identical(
+    dense: &sc_cluster::ClusterSummary,
+    event: &sc_cluster::ClusterSummary,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(dense.cycles, event.cycles, "cluster cycles diverge");
+    prop_assert_eq!(dense.per_core.len(), event.per_core.len());
+    for (a, b) in dense.per_core.iter().zip(&event.per_core) {
+        prop_assert_eq!(&a.counters, &b.counters, "per-core counters diverge");
+        prop_assert_eq!(&a.region, &b.region, "measured regions diverge");
+    }
+    prop_assert_eq!(&dense.aggregate, &event.aggregate);
+    prop_assert_eq!(&dense.core_done_at, &event.core_done_at);
+    prop_assert_eq!(&dense.core_conflicts, &event.core_conflicts);
+    prop_assert_eq!(&dense.core_accesses, &event.core_accesses);
+    prop_assert_eq!(&dense.conflicts_by_bank, &event.conflicts_by_bank);
+    prop_assert_eq!(&dense.accesses_by_bank, &event.accesses_by_bank);
+    prop_assert_eq!(dense.barriers, event.barriers);
+    prop_assert_eq!(dense.system_barriers, event.system_barriers);
+    prop_assert_eq!(&dense.dma, &event.dma, "DMA stats/overlap diverge");
+    Ok(())
+}
+
+/// Compares every cycle-visible field of two system summaries.
+fn assert_system_identical(
+    dense: &sc_system::SystemSummary,
+    event: &sc_system::SystemSummary,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(dense.cycles, event.cycles, "system cycles diverge");
+    prop_assert_eq!(dense.per_cluster.len(), event.per_cluster.len());
+    for (a, b) in dense.per_cluster.iter().zip(&event.per_cluster) {
+        assert_cluster_identical(a, b)?;
+    }
+    prop_assert_eq!(&dense.aggregate, &event.aggregate);
+    prop_assert_eq!(&dense.cluster_done_at, &event.cluster_done_at);
+    prop_assert_eq!(dense.system_barriers, event.system_barriers);
+    prop_assert_eq!(&dense.l2, &event.l2, "shared-L2 stats diverge");
+    prop_assert_eq!(dense.l2_refill_beats, event.l2_refill_beats);
+    prop_assert_eq!(dense.l2_writeback_beats, event.l2_writeback_beats);
+    prop_assert_eq!(dense.l2_prefetch_beats, event.l2_prefetch_beats);
+    Ok(())
+}
+
+fn wait_style(parked: bool) -> WaitStyle {
+    if parked {
+        WaitStyle::Park
+    } else {
+        WaitStyle::Poll
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tiled cluster pipelines — DMA countdown bubbles, completion
+    /// waits (both styles) and cluster barriers — run cycle- and
+    /// stats-identically under the event scheduler.
+    #[test]
+    fn tiled_cluster_event_equals_dense(
+        ny in 2u32..5,
+        nz in 2u32..6,
+        harts in 1u32..4,
+        cap_kib in 6u32..10,
+        latency_idx in 0usize..4,
+        parked in any::<bool>(),
+    ) {
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, ny, nz),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        let Ok(tiled) = gen.build_tiled_with(harts, cap_kib << 10, wait_style(parked)) else {
+            return Ok(()); // cap too small — nothing to compare
+        };
+        let cfg = CoreConfig::new();
+        let dram_cfg = DramConfig::new().with_latency([0u32, 16, 64, 256][latency_idx]);
+        let dense = tiled
+            .run_scheduled(cfg, dram_cfg, MAX_CYCLES, SchedMode::Dense)
+            .map_err(|e| TestCaseError::fail(format!("dense: {e}")))?;
+        let event = tiled
+            .run_scheduled(cfg, dram_cfg, MAX_CYCLES, SchedMode::Event)
+            .map_err(|e| TestCaseError::fail(format!("event: {e}")))?;
+        assert_cluster_identical(&dense.summary, &event.summary)?;
+    }
+
+    /// Multi-cluster tiled runs through a refilling, capacity-pressured
+    /// shared L2 — engine stalls on cold misses, inter-cluster bank
+    /// contention, dirty write-backs — are identical across modes,
+    /// L2 statistics included.
+    #[test]
+    fn tiled_system_event_equals_dense(
+        ny in 2u32..4,
+        nz in 2u32..5,
+        clusters in 1u32..4,
+        harts in 1u32..3,
+        underfit in any::<bool>(),
+        parked in any::<bool>(),
+    ) {
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, ny, nz),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        let Ok(tiled) =
+            gen.build_system_tiled_with(clusters, harts, 8 << 10, wait_style(parked))
+        else {
+            return Ok(());
+        };
+        // Under-fitting the footprint turns tile revisits into capacity
+        // misses and dirty evictions — maximum cache pressure on the
+        // skip logic; over-fitting exercises the warm-hit path.
+        let granule = 256 * 4;
+        let capacity = if underfit {
+            tiled.working_set().underfit_capacity(granule)
+        } else {
+            tiled.working_set().overfit_capacity(granule)
+        };
+        let l2_cfg = L2Config::new()
+            .with_capacity_bytes(capacity.max(granule))
+            .with_ways(4)
+            .with_write_back(true);
+        let cfg = CoreConfig::new();
+        let dense = tiled
+            .run_scheduled(cfg, l2_cfg, DramConfig::new(), MAX_CYCLES, SchedMode::Dense)
+            .map_err(|e| TestCaseError::fail(format!("dense: {e}")))?;
+        let event = tiled
+            .run_scheduled(cfg, l2_cfg, DramConfig::new(), MAX_CYCLES, SchedMode::Event)
+            .map_err(|e| TestCaseError::fail(format!("event: {e}")))?;
+        assert_system_identical(&dense.summary, &event.summary)?;
+    }
+
+    /// Unbounded system kernels: uneven z-partitions leave harts parked
+    /// on cluster and system barriers for long stretches (the idle
+    /// bubbles the event path fast-forwards) — counts and cycles must
+    /// still match exactly.
+    #[test]
+    fn unbounded_system_event_equals_dense(
+        xblk in 1u32..3,
+        ny in 1u32..4,
+        nz in 1u32..5,
+        variant_idx in 0usize..Variant::ALL.len(),
+        clusters in 1u32..4,
+        harts in 1u32..5,
+    ) {
+        let variant = Variant::ALL[variant_idx];
+        let gen = StencilKernel::new(Stencil::box3d1r(), Grid3::new(xblk * 8, ny, nz), variant)
+            .expect("valid combination");
+        let cfg = CoreConfig::new().with_chaining(variant.uses_chaining());
+        let kernel = gen.build_system(clusters, harts);
+        let dense = kernel
+            .run_scheduled(cfg, MAX_CYCLES, SchedMode::Dense)
+            .map_err(|e| TestCaseError::fail(format!("dense: {e}")))?;
+        let event = kernel
+            .run_scheduled(cfg, MAX_CYCLES, SchedMode::Event)
+            .map_err(|e| TestCaseError::fail(format!("event: {e}")))?;
+        assert_system_identical(&dense.summary, &event.summary)?;
+    }
+}

@@ -685,6 +685,16 @@ impl L2 {
         !self.cfg.refill || self.cache.is_present(addr)
     }
 
+    /// Whether stepping the L2 with no requests is a provable no-op:
+    /// pass-through L2s always are; with the cache core on, its queues,
+    /// channels and prefetcher must all be drained. The condition an
+    /// event-driven system needs before fast-forwarding an idle window
+    /// across [`L2::begin_cycle`]/[`L2::end_cycle`] pairs.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        !self.cfg.refill || self.cache.is_quiescent()
+    }
+
     /// Hands the cache core an upcoming strided read footprint (a DMA
     /// descriptor's Dram-side access pattern, delivered at `DMA_START`).
     /// A no-op unless the cache core and [`L2Config::prefetch`] are both

@@ -13,7 +13,7 @@
 //! Every system cycle:
 //!
 //! 1. each unfinished cluster runs its first half-cycle
-//!    ([`sc_cluster::Cluster::begin_step`]): core phases, doorbells, and
+//!    ([`sc_cluster::Cluster::begin_cycle`]): core phases, doorbells, and
 //!    the DMA engine's cycle start — returning the background-memory
 //!    side of the engine's beat, if one is ready;
 //! 2. the shared L2 arbitrates all clusters' beats in **one** pass
@@ -21,7 +21,7 @@
 //!    over clusters, missing lines stalled behind the cache core's
 //!    MSHRs and refill/write-back channels;
 //! 3. each cluster finishes its cycle
-//!    ([`sc_cluster::Cluster::finish_step`]) with its L2 outcome — a
+//!    ([`sc_cluster::Cluster::end_cycle`]) with its L2 outcome — a
 //!    granted beat then contends on the cluster's own TCDM crossbar
 //!    exactly as before, moving data against the shared functional
 //!    store;
@@ -36,6 +36,18 @@
 //! ([`sc_mem::L2Config::passthrough`]) performs exactly the same
 //! sequence as a stand-alone [`sc_cluster::Cluster`], cycle for cycle —
 //! pinned by this crate's tests and `sc-kernels`' system proptests.
+//!
+//! ## Event-driven scheduling
+//!
+//! [`System::run`] under [`sc_core::SchedMode::Event`] (selected with
+//! [`SystemBuilder::sched_mode`]) fast-forwards windows where every
+//! cluster reports a future wake and the shared L2 is quiescent
+//! ([`sc_mem::L2::is_quiescent`]) — bit-identical to dense stepping,
+//! pinned by the checked-in baseline sweeps and `sc-kernels`'
+//! differential proptest. The fluent [`SystemBuilder`] assembles a
+//! system (shared memory, watchdog, tracer, scheduling mode) in one
+//! expression, replacing the `System::new` + `attach_dram` ordering
+//! dance.
 //!
 //! ```
 //! use sc_isa::{csr, IntReg, ProgramBuilder};
@@ -74,8 +86,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use sc_cluster::{Cluster, ClusterConfig, ClusterError, ClusterSummary};
-use sc_core::PerfCounters;
+use sc_cluster::{Cluster, ClusterBuilder, ClusterConfig, ClusterError, ClusterSummary};
+use sc_core::{Component, PerfCounters, SchedMode, Scheduler, Wake};
 use sc_isa::Program;
 use sc_mem::{Dram, L2Config, L2Outcome, L2Request, L2Stats, L2};
 use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
@@ -275,6 +287,7 @@ pub struct System {
     stepped: Vec<usize>,
     tracer: Tracer,
     watchdog: Option<Watchdog>,
+    sched: Scheduler,
 }
 
 impl System {
@@ -290,19 +303,30 @@ impl System {
     /// programs.
     #[must_use]
     pub fn new(cfg: SystemConfig, stages: Vec<Vec<Vec<Program>>>) -> Self {
+        Self::assemble(cfg, stages, false)
+    }
+
+    /// Shared constructor: `with_engines` attaches every cluster's DMA
+    /// engine at build time (the [`SystemBuilder`] path, which also
+    /// installs the shared L2/Dram pair afterwards).
+    fn assemble(cfg: SystemConfig, stages: Vec<Vec<Vec<Program>>>, with_engines: bool) -> Self {
         assert_eq!(
             stages.len(),
             cfg.num_clusters as usize,
             "one stage list per cluster"
         );
+        let timing = cfg.l2.engine_timing();
         let mut clusters = Vec::with_capacity(stages.len());
         let mut queues = Vec::with_capacity(stages.len());
         for (c, cluster_stages) in stages.into_iter().enumerate() {
             let mut q: VecDeque<Vec<Program>> = cluster_stages.into();
             let first = q.pop_front().expect("every cluster has at least one stage");
-            let mut cluster = Cluster::new(cfg.cluster, first);
-            cluster.embed_in_system(c as u32, cfg.num_clusters);
-            clusters.push(cluster);
+            let mut builder =
+                ClusterBuilder::new(cfg.cluster, first).embedded(c as u32, cfg.num_clusters);
+            if with_engines {
+                builder = builder.shared_dma(timing);
+            }
+            clusters.push(builder.build());
             queues.push(q);
         }
         let n = clusters.len();
@@ -319,14 +343,29 @@ impl System {
             stepped: Vec::new(),
             tracer: Tracer::off(),
             watchdog: None,
+            sched: Scheduler::default(),
         }
+    }
+
+    /// Selects how [`System::run`] advances the clock: dense lock-step
+    /// (the default) or event-driven fast-forwarding of provably idle
+    /// windows. The two modes are cycle-count- and stats-identical;
+    /// event mode is purely a host-speed optimisation.
+    pub fn set_sched_mode(&mut self, mode: SchedMode) {
+        self.sched = Scheduler::new(mode);
+    }
+
+    /// The scheduling mode [`System::run`] uses.
+    #[must_use]
+    pub fn sched_mode(&self) -> SchedMode {
+        self.sched.mode()
     }
 
     /// Subscribes the whole system to a trace sink: cluster `c`'s harts,
     /// DMA engine and TCDM become tracks under process `c + 1`, while
     /// the shared L2's refill/write-back channels and sampled metrics
     /// live under process 0 ([`L2_TRACK`]). Attaching the shared memory
-    /// later ([`System::attach_dram`]) inherits the subscription.
+    /// later inherits the subscription.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         for (c, cluster) in self.clusters.iter_mut().enumerate() {
             cluster.set_tracer(tracer.clone(), c as u32 + 1);
@@ -394,11 +433,19 @@ impl System {
     /// over the L2↔Dram channels (where write-back traffic from a
     /// finite L2's dirty evictions contends too). Engines pay the L2's
     /// timing ([`sc_mem::L2Config::engine_timing`]) per transfer/beat.
+    #[deprecated(note = "construct the system with `SystemBuilder::dram` instead")]
     pub fn attach_dram(&mut self, dram: Dram) {
         let timing = self.cfg.l2.engine_timing();
         for cluster in &mut self.clusters {
+            #[allow(deprecated)]
             cluster.attach_dma_shared(timing);
         }
+        self.install_shared(dram);
+    }
+
+    /// Installs the shared L2 + functional store pair (the clusters'
+    /// engines must already be attached).
+    fn install_shared(&mut self, dram: Dram) {
         let mut l2 = L2::new(self.cfg.l2, self.cfg.num_clusters);
         if self.tracer.is_on() {
             l2.set_tracer(self.tracer.clone(), L2_TRACK);
@@ -486,7 +533,7 @@ impl System {
         };
 
         // All of this cycle's events carry the cycle number (the
-        // clusters re-set the same value in their begin_step).
+        // clusters re-set the same value in their begin_cycle).
         self.tracer.set_cycle(self.cycles);
 
         // Clusters that finished their last stage sit the cycle out
@@ -506,7 +553,7 @@ impl System {
         self.l2_req_of.fill(None);
         for i in 0..self.stepped.len() {
             let c = self.stepped[i];
-            if let Some((addr, kind)) = self.clusters[c].begin_step().map_err(tag(c))? {
+            if let Some((addr, kind)) = self.clusters[c].begin_cycle().map_err(tag(c))? {
                 self.l2_req_of[c] = Some(self.l2_reqs.len());
                 self.l2_reqs.push(L2Request {
                     cluster: c as u32,
@@ -546,9 +593,7 @@ impl System {
                 None => L2Outcome::Granted,
             };
             let dram = self.shared.as_mut().map(|(_, d)| d);
-            self.clusters[c]
-                .finish_step(outcome, dram)
-                .map_err(tag(c))?;
+            self.clusters[c].end_cycle(outcome, dram).map_err(tag(c))?;
         }
         if let Some((l2, _)) = self.shared.as_mut() {
             l2.end_cycle();
@@ -596,8 +641,58 @@ impl System {
         Ok(())
     }
 
+    /// The earliest future cycle at which stepping the system could do
+    /// anything a skip cannot reproduce in closed form: the merge of
+    /// every unfinished cluster's wake (finished clusters freeze, as in
+    /// dense stepping), demanding dense cycles while the shared L2 has
+    /// refill/write-back/prefetch work in flight. A subscribed tracer or
+    /// a cluster-local watchdog (whose per-cycle observation cadence the
+    /// system cannot reproduce) pins the system to dense stepping.
+    #[must_use]
+    pub fn next_wake(&self) -> Wake {
+        if self.tracer.is_on() {
+            return Wake::EveryCycle;
+        }
+        let mut wake = Wake::Idle;
+        for c in 0..self.clusters.len() {
+            if self.cluster_finished(c) {
+                continue;
+            }
+            if self.clusters[c].watchdog_armed() {
+                return Wake::EveryCycle;
+            }
+            wake = wake.merge(self.clusters[c].next_wake());
+        }
+        if let Some((l2, _)) = self.shared.as_ref() {
+            if !l2.is_quiescent() {
+                wake = wake.merge(Wake::EveryCycle);
+            }
+        }
+        wake
+    }
+
+    /// Bulk-applies `cycles` idle cycles: every unfinished cluster
+    /// skips ([`Cluster::skip_idle`]) and the system clock advances;
+    /// finished clusters stay frozen and a quiescent L2 has nothing to
+    /// advance. Callers must only skip up to the window
+    /// [`System::next_wake`] allows.
+    pub fn skip_idle(&mut self, cycles: u64) {
+        for c in 0..self.clusters.len() {
+            if !self.cluster_finished(c) {
+                self.clusters[c].skip_idle(cycles);
+            }
+        }
+        self.cycles += cycles;
+    }
+
     /// Runs until every cluster finishes its last stage, or the cycle
     /// budget is exhausted.
+    ///
+    /// Under [`SchedMode::Event`] the loop fast-forwards windows where
+    /// [`System::next_wake`] is in the future, capping each skip at the
+    /// cycle budget and (when armed) the watchdog's next deadline so
+    /// [`SystemError::MaxCyclesExceeded`] and [`SystemError::Hang`]
+    /// fire at the identical cycle the dense loop reports.
     ///
     /// # Errors
     ///
@@ -605,6 +700,22 @@ impl System {
     /// covers inter-cluster barrier deadlocks.
     pub fn run(&mut self, max_cycles: u64) -> Result<SystemSummary, SystemError> {
         while !self.is_done() {
+            if self.sched.mode() == SchedMode::Event {
+                let caps = self
+                    .watchdog
+                    .as_ref()
+                    .map(|w| w.skip_cap(self.cycles))
+                    .into_iter()
+                    .chain(std::iter::once(max_cycles));
+                let skip = self.sched.plan(self.cycles, self.next_wake(), caps);
+                if skip > 0 {
+                    self.skip_idle(skip);
+                    if let Some(report) = self.check_watchdog() {
+                        return Err(SystemError::Hang(report));
+                    }
+                    continue;
+                }
+            }
             if self.cycles >= max_cycles {
                 return Err(SystemError::MaxCyclesExceeded { max_cycles });
             }
@@ -652,5 +763,127 @@ impl System {
             l2_writeback_beats,
             l2_prefetch_beats,
         }
+    }
+}
+
+impl Component for System {
+    fn now(&self) -> u64 {
+        self.cycles
+    }
+
+    fn next_wake(&self) -> Wake {
+        System::next_wake(self)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.skip_idle(cycles);
+    }
+}
+
+/// Fluent construction of a [`System`], replacing the order-sensitive
+/// `System::new` + `attach_dram` + `set_tracer` call sequence: options
+/// accumulate in any order and [`SystemBuilder::build`] wires clusters,
+/// DMA engines, the shared L2 and the trace subscription in the one
+/// correct order.
+///
+/// ```
+/// use sc_isa::ProgramBuilder;
+/// use sc_mem::{Dram, DramConfig};
+/// use sc_system::{SystemBuilder, SystemConfig};
+///
+/// let program = || {
+///     let mut b = ProgramBuilder::new();
+///     b.ecall();
+///     b.build().unwrap()
+/// };
+/// let stages = (0..2).map(|_| vec![vec![program(), program()]]).collect();
+/// let system = SystemBuilder::new(SystemConfig::new(2, 2), stages)
+///     .dram(Dram::new(DramConfig::new()))
+///     .watchdog(10_000)
+///     .build();
+/// assert!(system.l2().is_some());
+/// ```
+#[derive(Debug)]
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+    stages: Vec<Vec<Vec<Program>>>,
+    dram: Option<Dram>,
+    watchdog: Option<u64>,
+    sched: SchedMode,
+    tracer: Option<Tracer>,
+}
+
+impl SystemBuilder {
+    /// Starts a builder for a system running `stages[c]` on cluster `c`
+    /// (a non-empty sequence of program sets, one program per core
+    /// each).
+    #[must_use]
+    pub fn new(cfg: SystemConfig, stages: Vec<Vec<Vec<Program>>>) -> Self {
+        SystemBuilder {
+            cfg,
+            stages,
+            dram: None,
+            watchdog: None,
+            sched: SchedMode::Dense,
+            tracer: None,
+        }
+    }
+
+    /// Attaches the shared memory: every cluster gets a DMA engine
+    /// moving against `dram` through the configured L2, paying the L2's
+    /// timing ([`sc_mem::L2Config::engine_timing`]) per transfer/beat.
+    #[must_use]
+    pub fn dram(mut self, dram: Dram) -> Self {
+        self.dram = Some(dram);
+        self
+    }
+
+    /// Arms the system-wide hang watchdog with `limit` progress-free
+    /// cycles.
+    #[must_use]
+    pub fn watchdog(mut self, limit: u64) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    /// Selects dense or event-driven clock advancement for
+    /// [`System::run`].
+    #[must_use]
+    pub fn sched_mode(mut self, mode: SchedMode) -> Self {
+        self.sched = mode;
+        self
+    }
+
+    /// Subscribes the whole system to a trace sink (clusters under
+    /// processes `c + 1`, the shared L2 under [`L2_TRACK`]).
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Builds the system, applying the accumulated options in wiring
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration: a stage list count that does
+    /// not match the cluster count, an empty stage list, a program
+    /// count that does not match the core count, or a zero watchdog
+    /// limit.
+    #[must_use]
+    pub fn build(self) -> System {
+        let mut system = System::assemble(self.cfg, self.stages, self.dram.is_some());
+        if let Some(dram) = self.dram {
+            system.install_shared(dram);
+        }
+        if let Some(tracer) = self.tracer {
+            system.set_tracer(tracer);
+        }
+        if let Some(limit) = self.watchdog {
+            system.set_watchdog(limit);
+        }
+        system.set_sched_mode(self.sched);
+        system
     }
 }

@@ -8,11 +8,11 @@
 //! * the inter-cluster barrier rendezvouses every hart of every
 //!   cluster, and deadlocks surface as budget errors.
 
-use sc_cluster::{Cluster, ClusterConfig};
+use sc_cluster::{ClusterBuilder, ClusterConfig};
 use sc_core::CoreConfig;
 use sc_isa::{csr, IntReg, Program, ProgramBuilder};
 use sc_mem::{Dram, DramConfig, L2Config};
-use sc_system::{System, SystemConfig, SystemError};
+use sc_system::{System, SystemBuilder, SystemConfig, SystemError};
 
 /// A program that rings the DMA doorbell for a `bytes`-byte fetch from
 /// `dram_addr` to `tcdm_addr`, polls the completion counter, then halts.
@@ -64,17 +64,19 @@ fn one_cluster_passthrough_system_is_cycle_identical_to_cluster() {
     };
 
     let ccfg = ClusterConfig::new(2).with_core(CoreConfig::new());
-    let mut cluster = Cluster::new(ccfg, programs.clone());
     let mut dram = Dram::new(dram_cfg);
     stage(&mut dram);
-    cluster.attach_dma(dram);
+    let mut cluster = ClusterBuilder::new(ccfg, programs.clone())
+        .dma(dram)
+        .build();
     let cluster_summary = cluster.run(100_000).unwrap();
 
     let scfg = SystemConfig::new(1, 2).with_l2(L2Config::passthrough(dram_cfg));
-    let mut system = System::new(scfg, vec![vec![programs]]);
     let mut dram = Dram::new(dram_cfg);
     stage(&mut dram);
-    system.attach_dram(dram);
+    let mut system = SystemBuilder::new(scfg, vec![vec![programs]])
+        .dram(dram)
+        .build();
     let system_summary = system.run(100_000).unwrap();
 
     assert_eq!(
@@ -117,12 +119,11 @@ fn clusters_contend_at_the_shared_l2() {
         let stages = (0..2u32)
             .map(|c| vec![vec![dma_fetch_program(0x1000 + c * 0x800, 0x200, 512, 1)]])
             .collect();
-        let mut system = System::new(scfg, stages);
         let mut dram = Dram::new(DramConfig::new());
         for i in 0..256u32 {
             dram.write_u64(0x1000 + 8 * i, u64::from(i)).unwrap();
         }
-        system.attach_dram(dram);
+        let mut system = SystemBuilder::new(scfg, stages).dram(dram).build();
         let summary = system.run(100_000).unwrap();
         (summary.cycles, summary.l2.unwrap())
     };
@@ -149,10 +150,11 @@ fn cold_l2_refills_charge_and_warm_reruns_speed_up() {
     // Two identical fetch stages: the first is cold, the second hits
     // warm lines.
     let prog = |wait| vec![dma_fetch_program(0x1000, 0x200, 256, wait)];
-    let mut system = System::new(scfg, vec![vec![prog(1), prog(2)]]);
     let mut dram = Dram::new(DramConfig::new());
     dram.write_u64(0x1000, 77).unwrap();
-    system.attach_dram(dram);
+    let mut system = SystemBuilder::new(scfg, vec![vec![prog(1), prog(2)]])
+        .dram(dram)
+        .build();
     let summary = system.run(1_000_000).unwrap();
     let l2 = summary.l2.unwrap();
     assert_eq!(l2.refills(), 1, "256 B fetch twice = one cold line");
@@ -200,13 +202,14 @@ fn finite_l2_evicts_and_writes_back_through_the_whole_system() {
         .with_ways(1)
         .with_write_back(true);
     let scfg = SystemConfig::new(1, 1).with_l2(l2);
-    let mut system = System::new(
-        scfg,
-        vec![vec![vec![dma_store_program(0x1000, 0x200, 4096, 1)]]],
-    );
     let mut dram = Dram::new(DramConfig::new());
     dram.write_u64(0x0, 0).unwrap(); // touch so the store exists
-    system.attach_dram(dram);
+    let mut system = SystemBuilder::new(
+        scfg,
+        vec![vec![vec![dma_store_program(0x1000, 0x200, 4096, 1)]]],
+    )
+    .dram(dram)
+    .build();
     let summary = system.run(1_000_000).unwrap();
     let l2_stats = summary.l2.unwrap();
     assert_eq!(l2_stats.cache.write_beats, 512, "4 KiB = 512 beats");
@@ -233,15 +236,16 @@ fn dma_stats_split_miss_waits_from_bank_conflicts() {
     // to lose bank arbitration to), and the split subset must account
     // for all of them.
     let scfg = SystemConfig::new(1, 1).with_l2(L2Config::new().with_line_bytes(64));
-    let mut system = System::new(
-        scfg,
-        vec![vec![vec![dma_fetch_program(0x1000, 0x200, 256, 1)]]],
-    );
     let mut dram = Dram::new(DramConfig::new());
     for i in 0..32u32 {
         dram.write_u64(0x1000 + 8 * i, u64::from(i)).unwrap();
     }
-    system.attach_dram(dram);
+    let mut system = SystemBuilder::new(
+        scfg,
+        vec![vec![vec![dma_fetch_program(0x1000, 0x200, 256, 1)]]],
+    )
+    .dram(dram)
+    .build();
     let summary = system.run(1_000_000).unwrap();
     let dma = summary.per_cluster[0].dma.unwrap();
     assert!(

@@ -51,6 +51,22 @@ impl Watchdog {
         let stuck_for = cycle.saturating_sub(self.last_change);
         (stuck_for >= self.limit).then_some(stuck_for)
     }
+
+    /// The largest idle window an event-driven run loop may fast-forward
+    /// from `now` without overshooting this watchdog's next possible
+    /// deadline: a skipped window counts as its true cycle span, and the
+    /// run loop observes once after the skip, so capping the skip at
+    /// `last_change + limit` reproduces the dense loop's firing cycle
+    /// and `stuck_for` exactly. An unprimed watchdog (no observation
+    /// yet) allows only a single cycle — a dense loop would prime it at
+    /// the next observation.
+    #[must_use]
+    pub fn skip_cap(&self, now: u64) -> u64 {
+        if !self.primed {
+            return now + 1;
+        }
+        (self.last_change + self.limit).max(now + 1)
+    }
 }
 
 /// One resource's state in a [`HangReport`] — a FIFO, a barrier, an MSHR
@@ -167,6 +183,26 @@ mod tests {
         // Progress resets it.
         assert_eq!(w.observe(110, 100), None);
         assert_eq!(w.observe(111, 100), None);
+    }
+
+    #[test]
+    fn skip_cap_reproduces_the_dense_firing_cycle() {
+        let mut w = Watchdog::new(10);
+        // Unprimed: only one cycle may be skipped (the dense loop would
+        // prime at its very next observation).
+        assert_eq!(w.skip_cap(0), 1);
+        assert_eq!(w.observe(99, 5), None);
+        // Frozen since cycle 99: the deadline is cycle 109, however far
+        // the idle window could otherwise stretch.
+        assert_eq!(w.skip_cap(100), 109);
+        assert_eq!(w.skip_cap(108), 109);
+        // Skipping to the cap and observing fires with the same
+        // stuck_for the dense loop reports.
+        for c in 100..109u64 {
+            assert_eq!(w.observe(c, 5), None);
+        }
+        assert_eq!(w.skip_cap(109), 110, "never caps below now + 1");
+        assert_eq!(w.observe(109, 5), Some(10));
     }
 
     #[test]
