@@ -30,6 +30,7 @@
 //! `target/reports/*.json` ([`json::write_report`]) alongside their text
 //! tables, so the perf trajectory can be tracked across PRs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -76,6 +76,7 @@
 //! assert_eq!(cache.stats().refills, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -75,6 +75,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -86,6 +87,7 @@ use sc_core::{
 };
 use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
+use sc_lint::{lint_harts, LintConfig, LintReport};
 use sc_mem::{AccessKind, Dram, DramConfig, L2Outcome, PortId, PrefetchHint, Request, Tcdm};
 use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
 
@@ -165,6 +167,10 @@ pub enum ClusterError {
     /// converted into a diagnostic naming each blocked resource instead
     /// of spinning until the cycle budget runs out.
     Hang(HangReport),
+    /// Static verification refused the programs before simulation:
+    /// [`ClusterBuilder::lint_strict`] was requested and the `sc-lint`
+    /// pass found error-severity protocol violations.
+    Lint(LintReport),
 }
 
 impl fmt::Display for ClusterError {
@@ -183,6 +189,9 @@ impl fmt::Display for ClusterError {
             } => write!(f, "hart {hart}: {source}"),
             ClusterError::Dma { hart: None, source } => write!(f, "dma engine: {source}"),
             ClusterError::Hang(report) => write!(f, "{report}"),
+            ClusterError::Lint(report) => {
+                write!(f, "static verification refused the programs:\n{report}")
+            }
         }
     }
 }
@@ -194,6 +203,7 @@ impl std::error::Error for ClusterError {
             ClusterError::MaxCyclesExceeded { .. } => None,
             ClusterError::Dma { source, .. } => Some(source),
             ClusterError::Hang(_) => None,
+            ClusterError::Lint(_) => None,
         }
     }
 }
@@ -343,6 +353,10 @@ pub struct Cluster {
     pid: u32,
     watchdog: Option<Watchdog>,
     sched: Scheduler,
+    /// Static-verification findings for the currently loaded programs
+    /// (computed at construction and on every [`Cluster::load_programs`];
+    /// cross-referenced into hang diagnoses).
+    lint: LintReport,
 }
 
 impl Cluster {
@@ -360,6 +374,7 @@ impl Cluster {
         );
         let mut tcdm = Tcdm::new(cfg.core.tcdm);
         tcdm.set_port_group_size(cfg.ports_per_core());
+        let lint = lint_harts(&programs, &lint_config(&cfg));
         let cores: Vec<Core> = programs
             .into_iter()
             .enumerate()
@@ -384,7 +399,18 @@ impl Cluster {
             pid: 0,
             watchdog: None,
             sched: Scheduler::default(),
+            lint,
         }
+    }
+
+    /// Static-verification findings (`sc-lint`) for the currently loaded
+    /// programs. Computed once per program load — simulation never
+    /// consults it, but hang diagnoses cross-reference it and
+    /// [`ClusterBuilder::lint_strict`] refuses clusters whose report has
+    /// errors.
+    #[must_use]
+    pub fn lint_report(&self) -> &LintReport {
+        &self.lint
     }
 
     /// Selects how [`Cluster::run`] advances the clock: dense lock-step
@@ -467,6 +493,15 @@ impl Cluster {
         for (h, core) in self.cores.iter().enumerate() {
             if !core.is_halted() {
                 core.diagnose(&format!("{path}.hart{h}"), out);
+                // Cross-reference static findings for the wedged hart: a
+                // hang whose program the linter already flagged is almost
+                // certainly that bug, and the rule id names the class.
+                for d in self.lint.for_hart(h as u32) {
+                    out.push(ResourceState::info(
+                        format!("{path}.hart{h}.lint"),
+                        format!("{d}"),
+                    ));
+                }
             }
         }
         if let Some(dma) = &self.dma {
@@ -529,6 +564,19 @@ impl Cluster {
         self.attach_dma_inner(None, timing);
     }
 
+    /// Post-construction shared-DMA attachment hook for the system
+    /// crate's own (deprecated) `attach_dram` shim. Not part of the
+    /// public API: construct clusters with [`ClusterBuilder::shared_dma`]
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's port would overflow the 8-bit port space.
+    #[doc(hidden)]
+    pub fn attach_shared_dma_engine(&mut self, timing: DramConfig) {
+        self.attach_dma_inner(None, timing);
+    }
+
     fn attach_dma_inner(&mut self, dram: Option<Dram>, timing: DramConfig) {
         let port = self.cfg.num_cores * u32::from(self.cfg.ports_per_core());
         assert!(port < 256, "DMA port overflows the 8-bit port namespace");
@@ -584,6 +632,7 @@ impl Cluster {
             "load_programs requires every core to have halted"
         );
         assert_eq!(programs.len(), self.cores.len(), "one program per core");
+        self.lint = lint_harts(&programs, &lint_config(&self.cfg));
         for (core, program) in self.cores.iter_mut().zip(programs) {
             core.load_program(program);
         }
@@ -1181,6 +1230,7 @@ pub struct ClusterBuilder {
     watchdog: Option<u64>,
     sched: SchedMode,
     tracer: Option<(Tracer, u32)>,
+    lint_strict: bool,
 }
 
 impl ClusterBuilder {
@@ -1195,7 +1245,20 @@ impl ClusterBuilder {
             watchdog: None,
             sched: SchedMode::Dense,
             tracer: None,
+            lint_strict: false,
         }
+    }
+
+    /// Refuses to build a cluster whose programs the static verifier
+    /// (`sc-lint`) diagnoses with error-severity findings — FIFO
+    /// wedges, divergent barrier sequences, DMA races, over-cap
+    /// footprints. Warning-tier findings (e.g. bursts that rely on the
+    /// issue-stage drain) still build; they remain visible through
+    /// [`Cluster::lint_report`] and in hang diagnoses.
+    #[must_use]
+    pub fn lint_strict(mut self) -> Self {
+        self.lint_strict = true;
+        self
     }
 
     /// Attaches a DMA engine with its own private background memory
@@ -1253,10 +1316,37 @@ impl ClusterBuilder {
     ///
     /// Panics on invalid configuration: a program count that does not
     /// match the core count, a DMA port overflowing the 8-bit port
-    /// space, a zero watchdog limit, or `cluster_id >= num_clusters`.
+    /// space, a zero watchdog limit, `cluster_id >= num_clusters`, or —
+    /// with [`ClusterBuilder::lint_strict`] — programs the static
+    /// verifier diagnoses with errors.
     #[must_use]
     pub fn build(self) -> Cluster {
+        match self.try_build() {
+            Ok(cluster) => cluster,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Builds the cluster like [`ClusterBuilder::build`], but returns
+    /// [`ClusterError::Lint`] instead of panicking when
+    /// [`ClusterBuilder::lint_strict`] was requested and the verifier
+    /// found errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Lint`] carrying the full report when strict
+    /// verification refuses the programs.
+    ///
+    /// # Panics
+    ///
+    /// Same structural panics as [`ClusterBuilder::build`] (program
+    /// count mismatch, port overflow, zero watchdog limit, bad
+    /// cluster id).
+    pub fn try_build(self) -> Result<Cluster, ClusterError> {
         let mut cluster = Cluster::new(self.cfg, self.programs);
+        if self.lint_strict && cluster.lint_report().has_errors() {
+            return Err(ClusterError::Lint(cluster.lint_report().clone()));
+        }
         if let Some((cluster_id, num_clusters)) = self.embedded {
             assert!(
                 cluster_id < num_clusters,
@@ -1279,8 +1369,21 @@ impl ClusterBuilder {
             cluster.set_watchdog(limit);
         }
         cluster.set_sched_mode(self.sched);
-        cluster
+        Ok(cluster)
     }
+}
+
+/// Derives the lint model from the hardware configuration: the chained
+/// FIFO holds `addmul_latency + 1` entries (every pipeline stage plus
+/// the held writeback) and the TCDM footprint cap is the configured
+/// TCDM size. This is the exact configuration [`Cluster::new`] verifies
+/// against; exported so system-level code can lint queued tile stages
+/// with the same model before they are loaded.
+#[must_use]
+pub fn lint_config(cfg: &ClusterConfig) -> LintConfig {
+    LintConfig::new()
+        .with_fifo_capacity(cfg.core.fpu.addmul_latency + 1)
+        .with_tcdm_cap_bytes(u64::from(cfg.core.tcdm.size))
 }
 
 /// Converts a core's doorbell snapshot into an engine transfer

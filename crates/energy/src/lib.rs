@@ -20,6 +20,7 @@
 //! assert!(report.total_pj > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -26,6 +26,7 @@
 //! assert_eq!(out, FpuOutput::Fp(2.5f64.to_bits()));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

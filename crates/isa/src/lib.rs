@@ -27,6 +27,7 @@
 //! # Ok::<(), sc_isa::AsmError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

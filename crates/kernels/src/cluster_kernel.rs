@@ -42,8 +42,10 @@ impl ClusterKernel {
             !programs.is_empty(),
             "a cluster kernel needs at least one hart"
         );
+        let name = name.into();
+        crate::debug_lint_harts(&name, &programs);
         ClusterKernel {
-            name: name.into(),
+            name,
             programs,
             flops,
             setup,

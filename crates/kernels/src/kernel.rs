@@ -113,8 +113,10 @@ impl Kernel {
         setup: SetupFn,
         check: CheckFn,
     ) -> Self {
+        let name = name.into();
+        crate::debug_lint_harts(&name, std::slice::from_ref(&program));
         Kernel {
-            name: name.into(),
+            name,
             program,
             flops,
             setup,

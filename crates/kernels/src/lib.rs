@@ -24,6 +24,7 @@
 //! # Ok::<(), sc_kernels::KernelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -55,3 +56,23 @@ pub use tiling::{
 };
 pub use variant::Variant;
 pub use vecop::{VecOpKernel, VecOpVariant};
+
+/// Debug-build self-check run on every `build_*` output: the generated
+/// program set must pass the hardware-independent subset of the static
+/// verifier (`sc-lint`) — balanced chained-FIFO traffic, well-formed DMA
+/// descriptor protocol, known CSRs. Capacity- and footprint-dependent
+/// rules are deliberately excluded ([`sc_lint::LintConfig::balance_only`]):
+/// generators are parameterised over hardware depth (e.g. the
+/// depth-ablation's unroll-8 chained bursts) and must not be rejected
+/// for one particular FIFO size.
+#[cfg(debug_assertions)]
+pub(crate) fn debug_lint_harts(kernel: &str, harts: &[sc_isa::Program]) {
+    let report = sc_lint::lint_harts(harts, &sc_lint::LintConfig::balance_only());
+    assert!(
+        !report.has_errors(),
+        "kernel `{kernel}`: codegen produced statically invalid programs:\n{report}"
+    );
+}
+
+#[cfg(not(debug_assertions))]
+pub(crate) fn debug_lint_harts(_kernel: &str, _harts: &[sc_isa::Program]) {}

@@ -65,6 +65,9 @@ impl SystemKernel {
             harts >= 1 && programs.iter().all(|p| p.len() == harts),
             "every cluster partitions over the same harts"
         );
+        for cluster in &programs {
+            crate::debug_lint_harts(&name, cluster);
+        }
         SystemKernel {
             name,
             programs,
@@ -90,6 +93,13 @@ impl SystemKernel {
     #[must_use]
     pub fn harts_per_cluster(&self) -> usize {
         self.programs[0].len()
+    }
+
+    /// The per-cluster per-hart programs — the surface external
+    /// verifiers (the `lint_sweep` CI bin) lint.
+    #[must_use]
+    pub fn programs(&self) -> &[Vec<Program>] {
+        &self.programs
     }
 
     /// Double-precision flops the whole problem performs.
@@ -222,6 +232,11 @@ impl TiledSystemKernel {
             stages.iter().all(|s| !s.is_empty()),
             "every cluster has at least one stage"
         );
+        for cluster in &stages {
+            for stage in cluster {
+                crate::debug_lint_harts(&name, stage);
+            }
+        }
         TiledSystemKernel {
             name,
             tcdm,
@@ -256,6 +271,13 @@ impl TiledSystemKernel {
     #[must_use]
     pub fn num_tiles(&self) -> usize {
         self.stages.iter().map(|s| s.len().saturating_sub(1)).sum()
+    }
+
+    /// Every cluster's full stage sequence (tiles + epilogue) — the
+    /// surface external verifiers (the `lint_sweep` CI bin) lint.
+    #[must_use]
+    pub fn stages(&self) -> &[Vec<Vec<Program>>] {
+        &self.stages
     }
 
     /// The capacity-capped TCDM geometry the tiles were planned for.

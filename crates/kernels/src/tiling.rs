@@ -515,6 +515,10 @@ impl TiledClusterKernel {
             tile_programs.iter().all(|t| t.len() == harts),
             "every tile partitions over the same harts"
         );
+        for tile in &tile_programs {
+            crate::debug_lint_harts(&name, tile);
+        }
+        crate::debug_lint_harts(&name, &epilogue);
         TiledClusterKernel {
             name,
             tcdm,
@@ -560,8 +564,10 @@ impl TiledClusterKernel {
 
     /// The full stage sequence — every tile's program set followed by
     /// the epilogue — in the form `sc_system::System` consumes as one
-    /// cluster's software tile loop.
-    pub(crate) fn stages(&self) -> Vec<Vec<Program>> {
+    /// cluster's software tile loop. Also the surface external
+    /// verifiers (the `lint_sweep` CI bin) lint.
+    #[must_use]
+    pub fn stages(&self) -> Vec<Vec<Program>> {
         let mut stages = self.tile_programs.clone();
         stages.push(self.epilogue.clone());
         stages

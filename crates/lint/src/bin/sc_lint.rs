@@ -1,0 +1,178 @@
+//! `sc_lint` — lint assembly files for chaining/DMA/barrier hazards.
+//!
+//! ```text
+//! sc_lint [--cluster] [--json] [--fifo-capacity N] [--tcdm-cap BYTES] FILE...
+//! ```
+//!
+//! Each `FILE` is assembly in the `sc_isa::parse_asm` dialect. By
+//! default every file is linted as an independent program; with
+//! `--cluster` the files are treated as the per-hart programs of one
+//! cluster (hart = argument order), enabling the cross-hart
+//! `barrier-match` check. Exit status: 0 when no error-severity
+//! diagnostics were found (warnings are printed but do not fail), 1 when
+//! errors were found, 2 on usage or parse failures.
+
+use std::process::ExitCode;
+
+use sc_isa::Program;
+use sc_lint::{lint_harts, lint_program, LintConfig, LintReport, Severity};
+
+struct Options {
+    cluster: bool,
+    json: bool,
+    cfg: LintConfig,
+    files: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sc_lint [--cluster] [--json] [--fifo-capacity N] [--tcdm-cap BYTES] FILE...");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        cluster: false,
+        json: false,
+        cfg: LintConfig::new(),
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cluster" => opts.cluster = true,
+            "--json" => opts.json = true,
+            "--fifo-capacity" => {
+                let v = args.next().and_then(|v| v.parse::<u32>().ok());
+                match v {
+                    Some(v) if v > 0 => opts.cfg = opts.cfg.clone().with_fifo_capacity(v),
+                    _ => return Err(usage()),
+                }
+            }
+            "--tcdm-cap" => {
+                let v = args.next().and_then(|v| v.parse::<u64>().ok());
+                match v {
+                    Some(v) if v > 0 => opts.cfg = opts.cfg.clone().with_tcdm_cap_bytes(v),
+                    _ => return Err(usage()),
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            _ if arg.starts_with('-') => return Err(usage()),
+            _ => opts.files.push(arg),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn load(path: &str) -> Result<Program, ExitCode> {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("sc_lint: {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    match sc_isa::parse_asm(&src) {
+        Ok(prog) => Ok(prog),
+        Err(e) => {
+            eprintln!("sc_lint: {path}:{}: {}", e.line, e.message);
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn print_json(scopes: &[(String, LintReport)]) {
+    println!("{{");
+    println!("  \"scopes\": [");
+    for (si, (name, report)) in scopes.iter().enumerate() {
+        println!("    {{");
+        println!("      \"name\": \"{}\",", json_escape(name));
+        println!("      \"diagnostics\": [");
+        let n = report.len();
+        for (i, d) in report.iter().enumerate() {
+            let hart = d.hart.map_or("null".to_string(), |h| h.to_string());
+            let pc = d.pc.map_or("null".to_string(), |p| p.to_string());
+            println!(
+                "        {{\"rule\": \"{}\", \"severity\": \"{}\", \"hart\": {hart}, \"pc\": {pc}, \"message\": \"{}\"}}{}",
+                d.rule,
+                d.severity,
+                json_escape(&d.message),
+                if i + 1 < n { "," } else { "" }
+            );
+        }
+        println!("      ]");
+        println!("    }}{}", if si + 1 < scopes.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+    let mut scopes: Vec<(String, LintReport)> = Vec::new();
+    if opts.cluster {
+        let mut programs = Vec::new();
+        for path in &opts.files {
+            match load(path) {
+                Ok(p) => programs.push(p),
+                Err(code) => return code,
+            }
+        }
+        scopes.push(("cluster".to_string(), lint_harts(&programs, &opts.cfg)));
+    } else {
+        for path in &opts.files {
+            match load(path) {
+                Ok(p) => scopes.push((path.clone(), lint_program(&p, &opts.cfg))),
+                Err(code) => return code,
+            }
+        }
+    }
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (_, report) in &scopes {
+        for d in report.iter() {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+        }
+    }
+    if opts.json {
+        print_json(&scopes);
+    } else {
+        for (name, report) in &scopes {
+            if report.is_clean() {
+                println!("{name}: lint clean");
+            } else {
+                for d in report.iter() {
+                    println!("{name}: {d}");
+                }
+            }
+        }
+        if errors + warnings > 0 {
+            println!("{errors} error(s), {warnings} warning(s)");
+        }
+    }
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,214 @@
+//! Seeded-bug fixture programs: one per rule, each reproducing a bug
+//! class this repo has actually shipped or pinned dynamically.
+//!
+//! The fixtures are shared between the crate's negative tests and the
+//! `lint_sweep` CI bin, which asserts every fixture is flagged with
+//! exactly its rule (zero false negatives) while every generator-emitted
+//! baseline kernel stays clean (zero false positives).
+
+use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
+
+fn t(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// The PR 6 watchdog fixture: a producer/consumer burst through chained
+/// `f3` with five back-to-back pushes — FIFO capacity plus the held
+/// writeback — before the five pops. Completes only on cores with the
+/// issue-stage drain (`chained_fifo_shift`); wedges silently without it.
+/// Expected: `fifo-balance`.
+#[must_use]
+pub fn fifo_wedge(reps: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(t(10), 0x400);
+    b.fld(f(1), t(10), 0);
+    b.fld(f(2), t(10), 8);
+    b.fld(f(4), t(10), 16);
+    b.li(t(5), f(3).chain_mask_bit() as i32);
+    b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, t(5));
+    for _ in 0..reps {
+        for _ in 0..5 {
+            b.fadd_d(f(3), f(1), f(2));
+        }
+        for i in 0..5u8 {
+            b.fmul_d(f(5 + i % 4), f(3), f(4));
+        }
+    }
+    b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
+    b.fsd(f(5), t(10), 32);
+    b.ecall();
+    b.build().expect("fixture assembles")
+}
+
+/// A hard wedge: one more producer than the FIFO plus its held
+/// writeback can hold, so the burst blocks even *with* the issue-stage
+/// drain. Expected: `fifo-balance` at error severity.
+#[must_use]
+pub fn fifo_overflow() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(t(10), 0x400);
+    b.fld(f(1), t(10), 0);
+    b.fld(f(2), t(10), 8);
+    b.li(t(5), f(3).chain_mask_bit() as i32);
+    b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, t(5));
+    for _ in 0..6 {
+        b.fadd_d(f(3), f(1), f(2));
+    }
+    for i in 0..6u8 {
+        b.fmul_d(f(5 + i % 4), f(3), f(2));
+    }
+    b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
+    b.ecall();
+    b.build().expect("fixture assembles")
+}
+
+/// A loop whose body pushes chained `f3` twice but pops it once: the
+/// imbalance compounds every iteration until the FIFO wedges, which only
+/// the loop-aware occupancy-drift check can see. Expected:
+/// `fifo-balance`.
+#[must_use]
+pub fn fifo_unbalanced_loop() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(t(10), 0x400);
+    b.fld(f(1), t(10), 0);
+    b.fld(f(2), t(10), 8);
+    b.li(t(5), f(3).chain_mask_bit() as i32);
+    b.csrrs(IntReg::ZERO, csr::CHAIN_MASK, t(5));
+    b.li(t(6), 8);
+    b.label("loop");
+    b.fadd_d(f(3), f(1), f(2));
+    b.fadd_d(f(3), f(1), f(2));
+    b.fmul_d(f(6), f(3), f(2));
+    b.addi(t(6), t(6), -1);
+    b.bne(t(6), IntReg::ZERO, "loop");
+    b.csrrw(IntReg::ZERO, csr::CHAIN_MASK, IntReg::ZERO);
+    b.ecall();
+    b.build().expect("fixture assembles")
+}
+
+/// A 2-hart cluster whose harts disagree on the barrier schedule: hart 0
+/// rendezvouses twice on the cluster barrier, hart 1 once — the second
+/// rendezvous can never release. Expected: `barrier-match`.
+#[must_use]
+pub fn barrier_divergent() -> Vec<Program> {
+    let hart = |barriers: u32| {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..barriers {
+            b.csrrwi(IntReg::ZERO, csr::CLUSTER_BARRIER, 0);
+        }
+        b.ecall();
+        b.build().expect("fixture assembles")
+    };
+    vec![hart(2), hart(1)]
+}
+
+/// A double-buffered tile loop that rings a fresh doorbell every
+/// iteration and never waits for completion — in-flight transfers
+/// accumulate without bound and every tile's compute races its own
+/// prefetch. Expected: `dma-protocol`.
+#[must_use]
+pub fn unwaited_dma_loop() -> Program {
+    let mut b = ProgramBuilder::new();
+    let tiles = 8;
+    b.li(t(6), tiles);
+    b.li(t(7), 0x0); // dram cursor
+    b.label("tile");
+    // Descriptor: one 2 KiB row per tile, Dram -> TCDM buffer 0x000.
+    b.csrrw(IntReg::ZERO, csr::DMA_SRC, t(7));
+    b.li(t(5), 0x0);
+    b.csrrw(IntReg::ZERO, csr::DMA_DST, t(5));
+    b.li(t(5), 2048);
+    b.csrrw(IntReg::ZERO, csr::DMA_LEN, t(5));
+    b.csrrw(IntReg::ZERO, csr::DMA_SRC_STRIDE, IntReg::ZERO);
+    b.csrrw(IntReg::ZERO, csr::DMA_DST_STRIDE, IntReg::ZERO);
+    b.li(t(5), 1);
+    b.csrrw(IntReg::ZERO, csr::DMA_REPS, t(5));
+    b.csrrwi(IntReg::ZERO, csr::DMA_START, 1);
+    // ... compute would go here; the wait never comes.
+    b.addi(t(7), t(7), 2048);
+    b.addi(t(6), t(6), -1);
+    b.bne(t(6), IntReg::ZERO, "tile");
+    b.ecall();
+    b.build().expect("fixture assembles")
+}
+
+/// A descriptor whose strided footprint runs past the end of the
+/// 128 KiB TCDM: 64 rows of 2 KiB starting at 0x1_0000 end at 0x3_0000,
+/// twice the capacity. Expected: `tcdm-hazard`.
+#[must_use]
+pub fn overcap_descriptor() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(t(5), 0x0);
+    b.csrrw(IntReg::ZERO, csr::DMA_SRC, t(5));
+    b.li(t(5), 0x1_0000);
+    b.csrrw(IntReg::ZERO, csr::DMA_DST, t(5));
+    b.li(t(5), 2048);
+    b.csrrw(IntReg::ZERO, csr::DMA_LEN, t(5));
+    b.csrrw(IntReg::ZERO, csr::DMA_SRC_STRIDE, IntReg::ZERO);
+    b.li(t(5), 2048);
+    b.csrrw(IntReg::ZERO, csr::DMA_DST_STRIDE, t(5));
+    b.li(t(5), 64);
+    b.csrrw(IntReg::ZERO, csr::DMA_REPS, t(5));
+    b.csrrwi(IntReg::ZERO, csr::DMA_START, 1);
+    b.li(t(6), 1);
+    b.csrrw(t(7), csr::DMA_WAIT, t(6));
+    b.ecall();
+    b.build().expect("fixture assembles")
+}
+
+/// A write to a CSR address the model does not implement (0x7CC sits in
+/// the vendor range between the barrier block and the DMA block).
+/// Expected: `csr-unknown`.
+#[must_use]
+pub fn unknown_csr() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(t(5), 1);
+    b.csrrw(IntReg::ZERO, 0x7CC, t(5));
+    b.ecall();
+    b.build().expect("fixture assembles")
+}
+
+/// The parked-forever wait from the watchdog suite: a `DMA_WAIT` for a
+/// completion count no doorbell in the program ever produces. Expected:
+/// `dma-protocol`.
+#[must_use]
+pub fn parked_forever() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(t(6), 1);
+    b.csrrw(t(7), csr::DMA_WAIT, t(6));
+    b.ecall();
+    b.build().expect("fixture assembles")
+}
+
+/// Every (name, rule-id, programs) fixture expectation, for the CI
+/// sweep: each entry must produce at least one diagnostic of exactly its
+/// rule.
+#[must_use]
+pub fn expectations() -> Vec<(&'static str, &'static str, Vec<Program>)> {
+    vec![
+        ("fifo-wedge", "fifo-balance", vec![fifo_wedge(16)]),
+        ("fifo-overflow", "fifo-balance", vec![fifo_overflow()]),
+        (
+            "fifo-unbalanced-loop",
+            "fifo-balance",
+            vec![fifo_unbalanced_loop()],
+        ),
+        ("barrier-divergent", "barrier-match", barrier_divergent()),
+        (
+            "unwaited-dma-loop",
+            "dma-protocol",
+            vec![unwaited_dma_loop()],
+        ),
+        (
+            "overcap-descriptor",
+            "tcdm-hazard",
+            vec![overcap_descriptor()],
+        ),
+        ("unknown-csr", "csr-unknown", vec![unknown_csr()]),
+        ("parked-forever", "dma-protocol", vec![parked_forever()]),
+    ]
+}

@@ -22,6 +22,7 @@
 //! # Ok::<(), sc_mem::MemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -13,6 +13,7 @@
 //!   name, so every run explores the same cases — which doubles as a
 //!   reproducibility guarantee for CI.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;

@@ -8,6 +8,7 @@
 //! reference data from the same stream, so only determinism matters, not
 //! stream compatibility.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Seedable random number generators.

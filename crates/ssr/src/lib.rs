@@ -24,6 +24,7 @@
 //! assert_eq!(AddrGen::new(pat).next(), Some(0x200));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

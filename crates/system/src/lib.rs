@@ -80,15 +80,19 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::collections::VecDeque;
 use std::fmt;
 
-use sc_cluster::{Cluster, ClusterBuilder, ClusterConfig, ClusterError, ClusterSummary};
+use sc_cluster::{
+    lint_config, Cluster, ClusterBuilder, ClusterConfig, ClusterError, ClusterSummary,
+};
 use sc_core::{Component, PerfCounters, SchedMode, Scheduler, Wake};
 use sc_isa::Program;
+use sc_lint::lint_harts;
 use sc_mem::{Dram, L2Config, L2Outcome, L2Request, L2Stats, L2};
 use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
 
@@ -437,8 +441,7 @@ impl System {
     pub fn attach_dram(&mut self, dram: Dram) {
         let timing = self.cfg.l2.engine_timing();
         for cluster in &mut self.clusters {
-            #[allow(deprecated)]
-            cluster.attach_dma_shared(timing);
+            cluster.attach_shared_dma_engine(timing);
         }
         self.install_shared(dram);
     }
@@ -811,6 +814,7 @@ pub struct SystemBuilder {
     watchdog: Option<u64>,
     sched: SchedMode,
     tracer: Option<Tracer>,
+    lint_strict: bool,
 }
 
 impl SystemBuilder {
@@ -826,7 +830,19 @@ impl SystemBuilder {
             watchdog: None,
             sched: SchedMode::Dense,
             tracer: None,
+            lint_strict: false,
         }
+    }
+
+    /// Refuses to build a system when the static verifier (`sc-lint`)
+    /// diagnoses any cluster's program set — the loaded stage *or* any
+    /// queued tile stage — with error-severity findings. Warning-tier
+    /// findings still build; they stay visible through each cluster's
+    /// [`Cluster::lint_report`] and in hang diagnoses.
+    #[must_use]
+    pub fn lint_strict(mut self) -> Self {
+        self.lint_strict = true;
+        self
     }
 
     /// Attaches the shared memory: every cluster gets a DMA engine
@@ -869,11 +885,51 @@ impl SystemBuilder {
     ///
     /// Panics on invalid configuration: a stage list count that does
     /// not match the cluster count, an empty stage list, a program
-    /// count that does not match the core count, or a zero watchdog
-    /// limit.
+    /// count that does not match the core count, a zero watchdog
+    /// limit, or — with [`SystemBuilder::lint_strict`] — programs the
+    /// static verifier diagnoses with errors.
     #[must_use]
     pub fn build(self) -> System {
+        match self.try_build() {
+            Ok(system) => system,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Builds the system like [`SystemBuilder::build`], but returns an
+    /// error instead of panicking when [`SystemBuilder::lint_strict`]
+    /// was requested and the verifier found errors.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Cluster`] wrapping [`ClusterError::Lint`] with
+    /// the full report for the first refused cluster.
+    ///
+    /// # Panics
+    ///
+    /// Same structural panics as [`SystemBuilder::build`] (stage/core
+    /// count mismatches, zero watchdog limit).
+    pub fn try_build(self) -> Result<System, SystemError> {
+        let lint_strict = self.lint_strict;
         let mut system = System::assemble(self.cfg, self.stages, self.dram.is_some());
+        if lint_strict {
+            let lint_cfg = lint_config(&system.cfg.cluster);
+            for (c, cluster) in system.clusters.iter().enumerate() {
+                // The loaded stage was linted by the cluster itself;
+                // queued tile stages are linted with the same
+                // hardware-derived model before they ever load.
+                let mut report = cluster.lint_report().clone();
+                for programs in &system.stages[c] {
+                    report.merge(lint_harts(programs, &lint_cfg));
+                }
+                if report.has_errors() {
+                    return Err(SystemError::Cluster {
+                        cluster: c as u32,
+                        source: ClusterError::Lint(report),
+                    });
+                }
+            }
+        }
         if let Some(dram) = self.dram {
             system.install_shared(dram);
         }
@@ -884,6 +940,6 @@ impl SystemBuilder {
             system.set_watchdog(limit);
         }
         system.set_sched_mode(self.sched);
-        system
+        Ok(system)
     }
 }

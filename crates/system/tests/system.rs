@@ -359,3 +359,33 @@ fn stages_advance_independently_per_cluster() {
     assert!(summary.cluster_done_at[0] >= summary.cluster_done_at[1]);
     assert_eq!(summary.system_barriers, 0);
 }
+
+#[test]
+fn lint_strict_refuses_a_bad_queued_stage() {
+    // The error hides in a *queued* tile stage, not the loaded one:
+    // strict verification must still catch it before any cycle runs.
+    let scfg = SystemConfig::new(1, 1);
+    let stages = vec![vec![
+        vec![idle_program()],
+        vec![sc_lint::fixtures::fifo_overflow()],
+    ]];
+    let err = SystemBuilder::new(scfg, stages)
+        .lint_strict()
+        .try_build()
+        .expect_err("strict verification must refuse the queued overflow");
+    let SystemError::Cluster { cluster, source } = err else {
+        panic!("expected a cluster-tagged lint refusal, got: {err}");
+    };
+    assert_eq!(cluster, 0);
+    let sc_cluster::ClusterError::Lint(report) = source else {
+        panic!("expected ClusterError::Lint, got: {source}");
+    };
+    assert!(report.has_errors(), "{report}");
+
+    // The same system with clean stages builds fine under strict mode.
+    let scfg = SystemConfig::new(1, 1);
+    SystemBuilder::new(scfg, vec![vec![vec![idle_program()]]])
+        .lint_strict()
+        .try_build()
+        .expect("clean stages build under strict verification");
+}

@@ -22,6 +22,8 @@
 //! limit while harts are unfinished, they assemble a [`HangReport`]
 //! naming each blocked resource instead of spinning to `max_cycles`.
 
+#![forbid(unsafe_code)]
+
 mod sink;
 mod watchdog;
 

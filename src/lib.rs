@@ -23,6 +23,7 @@
 //! | [`trace`] | `sc-trace` | zero-cost event/metrics bus: Perfetto timelines, sampling, watchdog |
 //! | [`energy`] | `sc-energy` | energy/power/area models, core and cluster |
 //! | [`kernels`] | `sc-kernels` | vecop + stencil workloads, five variants, cluster tiling |
+//! | [`lint`] | `sc-lint` | static kernel verifier: chaining/DMA/barrier hazard rules |
 //! | [`benchkit`] | `sc-bench` | figure-regeneration + cluster-scaling harness |
 //!
 //! ## Quickstart
@@ -40,6 +41,7 @@
 //! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
 //! for the per-figure experiment binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[doc(inline)]
@@ -52,6 +54,7 @@ pub use sc_energy as energy;
 pub use sc_fpu as fpu;
 pub use sc_isa as isa;
 pub use sc_kernels as kernels;
+pub use sc_lint as lint;
 pub use sc_mem as mem;
 pub use sc_ssr as ssr;
 pub use sc_system as system;
@@ -74,6 +77,7 @@ pub mod prelude {
         TiledSystemKernel, TiledSystemRun, Variant, VecOpKernel, VecOpVariant, WorkingSet,
         TCDM_CAP_BYTES,
     };
+    pub use sc_lint::{lint_harts, lint_program, Diagnostic, LintConfig, LintReport, Rule};
     pub use sc_mem::{
         CacheConfig, CacheStats, Dram, DramConfig, L2Config, L2Outcome, L2Stats, PrefetchHint,
         PrefetchMode, Tcdm, TcdmConfig, L2,
