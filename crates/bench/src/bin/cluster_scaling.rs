@@ -122,6 +122,10 @@ fn dma_json(dma: &DmaSummary) -> Json {
         .set("dram_wait_cycles", dma.stats.dram_wait_cycles)
         .set("busy_cycles", dma.busy_cycles)
         .set("overlap_cycles", dma.overlap_cycles)
+        .set(
+            "exposed_cycles",
+            dma.transfer_attribution().exposed_cycles(),
+        )
         .set("overlap_fraction", dma.overlap_fraction())
         .set("port", u64::from(dma.port))
 }
@@ -153,7 +157,11 @@ fn point_json(p: &Point) -> Json {
         .set("power_mw", p.energy.power_mw)
         .set("gflops", p.energy.gflops)
         .set("gflops_per_w", p.energy.gflops_per_w)
-        .set("dma_pj", p.energy.dma_pj);
+        .set("dma_pj", p.energy.dma_pj)
+        .set(
+            "attribution",
+            json::attribution_json(&s.attribution, s.per_core.len() as u64, s.cycles),
+        );
     if let Some(dma) = &s.dma {
         j = j.set("dma", dma_json(dma));
     }

@@ -132,6 +132,19 @@ fn point_json(p: &Point) -> Json {
                 s.l2_prefetch_beats,
             ),
         )
+        .set(
+            "l2_occupancy",
+            json::refill_occupancy_json(&s.refill_occupancy()),
+        )
+        .set(
+            "attribution",
+            json::attribution_json(&s.attribution, total_harts(s), s.cycles),
+        )
+}
+
+/// Harts the system-level attribution aggregates over.
+fn total_harts(s: &SystemSummary) -> u64 {
+    s.per_cluster.iter().map(|c| c.per_core.len() as u64).sum()
 }
 
 /// Accounting and capacity-story invariants — a violation is a model

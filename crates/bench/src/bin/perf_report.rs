@@ -1,0 +1,84 @@
+//! Renders the top-down cycle-attribution sections of a sweep report.
+//!
+//! ```text
+//! perf_report <report.json>                    # indented top-down trees
+//! perf_report <report.json> --roofline         # compute-vs-traffic table
+//! perf_report <report.json> --csv              # one row per point
+//! perf_report <report.json> --json             # slim attribution-only report
+//! perf_report diff <before.json> <after.json>  # largest share movers
+//! ```
+//!
+//! `--json` output is itself valid `diff` input: CI snapshots it under
+//! `baselines/attr/` so a perf-gate failure can be answered with *which
+//! leaf the cycles moved to*, not just which metric drifted. `--top N`
+//! bounds the movers a `diff` prints (default 5). Reports without
+//! attribution sections (pre-sc-perf, or the non-sweep reports) are
+//! refused rather than rendered empty.
+
+use std::process::ExitCode;
+
+use sc_bench::{attr, Json};
+
+const DEFAULT_TOP: usize = 5;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read report: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Extracts `--top N` from `args`, leaving the rest in place.
+fn take_top(args: &mut Vec<String>) -> Result<usize, String> {
+    let Some(i) = args.iter().position(|a| a == "--top") else {
+        return Ok(DEFAULT_TOP);
+    };
+    if i + 1 >= args.len() {
+        return Err("--top needs a count".into());
+    }
+    let n = args[i + 1]
+        .parse::<usize>()
+        .map_err(|_| format!("--top: `{}` is not a count", args[i + 1]))?;
+    args.drain(i..=i + 1);
+    Ok(n)
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let top = take_top(&mut args)?;
+    match args.first().map(String::as_str) {
+        Some("diff") if args.len() == 3 => {
+            let before = load(&args[1])?;
+            let after = load(&args[2])?;
+            let d = attr::diff(&before, &after).map_err(|e| format!("diff: {e}"))?;
+            print!("{}", attr::render_diff(&d, top));
+            Ok(())
+        }
+        Some(path) if !path.starts_with('-') && args.len() <= 2 => {
+            let report = load(path)?;
+            let points = attr::collect_points(&report).map_err(|e| format!("{path}: {e}"))?;
+            match args.get(1).map(String::as_str) {
+                None => print!("{}", attr::render_trees(&points)),
+                Some("--roofline") => print!("{}", attr::render_roofline(&report, &points)),
+                Some("--csv") => print!("{}", attr::render_csv(&points)),
+                Some("--json") => println!("{}", attr::points_json(&points).render_pretty()),
+                Some(flag) => return Err(format!("unknown flag `{flag}`")),
+            }
+            Ok(())
+        }
+        _ => Err(
+            "usage: perf_report <report> [--roofline|--csv|--json] [--top N] \
+             | diff <before> <after> [--top N]"
+                .into(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perf_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,8 +14,11 @@
 //!
 //! Every point runs twice (dense, then event) and the two summaries are
 //! compared field by field; any divergence panics with the offending
-//! point id. Machine-readable results land in
-//! `target/reports/sched_identity.json`.
+//! point id. The comparison also re-verifies the top-down attribution's
+//! partition invariant (`sum(leaves) == cycles`, per hart and per
+//! padded roll-up) on every point — this sweep is CI's proof that the
+//! invariant holds across the whole baselined configuration space.
+//! Machine-readable results land in `target/reports/sched_identity.json`.
 //!
 //! Run with `cargo run --release -p sc-bench --bin sched_identity`.
 
@@ -89,6 +92,23 @@ fn assert_cluster_identical(id: &str, dense: &ClusterSummary, event: &ClusterSum
     );
     assert_eq!(dense.system_barriers, event.system_barriers, "{id}");
     assert_eq!(dense.dma, event.dma, "{id}: DMA stats/overlap diverge");
+    assert_eq!(
+        dense.attribution, event.attribution,
+        "{id}: top-down attribution diverges"
+    );
+    // Beyond dense ≡ event: the attribution must *partition* the run at
+    // every level — each hart's leaves sum to its own cycle count, and
+    // the padded cluster roll-up covers harts × wall-clock exactly.
+    for (i, c) in dense.per_core.iter().enumerate() {
+        c.counters
+            .attr
+            .verify(c.counters.cycles)
+            .unwrap_or_else(|e| panic!("{id}: hart{i}: {e}"));
+    }
+    dense
+        .attribution
+        .verify(dense.cycles * dense.per_core.len() as u64)
+        .unwrap_or_else(|e| panic!("{id}: cluster roll-up: {e}"));
 }
 
 /// Field-by-field comparison of two system summaries.
@@ -105,6 +125,19 @@ fn assert_system_identical(id: &str, dense: &SystemSummary, event: &SystemSummar
     assert_eq!(dense.l2_refill_beats, event.l2_refill_beats, "{id}");
     assert_eq!(dense.l2_writeback_beats, event.l2_writeback_beats, "{id}");
     assert_eq!(dense.l2_prefetch_beats, event.l2_prefetch_beats, "{id}");
+    assert_eq!(
+        dense.attribution, event.attribution,
+        "{id}: top-down attribution diverges"
+    );
+    let harts: u64 = dense
+        .per_cluster
+        .iter()
+        .map(|c| c.per_core.len() as u64)
+        .sum();
+    dense
+        .attribution
+        .verify(dense.cycles * harts)
+        .unwrap_or_else(|e| panic!("{id}: system roll-up: {e}"));
 }
 
 /// `cluster_scaling`: box3d1r 16x16x24, 1/2/4/8 cores, chaining on/off,
@@ -400,6 +433,7 @@ fn main() {
         .set("sweep", "sched_identity")
         .set("points", total as u64)
         .set("all_identical", true)
+        .set("attribution_verified", true)
         .set("wall_seconds", timing.wall.as_secs_f64())
         .set("host_thread_speedup", timing.speedup())
         .set(

@@ -107,6 +107,11 @@ fn run_point(clusters: u32, cores: u32, chaining: bool, tiled: bool, grid: Grid3
     }
 }
 
+/// Harts the system-level attribution aggregates over.
+fn total_harts(s: &SystemSummary) -> u64 {
+    s.per_cluster.iter().map(|c| c.per_core.len() as u64).sum()
+}
+
 fn point_json(p: &Point) -> Json {
     let s = &p.summary;
     let tcdm_conflicts: u64 = s.aggregate.tcdm_conflicts;
@@ -132,17 +137,26 @@ fn point_json(p: &Point) -> Json {
         .set("power_mw", p.energy.power_mw)
         .set("gflops", p.energy.gflops)
         .set("gflops_per_w", p.energy.gflops_per_w)
-        .set("dma_pj", p.energy.dma_pj);
-    if let Some(l2) = &s.l2 {
-        j = j.set(
-            "l2",
-            json::l2_stats_json(
-                l2,
-                s.l2_refill_beats,
-                s.l2_writeback_beats,
-                s.l2_prefetch_beats,
-            ),
+        .set("dma_pj", p.energy.dma_pj)
+        .set(
+            "attribution",
+            json::attribution_json(&s.attribution, total_harts(s), s.cycles),
         );
+    if let Some(l2) = &s.l2 {
+        j = j
+            .set(
+                "l2",
+                json::l2_stats_json(
+                    l2,
+                    s.l2_refill_beats,
+                    s.l2_writeback_beats,
+                    s.l2_prefetch_beats,
+                ),
+            )
+            .set(
+                "l2_occupancy",
+                json::refill_occupancy_json(&s.refill_occupancy()),
+            );
     }
     if p.tiled {
         let dma_beats = s.total_dma_beats();
@@ -158,14 +172,22 @@ fn point_json(p: &Point) -> Json {
             .filter_map(|c| c.dma.as_ref())
             .map(|d| d.stats.l2_wait_cycles)
             .sum();
+        let exposed: Vec<u64> = s
+            .per_cluster
+            .iter()
+            .filter_map(|c| c.dma.as_ref())
+            .map(|d| d.transfer_attribution().exposed_cycles())
+            .collect();
         let max_overlap = overlaps.iter().copied().fold(0.0f64, f64::max);
         j = j.set(
             "dma",
             Json::obj()
                 .set("beats", dma_beats)
                 .set("l2_wait_cycles", l2_wait)
+                .set("exposed_cycles", exposed.iter().sum::<u64>())
                 .set("overlap_fraction", max_overlap)
-                .set("overlap_by_cluster", overlaps),
+                .set("overlap_by_cluster", overlaps)
+                .set("exposed_by_cluster", exposed),
         );
     }
     j

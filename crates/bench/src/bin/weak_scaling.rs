@@ -156,19 +156,33 @@ fn point_json(points: &[Point], p: &Point) -> Json {
         .set("efficiency", efficiency(points, p))
         .set("tcdm_conflicts", s.aggregate.tcdm_conflicts)
         .set("flops", s.aggregate.flops)
-        .set("system_utilization", s.system_utilization());
-    if let Some(l2) = &s.l2 {
-        j = j.set(
-            "l2",
-            json::l2_stats_json(
-                l2,
-                s.l2_refill_beats,
-                s.l2_writeback_beats,
-                s.l2_prefetch_beats,
-            ),
+        .set("system_utilization", s.system_utilization())
+        .set(
+            "attribution",
+            json::attribution_json(&s.attribution, total_harts(s), s.cycles),
         );
+    if let Some(l2) = &s.l2 {
+        j = j
+            .set(
+                "l2",
+                json::l2_stats_json(
+                    l2,
+                    s.l2_refill_beats,
+                    s.l2_writeback_beats,
+                    s.l2_prefetch_beats,
+                ),
+            )
+            .set(
+                "l2_occupancy",
+                json::refill_occupancy_json(&s.refill_occupancy()),
+            );
     }
     j
+}
+
+/// Harts the system-level attribution aggregates over.
+fn total_harts(s: &SystemSummary) -> u64 {
+    s.per_cluster.iter().map(|c| c.per_core.len() as u64).sum()
 }
 
 fn main() {

@@ -143,6 +143,25 @@ pub fn check_wellformed(report: &Json) -> Result<(), String> {
                     ));
                 }
             }
+            // A point reporting its end-to-end cycle count must carry
+            // the top-down attribution section (the sweeps emitting
+            // `cycles_to_last_core_done` are exactly the ones built on
+            // full cluster/system summaries) — and the section must
+            // partition `harts × machine_cycles` exactly. Re-checking
+            // the sc-perf invariant at the gate means a serializer bug
+            // or a model change that drops a leaf fails CI instead of
+            // shipping a silently-wrong profile. The required-key list
+            // comes from `attribution_from_json` walking `Leaf::ALL`,
+            // so it can never drift from the tree itself.
+            if p.get("cycles_to_last_core_done").is_some() {
+                let a = p.get("attribution").ok_or_else(|| {
+                    format!(
+                        "points[{i}] reports cycles_to_last_core_done without an \
+                         `attribution` section (pre-sc-perf instrumentation?)"
+                    )
+                })?;
+                crate::attr::attribution_from_json(a).map_err(|e| format!("points[{i}]: {e}"))?;
+            }
         }
     }
     Ok(())
@@ -300,6 +319,36 @@ pub fn baseline_from_report(report_name: &str, report: &Json) -> Result<Json, St
 mod tests {
     use super::*;
 
+    /// A well-formed attribution section: `harts` harts retiring every
+    /// one of `cycles` cycles (the invariant holds trivially).
+    fn test_attr(harts: u64, cycles: u64) -> Json {
+        let mut a = sc_perf::Attribution::new();
+        a.record_n(sc_perf::Leaf::Retired, harts * cycles);
+        crate::json::attribution_json(&a, harts, cycles)
+    }
+
+    /// Injects a valid attribution section into every point of `report`
+    /// that reports `cycles_to_last_core_done` (test reports are built
+    /// from JSON literals; spelling out 17 leaves inline would drown
+    /// what each test is about).
+    fn with_attr(mut report: Json, harts: u64) -> Json {
+        if let Json::Obj(entries) = &mut report {
+            if let Some((_, Json::Arr(points))) = entries.iter_mut().find(|(k, _)| k == "points") {
+                for p in points.iter_mut() {
+                    let Some(cycles) = p.get("cycles_to_last_core_done").and_then(Json::as_u64)
+                    else {
+                        continue;
+                    };
+                    let attr = test_attr(harts, cycles);
+                    if let Json::Obj(fields) = p {
+                        fields.push(("attribution".to_owned(), attr));
+                    }
+                }
+            }
+        }
+        report
+    }
+
     fn fake_report(cycles: u64) -> Json {
         Json::obj()
             .set("sweep", "cluster_scaling")
@@ -309,7 +358,8 @@ mod tests {
                 Json::Arr(vec![Json::obj()
                     .set("id", "tiled/c4/chaining")
                     .set("cycles_to_last_core_done", cycles)
-                    .set("tcdm_conflicts", 1000u64)]),
+                    .set("tcdm_conflicts", 1000u64)
+                    .set("attribution", test_attr(4, cycles))]),
             )
     }
 
@@ -417,16 +467,19 @@ mod tests {
         assert!(err.contains("prefetch"), "{err}");
         assert!(baseline_from_report("r.json", &pre_prefetch).is_err());
 
-        let fresh = Json::parse(
-            r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
+        let fresh = with_attr(
+            Json::parse(
+                r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
                 "l2":{"accesses":100,"conflicts":3,"refills":7,"refill_stalls":1,
                       "refill_beats":112,"hits":80,"misses":20,"evictions":5,
                       "writeback_beats":160,"mshr_merges":2,"mshr_full_stalls":0,
                       "mshr_peak":3,"prefetch_hints":0,"prefetches_issued":0,
                       "prefetch_hits":0,"prefetch_covered_misses":0,
                       "prefetch_evicted_unused":0,"prefetch_beats":0}}]}"#,
-        )
-        .unwrap();
+            )
+            .unwrap(),
+            8,
+        );
         assert!(check_wellformed(&fresh).is_ok());
         assert!(baseline_from_report("r.json", &fresh).is_ok());
         // Points without any l2 object (single-cluster sweeps) are
@@ -438,13 +491,16 @@ mod tests {
     fn baselines_pin_flat_prefetch_metrics() {
         // A prefetch_ablation-style point pins its issue/accuracy counts
         // like any traffic metric, and drift gates.
-        let report = Json::parse(
-            r#"{"sweep":"prefetch_ablation","speedup_prefetch_ch1_underfit_chaining":1.31,
+        let report = with_attr(
+            Json::parse(
+                r#"{"sweep":"prefetch_ablation","speedup_prefetch_ch1_underfit_chaining":1.31,
                 "points":[{"id":"m1/under/ch1/chaining/d4D32",
                            "cycles_to_last_core_done":140000,
                            "l2_prefetches_issued":535,"l2_prefetch_hits":533}]}"#,
-        )
-        .unwrap();
+            )
+            .unwrap(),
+            8,
+        );
         let baseline = baseline_from_report("prefetch_ablation.json", &report).unwrap();
         let pinned: Vec<&str> = baseline
             .get("metrics")
@@ -482,12 +538,15 @@ mod tests {
 
     #[test]
     fn baselines_pin_flat_l2_traffic_and_efficiency_ratios() {
-        let report = Json::parse(
-            r#"{"sweep":"l2_ablation","efficiency_m4":0.82,
+        let report = with_attr(
+            Json::parse(
+                r#"{"sweep":"l2_ablation","efficiency_m4":0.82,
                 "points":[{"id":"cap16K/w8","cycles_to_last_core_done":5000,
                            "l2_evictions":40,"l2_writeback_beats":1280}]}"#,
-        )
-        .unwrap();
+            )
+            .unwrap(),
+            8,
+        );
         let baseline = baseline_from_report("l2_ablation.json", &report).unwrap();
         let pinned: Vec<&str> = baseline
             .get("metrics")
@@ -531,12 +590,69 @@ mod tests {
         .unwrap();
         let err = check_wellformed(&bad).unwrap_err();
         assert!(err.contains("overlap_fraction"), "{err}");
-        let good = Json::parse(
-            r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
+        let good = with_attr(
+            Json::parse(
+                r#"{"points":[{"id":"a","cycles_to_last_core_done":10,
                 "dma":{"overlap_fraction":0.7}}]}"#,
-        )
-        .unwrap();
+            )
+            .unwrap(),
+            4,
+        );
         assert!(check_wellformed(&good).is_ok());
+    }
+
+    #[test]
+    fn cycle_points_without_attribution_are_refused() {
+        // The observability rule: a point reporting its end-to-end cycle
+        // count must carry the top-down attribution section…
+        let missing =
+            Json::parse(r#"{"points":[{"id":"a","cycles_to_last_core_done":10}]}"#).unwrap();
+        let err = check_wellformed(&missing).unwrap_err();
+        assert!(err.contains("attribution"), "{err}");
+        assert!(baseline_from_report("r.json", &missing).is_err());
+
+        // …with every leaf present (a dropped key is stale
+        // instrumentation, not a zero)…
+        let mut partial = with_attr(missing.clone(), 4);
+        if let Json::Obj(entries) = &mut partial {
+            if let Some((_, Json::Arr(points))) = entries.iter_mut().find(|(k, _)| k == "points") {
+                if let Json::Obj(fields) = &mut points[0] {
+                    if let Some((_, Json::Obj(attr))) =
+                        fields.iter_mut().find(|(k, _)| k == "attribution")
+                    {
+                        attr.retain(|(k, _)| k != "sync_park");
+                    }
+                }
+            }
+        }
+        let err = check_wellformed(&partial).unwrap_err();
+        assert!(err.contains("sync_park"), "{err}");
+
+        // …and partitioning harts × machine_cycles exactly: a broken
+        // serializer fails the gate, never ships a wrong profile.
+        let mut corrupt = with_attr(missing, 4);
+        if let Json::Obj(entries) = &mut corrupt {
+            if let Some((_, Json::Arr(points))) = entries.iter_mut().find(|(k, _)| k == "points") {
+                if let Json::Obj(fields) = &mut points[0] {
+                    if let Some((_, Json::Obj(attr))) =
+                        fields.iter_mut().find(|(k, _)| k == "attribution")
+                    {
+                        for (k, v) in attr.iter_mut() {
+                            if k == "retired" {
+                                *v = Json::UInt(39);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = check_wellformed(&corrupt).unwrap_err();
+        assert!(err.contains("invariant"), "{err}");
+
+        // Points without a cycle count (the ablation sweeps) are exempt.
+        let ablation =
+            Json::parse(r#"{"sweep":"ablation_banks","points":[{"banks":4,"util":0.8}]}"#).unwrap();
+        assert!(check_wellformed(&ablation).is_ok());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use sc_mem::{L2MetricSet, L2Stats};
+use sc_perf::{Attribution, RefillOccupancy};
 use sc_trace::MetricSource;
 
 /// Serializes shared-L2 statistics the way every system sweep reports
@@ -32,6 +33,36 @@ pub fn l2_stats_json(
     });
     obj.set("accesses_by_cluster", l2.accesses_by_cluster.clone())
         .set("conflicts_by_cluster", l2.conflicts_by_cluster.clone())
+}
+
+/// Serializes a top-down [`Attribution`] the way every sweep reports
+/// it: the partition shape first (`harts`, `machine_cycles` — the
+/// container's wall-clock, so `sum(leaves) == harts × machine_cycles`
+/// is checkable by any reader, and *is* checked by `perf_gate`), then
+/// every leaf in [`Attribution::visit`]'s tree order. The leaf keys come
+/// straight from the model, so this shape, `perf_report`'s parser and
+/// the gate's required-key list can never drift apart.
+#[must_use]
+pub fn attribution_json(attr: &Attribution, harts: u64, machine_cycles: u64) -> Json {
+    let mut obj = Json::obj()
+        .set("harts", harts)
+        .set("machine_cycles", machine_cycles);
+    attr.visit(&mut |name, value| {
+        obj = std::mem::replace(&mut obj, Json::Null).set(name, value);
+    });
+    obj
+}
+
+/// Serializes the L2 refill-path occupancy split (demand vs prefetch vs
+/// write-back channel traffic) for roofline-style compute-vs-traffic
+/// summaries.
+#[must_use]
+pub fn refill_occupancy_json(occ: &RefillOccupancy) -> Json {
+    Json::obj()
+        .set("demand_cycles", occ.demand_cycles)
+        .set("prefetch_cycles", occ.prefetch_cycles)
+        .set("writeback_cycles", occ.writeback_cycles)
+        .set("prefetch_fraction", occ.prefetch_fraction())
 }
 
 /// A JSON value.

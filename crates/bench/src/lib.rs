@@ -24,6 +24,7 @@
 //! | `prefetch_ablation` | descriptor-driven L2 prefetch: degree × distance × channels |
 //! | `sched_identity` | event scheduler ≡ dense stepping on every baseline sweep point |
 //! | `host_speed` | host wall-clock: dense vs event-driven clock advancement |
+//! | `perf_report` | top-down attribution trees / roofline / CSV over any sweep report, plus `diff` |
 //!
 //! Sweep binaries fan their config points out over host threads
 //! ([`parallel_sweep`]) and serialize machine-readable results to
@@ -34,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attr;
 pub mod gate;
 mod harness;
 pub mod json;

@@ -44,9 +44,11 @@
 //! parked on barrier/DMA-wait CSRs or halted, the DMA engine idle or
 //! mid-countdown with a known deadline. Skipped windows perform exactly
 //! the bookkeeping the dense cycles would have (cycle counters, engine
-//! countdown, DMA busy time) and nothing else, so the event path is
-//! cycle-count- and stats-identical to dense stepping — pinned by the
-//! checked-in baseline sweeps and `sc-kernels`' differential proptest.
+//! countdown, DMA busy time) — and, with a tracer subscribed, the same
+//! carry-forward sample rows at the same cadence points — so the event
+//! path is cycle-count-, stats- and trace-identical to dense stepping,
+//! pinned by the checked-in baseline sweeps and `sc-kernels`'
+//! differential proptest.
 //! Construction is most convenient through the fluent [`ClusterBuilder`],
 //! which applies tracer/DMA/embedding wiring in the right order at build
 //! time.
@@ -89,6 +91,7 @@ use sc_dma::{DmaEngine, DmaError, DmaStats, Transfer};
 use sc_isa::Program;
 use sc_lint::{lint_harts, LintConfig, LintReport};
 use sc_mem::{AccessKind, Dram, DramConfig, L2Outcome, PortId, PrefetchHint, Request, Tcdm};
+use sc_perf::{Attribution, Leaf};
 use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
 
 /// Thread id the DMA engine's trace track uses within a cluster's
@@ -238,6 +241,12 @@ pub struct ClusterSummary {
     /// DMA activity and compute–transfer overlap, when an engine is
     /// attached ([`ClusterBuilder::dma`]).
     pub dma: Option<DmaSummary>,
+    /// Top-down cycle attribution aggregated over every hart: each
+    /// core's own partition plus [`sc_perf::Leaf::Park`] padding for the
+    /// window between that core's halt and the cluster's last cycle, so
+    /// the whole tree partitions `harts × cluster cycles` exactly
+    /// (verified as a hard error when the summary is assembled).
+    pub attribution: Attribution,
 }
 
 /// DMA activity of a cluster run, including the overlap metrics that
@@ -266,6 +275,16 @@ impl DmaSummary {
             0.0
         } else {
             self.overlap_cycles as f64 / self.busy_cycles as f64
+        }
+    }
+
+    /// The uncore transfer split for top-down reports: busy cycles
+    /// divided into compute-overlapped vs exposed.
+    #[must_use]
+    pub fn transfer_attribution(&self) -> sc_perf::TransferAttribution {
+        sc_perf::TransferAttribution {
+            busy_cycles: self.busy_cycles,
+            overlap_cycles: self.overlap_cycles,
         }
     }
 }
@@ -352,6 +371,12 @@ pub struct Cluster {
     /// Perfetto process id this cluster's tracks live under.
     pid: u32,
     watchdog: Option<Watchdog>,
+    /// Per-hart attribution snapshots at the watchdog's last observed
+    /// progress change — the baseline against which a hang report takes
+    /// its stalled-window attribution deltas.
+    hang_attr_base: Vec<Attribution>,
+    hang_attr_sig: u64,
+    hang_attr_primed: bool,
     sched: Scheduler,
     /// Static-verification findings for the currently loaded programs
     /// (computed at construction and on every [`Cluster::load_programs`];
@@ -398,6 +423,9 @@ impl Cluster {
             tracer: Tracer::off(),
             pid: 0,
             watchdog: None,
+            hang_attr_base: vec![Attribution::new(); n],
+            hang_attr_sig: 0,
+            hang_attr_primed: false,
             sched: Scheduler::default(),
             lint,
         }
@@ -525,11 +553,50 @@ impl Cluster {
             return None;
         }
         let sig = self.progress_signature();
+        if !self.hang_attr_primed || sig != self.hang_attr_sig {
+            self.hang_attr_primed = true;
+            self.hang_attr_sig = sig;
+            for (h, core) in self.cores.iter().enumerate() {
+                self.hang_attr_base[h] = core.counters().attr;
+            }
+        }
         let cycle = self.cycles;
         let stuck_for = self.watchdog.as_mut()?.observe(cycle, sig)?;
         let mut resources = Vec::new();
         self.diagnose("cluster", &mut resources);
+        self.diagnose_attr_since("cluster", &self.hang_attr_base, &mut resources);
         Some(HangReport::new(cycle, stuck_for, resources))
+    }
+
+    /// Appends each wedged hart's stalled-window attribution — where its
+    /// cycles went since the snapshot in `base` — next to the structural
+    /// diagnoses of a hang report. A system owner embedding this cluster
+    /// passes its own per-cluster baselines.
+    pub fn diagnose_attr_since(
+        &self,
+        path: &str,
+        base: &[Attribution],
+        out: &mut Vec<ResourceState>,
+    ) {
+        for (h, core) in self.cores.iter().enumerate() {
+            if core.is_halted() {
+                continue;
+            }
+            let start = base.get(h).copied().unwrap_or_default();
+            let window = core.counters().attr.delta_since(&start);
+            out.push(ResourceState::info(
+                format!("{path}.hart{h}.attr"),
+                format!("stalled-window attribution: {}", window.render_compact(3)),
+            ));
+        }
+    }
+
+    /// Per-hart whole-run attribution snapshots, in hart order — the
+    /// baselines a system-level watchdog records at each progress change
+    /// so its hang reports can show stalled-window deltas.
+    #[must_use]
+    pub fn attr_snapshot(&self) -> Vec<Attribution> {
+        self.cores.iter().map(|c| c.counters().attr).collect()
     }
 
     /// Attaches a DMA engine moving data between `dram` and the shared
@@ -938,16 +1005,7 @@ impl Cluster {
             dma.beat_ready = false;
         }
         if self.tracer.wants_sample(self.cycles) {
-            for (h, core) in self.cores.iter().enumerate() {
-                self.tracer
-                    .sample(Track::new(self.pid, h as u32), core.counters());
-            }
-            self.tracer
-                .sample(Track::new(self.pid, TCDM_TRACK_TID), self.tcdm.stats());
-            if let Some(dma) = &self.dma {
-                self.tracer
-                    .sample(Track::new(self.pid, DMA_TRACK_TID), dma.engine.stats());
-            }
+            self.sample_now();
         }
         self.cycles += 1;
 
@@ -1041,13 +1099,12 @@ impl Cluster {
     /// idle engine sleeps, an engine mid-countdown wakes when its wait
     /// elapses, anything else (a queued transfer waiting to start, a
     /// beat ready to arbitrate) needs dense stepping. A subscribed
-    /// tracer pins the cluster to dense stepping — per-cycle timeline
-    /// events cannot be fast-forwarded.
+    /// tracer does *not* pin the cluster to dense stepping: a skippable
+    /// window emits no timeline transitions by construction (state
+    /// labels coalesce), and [`Cluster::skip_idle`] synthesizes the
+    /// sampled counter rows dense stepping would have produced.
     #[must_use]
     pub fn next_wake(&self) -> Wake {
-        if self.tracer.is_on() {
-            return Wake::EveryCycle;
-        }
         let cores = Wake::earliest(self.cores.iter().map(Core::wake));
         let dma = self.dma.as_ref().map_or(Wake::Idle, |d| {
             match d.engine.stalled_for() {
@@ -1066,9 +1123,38 @@ impl Cluster {
     /// many dense steps would have performed while every component was
     /// in a skippable state — cycle counters advance (non-halted cores
     /// and the cluster clock), the DMA engine's countdown and busy time
-    /// progress, and nothing else changes. Callers must only skip up to
-    /// the window [`Cluster::next_wake`] allows.
+    /// progress — and, when a tracer with a sampling cadence is
+    /// subscribed, the carry-forward counter rows the dense loop would
+    /// have emitted at each cadence point inside the window. Callers
+    /// must only skip up to the window [`Cluster::next_wake`] allows.
     pub fn skip_idle(&mut self, cycles: u64) {
+        let cadence = self.tracer.sample_cadence();
+        if !self.tracer.is_on() || cadence == 0 {
+            self.skip_quiet(cycles);
+            return;
+        }
+        let end = self.cycles + cycles;
+        while self.cycles < end {
+            let point = self.cycles.next_multiple_of(cadence);
+            if point >= end {
+                self.skip_quiet(end - self.cycles);
+                break;
+            }
+            // Dense stepping samples *during* cycle `point`, after every
+            // core's end-of-cycle bookkeeping: advance through that
+            // cycle, then snapshot with the sink's clock rewound to it.
+            self.skip_quiet(point - self.cycles + 1);
+            self.tracer.set_cycle(point);
+            self.sample_now();
+        }
+    }
+
+    /// The pure bookkeeping of a skipped window, without sample
+    /// synthesis. A system owner interleaves these with its own
+    /// sampling so the synthesized rows keep dense emission order
+    /// (clusters in index order, then the shared L2, per cadence
+    /// point); everyone else goes through [`Cluster::skip_idle`].
+    pub fn skip_quiet(&mut self, cycles: u64) {
         for core in &mut self.cores {
             if !core.is_halted() {
                 core.skip_cycles(cycles);
@@ -1081,6 +1167,40 @@ impl Cluster {
             }
         }
         self.cycles += cycles;
+    }
+
+    /// Emits one sample row set — exactly what the dense loop emits at a
+    /// sampling point: every core's counters (hart order), the TCDM's
+    /// stats, then the DMA engine's. The caller owns the sink clock
+    /// ([`sc_trace::Tracer::set_cycle`]).
+    pub fn sample_now(&self) {
+        for (h, core) in self.cores.iter().enumerate() {
+            self.tracer
+                .sample(Track::new(self.pid, h as u32), core.counters());
+        }
+        self.tracer
+            .sample(Track::new(self.pid, TCDM_TRACK_TID), self.tcdm.stats());
+        if let Some(dma) = &self.dma {
+            self.tracer
+                .sample(Track::new(self.pid, DMA_TRACK_TID), dma.engine.stats());
+        }
+    }
+
+    /// Emits the run-end partial-interval sample: a run whose length is
+    /// not a multiple of the sampling cadence would otherwise leave the
+    /// tail of every counter time-series invisible. No-op when the last
+    /// simulated cycle was itself a sampling point (the final state is
+    /// already captured) or when sampling is off.
+    pub fn sample_final(&self) {
+        let cadence = self.tracer.sample_cadence();
+        if !self.tracer.is_on() || cadence == 0 {
+            return;
+        }
+        if self.cycles > 0 && (self.cycles - 1).is_multiple_of(cadence) {
+            return;
+        }
+        self.tracer.set_cycle(self.cycles);
+        self.sample_now();
     }
 
     /// Runs until every core halts or the cycle budget is exhausted.
@@ -1119,17 +1239,38 @@ impl Cluster {
             }
             self.step()?;
         }
+        self.sample_final();
         Ok(self.summary())
     }
 
     /// The cluster summary as of now (meaningful once [`Self::is_done`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the attribution invariant is violated — any hart
+    /// whose leaf counts do not sum to its cycle count, or an aggregate
+    /// that does not partition `harts × cluster cycles`. Either is a
+    /// simulator bug, never a property of the program under test.
     #[must_use]
     pub fn summary(&self) -> ClusterSummary {
         let per_core: Vec<RunSummary> = self.cores.iter().map(Core::summary).collect();
         let mut aggregate = PerfCounters::new();
+        let mut attribution = Attribution::new();
         for s in &per_core {
             aggregate.accumulate(&s.counters);
+            s.counters
+                .attr
+                .verify(s.counters.cycles)
+                .expect("per-hart attribution must partition the hart's cycles");
+            attribution.accumulate(&s.counters.attr);
+            // A halted core sits out the rest of the run: the dense loop
+            // freezes its counters, so the gap to the cluster's last
+            // cycle is done-padding, attributed to Park.
+            attribution.record_n(Leaf::Park, self.cycles.saturating_sub(s.counters.cycles));
         }
+        attribution
+            .verify(self.cycles.saturating_mul(per_core.len() as u64))
+            .expect("cluster attribution must partition harts x cluster cycles");
         aggregate.cycles = self.cycles;
         let stats = self.tcdm.stats();
         let ppc = self.cfg.ports_per_core();
@@ -1170,6 +1311,7 @@ impl Cluster {
                 overlap_cycles: d.overlap_cycles,
                 port: d.engine.port().0,
             }),
+            attribution,
             per_core,
         }
     }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use sc_perf::Attribution;
 use sc_trace::MetricSource;
 
 /// Why the FP issue slot was empty in a given cycle.
@@ -132,6 +133,14 @@ pub struct PerfCounters {
     pub fetches: u64,
     /// FP instructions replayed by the FREP sequencer (no fetch energy).
     pub frep_replays: u64,
+    /// Top-down cycle attribution: every cycle lands in exactly one
+    /// leaf, so `attr.total() == cycles` always holds (`sc-perf`'s hard
+    /// invariant). Unlike [`PerfCounters::stalls`] — which may record an
+    /// FP-side stall *and* an int-side sync retry in the same cycle —
+    /// this is a partition, classified once per [`Core::begin_cycle`].
+    ///
+    /// [`Core::begin_cycle`]: crate::Core::begin_cycle
+    pub attr: Attribution,
 }
 
 impl PerfCounters {
@@ -193,6 +202,7 @@ impl PerfCounters {
         self.fp_rf_writes += other.fp_rf_writes;
         self.fetches += other.fetches;
         self.frep_replays += other.frep_replays;
+        self.attr.accumulate(&other.attr);
     }
 
     /// Difference `self - start`, used to compute region deltas.
@@ -218,6 +228,7 @@ impl PerfCounters {
             fp_rf_writes: self.fp_rf_writes - start.fp_rf_writes,
             fetches: self.fetches - start.fetches,
             frep_replays: self.frep_replays - start.frep_replays,
+            attr: self.attr.delta_since(&start.attr),
         }
     }
 

@@ -54,11 +54,12 @@
 
 use sc_isa::{csr, CsrFile, CsrOp, CsrSrc, FpReg, Instruction, IntReg, LoadOp, Program, StoreOp};
 use sc_mem::{AccessKind, PortId, Request, Tcdm};
+use sc_perf::{Leaf, PhaseMark};
 use sc_ssr::CfgAddr;
 use sc_trace::{ResourceState, Tracer, Track};
 
 use crate::config::CoreConfig;
-use crate::counters::PerfCounters;
+use crate::counters::{PerfCounters, StallCause};
 use crate::error::SimError;
 use crate::fp_subsys::{FpSubsystem, IssueOutcome};
 use crate::sched::Wake;
@@ -79,6 +80,11 @@ pub struct RunSummary {
     pub trace: IssueTrace,
     /// Offload-queue high-water mark (sizing diagnostics).
     pub offload_queue_high_water: usize,
+    /// Phase boundaries the program marked by writing the `PHASE_MARK`
+    /// CSR (0x7CA), each with a timestamped attribution snapshot —
+    /// `sc_perf::segment_phases` turns them into prologue / steady-state
+    /// / drain profiles. Empty unless the kernel emits markers.
+    pub phase_marks: Vec<PhaseMark>,
 }
 
 impl RunSummary {
@@ -219,6 +225,7 @@ pub struct Core {
     dma_rung: u32,
     dma_outstanding: u32,
     dma_completed: u32,
+    phase_marks: Vec<PhaseMark>,
     tracer: Tracer,
     track: Track,
 }
@@ -281,6 +288,7 @@ impl Core {
             dma_rung: 0,
             dma_outstanding: 0,
             dma_completed: 0,
+            phase_marks: Vec::new(),
             tracer: Tracer::off(),
             track: Track::new(0, 0),
         }
@@ -472,6 +480,16 @@ impl Core {
             matches!(self.wake(), Wake::Idle) && !self.is_halted(),
             "skip_cycles on a core that needs dense stepping"
         );
+        // The attribution a dense loop would have recorded: a parked
+        // hart is drained, so every skipped cycle classifies by its wait
+        // state (`begin_cycle` would land in the same leaf each time).
+        let leaf = match self.state {
+            IntState::BarrierWait { .. } => Leaf::Barrier,
+            IntState::SystemBarrierWait { .. } => Leaf::SystemBarrier,
+            IntState::DmaWait { .. } => Leaf::DmaWait,
+            _ => Leaf::Park,
+        };
+        self.counters.attr.record_n(leaf, cycles);
         self.counters.cycles += cycles;
     }
 
@@ -616,6 +634,14 @@ impl Core {
         self.state = IntState::Running;
     }
 
+    /// Phase boundaries marked so far (writes to the `PHASE_MARK` CSR),
+    /// in program order. Survives [`Core::load_program`], so a tile loop
+    /// run as program stages accumulates one mark per stage.
+    #[must_use]
+    pub fn phase_marks(&self) -> &[PhaseMark] {
+        &self.phase_marks
+    }
+
     /// The run summary as of now (cheap apart from cloning the trace).
     #[must_use]
     pub fn summary(&self) -> RunSummary {
@@ -625,6 +651,7 @@ impl Core {
             region: self.region,
             trace: self.trace.clone(),
             offload_queue_high_water: self.fp.sequencer().queue_high_water(),
+            phase_marks: self.phase_marks.clone(),
         }
     }
 
@@ -669,7 +696,49 @@ impl Core {
         let fp_outcome = self.fp.try_issue(&mut self.counters)?;
 
         // Phase 2b: integer execute.
+        let sync_before = self.counters.stalls_of(StallCause::Sync);
         let int_slot = self.int_step()?;
+        let sync_retry = self.counters.stalls_of(StallCause::Sync) > sync_before;
+
+        // Top-down attribution: exactly one leaf per cycle, chosen here
+        // (before `end_cycle` increments the cycle counter) so the sum
+        // of leaves always partitions the cycle count. The FP issue slot
+        // takes precedence — it carries the paper's headline effects —
+        // and an idle slot is explained by the integer pipeline's state.
+        let leaf = match fp_outcome {
+            IssueOutcome::Issued(_) => Leaf::Retired,
+            IssueOutcome::Stalled(cause) => match cause {
+                StallCause::NoInstruction => Leaf::NoInst,
+                StallCause::RawHazard => Leaf::RawHazard,
+                StallCause::WawHazard => Leaf::WawHazard,
+                StallCause::ChainEmpty => Leaf::ChainEmpty,
+                StallCause::ChainFull => Leaf::ChainFull,
+                StallCause::SsrStarve => Leaf::SsrStarve,
+                StallCause::SsrFull => Leaf::SsrFull,
+                StallCause::UnitBusy => Leaf::UnitBusy,
+                StallCause::LsuBusy => Leaf::LsuBusy,
+                StallCause::Sync => Leaf::Drain,
+            },
+            IssueOutcome::Idle => match self.state {
+                IntState::BarrierWait { .. } => Leaf::Barrier,
+                IntState::SystemBarrierWait { .. } => Leaf::SystemBarrier,
+                IntState::DmaWait { .. } => Leaf::DmaWait,
+                IntState::LoadWait { .. } | IntState::StoreWait { .. } => Leaf::LoadStore,
+                IntState::Halting | IntState::Halted => Leaf::Park,
+                IntState::Running | IntState::Bubble(_) => {
+                    if int_slot.is_some() {
+                        Leaf::Retired
+                    } else if sync_retry {
+                        // A synchronising CSR retrying against an
+                        // FP-subsystem drain with an otherwise idle slot.
+                        Leaf::Drain
+                    } else {
+                        Leaf::Frontend
+                    }
+                }
+            },
+        };
+        self.counters.attr.record(leaf);
 
         if self.tracer.is_on() {
             let label = match fp_outcome {
@@ -1128,6 +1197,31 @@ impl Core {
                     // retires.
                     self.state = IntState::SystemBarrierWait { rd };
                     return Ok(None);
+                }
+            }
+            csr::PHASE_MARK => {
+                // A phase boundary: record the hart's attribution
+                // snapshot (and notify any subscribed tracer) so
+                // profiles can segment into prologue / steady-state /
+                // drain. Retires in one cycle with no synchronisation —
+                // markers must not perturb what they measure beyond
+                // their own issue slot. Pure reads return the last
+                // value without marking.
+                let pure_read = matches!(op, CsrOp::ReadSet | CsrOp::ReadClear)
+                    && match src {
+                        CsrSrc::Reg(r) => r.is_zero(),
+                        CsrSrc::Imm(i) => i == 0,
+                    };
+                let old = self.csrs.apply(addr, op, operand);
+                self.write_reg(rd, old);
+                if !pure_read {
+                    let value = op.apply(old, operand);
+                    self.phase_marks.push(PhaseMark {
+                        cycle: self.counters.cycles,
+                        value,
+                        attr: self.counters.attr,
+                    });
+                    self.tracer.instant(self.track, "phase-mark");
                 }
             }
             csr::CLUSTER_ID => {

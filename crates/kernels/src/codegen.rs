@@ -320,6 +320,42 @@ impl StencilKernel {
         capacity: u32,
         wait: WaitStyle,
     ) -> Result<TiledClusterKernel, TileError> {
+        self.build_tiled_impl(num_harts, capacity, wait, false)
+    }
+
+    /// [`StencilKernel::build_tiled_with`] plus **kernel phase markers**:
+    /// every hart opens each tile-loop iteration with a `PHASE_MARK` CSR
+    /// write carrying the tile index, so the per-hart attribution can be
+    /// segmented into prologue / per-tile steady state / drain with
+    /// [`sc_perf::segment_phases`] (and a subscribed tracer shows a
+    /// `phase-mark` instant per boundary). The marks cost a couple of
+    /// retired integer instructions per tile per hart — profiled builds
+    /// are therefore **not** cycle-identical to the default builders and
+    /// are opt-in; results remain bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// See [`StencilKernel::build_tiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_harts` is zero.
+    pub fn build_tiled_profiled(
+        &self,
+        num_harts: u32,
+        capacity: u32,
+        wait: WaitStyle,
+    ) -> Result<TiledClusterKernel, TileError> {
+        self.build_tiled_impl(num_harts, capacity, wait, true)
+    }
+
+    fn build_tiled_impl(
+        &self,
+        num_harts: u32,
+        capacity: u32,
+        wait: WaitStyle,
+        phase_marks: bool,
+    ) -> Result<TiledClusterKernel, TileError> {
         assert!(num_harts >= 1, "a cluster has at least one hart");
         let grid = self.grid;
         let pp = grid.plane_pitch();
@@ -458,7 +494,8 @@ impl StencilKernel {
         let tile_programs = tile_kernels
             .iter()
             .zip(&sched.per_tile)
-            .map(|(tk, (enq, wait_n))| {
+            .enumerate()
+            .map(|(t, (tk, (enq, wait_n)))| {
                 let slabs = split_ranges(tk.grid.nz, num_harts, 1);
                 slabs
                     .iter()
@@ -469,6 +506,14 @@ impl StencilKernel {
                             tiling::emit_tile_prologue(&mut b, enq, *wait_n, wait);
                         } else {
                             tiling::emit_tile_prologue(&mut b, &[], 0, wait);
+                        }
+                        // The mark sits *after* the data-ready barrier:
+                        // tile 0's initial fetch wait stays in the
+                        // pipeline-prologue segment, and each tile's
+                        // segment spans exactly its compute + next-tile
+                        // overlap window.
+                        if phase_marks {
+                            tiling::emit_phase_mark(&mut b, t as u32);
                         }
                         tk.emit_slab_into(&mut b, sz0, snzc, SlabSync::Cluster);
                         b.build().expect("tiled stencil codegen is valid")
@@ -585,6 +630,39 @@ impl StencilKernel {
         capacity: u32,
         wait: WaitStyle,
     ) -> Result<TiledSystemKernel, TileError> {
+        self.build_system_tiled_impl(num_clusters, harts_per_cluster, capacity, wait, false)
+    }
+
+    /// [`StencilKernel::build_system_tiled_with`] with **kernel phase
+    /// markers** in every cluster's tile pipeline (see
+    /// [`StencilKernel::build_tiled_profiled`] for what the marks buy
+    /// and cost).
+    ///
+    /// # Errors
+    ///
+    /// See [`StencilKernel::build_system_tiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn build_system_tiled_profiled(
+        &self,
+        num_clusters: u32,
+        harts_per_cluster: u32,
+        capacity: u32,
+        wait: WaitStyle,
+    ) -> Result<TiledSystemKernel, TileError> {
+        self.build_system_tiled_impl(num_clusters, harts_per_cluster, capacity, wait, true)
+    }
+
+    fn build_system_tiled_impl(
+        &self,
+        num_clusters: u32,
+        harts_per_cluster: u32,
+        capacity: u32,
+        wait: WaitStyle,
+        phase_marks: bool,
+    ) -> Result<TiledSystemKernel, TileError> {
         assert!(num_clusters >= 1, "a system has at least one cluster");
         assert!(harts_per_cluster >= 1, "a cluster has at least one hart");
         let grid = self.grid;
@@ -618,7 +696,7 @@ impl StencilKernel {
                     coeff_base: self.layout.coeff_base,
                 },
             };
-            let tiled = sub.build_tiled_with(harts_per_cluster, capacity, wait)?;
+            let tiled = sub.build_tiled_impl(harts_per_cluster, capacity, wait, phase_marks)?;
             debug_assert!(
                 tcdm_cfg.is_none_or(|c| c == tiled.tcdm_config()),
                 "every cluster plans the same capacity-capped TCDM"

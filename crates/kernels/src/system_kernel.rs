@@ -366,6 +366,26 @@ impl TiledSystemKernel {
         self.run_inner(cfg, l2_cfg, dram_cfg, max_cycles, Tracer::off(), mode)
     }
 
+    /// [`TiledSystemKernel::run_traced`] under an explicit
+    /// clock-advancement mode: the combination the trace-identity tests
+    /// pin — an event-driven run with a subscriber attached must export
+    /// the same timeline and sampled counters as a dense one.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledSystemKernel::run`].
+    pub fn run_traced_scheduled(
+        &self,
+        cfg: CoreConfig,
+        l2_cfg: L2Config,
+        dram_cfg: DramConfig,
+        max_cycles: u64,
+        tracer: Tracer,
+        mode: SchedMode,
+    ) -> Result<TiledSystemRun, KernelError> {
+        self.run_inner(cfg, l2_cfg, dram_cfg, max_cycles, tracer, mode)
+    }
+
     fn run_inner(
         &self,
         cfg: CoreConfig,

@@ -5,9 +5,15 @@
 //! image is checked bit-exactly against the same golden model inside
 //! `run_traced`, so a pass here means tracing changed *nothing* the
 //! architecture can observe.
+//!
+//! The second pin is the reverse direction: the *scheduler* must never
+//! change a trace. A traced event-driven run no longer pins
+//! `Wake::EveryCycle` — skipped windows synthesize their carry-forward
+//! sample rows instead — so the exported Perfetto timeline and sampled
+//! CSV must be byte-identical between dense and event stepping.
 
 use proptest::prelude::*;
-use sc_core::CoreConfig;
+use sc_core::{CoreConfig, SchedMode};
 use sc_kernels::{Grid3, Stencil, StencilKernel, Variant};
 use sc_mem::{DramConfig, L2Config};
 use sc_trace::{TraceConfig, TraceSession};
@@ -85,5 +91,56 @@ proptest! {
         }
         // And the subscription actually observed the run.
         prop_assert!(session.events_buffered() > 0);
+    }
+
+    /// A traced event-driven run exports the exact trace a traced dense
+    /// run does: same timeline JSON, same sampled-counter CSV byte for
+    /// byte. This is what licenses the event scheduler to fast-forward
+    /// tracer-subscribed runs (synthesizing carry-forward samples across
+    /// skipped windows) instead of pinning `Wake::EveryCycle`.
+    #[test]
+    fn event_scheduling_never_changes_the_exported_trace(
+        ny in 2u32..5,
+        nz in 2u32..5,
+        harts in 1u32..4,
+        clusters in 1u32..3,
+        sample_idx in 0usize..3,
+    ) {
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, ny, nz),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        // Park-style waits maximise the skippable idle windows the
+        // event scheduler must reconstruct samples across.
+        let Ok(tk) = gen.build_system_tiled_with(
+            clusters,
+            harts,
+            8u32 << 10,
+            sc_kernels::WaitStyle::Park,
+        ) else {
+            return Ok(());
+        };
+        let cfg = CoreConfig::new();
+        let l2 = L2Config::new().with_refill_latency(64).with_refill_cycles_per_beat(1);
+        let dram = DramConfig::new().with_latency(32);
+        let sample_every = [64u64, 256, 1024][sample_idx];
+
+        let mut exports = Vec::new();
+        for mode in [SchedMode::Dense, SchedMode::Event] {
+            let session = TraceSession::new(TraceConfig::new().with_sample_every(sample_every));
+            let run = tk
+                .run_traced_scheduled(cfg, l2, dram, MAX_CYCLES, session.tracer(), mode)
+                .map_err(|e| TestCaseError::fail(format!("{mode:?}: {e}")))?;
+            exports.push((run.summary.cycles, session.perfetto_json(), session.samples_csv()));
+        }
+        let (dense_cycles, dense_json, dense_csv) = &exports[0];
+        let (event_cycles, event_json, event_csv) = &exports[1];
+        prop_assert_eq!(dense_cycles, event_cycles);
+        prop_assert_eq!(dense_json, event_json, "timelines diverge");
+        prop_assert_eq!(dense_csv, event_csv, "sampled counter rows diverge");
+        // The cadence actually produced rows to compare.
+        prop_assert!(dense_csv.lines().count() > 1, "no samples were taken");
     }
 }

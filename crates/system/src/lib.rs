@@ -94,6 +94,7 @@ use sc_core::{Component, PerfCounters, SchedMode, Scheduler, Wake};
 use sc_isa::Program;
 use sc_lint::lint_harts;
 use sc_mem::{Dram, L2Config, L2Outcome, L2Request, L2Stats, L2};
+use sc_perf::{Attribution, Leaf};
 use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
 
 /// Track the shared L2 traces on: process 0 ("l2"), thread 0; the L2's
@@ -228,6 +229,13 @@ pub struct SystemSummary {
     /// demand refill beat, so this field is the attribution split, not
     /// an extra charge.
     pub l2_prefetch_beats: u64,
+    /// Top-down cycle attribution aggregated over every hart in the
+    /// system: each cluster's padded partition plus
+    /// [`sc_perf::Leaf::Park`] padding for the window between that
+    /// cluster's finish and the system's last cycle, so the whole tree
+    /// partitions `total harts × system cycles` exactly (verified as a
+    /// hard error when the summary is assembled).
+    pub attribution: Attribution,
 }
 
 impl SystemSummary {
@@ -267,6 +275,20 @@ impl SystemSummary {
             .map(|d| d.stats.beats)
             .sum()
     }
+
+    /// The L2 refill-path occupancy split for top-down reports, in beats
+    /// (the channel is busy for a fixed time per beat, so beat counts
+    /// are exact occupancy ratios): demand-miss service is the refill
+    /// traffic that was *not* prefetch-issued, alongside the prefetch
+    /// and write-back shares.
+    #[must_use]
+    pub fn refill_occupancy(&self) -> sc_perf::RefillOccupancy {
+        sc_perf::RefillOccupancy {
+            demand_cycles: self.l2_refill_beats.saturating_sub(self.l2_prefetch_beats),
+            prefetch_cycles: self.l2_prefetch_beats,
+            writeback_cycles: self.l2_writeback_beats,
+        }
+    }
 }
 
 /// The system: M lock-stepped clusters, optionally fed through a shared
@@ -291,6 +313,12 @@ pub struct System {
     stepped: Vec<usize>,
     tracer: Tracer,
     watchdog: Option<Watchdog>,
+    /// Per-cluster, per-hart attribution snapshots at the system
+    /// watchdog's last observed progress change — the baselines a hang
+    /// report takes its stalled-window attribution deltas against.
+    hang_attr_base: Vec<Vec<Attribution>>,
+    hang_attr_sig: u64,
+    hang_attr_primed: bool,
     sched: Scheduler,
 }
 
@@ -347,6 +375,9 @@ impl System {
             stepped: Vec::new(),
             tracer: Tracer::off(),
             watchdog: None,
+            hang_attr_base: vec![Vec::new(); n],
+            hang_attr_sig: 0,
+            hang_attr_primed: false,
             sched: Scheduler::default(),
         }
     }
@@ -424,10 +455,24 @@ impl System {
             return None;
         }
         let sig: u64 = self.clusters.iter().map(Cluster::progress_signature).sum();
+        if !self.hang_attr_primed || sig != self.hang_attr_sig {
+            self.hang_attr_primed = true;
+            self.hang_attr_sig = sig;
+            self.hang_attr_base = self.clusters.iter().map(Cluster::attr_snapshot).collect();
+        }
         let cycle = self.cycles;
         let stuck_for = self.watchdog.as_mut()?.observe(cycle, sig)?;
         let mut resources = Vec::new();
         self.diagnose(&mut resources);
+        for (c, cluster) in self.clusters.iter().enumerate() {
+            if !self.cluster_finished(c) {
+                cluster.diagnose_attr_since(
+                    &format!("cluster{c}"),
+                    &self.hang_attr_base[c],
+                    &mut resources,
+                );
+            }
+        }
         Some(HangReport::new(cycle, stuck_for, resources))
     }
 
@@ -602,10 +647,7 @@ impl System {
             l2.end_cycle();
         }
         if self.tracer.wants_sample(self.cycles) {
-            if let Some((l2, _)) = self.shared.as_ref() {
-                let metrics = l2.stats().metric_set(l2.config());
-                self.tracer.sample(L2_TRACK, &metrics);
-            }
+            self.sample_l2_now();
         }
         self.cycles += 1;
 
@@ -648,14 +690,13 @@ impl System {
     /// anything a skip cannot reproduce in closed form: the merge of
     /// every unfinished cluster's wake (finished clusters freeze, as in
     /// dense stepping), demanding dense cycles while the shared L2 has
-    /// refill/write-back/prefetch work in flight. A subscribed tracer or
-    /// a cluster-local watchdog (whose per-cycle observation cadence the
-    /// system cannot reproduce) pins the system to dense stepping.
+    /// refill/write-back/prefetch work in flight. A cluster-local
+    /// watchdog (whose per-cycle observation cadence the system cannot
+    /// reproduce) pins the system to dense stepping; a subscribed
+    /// tracer does not — [`System::skip_idle`] synthesizes the sampled
+    /// counter rows dense stepping would have emitted.
     #[must_use]
     pub fn next_wake(&self) -> Wake {
-        if self.tracer.is_on() {
-            return Wake::EveryCycle;
-        }
         let mut wake = Wake::Idle;
         for c in 0..self.clusters.len() {
             if self.cluster_finished(c) {
@@ -675,17 +716,78 @@ impl System {
     }
 
     /// Bulk-applies `cycles` idle cycles: every unfinished cluster
-    /// skips ([`Cluster::skip_idle`]) and the system clock advances;
+    /// skips ([`Cluster::skip_quiet`]) and the system clock advances;
     /// finished clusters stay frozen and a quiescent L2 has nothing to
-    /// advance. Callers must only skip up to the window
+    /// advance. When a tracer with a sampling cadence is subscribed,
+    /// the window is split at each cadence point and the carry-forward
+    /// sample rows dense stepping would have emitted there are
+    /// synthesized in dense order (unfinished clusters in index order,
+    /// then the shared L2). Callers must only skip up to the window
     /// [`System::next_wake`] allows.
     pub fn skip_idle(&mut self, cycles: u64) {
+        let cadence = self.tracer.sample_cadence();
+        if !self.tracer.is_on() || cadence == 0 {
+            self.skip_quiet(cycles);
+            return;
+        }
+        let end = self.cycles + cycles;
+        while self.cycles < end {
+            let point = self.cycles.next_multiple_of(cadence);
+            if point >= end {
+                self.skip_quiet(end - self.cycles);
+                break;
+            }
+            // Dense stepping samples *during* cycle `point`, after the
+            // clusters' end-of-cycle bookkeeping: advance through that
+            // cycle, then snapshot with the sink's clock rewound to it.
+            self.skip_quiet(point - self.cycles + 1);
+            self.tracer.set_cycle(point);
+            for c in 0..self.clusters.len() {
+                if !self.cluster_finished(c) {
+                    self.clusters[c].sample_now();
+                }
+            }
+            self.sample_l2_now();
+        }
+    }
+
+    /// The pure bookkeeping of a skipped window, without sample
+    /// synthesis.
+    fn skip_quiet(&mut self, cycles: u64) {
         for c in 0..self.clusters.len() {
             if !self.cluster_finished(c) {
-                self.clusters[c].skip_idle(cycles);
+                self.clusters[c].skip_quiet(cycles);
             }
         }
         self.cycles += cycles;
+    }
+
+    /// Emits the shared L2's sample row set, exactly as the dense loop
+    /// does at a sampling point.
+    fn sample_l2_now(&self) {
+        if let Some((l2, _)) = self.shared.as_ref() {
+            let metrics = l2.stats().metric_set(l2.config());
+            self.tracer.sample(L2_TRACK, &metrics);
+        }
+    }
+
+    /// Emits the run-end partial-interval samples — every cluster's
+    /// rows, then the shared L2's — when the run's length is not a
+    /// multiple of the sampling cadence (see
+    /// [`Cluster::sample_final`]).
+    fn sample_final(&self) {
+        let cadence = self.tracer.sample_cadence();
+        if !self.tracer.is_on() || cadence == 0 {
+            return;
+        }
+        if self.cycles > 0 && (self.cycles - 1).is_multiple_of(cadence) {
+            return;
+        }
+        self.tracer.set_cycle(self.cycles);
+        for cluster in &self.clusters {
+            cluster.sample_now();
+        }
+        self.sample_l2_now();
     }
 
     /// Runs until every cluster finishes its last stage, or the cycle
@@ -724,19 +826,40 @@ impl System {
             }
             self.step()?;
         }
+        self.sample_final();
         Ok(self.summary())
     }
 
     /// The system summary as of now (meaningful once [`System::is_done`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the attribution invariant is violated anywhere in the
+    /// system — a simulator bug, never a property of the program under
+    /// test (see [`Cluster::summary`]).
     #[must_use]
     pub fn summary(&self) -> SystemSummary {
         let per_cluster: Vec<ClusterSummary> = self.clusters.iter().map(Cluster::summary).collect();
         let mut aggregate = PerfCounters::new();
+        let mut attribution = Attribution::new();
+        let mut harts: u64 = 0;
         for cs in &per_cluster {
             for core in &cs.per_core {
                 aggregate.accumulate(&core.counters);
             }
+            attribution.accumulate(&cs.attribution);
+            // A finished cluster sits out the rest of the run: its
+            // harts' gap to the system's last cycle is done-padding.
+            let cluster_harts = cs.per_core.len() as u64;
+            attribution.record_n(
+                Leaf::Park,
+                self.cycles.saturating_sub(cs.cycles) * cluster_harts,
+            );
+            harts += cluster_harts;
         }
+        attribution
+            .verify(self.cycles.saturating_mul(harts))
+            .expect("system attribution must partition harts x system cycles");
         aggregate.cycles = self.cycles;
         let l2 = self.shared.as_ref().map(|(l2, _)| l2.stats());
         let (l2_refill_beats, l2_writeback_beats, l2_prefetch_beats) = self
@@ -765,6 +888,7 @@ impl System {
             l2_refill_beats,
             l2_writeback_beats,
             l2_prefetch_beats,
+            attribution,
         }
     }
 }

@@ -283,6 +283,16 @@ impl Tracer {
         self.emit(TraceEvent::NameThread { track, name });
     }
 
+    /// The configured sampling cadence in cycles (0 = sampling
+    /// disabled). Event-driven owners use this to synthesize the
+    /// carry-forward sample rows a skipped window would have produced
+    /// under dense stepping, at exactly the dense cadence points.
+    #[inline]
+    #[must_use]
+    pub fn sample_cadence(&self) -> u64 {
+        self.sample_every
+    }
+
     /// Whether `cycle` is a sampling point (off handles never sample).
     #[inline]
     #[must_use]

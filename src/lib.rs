@@ -56,6 +56,7 @@ pub use sc_isa as isa;
 pub use sc_kernels as kernels;
 pub use sc_lint as lint;
 pub use sc_mem as mem;
+pub use sc_perf as perf;
 pub use sc_ssr as ssr;
 pub use sc_system as system;
 pub use sc_trace as trace;
@@ -81,6 +82,10 @@ pub mod prelude {
     pub use sc_mem::{
         CacheConfig, CacheStats, Dram, DramConfig, L2Config, L2Outcome, L2Stats, PrefetchHint,
         PrefetchMode, Tcdm, TcdmConfig, L2,
+    };
+    pub use sc_perf::{
+        segment_phases, Attribution, AttributionError, Group, Leaf, PhaseMark, PhaseSegment,
+        RefillOccupancy, TransferAttribution,
     };
     pub use sc_ssr::{AffinePattern, CfgAddr, SsrUnit};
     pub use sc_system::{System, SystemConfig, SystemError, SystemSummary};
