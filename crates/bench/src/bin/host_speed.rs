@@ -21,14 +21,25 @@
 //! for the event run, and records simulated-cycles-per-second for both
 //! modes in `BENCH_host_speed.json`.
 //!
+//! A second, **partially-idle** workload measures the per-component
+//! local skip: one hart computes a long FMA loop (its wake pins every
+//! cycle, so the *global* fast-forward never fires) while the other
+//! harts park on a DMA completion the engine spends the whole run
+//! counting down. The old whole-window scheduler could not skip a
+//! single cycle of this shape; the local skip bulk-advances the parked
+//! harts cycle by cycle while the busy hart steps densely, and the
+//! bench holds the measured win above [`MIN_PARTIAL_SPEEDUP`].
+//!
 //! Run with `cargo run --release -p sc-bench --bin host_speed`.
 
 use std::time::Instant;
 
 use sc_bench::{json, Json};
+use sc_cluster::{ClusterBuilder, ClusterConfig};
 use sc_core::{CoreConfig, SchedMode};
+use sc_isa::{csr, FpReg, IntReg, Program, ProgramBuilder};
 use sc_kernels::{Grid3, Stencil, StencilKernel, TiledSystemKernel, Variant, WaitStyle};
-use sc_mem::{DramConfig, L2Config};
+use sc_mem::{Dram, DramConfig, L2Config, TcdmConfig};
 
 const CORES: u32 = 4;
 const GRID: (u32, u32, u32) = (16, 16, 8);
@@ -41,6 +52,22 @@ const MAX_CYCLES: u64 = 500_000_000;
 /// The asserted wall-clock floor: the event run must simulate the same
 /// cycles at least this many times faster than the dense run.
 const MIN_SPEEDUP: f64 = 5.0;
+
+/// Harts in the partially-idle workload: one computes, the rest park.
+const PARTIAL_HARTS: u32 = 4;
+/// The parked harts' DMA countdown — roughly the whole run.
+const PARTIAL_LATENCY: u32 = 150_000;
+/// FMA-loop iterations keeping the busy hart computing past the
+/// parked harts' release (each iteration retires three instructions).
+const PARTIAL_ITERS: i32 = 80_000;
+
+/// The asserted floor for the partially-idle workload. The global
+/// fast-forward cannot skip a single cycle here (one hart always
+/// demands a dense step), so this win comes entirely from the local
+/// per-hart skip; it is bounded by the parked harts' share of dense
+/// stepping cost rather than the window length, hence far below
+/// [`MIN_SPEEDUP`].
+const MIN_PARTIAL_SPEEDUP: f64 = 1.15;
 
 fn kernel() -> TiledSystemKernel {
     let (nx, ny, nz) = GRID;
@@ -77,6 +104,80 @@ fn run(mode: SchedMode) -> Run {
     Run {
         cycles: run.summary.cycles,
         flops: run.summary.aggregate.flops,
+        wall_seconds,
+    }
+}
+
+/// The busy hart: a long serial FMA loop whose wake demands a dense
+/// step every single cycle of the run.
+fn busy_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let t1 = IntReg::new(5);
+    b.li(t1, PARTIAL_ITERS);
+    b.label("busy");
+    b.fadd_d(FpReg::new(1), FpReg::new(1), FpReg::new(2));
+    b.addi(t1, t1, -1);
+    b.blt(IntReg::ZERO, t1, "busy");
+    b.ecall();
+    b.build().expect("busy loop assembles")
+}
+
+/// A parked hart: hart 0 of the parked group enqueues one store-out
+/// transfer the engine pays [`PARTIAL_LATENCY`] cycles for; every
+/// parked hart then blocks on its completion and retires nothing.
+fn parked_program(enqueue: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    let t5 = IntReg::new(5);
+    let t6 = IntReg::new(6);
+    if enqueue {
+        for (addr, value) in [
+            (csr::DMA_SRC, 0x0),
+            (csr::DMA_DST, 0x400),
+            (csr::DMA_LEN, 64),
+            (csr::DMA_SRC_STRIDE, 0),
+            (csr::DMA_DST_STRIDE, 0),
+            (csr::DMA_REPS, 1),
+        ] {
+            b.li(t5, value);
+            b.csrrw(IntReg::ZERO, addr, t5);
+        }
+        b.csrrwi(IntReg::ZERO, csr::DMA_START, 0); // TCDM -> DRAM
+    }
+    b.li(t6, 1);
+    b.csrrw(IntReg::ZERO, csr::DMA_WAIT, t6);
+    b.ecall();
+    b.build().expect("parked program assembles")
+}
+
+fn run_partial(mode: SchedMode) -> Run {
+    let programs = (0..PARTIAL_HARTS)
+        .map(|h| {
+            if h == 0 {
+                busy_program()
+            } else {
+                parked_program(h == 1)
+            }
+        })
+        .collect();
+    let cfg = CoreConfig::new().with_tcdm(TcdmConfig::new().with_size(64 << 10).with_banks(8));
+    let mut cluster =
+        ClusterBuilder::new(ClusterConfig::new(PARTIAL_HARTS).with_core(cfg), programs)
+            .dma(Dram::new(DramConfig::new().with_latency(PARTIAL_LATENCY)))
+            .sched_mode(mode)
+            .build();
+    for i in 0..8 {
+        cluster
+            .tcdm_mut()
+            .write_f64(0x400 + i * 8, f64::from(i))
+            .expect("seed the staged bytes");
+    }
+    let start = Instant::now();
+    cluster.run(MAX_CYCLES).expect("partial workload completes");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let summary = cluster.summary();
+    Run {
+        cycles: summary.cycles,
+        flops: summary.aggregate.flops,
         wall_seconds,
     }
 }
@@ -123,6 +224,43 @@ fn main() {
         "event scheduler speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor"
     );
 
+    println!(
+        "\n=== partially idle — {PARTIAL_HARTS} harts, 1 computing, \
+         {} parked on a {PARTIAL_LATENCY}-cycle DMA countdown ===",
+        PARTIAL_HARTS - 1
+    );
+    println!("=== the global fast-forward never fires: every win is the local per-hart skip ===\n");
+    let _ = run_partial(SchedMode::Dense);
+    let partial_dense = run_partial(SchedMode::Dense);
+    let partial_event = run_partial(SchedMode::Event);
+    assert_eq!(
+        partial_dense.cycles, partial_event.cycles,
+        "event mode must retire the identical cycle count"
+    );
+    assert_eq!(
+        partial_dense.flops, partial_event.flops,
+        "event mode must perform the identical work"
+    );
+    let partial_speedup = partial_dense.wall_seconds / partial_event.wall_seconds;
+    println!(
+        "{:>8} {:>12} {:>12} {:>16}",
+        "mode", "cycles", "wall", "sim cycles/s"
+    );
+    for (label, r) in [("dense", &partial_dense), ("event", &partial_event)] {
+        println!(
+            "{:>8} {:>12} {:>11.4}s {:>16.0}",
+            label,
+            r.cycles,
+            r.wall_seconds,
+            r.cycles_per_second()
+        );
+    }
+    println!("\npartially-idle event-mode host speedup: {partial_speedup:.2}x");
+    assert!(
+        partial_speedup >= MIN_PARTIAL_SPEEDUP,
+        "local-skip speedup {partial_speedup:.2}x below the {MIN_PARTIAL_SPEEDUP}x floor"
+    );
+
     let report = Json::obj()
         .set("bench", "host_speed")
         .set("stencil", "box3d1r")
@@ -134,7 +272,15 @@ fn main() {
         .set("event_wall_seconds", event.wall_seconds)
         .set("dense_cycles_per_second", dense.cycles_per_second())
         .set("event_cycles_per_second", event.cycles_per_second())
-        .set("event_speedup", speedup);
+        .set("event_speedup", speedup)
+        .set("min_speedup_floor", MIN_SPEEDUP)
+        .set("partial_harts", PARTIAL_HARTS)
+        .set("partial_engine_latency", PARTIAL_LATENCY)
+        .set("partial_cycles", partial_dense.cycles)
+        .set("partial_dense_wall_seconds", partial_dense.wall_seconds)
+        .set("partial_event_wall_seconds", partial_event.wall_seconds)
+        .set("partial_event_speedup", partial_speedup)
+        .set("min_partial_speedup_floor", MIN_PARTIAL_SPEEDUP);
     match json::write_report("BENCH_host_speed.json", &report) {
         Ok(path) => println!("json report: {}", path.display()),
         Err(e) => eprintln!("could not write json report: {e}"),

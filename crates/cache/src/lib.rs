@@ -424,6 +424,25 @@ pub enum Probe {
     MshrFull,
 }
 
+/// How soon a cache next needs a dense cycle (see [`Cache::next_wake`]).
+/// Deliberately local to this crate — `sc-cache` sits below the
+/// scheduler in the dependency order, so owners convert to their own
+/// wake vocabulary (`In(n)` is *relative*: inert for the next `n`
+/// cycles, dense on cycle `now + n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheWake {
+    /// Something progresses every cycle (prefetcher walking, a queued
+    /// demand job about to claim a free channel, a channel one cycle
+    /// from completion).
+    EveryCycle,
+    /// Provably inert for the next `n` cycles (`n >= 1`): only busy
+    /// channel countdowns tick, and none reaches zero before then.
+    In(u64),
+    /// Fully drained — stepping is a no-op for any span with no demand
+    /// traffic.
+    Quiescent,
+}
+
 /// Cumulative cache activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -876,6 +895,59 @@ impl Cache {
         self.prefetch_queue.len()
     }
 
+    /// How soon this cache next needs a dense cycle, from channel
+    /// countdowns and MSHR/queue state. The contract mirrors the
+    /// event scheduler's wake surface without depending on it:
+    ///
+    /// - open prefetch streams or queued prefetch requests walk every
+    ///   `begin_cycle` → [`CacheWake::EveryCycle`];
+    /// - a queued demand job with a channel free to take it starts next
+    ///   `begin_cycle` → [`CacheWake::EveryCycle`];
+    /// - otherwise only busy channels tick: the earliest completion
+    ///   (install/free-MSHR/stats) must run densely, so the cache is
+    ///   inert for exactly `min(wait) - 1` cycles → [`CacheWake::In`]
+    ///   (collapsing to `EveryCycle` when the minimum is already 1);
+    /// - fully drained → [`CacheWake::Quiescent`].
+    #[must_use]
+    pub fn next_wake(&self) -> CacheWake {
+        if !self.streams.is_empty() || !self.prefetch_queue.is_empty() {
+            return CacheWake::EveryCycle;
+        }
+        if !self.queue.is_empty() && self.channels.iter().any(Option::is_none) {
+            return CacheWake::EveryCycle;
+        }
+        let min_wait = self.channels.iter().flatten().map(|(_, wait)| *wait).min();
+        match min_wait {
+            None => CacheWake::Quiescent,
+            Some(wait) if wait <= 1 => CacheWake::EveryCycle,
+            Some(wait) => CacheWake::In(u64::from(wait) - 1),
+        }
+    }
+
+    /// Bulk-advances an inert window: every busy channel's countdown
+    /// drops by `cycles` with no completion, install or stat side
+    /// effects — exactly what `cycles` dense steps with no demand beats
+    /// would have done. Valid only within the window [`Cache::next_wake`]
+    /// granted (`CacheWake::In(n)` with `cycles <= n`, or any span while
+    /// quiescent).
+    pub fn skip(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        debug_assert!(
+            match self.next_wake() {
+                CacheWake::Quiescent => true,
+                CacheWake::In(n) => cycles <= n,
+                CacheWake::EveryCycle => false,
+            },
+            "cache skipped past its wake point"
+        );
+        for ch in self.channels.iter_mut().flatten() {
+            let (_, wait) = ch;
+            *wait -= u32::try_from(cycles).expect("skip window exceeds u32 channel countdown");
+        }
+    }
+
     /// Accepts an upcoming read footprint as a prefetch stream. A no-op
     /// unless [`CacheConfig::prefetch`] is on; with the stream table
     /// full, the oldest stream is evicted to make room. Hints with an
@@ -1237,6 +1309,67 @@ mod tests {
             .with_ways(ways)
             .with_write_back(true)
             .with_refill_latency(4)
+    }
+
+    #[test]
+    fn next_wake_tracks_channel_countdowns_and_skip_matches_dense() {
+        let cfg = finite(1024, 2); // refill latency 4
+        let per_job = cfg.channel_cycles();
+        assert!(per_job > 2, "test needs a multi-cycle channel window");
+
+        // Drive two caches identically up to the start of a refill.
+        let mut dense = Cache::new(cfg);
+        let mut skipped = Cache::new(cfg);
+        for c in [&mut dense, &mut skipped] {
+            c.begin_cycle();
+            assert_eq!(c.probe_read(0x100, 0), Probe::MissPending);
+            c.end_cycle();
+            c.begin_cycle(); // channel picks the refill up here
+        }
+        // Both report the same inert window: dense on the completion
+        // cycle, quiet until then.
+        assert_eq!(dense.next_wake(), CacheWake::In(u64::from(per_job) - 1));
+
+        // Dense: tick the window out cycle by cycle.
+        for _ in 0..per_job - 1 {
+            dense.end_cycle();
+            dense.begin_cycle();
+        }
+        // Skipped: bulk-advance the same window in one call.
+        skipped.skip(u64::from(per_job) - 1);
+        for c in [&mut dense, &mut skipped] {
+            assert_eq!(c.next_wake(), CacheWake::EveryCycle);
+            c.end_cycle(); // completion installs the line
+            assert!(c.is_present(0x100));
+            assert_eq!(c.next_wake(), CacheWake::Quiescent);
+        }
+        assert_eq!(
+            format!("{:?}", dense.stats()),
+            format!("{:?}", skipped.stats())
+        );
+    }
+
+    #[test]
+    fn open_prefetch_streams_pin_every_cycle() {
+        let cfg = finite(4096, 4).with_prefetch(true);
+        let mut cache = Cache::new(cfg);
+        assert_eq!(cache.next_wake(), CacheWake::Quiescent);
+        cache.prefetch_hint(PrefetchHint::contiguous(0, 1024, 0));
+        assert_eq!(
+            cache.next_wake(),
+            CacheWake::EveryCycle,
+            "an open stream walks every begin_cycle"
+        );
+    }
+
+    #[test]
+    fn queued_demand_job_with_a_free_channel_pins_every_cycle() {
+        let mut cache = Cache::new(finite(1024, 2));
+        cache.begin_cycle();
+        assert_eq!(cache.probe_read(0x100, 0), Probe::MissPending);
+        cache.end_cycle();
+        // The refill is queued but no channel has started it yet.
+        assert_eq!(cache.next_wake(), CacheWake::EveryCycle);
     }
 
     #[test]

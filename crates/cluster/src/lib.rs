@@ -493,13 +493,35 @@ impl Cluster {
     }
 
     /// Whether a hang watchdog is armed. A system owner embedding this
-    /// cluster must not fast-forward past a cluster-local watchdog's
-    /// observation cadence, so it degrades to dense stepping while one
-    /// is armed (the cluster's own run loop instead caps each skip at
-    /// the watchdog's deadline).
+    /// cluster caps every fast-forward at
+    /// [`Cluster::watchdog_skip_cap`] and owes a
+    /// [`Cluster::poll_watchdog`] after each window it advances without
+    /// dense cycles, so the watchdog fires at the identical cycle the
+    /// dense loop reports.
     #[must_use]
     pub fn watchdog_armed(&self) -> bool {
         self.watchdog.is_some()
+    }
+
+    /// The farthest absolute cycle an owner may fast-forward this
+    /// cluster to without overshooting its local watchdog's firing
+    /// point ([`sc_trace::Watchdog::skip_cap`]); `None` when no
+    /// watchdog is armed. The cluster's progress signature is frozen
+    /// across any legitimately skipped window, so one
+    /// [`Cluster::poll_watchdog`] at the window's end reproduces the
+    /// dense loop's per-cycle observation exactly.
+    #[must_use]
+    pub fn watchdog_skip_cap(&self) -> Option<u64> {
+        self.watchdog.as_ref().map(|w| w.skip_cap(self.cycles))
+    }
+
+    /// The watchdog observation an owner owes after advancing this
+    /// cluster across a window with no dense cycles
+    /// ([`Cluster::skip_quiet`] / [`Cluster::skip_idle`]). Returns the
+    /// hang report if the cluster froze — at the same cycle, with the
+    /// same stuck-for span, as dense stepping would have reported.
+    pub fn poll_watchdog(&mut self) -> Option<HangReport> {
+        self.check_watchdog()
     }
 
     /// The sum the watchdog samples: strictly grows whenever any hart
@@ -822,10 +844,27 @@ impl Cluster {
         self.tracer.set_cycle(self.cycles);
 
         // Cores already halted at cycle start sit the cycle out entirely
-        // (their counters freeze at their own completion).
+        // (their counters freeze at their own completion). Under
+        // event-driven stepping, parked harts (barrier / system-barrier
+        // / blocking DMA waits) sit *this* cycle out too — the local
+        // skip for partially-idle windows: a parked hart is drained, so
+        // its dense cycle is exactly [`sc_core::Core::skip_cycles`] of
+        // one cycle, and release remains a collective event the
+        // end-of-cycle rendezvous applies to every core regardless of
+        // membership in `active`. In dense mode
+        // ([`Scheduler::local_quiet`] is constantly false) the
+        // reference behaviour is untouched.
         self.active.clear();
-        self.active
-            .extend((0..self.cores.len()).filter(|&h| !self.cores[h].is_halted()));
+        for h in 0..self.cores.len() {
+            if self.cores[h].is_halted() {
+                continue;
+            }
+            if self.sched.local_quiet(self.cycles, self.cores[h].wake()) {
+                self.cores[h].skip_cycles(1);
+            } else {
+                self.active.push(h);
+            }
+        }
 
         // Mirror the DMA engine's state into the cores so this cycle's
         // status-CSR reads see the queue as of cycle start.
@@ -857,15 +896,29 @@ impl Cluster {
                     }
                 }
             }
-            dma.engine.begin_cycle(dma.timing);
-            dma.busy_this_cycle = dma.engine.is_busy();
-            beat = dma.engine.dram_request();
-            dma.beat_ready = beat.is_some();
-            // This cycle's DMA_START hints replace last cycle's (which
-            // the system either forwarded to the L2 or let lapse).
-            self.prefetch_hints.clear();
-            self.prefetch_hints
-                .append(&mut dma.engine.take_prefetch_hints());
+            // A fully idle engine (nothing queued, nothing in flight —
+            // no doorbell rang above) sits the cycle out: every one of
+            // the calls below is a no-op on it, so the local skip is
+            // exact in both scheduling modes. Enqueued hints cannot go
+            // stale here — an enqueue leaves the engine non-idle until
+            // its transfer completes, and its hints were drained the
+            // same cycle.
+            if dma.engine.is_idle() {
+                dma.busy_this_cycle = false;
+                dma.beat_ready = false;
+                self.prefetch_hints.clear();
+            } else {
+                dma.engine.begin_cycle(dma.timing);
+                dma.busy_this_cycle = dma.engine.is_busy();
+                beat = dma.engine.dram_request();
+                dma.beat_ready = beat.is_some();
+                // This cycle's DMA_START hints replace last cycle's
+                // (which the system either forwarded to the L2 or let
+                // lapse).
+                self.prefetch_hints.clear();
+                self.prefetch_hints
+                    .append(&mut dma.engine.take_prefetch_hints());
+            }
         }
         Ok(beat)
     }
@@ -1133,20 +1186,27 @@ impl Cluster {
             self.skip_quiet(cycles);
             return;
         }
+        // A row belongs to the window iff its cycle lies in
+        // [start, end) — dense stepping samples *during* a cadence
+        // cycle, so a window beginning exactly on a cadence multiple
+        // owns that cycle's row (the cycle has not been stepped yet),
+        // while the row for `end` itself belongs to whoever simulates
+        // cycle `end`. Tracking the next owed point explicitly keeps a
+        // window re-entered at a cadence point — a watchdog-capped
+        // partial skip, a stage boundary — from ever re-emitting a row
+        // a dense cycle or an earlier window already produced.
         let end = self.cycles + cycles;
-        while self.cycles < end {
-            let point = self.cycles.next_multiple_of(cadence);
-            if point >= end {
-                self.skip_quiet(end - self.cycles);
-                break;
-            }
-            // Dense stepping samples *during* cycle `point`, after every
-            // core's end-of-cycle bookkeeping: advance through that
-            // cycle, then snapshot with the sink's clock rewound to it.
+        let mut point = self.cycles.next_multiple_of(cadence);
+        while point < end {
+            // Advance through cycle `point` (its end-of-cycle
+            // bookkeeping included), then snapshot with the sink's
+            // clock rewound to it.
             self.skip_quiet(point - self.cycles + 1);
             self.tracer.set_cycle(point);
             self.sample_now();
+            point += cadence;
         }
+        self.skip_quiet(end - self.cycles);
     }
 
     /// The pure bookkeeping of a skipped window, without sample
@@ -1155,6 +1215,9 @@ impl Cluster {
     /// (clusters in index order, then the shared L2, per cadence
     /// point); everyone else goes through [`Cluster::skip_idle`].
     pub fn skip_quiet(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
         for core in &mut self.cores {
             if !core.is_halted() {
                 core.skip_cycles(cycles);
@@ -1162,6 +1225,27 @@ impl Cluster {
         }
         if let Some(dma) = &mut self.dma {
             if dma.engine.is_busy() {
+                // A skippable window means every hart is parked or
+                // halted, so no FPU op can issue inside it: the dense
+                // loop would book each of these cycles as busy and
+                // *never* as overlap — the bulk charge must stay
+                // exposed-only ([`TransferAttribution::exposed_cycles`])
+                // and the overlap detector's FPU-issue watermark is
+                // frozen across the window by construction.
+                debug_assert!(
+                    self.cores
+                        .iter()
+                        .all(|c| c.is_halted() || matches!(c.wake(), Wake::Idle)),
+                    "bulk DMA busy charge while a hart can still compute"
+                );
+                debug_assert_eq!(
+                    dma.prev_fpu_issue,
+                    self.cores
+                        .iter()
+                        .map(|c| c.counters().fpu_issue_cycles)
+                        .sum::<u64>(),
+                    "stale FPU-issue watermark entering a skipped window"
+                );
                 dma.busy_cycles += cycles;
                 dma.engine.skip(cycles);
             }

@@ -144,6 +144,40 @@ impl Scheduler {
         let horizon = caps.into_iter().fold(horizon, u64::min);
         horizon.saturating_sub(now)
     }
+
+    /// Whether a single component may sit out the coming dense cycle —
+    /// the *local skip* counterpart of [`Scheduler::plan`] for
+    /// partially-idle windows, where the global merge says "dense" but
+    /// a subset of components is provably inert.
+    ///
+    /// `true` iff the mode is [`SchedMode::Event`] and `wake` lies
+    /// strictly past `now`: the owner steps the non-idle subset densely
+    /// and bulk-advances this component by one cycle instead of
+    /// stepping it. Always `false` in [`SchedMode::Dense`], which keeps
+    /// the reference regime untouched.
+    #[must_use]
+    pub fn local_quiet(&self, now: u64, wake: Wake) -> bool {
+        self.mode == SchedMode::Event
+            && match wake {
+                Wake::EveryCycle => false,
+                Wake::At(cycle) => cycle > now,
+                Wake::Idle => true,
+            }
+    }
+
+    /// The per-component wake-vector form of [`Scheduler::plan`]:
+    /// classifies each component of a partially-idle window. Element `i`
+    /// is `true` when component `i`'s wake licenses a one-cycle local
+    /// skip ([`Scheduler::local_quiet`]) — the caller steps the `false`
+    /// subset densely and bulk-advances the `true` subset alongside it.
+    /// In [`SchedMode::Dense`] every element is `false`.
+    #[must_use]
+    pub fn plan_each(&self, now: u64, wakes: impl IntoIterator<Item = Wake>) -> Vec<bool> {
+        wakes
+            .into_iter()
+            .map(|w| self.local_quiet(now, w))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +218,36 @@ mod tests {
         // A cap at or before `now` forces a dense step too (the run
         // loop's own budget check then decides what happens).
         assert_eq!(s.plan(10, Wake::Idle, [10]), 0);
+    }
+
+    #[test]
+    fn local_quiet_licenses_only_strictly_future_wakes_in_event_mode() {
+        let event = Scheduler::new(SchedMode::Event);
+        assert!(event.local_quiet(10, Wake::Idle));
+        assert!(event.local_quiet(10, Wake::At(11)));
+        assert!(!event.local_quiet(10, Wake::At(10)), "due now: dense");
+        assert!(!event.local_quiet(10, Wake::At(5)), "overdue: dense");
+        assert!(!event.local_quiet(10, Wake::EveryCycle));
+
+        let dense = Scheduler::new(SchedMode::Dense);
+        assert!(!dense.local_quiet(10, Wake::Idle));
+        assert!(!dense.local_quiet(10, Wake::At(500)));
+    }
+
+    #[test]
+    fn plan_each_classifies_a_partially_idle_wake_vector() {
+        let s = Scheduler::new(SchedMode::Event);
+        assert_eq!(
+            s.plan_each(
+                10,
+                [Wake::EveryCycle, Wake::Idle, Wake::At(42), Wake::At(10)]
+            ),
+            vec![false, true, true, false]
+        );
+        let d = Scheduler::new(SchedMode::Dense);
+        assert_eq!(
+            d.plan_each(10, [Wake::Idle, Wake::At(42)]),
+            vec![false, false]
+        );
     }
 }

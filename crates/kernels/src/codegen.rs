@@ -298,14 +298,15 @@ impl StencilKernel {
         num_harts: u32,
         capacity: u32,
     ) -> Result<TiledClusterKernel, TileError> {
-        self.build_tiled_with(num_harts, capacity, WaitStyle::Poll)
+        self.build_tiled_with(num_harts, capacity, WaitStyle::Park)
     }
 
     /// [`StencilKernel::build_tiled`] with an explicit DMA completion
-    /// [`WaitStyle`]. [`WaitStyle::Poll`] is exactly `build_tiled`;
-    /// [`WaitStyle::Park`] makes the waiting hart retire nothing, which
-    /// exposes idle windows to the event-driven scheduler. Results are
-    /// bit-identical either way.
+    /// [`WaitStyle`]. [`WaitStyle::Park`] is exactly `build_tiled`:
+    /// the waiting hart retires nothing, which exposes idle windows to
+    /// the event-driven scheduler; [`WaitStyle::Poll`] models the
+    /// classic spin loop instead. Results are bit-identical either
+    /// way.
     ///
     /// # Errors
     ///
@@ -609,7 +610,7 @@ impl StencilKernel {
         harts_per_cluster: u32,
         capacity: u32,
     ) -> Result<TiledSystemKernel, TileError> {
-        self.build_system_tiled_with(num_clusters, harts_per_cluster, capacity, WaitStyle::Poll)
+        self.build_system_tiled_with(num_clusters, harts_per_cluster, capacity, WaitStyle::Park)
     }
 
     /// [`StencilKernel::build_system_tiled`] with an explicit DMA

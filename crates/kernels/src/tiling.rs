@@ -336,16 +336,19 @@ pub(crate) fn schedule(tiles: &[TileIo]) -> TileSchedule {
 /// *does*: a polling hart retires a three-instruction loop every few
 /// cycles, a parked hart retires nothing. Parked waits therefore leave
 /// idle windows an event-driven scheduler ([`sc_core::SchedMode::Event`])
-/// can fast-forward, and are the style the host-speed benchmarks use;
-/// polling is the default and matches the checked-in baselines.
+/// can fast-forward — both globally and per hart
+/// ([`sc_core::Scheduler::local_quiet`]) — so parking is the default
+/// and the checked-in baselines exercise the widened skip surface;
+/// polling remains available for modelling the classic Snitch spin
+/// loop's retire traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum WaitStyle {
     /// Spin on [`csr::DMA_COMPLETED`] in a branch loop (the Snitch
     /// idiom; the hart stays busy while it waits).
-    #[default]
     Poll,
     /// Park on [`csr::DMA_WAIT`] (the hart retires nothing until the
     /// engine reaches the target count).
+    #[default]
     Park,
 }
 

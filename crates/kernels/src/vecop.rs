@@ -307,7 +307,7 @@ impl VecOpKernel {
         num_harts: u32,
         capacity: u32,
     ) -> Result<TiledClusterKernel, TileError> {
-        self.build_tiled_with(num_harts, capacity, tiling::WaitStyle::Poll)
+        self.build_tiled_with(num_harts, capacity, tiling::WaitStyle::Park)
     }
 
     /// [`VecOpKernel::build_tiled`] with an explicit DMA completion

@@ -167,11 +167,15 @@ fn golden_attribution_of_pinned_l2_ablation_point() {
         )
         .expect("pinned point runs");
     let s = &run.summary;
-    assert_eq!(s.cycles, 50622, "pinned wall-clock moved");
+    assert_eq!(s.cycles, 50613, "pinned wall-clock moved");
+    // Re-pinned for the Park-by-default baseline roll: the spin loops'
+    // retires and branch bubbles (`Retired`, `Frontend`) became parked
+    // `DmaWait` cycles, and the wall clock shortened by the nine cycles
+    // the last poll iterations used to overshoot their completions.
     let golden: &[(Leaf, u64)] = &[
-        (Leaf::Retired, 146_471),
+        (Leaf::Retired, 113_057),
         (Leaf::NoInst, 0),
-        (Leaf::Frontend, 11_134),
+        (Leaf::Frontend, 0),
         (Leaf::RawHazard, 0),
         (Leaf::WawHazard, 0),
         (Leaf::ChainEmpty, 0),
@@ -181,9 +185,9 @@ fn golden_attribution_of_pinned_l2_ablation_point() {
         (Leaf::SsrStarve, 0),
         (Leaf::SsrFull, 0),
         (Leaf::LoadStore, 0),
-        (Leaf::DmaWait, 0),
+        (Leaf::DmaWait, 44_530),
         (Leaf::Drain, 16),
-        (Leaf::Barrier, 44_659),
+        (Leaf::Barrier, 44_641),
         (Leaf::SystemBarrier, 0),
         (Leaf::Park, 206),
     ];

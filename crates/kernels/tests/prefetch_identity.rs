@@ -10,7 +10,7 @@
 //! regression this pin exists to catch.
 
 use sc_core::CoreConfig;
-use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, TCDM_CAP_BYTES};
+use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, WaitStyle, TCDM_CAP_BYTES};
 use sc_mem::{DramConfig, L2Config};
 
 const CLUSTERS: u32 = 2;
@@ -44,8 +44,11 @@ fn run_shaped(
         Variant::Base
     };
     let gen = StencilKernel::new(Stencil::box3d1r(), grid, variant).expect("valid combination");
+    // The goldens predate the Park-by-default baseline roll: pin the
+    // polling wait style they were captured with, so this test keeps
+    // measuring prefetch-path drift rather than the wait-style remodel.
     let tk = gen
-        .build_system_tiled(clusters, cores, tcdm_cap)
+        .build_system_tiled_with(clusters, cores, tcdm_cap, WaitStyle::Poll)
         .expect("slabs tile within the TCDM cap");
     let run = tk
         .run(

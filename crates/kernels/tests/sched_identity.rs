@@ -9,9 +9,12 @@
 //! divergence here means it skipped a cycle that mattered.
 
 use proptest::prelude::*;
+use sc_cluster::{ClusterBuilder, ClusterConfig, ClusterError};
 use sc_core::{CoreConfig, SchedMode};
+use sc_isa::{csr, IntReg, ProgramBuilder};
 use sc_kernels::{Grid3, Stencil, StencilKernel, Variant, WaitStyle};
-use sc_mem::{DramConfig, L2Config};
+use sc_mem::{Dram, DramConfig, L2Config};
+use sc_trace::{TraceConfig, TraceSession};
 
 const MAX_CYCLES: u64 = 50_000_000;
 
@@ -146,6 +149,127 @@ proptest! {
             .run_scheduled(cfg, l2_cfg, DramConfig::new(), MAX_CYCLES, SchedMode::Event)
             .map_err(|e| TestCaseError::fail(format!("event: {e}")))?;
         assert_system_identical(&dense.summary, &event.summary)?;
+    }
+
+    /// Parked completion waits whose entry and release land on sampling
+    /// cadence boundaries: the DMA latency is a power of two and the
+    /// cadence divides it (down to cadence 1, where *every* park
+    /// boundary is a cadence point), so locally and globally skipped
+    /// windows begin and end exactly where a sample row is owed. The
+    /// summaries and the sampled-counter CSV must both be
+    /// bit-identical across modes.
+    #[test]
+    fn cadence_aligned_parked_windows_event_equals_dense(
+        ny in 2u32..4,
+        clusters in 1u32..3,
+        harts in 1u32..3,
+        latency_pow in 4u32..9,
+        cadence_shift in 0u32..5,
+    ) {
+        let latency = 1u32 << latency_pow;
+        let cadence = u64::from(latency >> cadence_shift.min(latency_pow)).max(1);
+        let gen = StencilKernel::new(
+            Stencil::box3d1r(),
+            Grid3::new(8, ny, 4),
+            Variant::ChainingPlus,
+        )
+        .expect("valid combination");
+        let Ok(tiled) =
+            gen.build_system_tiled_with(clusters, harts, 8 << 10, WaitStyle::Park)
+        else {
+            return Ok(());
+        };
+        let cfg = CoreConfig::new();
+        let l2_cfg = L2Config::new().with_refill_latency(latency).with_refill_cycles_per_beat(1);
+        let dram_cfg = DramConfig::new().with_latency(latency);
+        let mut exports = Vec::new();
+        for mode in [SchedMode::Dense, SchedMode::Event] {
+            let session = TraceSession::new(TraceConfig::new().with_sample_every(cadence));
+            let run = tiled
+                .run_traced_scheduled(cfg, l2_cfg, dram_cfg, MAX_CYCLES, session.tracer(), mode)
+                .map_err(|e| TestCaseError::fail(format!("{mode:?}: {e}")))?;
+            exports.push((run.summary, session.samples_csv()));
+        }
+        assert_system_identical(&exports[0].0, &exports[1].0)?;
+        prop_assert_eq!(&exports[0].1, &exports[1].1, "sample rows diverge");
+    }
+
+    /// Watchdog-armed parked waits whose skip windows end within a
+    /// couple of cycles of the firing point — including exactly one
+    /// cycle before it. A hart enqueues one store-out transfer and
+    /// parks; the watchdog limit is the transfer's engine latency plus
+    /// a small signed offset, so depending on the draw the run either
+    /// completes just under the limit or hangs just past it. Both modes
+    /// must agree on the outcome — and, on a hang, on the firing cycle
+    /// and the stuck-for span.
+    #[test]
+    fn watchdog_brink_parked_windows_event_equals_dense(
+        latency in 16u32..300,
+        delta in -2i64..3,
+        never_completes in any::<bool>(),
+        harts in 1u32..3,
+    ) {
+        let program = |lead: bool| {
+            let mut b = ProgramBuilder::new();
+            if !lead {
+                b.ecall();
+                return b.build().expect("trivial program assembles");
+            }
+            let t = |i: u8| IntReg::new(i);
+            for (addr, value) in [
+                (csr::DMA_SRC, 0x0),
+                (csr::DMA_DST, 0x400),
+                (csr::DMA_LEN, 64),
+                (csr::DMA_SRC_STRIDE, 0),
+                (csr::DMA_DST_STRIDE, 0),
+                (csr::DMA_REPS, 1),
+            ] {
+                b.li(t(5), value);
+                b.csrrw(IntReg::ZERO, addr, t(5));
+            }
+            b.csrrwi(IntReg::ZERO, csr::DMA_START, 0); // TCDM -> DRAM
+            // Parking for a second completion that never arrives turns
+            // the brink case into a guaranteed hang.
+            b.li(t(6), if never_completes { 2 } else { 1 });
+            b.csrrw(t(7), csr::DMA_WAIT, t(6));
+            b.ecall();
+            b.build().expect("DMA park program assembles")
+        };
+        let limit = u64::try_from(i64::from(latency) + delta).expect("positive limit");
+        let run = |mode: SchedMode| {
+            let programs = (0..harts).map(|h| program(h == 0)).collect();
+            let mut cluster = ClusterBuilder::new(
+                ClusterConfig::new(harts),
+                programs,
+            )
+            .dma(Dram::new(DramConfig::new().with_latency(latency)))
+            .watchdog(limit)
+            .sched_mode(mode)
+            .build();
+            for i in 0..8 {
+                cluster
+                    .tcdm_mut()
+                    .write_f64(0x400 + i * 8, f64::from(i))
+                    .expect("seed the staged tile");
+            }
+            let outcome = cluster.run(1_000_000).map(|_| ());
+            (cluster.summary(), outcome)
+        };
+        let (dense_summary, dense_outcome) = run(SchedMode::Dense);
+        let (event_summary, event_outcome) = run(SchedMode::Event);
+        match (dense_outcome, event_outcome) {
+            (Ok(()), Ok(())) => {}
+            (Err(ClusterError::Hang(d)), Err(ClusterError::Hang(e))) => {
+                prop_assert_eq!(d.cycle, e.cycle, "watchdog firing cycle diverges");
+                prop_assert_eq!(d.stuck_for, e.stuck_for, "stuck-for span diverges");
+            }
+            (d, e) => {
+                return Err(TestCaseError::fail(format!(
+                    "outcomes diverge: dense {d:?}, event {e:?}"
+                )));
+            }
+        }
+        assert_cluster_identical(&dense_summary, &event_summary)?;
     }
 
     /// Unbounded system kernels: uneven z-partitions leave harts parked

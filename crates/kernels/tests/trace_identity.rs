@@ -104,7 +104,7 @@ proptest! {
         nz in 2u32..5,
         harts in 1u32..4,
         clusters in 1u32..3,
-        sample_idx in 0usize..3,
+        sample_idx in 0usize..5,
     ) {
         let gen = StencilKernel::new(
             Stencil::box3d1r(),
@@ -125,7 +125,7 @@ proptest! {
         let cfg = CoreConfig::new();
         let l2 = L2Config::new().with_refill_latency(64).with_refill_cycles_per_beat(1);
         let dram = DramConfig::new().with_latency(32);
-        let sample_every = [64u64, 256, 1024][sample_idx];
+        let sample_every = [1u64, 7, 64, 256, 1024][sample_idx];
 
         let mut exports = Vec::new();
         for mode in [SchedMode::Dense, SchedMode::Event] {
@@ -142,5 +142,62 @@ proptest! {
         prop_assert_eq!(dense_csv, event_csv, "sampled counter rows diverge");
         // The cadence actually produced rows to compare.
         prop_assert!(dense_csv.lines().count() > 1, "no samples were taken");
+    }
+}
+
+/// The cadence-aligned skip-window pin: at sampling cadences small
+/// enough that every park boundary lands on (or next to) a cadence
+/// multiple — down to cadence 1, where *every* cycle is one — a skip
+/// window beginning exactly on a cadence point owns that cycle's sample
+/// row and must emit it exactly once. The historical hazard is a window
+/// re-entered at a cadence point (a watchdog-capped partial skip, a
+/// stage boundary) re-emitting a row an earlier window or a dense cycle
+/// already produced; both skip loops now track the next *owed* point
+/// explicitly, and this pin holds the exported CSV byte-identical
+/// across the whole adversarial cadence range.
+#[test]
+fn cadence_aligned_skip_windows_never_duplicate_sample_rows() {
+    let gen = StencilKernel::new(
+        Stencil::box3d1r(),
+        Grid3::new(8, 4, 4),
+        Variant::ChainingPlus,
+    )
+    .expect("valid combination");
+    for harts in [1u32, 2, 4] {
+        for clusters in [1u32, 2] {
+            let Ok(tk) = gen.build_system_tiled_with(
+                clusters,
+                harts,
+                8u32 << 10,
+                sc_kernels::WaitStyle::Park,
+            ) else {
+                continue;
+            };
+            let cfg = CoreConfig::new();
+            let l2 = L2Config::new()
+                .with_refill_latency(64)
+                .with_refill_cycles_per_beat(1);
+            let dram = DramConfig::new().with_latency(32);
+            for cadence in 1u64..=9 {
+                let mut exports = Vec::new();
+                for mode in [SchedMode::Dense, SchedMode::Event] {
+                    let session = TraceSession::new(TraceConfig::new().with_sample_every(cadence));
+                    let run = tk
+                        .run_traced_scheduled(cfg, l2, dram, MAX_CYCLES, session.tracer(), mode)
+                        .unwrap_or_else(|e| {
+                            panic!("h={harts} c={clusters} cad={cadence} {mode:?}: {e}")
+                        });
+                    exports.push((run.summary.cycles, session.samples_csv()));
+                }
+                assert_eq!(
+                    exports[0].0, exports[1].0,
+                    "cycles diverge at h={harts} c={clusters} cad={cadence}"
+                );
+                assert_eq!(
+                    exports[0].1, exports[1].1,
+                    "sample rows diverge at h={harts} c={clusters} cad={cadence}"
+                );
+            }
+        }
     }
 }

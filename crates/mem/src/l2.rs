@@ -54,7 +54,7 @@
 //! cycle-identical to the same cluster moving directly against that
 //! `Dram` (pinned by `sc-system`'s equivalence tests).
 
-use sc_cache::{Cache, CacheConfig, CacheStats, PrefetchHint, PrefetchMode, Probe};
+use sc_cache::{Cache, CacheConfig, CacheStats, CacheWake, PrefetchHint, PrefetchMode, Probe};
 use sc_trace::{MetricSource, Tracer, Track};
 
 use crate::dram::DramConfig;
@@ -693,6 +693,31 @@ impl L2 {
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
         !self.cfg.refill || self.cache.is_quiescent()
+    }
+
+    /// How soon the L2 next needs a dense cycle, delegated to the cache
+    /// core's channel countdowns and MSHR/queue state
+    /// ([`Cache::next_wake`]). A pass-through L2 is always
+    /// [`CacheWake::Quiescent`] — with no requests arriving, stepping it
+    /// changes nothing (the bank arbiter is stateless on an empty
+    /// request vector).
+    #[must_use]
+    pub fn next_wake(&self) -> CacheWake {
+        if self.cfg.refill {
+            self.cache.next_wake()
+        } else {
+            CacheWake::Quiescent
+        }
+    }
+
+    /// Bulk-advances an inert window across the cache core's channels —
+    /// the exact effect of `cycles` [`L2::begin_cycle`]/[`L2::end_cycle`]
+    /// pairs with no requests, valid only within the window
+    /// [`L2::next_wake`] granted.
+    pub fn skip(&mut self, cycles: u64) {
+        if self.cfg.refill {
+            self.cache.skip(cycles);
+        }
     }
 
     /// Hands the cache core an upcoming strided read footprint (a DMA

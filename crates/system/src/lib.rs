@@ -93,7 +93,7 @@ use sc_cluster::{
 use sc_core::{Component, PerfCounters, SchedMode, Scheduler, Wake};
 use sc_isa::Program;
 use sc_lint::lint_harts;
-use sc_mem::{Dram, L2Config, L2Outcome, L2Request, L2Stats, L2};
+use sc_mem::{CacheWake, Dram, L2Config, L2Outcome, L2Request, L2Stats, L2};
 use sc_perf::{Attribution, Leaf};
 use sc_trace::{HangReport, ResourceState, Tracer, Track, Watchdog};
 
@@ -311,6 +311,11 @@ pub struct System {
     l2_reqs: Vec<L2Request>,
     l2_req_of: Vec<Option<usize>>,
     stepped: Vec<usize>,
+    /// Per-cluster local-skip classification for the cycle being
+    /// stepped: `quiet[c]` marks an unfinished cluster whose wake lies
+    /// strictly in the future — it is bulk-advanced one cycle
+    /// ([`Cluster::skip_quiet`]) while the dense subset steps.
+    quiet: Vec<bool>,
     tracer: Tracer,
     watchdog: Option<Watchdog>,
     /// Per-cluster, per-hart attribution snapshots at the system
@@ -373,6 +378,7 @@ impl System {
             l2_reqs: Vec::new(),
             l2_req_of: vec![None; n],
             stepped: Vec::new(),
+            quiet: vec![false; n],
             tracer: Tracer::off(),
             watchdog: None,
             hang_attr_base: vec![Vec::new(); n],
@@ -586,13 +592,29 @@ impl System {
 
         // Clusters that finished their last stage sit the cycle out
         // entirely (their cycle counters freeze, like halted cores in a
-        // cluster).
+        // cluster). Of the rest, clusters whose wake lies strictly in
+        // the future — every hart parked, the engine at most counting
+        // down — are *locally* skipped this cycle: bulk-advanced by one
+        // cycle while the dense subset steps. A quiet cluster cannot
+        // emit an L2 beat or a prefetch hint (its engine owes a
+        // countdown, its doorbells are silent), so the dense subset's
+        // arbitration is unchanged; its watchdog, samples and barrier
+        // census are handled below exactly where dense stepping would.
         let mut stepped = std::mem::take(&mut self.stepped);
         stepped.clear();
         stepped.extend((0..self.clusters.len()).filter(|&c| !self.cluster_finished(c)));
         self.stepped = stepped;
+        for c in 0..self.clusters.len() {
+            self.quiet[c] = false;
+        }
+        for i in 0..self.stepped.len() {
+            let c = self.stepped[i];
+            self.quiet[c] = self
+                .sched
+                .local_quiet(self.cycles, self.clusters[c].next_wake());
+        }
 
-        // Half-cycle 1 on every running cluster, collecting the
+        // Half-cycle 1 on every densely stepped cluster, collecting the
         // L2-side beats — and the stride hints rung doorbells published
         // (DMA_START), which reach the shared L2's prefetcher *before*
         // this cycle's arbitration so prefetching can start while the
@@ -601,6 +623,9 @@ impl System {
         self.l2_req_of.fill(None);
         for i in 0..self.stepped.len() {
             let c = self.stepped[i];
+            if self.quiet[c] {
+                continue;
+            }
             if let Some((addr, kind)) = self.clusters[c].begin_cycle().map_err(tag(c))? {
                 self.l2_req_of[c] = Some(self.l2_reqs.len());
                 self.l2_reqs.push(L2Request {
@@ -631,11 +656,29 @@ impl System {
             None => Vec::new(),
         };
 
-        // Half-cycle 2: each cluster resumes with its L2 outcome; a
-        // granted beat then contends on the cluster's own TCDM crossbar
-        // and moves data against the shared store.
+        // Half-cycle 2: each densely stepped cluster resumes with its
+        // L2 outcome; a granted beat then contends on the cluster's own
+        // TCDM crossbar and moves data against the shared store. A
+        // quiet cluster bulk-advances one cycle instead, emitting the
+        // sample rows its dense end-of-cycle would have (the loop runs
+        // in cluster index order, so rows interleave exactly as dense)
+        // and polling its watchdog at the same post-advance cycle a
+        // dense step observes.
         for i in 0..self.stepped.len() {
             let c = self.stepped[i];
+            if self.quiet[c] {
+                self.clusters[c].skip_quiet(1);
+                if self.tracer.wants_sample(self.cycles) {
+                    self.clusters[c].sample_now();
+                }
+                if let Some(report) = self.clusters[c].poll_watchdog() {
+                    return Err(SystemError::Cluster {
+                        cluster: c as u32,
+                        source: ClusterError::Hang(report),
+                    });
+                }
+                continue;
+            }
             let outcome = match self.l2_req_of[c] {
                 Some(r) => outcomes.get(r).copied().unwrap_or(L2Outcome::Granted),
                 None => L2Outcome::Granted,
@@ -689,12 +732,14 @@ impl System {
     /// The earliest future cycle at which stepping the system could do
     /// anything a skip cannot reproduce in closed form: the merge of
     /// every unfinished cluster's wake (finished clusters freeze, as in
-    /// dense stepping), demanding dense cycles while the shared L2 has
-    /// refill/write-back/prefetch work in flight. A cluster-local
-    /// watchdog (whose per-cycle observation cadence the system cannot
-    /// reproduce) pins the system to dense stepping; a subscribed
-    /// tracer does not — [`System::skip_idle`] synthesizes the sampled
-    /// counter rows dense stepping would have emitted.
+    /// dense stepping), the earliest armed cluster watchdog's firing
+    /// point ([`Cluster::watchdog_skip_cap`] — the run loop re-observes
+    /// there, reproducing the dense firing cycle), and the shared L2's
+    /// own wake — dense while it has runnable refill/write-back/
+    /// prefetch work, a future cycle while its only work is in-flight
+    /// channel countdowns ([`L2::next_wake`]). A subscribed tracer does
+    /// not pin dense stepping — [`System::skip_idle`] synthesizes the
+    /// sampled counter rows dense stepping would have emitted.
     #[must_use]
     pub fn next_wake(&self) -> Wake {
         let mut wake = Wake::Idle;
@@ -702,15 +747,17 @@ impl System {
             if self.cluster_finished(c) {
                 continue;
             }
-            if self.clusters[c].watchdog_armed() {
-                return Wake::EveryCycle;
+            if let Some(cap) = self.clusters[c].watchdog_skip_cap() {
+                wake = wake.merge(Wake::At(cap));
             }
             wake = wake.merge(self.clusters[c].next_wake());
         }
         if let Some((l2, _)) = self.shared.as_ref() {
-            if !l2.is_quiescent() {
-                wake = wake.merge(Wake::EveryCycle);
-            }
+            wake = wake.merge(match l2.next_wake() {
+                CacheWake::EveryCycle => Wake::EveryCycle,
+                CacheWake::In(n) => Wake::At(self.cycles + n),
+                CacheWake::Quiescent => Wake::Idle,
+            });
         }
         wake
     }
@@ -730,13 +777,16 @@ impl System {
             self.skip_quiet(cycles);
             return;
         }
+        // A sample row belongs to this window iff its cycle lies in
+        // `[start, end)` — each of those cycles is simulated (by bulk
+        // advance) here and nowhere else. Tracking the next owed point
+        // explicitly keeps a window re-entered at a cadence point — a
+        // watchdog-capped partial skip, a stage boundary — from ever
+        // re-emitting a row a dense cycle or an earlier window already
+        // produced.
         let end = self.cycles + cycles;
-        while self.cycles < end {
-            let point = self.cycles.next_multiple_of(cadence);
-            if point >= end {
-                self.skip_quiet(end - self.cycles);
-                break;
-            }
+        let mut point = self.cycles.next_multiple_of(cadence);
+        while point < end {
             // Dense stepping samples *during* cycle `point`, after the
             // clusters' end-of-cycle bookkeeping: advance through that
             // cycle, then snapshot with the sink's clock rewound to it.
@@ -748,16 +798,23 @@ impl System {
                 }
             }
             self.sample_l2_now();
+            point += cadence;
         }
+        self.skip_quiet(end - self.cycles);
     }
 
     /// The pure bookkeeping of a skipped window, without sample
-    /// synthesis.
+    /// synthesis. The shared L2 may carry in-flight channel countdowns
+    /// across the window ([`L2::next_wake`] reported how far they
+    /// reach); they advance here in closed form.
     fn skip_quiet(&mut self, cycles: u64) {
         for c in 0..self.clusters.len() {
             if !self.cluster_finished(c) {
                 self.clusters[c].skip_quiet(cycles);
             }
+        }
+        if let Some((l2, _)) = self.shared.as_mut() {
+            l2.skip(cycles);
         }
         self.cycles += cycles;
     }
@@ -817,6 +874,21 @@ impl System {
                     self.skip_idle(skip);
                     if let Some(report) = self.check_watchdog() {
                         return Err(SystemError::Hang(report));
+                    }
+                    // Cluster-local watchdogs owe one observation per
+                    // window ([`Cluster::poll_watchdog`]); the window
+                    // was capped at the earliest firing point
+                    // ([`System::next_wake`]), so this reproduces the
+                    // dense loop's per-cycle cadence exactly.
+                    for c in 0..self.clusters.len() {
+                        if !self.cluster_finished(c) {
+                            if let Some(report) = self.clusters[c].poll_watchdog() {
+                                return Err(SystemError::Cluster {
+                                    cluster: c as u32,
+                                    source: ClusterError::Hang(report),
+                                });
+                            }
+                        }
                     }
                     continue;
                 }
